@@ -1,0 +1,49 @@
+//! Regenerates **Table 2** (type checking results per subject program) and
+//! benchmarks the two quantities the paper times: type checking each subject
+//! program, and running its test suite with and without the inserted dynamic
+//! checks (the ~1.6% overhead claim of §5.3).
+
+use comprdl::{CheckConfig, CheckOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table2_benchmark(c: &mut Criterion) {
+    // Print the reproduced table (per-run timings measured by the harness).
+    match corpus::table2() {
+        Ok(rows) => println!("\n{}", corpus::format_table2(&rows)),
+        Err(e) => panic!("harness failed: {e}"),
+    }
+
+    let apps = corpus::apps::all();
+
+    let mut group = c.benchmark_group("type_check");
+    group.sample_size(10);
+    for app in &apps {
+        group.bench_with_input(BenchmarkId::new("comp_types", app.name), app, |b, app| {
+            b.iter(|| std::hint::black_box(bench::check_app(app, CheckOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("plain_rdl", app.name), app, |b, app| {
+            b.iter(|| {
+                std::hint::black_box(bench::check_app(
+                    app,
+                    CheckOptions { use_comp_types: false, ..CheckOptions::default() },
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("test_suite");
+    group.sample_size(10);
+    for app in &apps {
+        group.bench_with_input(BenchmarkId::new("no_checks", app.name), app, |b, app| {
+            b.iter(|| std::hint::black_box(bench::run_app_suite(app, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("with_checks", app.name), app, |b, app| {
+            b.iter(|| std::hint::black_box(bench::run_app_suite(app, Some(CheckConfig::default()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_benchmark);
+criterion_main!(benches);

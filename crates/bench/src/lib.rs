@@ -1,0 +1,54 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The actual benchmarks live under `benches/`; each one regenerates a
+//! table or an ablation from the paper's evaluation (see DESIGN.md §3 for
+//! the experiment index and EXPERIMENTS.md for measured results).
+
+#![warn(missing_docs)]
+
+use comprdl::{CheckConfig, CheckOptions, TypeChecker};
+use ruby_interp::Interpreter;
+
+/// Type checks one corpus app with the given options and returns the result.
+pub fn check_app(app: &corpus::App, options: CheckOptions) -> comprdl::ProgramCheckResult {
+    let env = app.build_env();
+    let program = ruby_syntax::parse_program(&app.full_source()).expect("app parses");
+    TypeChecker::new(&env, &program, options).check_labeled("app")
+}
+
+/// Runs one corpus app's test suite under the given dynamic-check
+/// configuration (or completely unchecked when `config` is `None`),
+/// returning the number of dynamic checks executed.
+pub fn run_app_suite(app: &corpus::App, config: Option<CheckConfig>) -> u64 {
+    let env = app.build_env();
+    let program = ruby_syntax::parse_program(&app.full_source()).expect("app parses");
+    let mut interp = Interpreter::new(program.clone());
+    if let Some(config) = config {
+        let result =
+            TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+        let hook = comprdl::make_hook(
+            result.checks(),
+            result.store.clone(),
+            env.classes.clone(),
+            env.helpers.clone(),
+            config,
+        );
+        interp.set_hook(hook);
+    }
+    interp.eval_program().expect("suite passes");
+    interp.checks_performed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_drive_the_corpus() {
+        let app = &corpus::apps::all()[0];
+        let result = check_app(app, CheckOptions::default());
+        assert!(result.methods_checked() > 0);
+        assert_eq!(run_app_suite(app, None), 0);
+        assert!(run_app_suite(app, Some(CheckConfig::default())) > 0);
+    }
+}

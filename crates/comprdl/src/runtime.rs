@@ -1,0 +1,514 @@
+//! Run-time side of CompRDL: mapping interpreter values to RDL types,
+//! checking values against types, and the [`CompRdlHook`] that enforces the
+//! dynamic checks inserted by the static checker (paper §2.4, §3, §4).
+
+use crate::tlc::{eval_comp_type, HelperRegistry, TlcValue};
+use rdl_types::{ClassTable, HashKey, SingVal, Subtyper, Type, TypeStore};
+use ruby_interp::{DynamicCheckHook, Value};
+use ruby_syntax::Span;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Computes the (precise) RDL type of a runtime value.  Containers produce
+/// store-backed tuple / finite hash types; strings produce const strings.
+pub fn type_of_value(value: &Value, store: &mut TypeStore) -> Type {
+    match value {
+        Value::Nil => Type::nil(),
+        Value::Bool(true) => Type::Singleton(SingVal::True),
+        Value::Bool(false) => Type::Singleton(SingVal::False),
+        Value::Int(i) => Type::int(*i),
+        Value::Float(f) => Type::Singleton(SingVal::float(*f)),
+        Value::Sym(s) => Type::sym(s.clone()),
+        Value::Str(s) => store.new_const_string(s.borrow().clone()),
+        Value::Array(items) => {
+            let elems = items.borrow().iter().map(|v| type_of_value(v, store)).collect();
+            store.new_tuple(elems)
+        }
+        Value::Hash(pairs) => {
+            let mut entries = Vec::new();
+            let mut irregular = false;
+            for (k, v) in pairs.borrow().iter() {
+                let key = match k {
+                    Value::Sym(s) => HashKey::Sym(s.clone()),
+                    Value::Str(s) => HashKey::Str(s.borrow().clone()),
+                    Value::Int(i) => HashKey::Int(*i),
+                    _ => {
+                        irregular = true;
+                        break;
+                    }
+                };
+                entries.push((key, type_of_value(v, store)));
+            }
+            if irregular {
+                Type::hash(Type::object(), Type::object())
+            } else {
+                store.new_finite_hash(entries)
+            }
+        }
+        Value::Object(o) => Type::nominal(o.borrow().class.clone()),
+        Value::Class(c) => Type::class_of(c.clone()),
+        Value::Lambda(_) => Type::nominal("Proc"),
+    }
+}
+
+/// Checks whether a runtime value inhabits a type.  This is the membership
+/// test used by the inserted dynamic checks (`⌈A⌉e.m(e)` in λC).
+pub fn value_matches(
+    value: &Value,
+    ty: &Type,
+    store: &TypeStore,
+    classes: &ClassTable,
+) -> bool {
+    let ty = store.resolve(ty);
+    match &ty {
+        Type::Top | Type::Dynamic | Type::Var(_) => true,
+        Type::Bot => false,
+        Type::Bool => matches!(value, Value::Bool(_)),
+        Type::Optional(inner) | Type::Vararg(inner) => {
+            matches!(value, Value::Nil) || value_matches(value, inner, store, classes)
+        }
+        Type::Union(members) => members.iter().any(|m| value_matches(value, m, store, classes)),
+        Type::Singleton(sv) => match (sv, value) {
+            (SingVal::Nil, Value::Nil) => true,
+            (SingVal::True, Value::Bool(true)) => true,
+            (SingVal::False, Value::Bool(false)) => true,
+            (SingVal::Int(i), Value::Int(j)) => i == j,
+            (SingVal::FloatBits(b), Value::Float(f)) => f64::from_bits(*b) == *f,
+            (SingVal::Sym(s), Value::Sym(t)) => s == t,
+            (SingVal::Class(c), Value::Class(d)) => c == d,
+            _ => false,
+        },
+        Type::ConstString(id) => match (store.const_string_value(*id), value) {
+            (Some(expected), Value::Str(actual)) => *actual.borrow() == expected,
+            (None, Value::Str(_)) => true,
+            _ => false,
+        },
+        Type::Nominal(class) => {
+            // `nil` is allowed wherever an object is expected (λC); blame for
+            // nil flows from actual method invocation instead.
+            if matches!(value, Value::Nil) {
+                return true;
+            }
+            classes.is_subclass(&value.class_name(), class)
+                || (class == "Boolean" && matches!(value, Value::Bool(_)))
+        }
+        Type::Generic { base, args } => match (base.as_str(), value) {
+            ("Array", Value::Array(items)) => {
+                let elem = args.first().cloned().unwrap_or(Type::Top);
+                items.borrow().iter().all(|v| value_matches(v, &elem, store, classes))
+            }
+            ("Hash", Value::Hash(pairs)) => {
+                let kt = args.first().cloned().unwrap_or(Type::Top);
+                let vt = args.get(1).cloned().unwrap_or(Type::Top);
+                pairs.borrow().iter().all(|(k, v)| {
+                    value_matches(k, &kt, store, classes) && value_matches(v, &vt, store, classes)
+                })
+            }
+            // A `Table<T>` value is modelled by whatever object the ORM
+            // returns (a relation object or an array of rows).
+            ("Table", _) => true,
+            ("Enumerator", Value::Array(_)) => true,
+            (other, v) => {
+                matches!(v, Value::Nil) || classes.is_subclass(&v.class_name(), other)
+            }
+        },
+        Type::Tuple(id) => match value {
+            Value::Array(items) => {
+                let data = store.tuple(*id);
+                let items = items.borrow();
+                items.len() == data.elems.len()
+                    && items
+                        .iter()
+                        .zip(data.elems.iter())
+                        .all(|(v, t)| value_matches(v, t, store, classes))
+            }
+            Value::Nil => true,
+            _ => false,
+        },
+        Type::FiniteHash(id) => match value {
+            Value::Hash(_) => {
+                let data = store.finite_hash(*id);
+                data.entries.iter().all(|(k, t)| {
+                    let key = match k {
+                        HashKey::Sym(s) => Value::Sym(s.clone()),
+                        HashKey::Str(s) => Value::str(s.clone()),
+                        HashKey::Int(i) => Value::Int(*i),
+                    };
+                    match value.hash_get(&key) {
+                        Some(v) => value_matches(&v, t, store, classes),
+                        None => matches!(t, Type::Optional(_)) || matches!(t, Type::Singleton(SingVal::Nil)),
+                    }
+                })
+            }
+            Value::Nil => true,
+            _ => false,
+        },
+    }
+}
+
+/// A dynamic check attached to one rewritten call site.
+#[derive(Debug, Clone)]
+pub struct InsertedCheck {
+    /// The call site's span (used as its identity).
+    pub site: Span,
+    /// Human readable description of the call (`Hash#[]`, `Table#joins`...).
+    pub description: String,
+    /// The return type computed at type-check time; the returned value must
+    /// inhabit it.
+    pub expected_return: Type,
+    /// If the signature used a comp type, the information needed to
+    /// re-evaluate it at run time for the consistency check (§4).
+    pub consistency: Option<ConsistencyCheck>,
+}
+
+/// Re-evaluation data for the comp-type consistency check.
+#[derive(Debug, Clone)]
+pub struct ConsistencyCheck {
+    /// The comp-type expression for the return position.
+    pub ret_expr: ruby_syntax::Expr,
+    /// Binder names of the parameters, in positional order (bound to the
+    /// run-time types of the arguments when re-evaluating).
+    pub binders: Vec<Option<String>>,
+    /// The type the comp type evaluated to at type-check time.
+    pub expected: Type,
+}
+
+/// Configuration for which categories of checks the hook enforces; used by
+/// the ablation benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Check returned values against the computed return type.
+    pub return_checks: bool,
+    /// Re-evaluate comp types at run time and compare (heap-mutation guard).
+    pub consistency_checks: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig { return_checks: true, consistency_checks: true }
+    }
+}
+
+/// The [`DynamicCheckHook`] implementation installed into the interpreter
+/// for programs rewritten by CompRDL.
+pub struct CompRdlHook {
+    checks: HashMap<(usize, usize, u32), InsertedCheck>,
+    store: RefCell<TypeStore>,
+    classes: ClassTable,
+    helpers: HelperRegistry,
+    config: CheckConfig,
+    blames: RefCell<Vec<String>>,
+}
+
+impl CompRdlHook {
+    /// Builds a hook from the checks produced by the static checker.
+    pub fn new(
+        checks: Vec<InsertedCheck>,
+        store: TypeStore,
+        classes: ClassTable,
+        helpers: HelperRegistry,
+        config: CheckConfig,
+    ) -> Self {
+        let map = checks
+            .into_iter()
+            .map(|c| ((c.site.start, c.site.end, c.site.line), c))
+            .collect();
+        CompRdlHook {
+            checks: map,
+            store: RefCell::new(store),
+            classes,
+            helpers,
+            config,
+            blames: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of checked call sites.
+    pub fn check_count(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Blame messages produced so far (also raised as errors at the call
+    /// sites).
+    pub fn blames(&self) -> Vec<String> {
+        self.blames.borrow().clone()
+    }
+
+    fn key(site: Span) -> (usize, usize, u32) {
+        (site.start, site.end, site.line)
+    }
+
+    fn blame(&self, message: String) -> Result<(), String> {
+        self.blames.borrow_mut().push(message.clone());
+        Err(message)
+    }
+}
+
+impl std::fmt::Debug for CompRdlHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompRdlHook").field("checks", &self.checks.len()).finish()
+    }
+}
+
+impl DynamicCheckHook for CompRdlHook {
+    fn has_check(&self, site: Span) -> bool {
+        self.checks.contains_key(&Self::key(site))
+    }
+
+    fn before_call(&self, site: Span, recv: &Value, args: &[Value]) -> Result<(), String> {
+        if !self.config.consistency_checks {
+            return Ok(());
+        }
+        let Some(check) = self.checks.get(&Self::key(site)) else { return Ok(()) };
+        let Some(consistency) = &check.consistency else { return Ok(()) };
+        let mut store = self.store.borrow_mut();
+        let recv_ty = type_of_value(recv, &mut store);
+        let mut bindings: HashMap<String, TlcValue> = HashMap::new();
+        bindings.insert("tself".to_string(), TlcValue::Type(recv_ty));
+        for (i, binder) in consistency.binders.iter().enumerate() {
+            if let Some(name) = binder {
+                let arg_ty = args
+                    .get(i)
+                    .map(|v| type_of_value(v, &mut store))
+                    .unwrap_or_else(Type::nil);
+                bindings.insert(name.clone(), TlcValue::Type(arg_ty));
+            }
+        }
+        let recomputed = eval_comp_type(
+            &mut store,
+            &self.classes,
+            &self.helpers,
+            bindings,
+            &consistency.ret_expr,
+        );
+        match recomputed {
+            Ok(t) => {
+                // The comp type may legitimately compute a *more precise*
+                // type at run time than it did statically (singleton
+                // receivers); it must never compute an incompatible one.
+                let sub = Subtyper::new(&self.classes);
+                if sub.is_subtype(&store, &t, &consistency.expected)
+                    || sub.is_subtype(&store, &consistency.expected, &t)
+                {
+                    Ok(())
+                } else {
+                    drop(store);
+                    self.blame(format!(
+                        "{}: comp type evaluated to `{}` at run time but `{}` at type-check time",
+                        check.description, t, consistency.expected
+                    ))
+                }
+            }
+            Err(e) => {
+                drop(store);
+                self.blame(format!("{}: comp type failed at run time: {}", check.description, e))
+            }
+        }
+    }
+
+    fn after_call(&self, site: Span, ret: &Value) -> Result<(), String> {
+        if !self.config.return_checks {
+            return Ok(());
+        }
+        let Some(check) = self.checks.get(&Self::key(site)) else { return Ok(()) };
+        let store = self.store.borrow();
+        if value_matches(ret, &check.expected_return, &store, &self.classes) {
+            Ok(())
+        } else {
+            let msg = format!(
+                "{}: returned {} which is not a {}",
+                check.description,
+                ret.inspect(),
+                check.expected_return
+            );
+            drop(store);
+            self.blame(msg)
+        }
+    }
+}
+
+/// Convenience constructor: wraps checks in an [`Rc`] ready to hand to
+/// [`ruby_interp::Interpreter::set_hook`].
+pub fn make_hook(
+    checks: Vec<InsertedCheck>,
+    store: TypeStore,
+    classes: ClassTable,
+    helpers: HelperRegistry,
+    config: CheckConfig,
+) -> Rc<CompRdlHook> {
+    Rc::new(CompRdlHook::new(checks, store, classes, helpers, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> ClassTable {
+        let mut ct = ClassTable::with_builtins();
+        ct.add_model_class("User", "ActiveRecord::Base");
+        ct
+    }
+
+    #[test]
+    fn type_of_value_forms() {
+        let mut store = TypeStore::new();
+        assert_eq!(type_of_value(&Value::Int(3), &mut store), Type::int(3));
+        assert_eq!(type_of_value(&Value::Sym("a".into()), &mut store), Type::sym("a"));
+        assert!(matches!(type_of_value(&Value::str("x"), &mut store), Type::ConstString(_)));
+        assert!(matches!(
+            type_of_value(&Value::array(vec![Value::Int(1)]), &mut store),
+            Type::Tuple(_)
+        ));
+        assert!(matches!(
+            type_of_value(
+                &Value::hash(vec![(Value::Sym("a".into()), Value::Int(1))]),
+                &mut store
+            ),
+            Type::FiniteHash(_)
+        ));
+        assert_eq!(
+            type_of_value(&Value::new_object("User"), &mut store),
+            Type::nominal("User")
+        );
+        assert_eq!(
+            type_of_value(&Value::Class("User".into()), &mut store),
+            Type::class_of("User")
+        );
+    }
+
+    #[test]
+    fn value_matching_basics() {
+        let store = TypeStore::new();
+        let classes = classes();
+        assert!(value_matches(&Value::Int(5), &Type::nominal("Integer"), &store, &classes));
+        assert!(value_matches(&Value::Int(5), &Type::nominal("Numeric"), &store, &classes));
+        assert!(!value_matches(&Value::Int(5), &Type::nominal("String"), &store, &classes));
+        assert!(value_matches(&Value::Bool(true), &Type::Bool, &store, &classes));
+        assert!(value_matches(&Value::Nil, &Type::nominal("String"), &store, &classes));
+        assert!(value_matches(
+            &Value::str("x"),
+            &Type::union([Type::nominal("String"), Type::nominal("Integer")]),
+            &store,
+            &classes
+        ));
+        assert!(!value_matches(
+            &Value::Sym("x".into()),
+            &Type::union([Type::nominal("String"), Type::nominal("Integer")]),
+            &store,
+            &classes
+        ));
+    }
+
+    #[test]
+    fn value_matching_containers() {
+        let mut store = TypeStore::new();
+        let classes = classes();
+        let arr = Value::array(vec![Value::str("a"), Value::str("b")]);
+        assert!(value_matches(&arr, &Type::array(Type::nominal("String")), &store, &classes));
+        assert!(!value_matches(&arr, &Type::array(Type::nominal("Integer")), &store, &classes));
+
+        let tuple_ty = store.new_tuple(vec![Type::nominal("Integer"), Type::nominal("String")]);
+        let tup = Value::array(vec![Value::Int(1), Value::str("x")]);
+        assert!(value_matches(&tup, &tuple_ty, &store, &classes));
+        let wrong = Value::array(vec![Value::str("x"), Value::Int(1)]);
+        assert!(!value_matches(&wrong, &tuple_ty, &store, &classes));
+
+        let fh = store.new_finite_hash(vec![
+            (HashKey::Sym("info".into()), Type::array(Type::nominal("String"))),
+            (HashKey::Sym("title".into()), Type::nominal("String")),
+        ]);
+        let page = Value::hash(vec![
+            (Value::Sym("info".into()), Value::array(vec![Value::str("u")])),
+            (Value::Sym("title".into()), Value::str("t")),
+        ]);
+        assert!(value_matches(&page, &fh, &store, &classes));
+        let bad_page = Value::hash(vec![(Value::Sym("title".into()), Value::str("t"))]);
+        assert!(!value_matches(&bad_page, &fh, &store, &classes));
+    }
+
+    #[test]
+    fn hook_checks_return_types() {
+        let mut store = TypeStore::new();
+        let site = Span::new(10, 20, 3);
+        let check = InsertedCheck {
+            site,
+            description: "Hash#[]".to_string(),
+            expected_return: Type::array(Type::nominal("String")),
+            consistency: None,
+        };
+        let _ = &mut store;
+        let hook = CompRdlHook::new(
+            vec![check],
+            store,
+            classes(),
+            HelperRegistry::new(),
+            CheckConfig::default(),
+        );
+        assert!(hook.has_check(site));
+        assert!(!hook.has_check(Span::new(0, 1, 1)));
+        let good = Value::array(vec![Value::str("a")]);
+        assert!(hook.after_call(site, &good).is_ok());
+        let bad = Value::str("not an array");
+        let err = hook.after_call(site, &bad).unwrap_err();
+        assert!(err.contains("Hash#[]"));
+        assert_eq!(hook.blames().len(), 1);
+    }
+
+    #[test]
+    fn hook_consistency_check_detects_schema_change() {
+        // Simulates §4: the comp type consults mutable state (bound helper)
+        // whose answer changes between type checking and the call.
+        let mut helpers = HelperRegistry::new();
+        helpers.register_native("current_schema", |ctx, _args| {
+            // Reads the binding `$schema_columns` (set from the "DB").
+            Ok(ctx
+                .bindings
+                .get("$schema_columns")
+                .cloned()
+                .unwrap_or(crate::tlc::TlcValue::Type(Type::nominal("String"))))
+        });
+        let site = Span::new(1, 2, 1);
+        let expr = ruby_syntax::parse_expr("current_schema()").unwrap();
+        let check = InsertedCheck {
+            site,
+            description: "Table#where".to_string(),
+            expected_return: Type::object(),
+            consistency: Some(ConsistencyCheck {
+                ret_expr: expr,
+                binders: vec![],
+                expected: Type::nominal("Integer"),
+            }),
+        };
+        let hook = CompRdlHook::new(
+            vec![check],
+            TypeStore::new(),
+            classes(),
+            helpers,
+            CheckConfig::default(),
+        );
+        // The helper returns String (default binding) but type checking saw
+        // Integer — the consistency check must blame.
+        let err = hook.before_call(site, &Value::Class("User".into()), &[]).unwrap_err();
+        assert!(err.contains("type-check time"));
+    }
+
+    #[test]
+    fn check_config_disables_categories() {
+        let site = Span::new(5, 6, 1);
+        let check = InsertedCheck {
+            site,
+            description: "Array#first".to_string(),
+            expected_return: Type::nominal("Integer"),
+            consistency: None,
+        };
+        let hook = CompRdlHook::new(
+            vec![check],
+            TypeStore::new(),
+            classes(),
+            HelperRegistry::new(),
+            CheckConfig { return_checks: false, consistency_checks: false },
+        );
+        assert!(hook.after_call(site, &Value::str("wrong type")).is_ok());
+    }
+}

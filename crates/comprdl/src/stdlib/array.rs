@@ -1,0 +1,201 @@
+//! Comp-type annotations for `Array` (paper Table 1: 114 methods).
+//!
+//! Tuple receivers keep per-position precision (`first`, `last`, `[]` with a
+//! singleton index); other receivers fall back to the element type, exactly
+//! as described in §2.2 ("Tuple Types").
+
+use crate::env::CompRdl;
+use rdl_types::{PurityEffect, TermEffect};
+
+/// `(name, signature)` pairs for the Array annotation set.
+pub const METHODS: &[(&str, &str)] = &[
+    ("[]", "(t<:Object) -> «idx(tself, t)» / a"),
+    ("at", "(t<:Integer) -> «idx(tself, t)» / a"),
+    ("slice", "(t<:Object, ?Integer) -> «maybe(arr(tself))»"),
+    ("slice!", "(t<:Object, ?Integer) -> «maybe(arr(tself))»"),
+    ("[]=", "(t<:Object, u<:Object) -> «u»"),
+    ("first", "() -> «first_elem(tself)» / a"),
+    ("last", "() -> «last_elem(tself)» / a"),
+    ("fetch", "(t<:Integer) -> «idx(tself, t)» / a"),
+    ("dig", "(*Object) -> «elem(tself)»"),
+    ("push", "(*Object) -> «self_type(tself)»"),
+    ("append", "(*Object) -> «self_type(tself)»"),
+    ("<<", "(t<:Object) -> «self_type(tself)»"),
+    ("unshift", "(*Object) -> «self_type(tself)»"),
+    ("prepend", "(*Object) -> «self_type(tself)»"),
+    ("insert", "(Integer, *Object) -> «self_type(tself)»"),
+    ("pop", "() -> «maybe(elem(tself))»"),
+    ("shift", "() -> «maybe(elem(tself))»"),
+    ("delete", "(t<:Object) -> «maybe(t)»"),
+    ("delete_at", "(Integer) -> «maybe(elem(tself))»"),
+    ("delete_if", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("keep_if", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("clear", "() -> «self_type(tself)»"),
+    ("length", "() -> Integer"),
+    ("size", "() -> Integer"),
+    ("count", "(?Object) -> Integer"),
+    ("empty?", "() -> %bool"),
+    ("any?", "() { (a) -> %bool } -> %bool"),
+    ("all?", "() { (a) -> %bool } -> %bool"),
+    ("none?", "() { (a) -> %bool } -> %bool"),
+    ("one?", "() { (a) -> %bool } -> %bool"),
+    ("include?", "(t<:Object) -> %bool"),
+    ("member?", "(t<:Object) -> %bool"),
+    ("index", "(t<:Object) -> Integer or nil"),
+    ("find_index", "(t<:Object) -> Integer or nil"),
+    ("rindex", "(t<:Object) -> Integer or nil"),
+    ("first_n", "(Integer) -> «arr(tself)»"),
+    ("take", "(Integer) -> «arr(tself)»"),
+    ("take_while", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("drop", "(Integer) -> «arr(tself)»"),
+    ("drop_while", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("each", "() { (a) -> Object } -> «self_type(tself)»"),
+    ("each_index", "() { (Integer) -> Object } -> «self_type(tself)»"),
+    ("each_with_index", "() { (a, Integer) -> Object } -> «self_type(tself)»"),
+    ("each_with_object", "(t<:Object) { (a, Object) -> Object } -> «t»"),
+    ("each_slice", "(Integer) { (Array<a>) -> Object } -> «self_type(tself)»"),
+    ("each_cons", "(Integer) { (Array<a>) -> Object } -> «self_type(tself)»"),
+    ("reverse_each", "() { (a) -> Object } -> «self_type(tself)»"),
+    ("map", "() { (a) -> b } -> Array<b>"),
+    ("map!", "() { (a) -> b } -> Array<b>"),
+    ("collect", "() { (a) -> b } -> Array<b>"),
+    ("collect!", "() { (a) -> b } -> Array<b>"),
+    ("flat_map", "() { (a) -> b } -> Array<Object>"),
+    ("collect_concat", "() { (a) -> b } -> Array<Object>"),
+    ("select", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("select!", "() { (a) -> %bool } -> «maybe(arr(tself))»"),
+    ("filter", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("filter_map", "() { (a) -> Object } -> Array<Object>"),
+    ("reject", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("reject!", "() { (a) -> %bool } -> «maybe(arr(tself))»"),
+    ("find", "() { (a) -> %bool } -> «maybe(elem(tself))»"),
+    ("detect", "() { (a) -> %bool } -> «maybe(elem(tself))»"),
+    ("find_all", "() { (a) -> %bool } -> «arr(tself)»"),
+    ("partition", "() { (a) -> %bool } -> Array<Array<a>>"),
+    ("group_by", "() { (a) -> b } -> Hash<Object, Array<a>>"),
+    ("chunk_while", "() { (a, a) -> %bool } -> Array<Array<a>>"),
+    ("reduce", "(?Object) { (Object, a) -> Object } -> Object"),
+    ("inject", "(?Object) { (Object, a) -> Object } -> Object"),
+    ("sum", "(?Numeric) -> «fold(elem(tself), Singleton.new(0), :+)»"),
+    ("min", "() -> «maybe(elem(tself))»"),
+    ("max", "() -> «maybe(elem(tself))»"),
+    ("min_by", "() { (a) -> b } -> «maybe(elem(tself))»"),
+    ("max_by", "() { (a) -> b } -> «maybe(elem(tself))»"),
+    ("minmax", "() -> «arr(tself)»"),
+    ("sort", "() -> «arr(tself)»"),
+    ("sort!", "() -> «arr(tself)»"),
+    ("sort_by", "() { (a) -> b } -> «arr(tself)»"),
+    ("sort_by!", "() { (a) -> b } -> «arr(tself)»"),
+    ("uniq", "() -> «arr(tself)»"),
+    ("uniq!", "() -> «maybe(arr(tself))»"),
+    ("compact", "() -> «arr(tself)»"),
+    ("compact!", "() -> «maybe(arr(tself))»"),
+    ("flatten", "(?Integer) -> «flat(tself)»"),
+    ("flatten!", "(?Integer) -> «maybe(flat(tself))»"),
+    ("reverse", "() -> «arr(tself)»"),
+    ("reverse!", "() -> «self_type(tself)»"),
+    ("rotate", "(?Integer) -> «arr(tself)»"),
+    ("rotate!", "(?Integer) -> «self_type(tself)»"),
+    ("shuffle", "() -> «arr(tself)»"),
+    ("shuffle!", "() -> «self_type(tself)»"),
+    ("sample", "() -> «maybe(elem(tself))»"),
+    ("join", "(?String) -> String"),
+    ("to_a", "() -> «self_type(tself)»"),
+    ("to_ary", "() -> «self_type(tself)»"),
+    ("to_h", "() -> Hash<Object, Object>"),
+    ("to_s", "() -> String"),
+    ("inspect", "() -> String"),
+    ("hash", "() -> Integer"),
+    ("eql?", "(t<:Object) -> %bool"),
+    ("==", "(t<:Object) -> %bool"),
+    ("<=>", "(t<:Object) -> Integer or nil"),
+    ("frozen?", "() -> %bool"),
+    ("freeze", "() -> «self_type(tself)»"),
+    ("dup", "() -> «self_type(tself)»"),
+    ("clone", "() -> «self_type(tself)»"),
+    ("+", "(t<:Array) -> «merged_array(tself, t)»"),
+    ("concat", "(t<:Array) -> «merged_array(tself, t)»"),
+    ("-", "(t<:Array) -> «arr(tself)»"),
+    ("&", "(t<:Array) -> «arr(tself)»"),
+    ("|", "(t<:Array) -> «merged_array(tself, t)»"),
+    ("*", "(t<:Object) -> «arr(tself)»"),
+    ("zip", "(t<:Array) -> «pairs(tself, t)»"),
+    ("product", "(t<:Array) -> «pairs(tself, t)»"),
+    ("combination", "(Integer) -> Array<Array<a>>"),
+    ("permutation", "(?Integer) -> Array<Array<a>>"),
+    ("transpose", "() -> Array<Array<Object>>"),
+    ("assoc", "(t<:Object) -> «maybe(elem(tself))»"),
+    ("rassoc", "(t<:Object) -> «maybe(elem(tself))»"),
+    ("values_at", "(*Integer) -> «arr(tself)»"),
+    ("fill", "(t<:Object) -> «self_type(tself)»"),
+    ("replace", "(t<:Array) -> «t»"),
+    ("pack", "(String) -> String"),
+    ("tally", "() -> Hash<a, Integer>"),
+    ("bsearch", "() { (a) -> %bool } -> «maybe(elem(tself))»"),
+    ("cycle", "(Integer) { (a) -> Object } -> nil"),
+];
+
+/// Additional helper used only by the Array annotations.
+const ARRAY_HELPERS: &str = r#"
+# Array#+ / Array#| element union.
+def merged_array(t, u)
+  Generic.new(Array, Union.new(elem(t), elem(u)))
+end
+"#;
+
+/// Iterator methods whose termination depends on their block (`:blockdep`).
+const BLOCKDEP: &[&str] = &[
+    "map", "map!", "collect", "collect!", "each", "each_index", "each_with_index",
+    "each_with_object", "each_slice", "each_cons", "reverse_each", "select", "select!", "filter",
+    "filter_map", "reject", "reject!", "find", "detect", "find_all", "partition", "group_by",
+    "chunk_while", "reduce", "inject", "min_by", "max_by", "sort_by", "sort_by!", "take_while",
+    "drop_while", "delete_if", "keep_if", "flat_map", "collect_concat", "bsearch", "cycle",
+    "all?", "any?", "none?", "one?",
+];
+
+/// Methods that mutate the receiver (impure).
+const IMPURE: &[&str] = &[
+    "[]=", "push", "append", "<<", "unshift", "prepend", "insert", "pop", "shift", "delete",
+    "delete_at", "delete_if", "keep_if", "clear", "map!", "collect!", "select!", "reject!",
+    "sort!", "sort_by!", "uniq!", "compact!", "flatten!", "reverse!", "rotate!", "shuffle!",
+    "concat", "fill", "replace", "slice!",
+];
+
+/// Registers the Array annotation set into `env`.
+pub fn register(env: &mut CompRdl) {
+    env.register_helpers_ruby(ARRAY_HELPERS);
+    for (name, sig) in METHODS {
+        let term = if BLOCKDEP.contains(name) {
+            TermEffect::BlockDep
+        } else {
+            TermEffect::Terminates
+        };
+        let purity = if IMPURE.contains(name) { PurityEffect::Impure } else { PurityEffect::Pure };
+        env.type_sig_with_effects("Array", name, sig, term, purity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::CompRdl;
+
+    #[test]
+    fn registers_the_full_method_list() {
+        let mut env = CompRdl::new();
+        crate::stdlib::register_native_helpers(&mut env);
+        env.register_helpers_ruby(crate::stdlib::RUBY_HELPERS);
+        register(&mut env);
+        assert!(env.annotation_count("Array") >= 110);
+        assert!(env.comp_type_count("Array") >= 70);
+    }
+
+    #[test]
+    fn no_duplicate_method_names() {
+        let mut names: Vec<&str> = METHODS.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate Array annotations");
+    }
+}

@@ -1,0 +1,119 @@
+//! Comp-type annotations for `Hash` (paper Table 1: 48 methods).
+//!
+//! Finite hash receivers indexed with singleton keys keep per-key precision
+//! (the `Hash#[]` example of §2.2); other receivers fall back to the
+//! `Hash<K, V>` key/value types.
+
+use crate::env::CompRdl;
+use rdl_types::{PurityEffect, TermEffect};
+
+/// `(name, signature)` pairs for the Hash annotation set.
+pub const METHODS: &[(&str, &str)] = &[
+    ("[]", "(t<:Object) -> «idx(tself, t)» / v"),
+    ("[]=", "(t<:Object, u<:Object) -> «u»"),
+    ("store", "(t<:Object, u<:Object) -> «u»"),
+    ("fetch", "(t<:Object, ?Object) -> «idx(tself, t)» / v"),
+    ("dig", "(*Object) -> «vals(tself)» / v"),
+    ("key?", "(t<:Object) -> %bool"),
+    ("has_key?", "(t<:Object) -> %bool"),
+    ("include?", "(t<:Object) -> %bool"),
+    ("member?", "(t<:Object) -> %bool"),
+    ("value?", "(t<:Object) -> %bool"),
+    ("has_value?", "(t<:Object) -> %bool"),
+    ("keys", "() -> «hash_keys(tself)»"),
+    ("values", "() -> «hash_values(tself)»"),
+    ("values_at", "(*Object) -> «hash_values(tself)»"),
+    ("length", "() -> Integer"),
+    ("size", "() -> Integer"),
+    ("count", "(?Object) -> Integer"),
+    ("empty?", "() -> %bool"),
+    ("any?", "() { (k, v) -> %bool } -> %bool"),
+    ("all?", "() { (k, v) -> %bool } -> %bool"),
+    ("none?", "() { (k, v) -> %bool } -> %bool"),
+    ("each", "() { (k, v) -> Object } -> «self_type(tself)»"),
+    ("each_pair", "() { (k, v) -> Object } -> «self_type(tself)»"),
+    ("each_key", "() { (k) -> Object } -> «self_type(tself)»"),
+    ("each_value", "() { (v) -> Object } -> «self_type(tself)»"),
+    ("map", "() { (k, v) -> b } -> Array<b>"),
+    ("collect", "() { (k, v) -> b } -> Array<b>"),
+    ("flat_map", "() { (k, v) -> b } -> Array<Object>"),
+    ("select", "() { (k, v) -> %bool } -> «hsh(tself)»"),
+    ("filter", "() { (k, v) -> %bool } -> «hsh(tself)»"),
+    ("reject", "() { (k, v) -> %bool } -> «hsh(tself)»"),
+    ("find", "() { (k, v) -> %bool } -> Array<Object> or nil"),
+    ("detect", "() { (k, v) -> %bool } -> Array<Object> or nil"),
+    ("reduce", "(?Object) { (Object, Object) -> Object } -> Object"),
+    ("inject", "(?Object) { (Object, Object) -> Object } -> Object"),
+    ("merge", "(t<:Hash) -> «merged_hash(tself, t)»"),
+    ("merge!", "(t<:Hash) -> «merged_hash(tself, t)»"),
+    ("update", "(t<:Hash) -> «merged_hash(tself, t)»"),
+    ("delete", "(t<:Object) -> «maybe(idx(tself, t))»"),
+    ("delete_if", "() { (k, v) -> %bool } -> «hsh(tself)»"),
+    ("keep_if", "() { (k, v) -> %bool } -> «hsh(tself)»"),
+    ("clear", "() -> «self_type(tself)»"),
+    ("to_a", "() -> Array<Array<Object>>"),
+    ("to_h", "() -> «self_type(tself)»"),
+    ("to_s", "() -> String"),
+    ("inspect", "() -> String"),
+    ("invert", "() -> Hash<v, k>"),
+    ("key", "(t<:Object) -> «maybe(keyt(tself))»"),
+    ("freeze", "() -> «self_type(tself)»"),
+    ("dup", "() -> «self_type(tself)»"),
+    ("sort_by", "() { (k, v) -> b } -> Array<Array<Object>>"),
+    ("group_by", "() { (k, v) -> b } -> Hash<Object, Array<Object>>"),
+    ("transform_values", "() { (v) -> b } -> Hash<k, Object>"),
+    ("transform_keys", "() { (k) -> b } -> Hash<Object, v>"),
+    ("slice", "(*Object) -> «hsh(tself)»"),
+    ("except", "(*Object) -> «hsh(tself)»"),
+    ("fetch_values", "(*Object) -> «hash_values(tself)»"),
+    ("default", "() -> Object"),
+    ("compact", "() -> «hsh(tself)»"),
+];
+
+const BLOCKDEP: &[&str] = &[
+    "any?", "all?", "none?", "each", "each_pair", "each_key", "each_value", "map", "collect",
+    "flat_map", "select", "filter", "reject", "find", "detect", "reduce", "inject", "delete_if",
+    "keep_if", "sort_by", "group_by", "transform_values", "transform_keys",
+];
+
+const IMPURE: &[&str] = &[
+    "[]=", "store", "merge!", "update", "delete", "delete_if", "keep_if", "clear",
+];
+
+/// Registers the Hash annotation set into `env`.
+pub fn register(env: &mut CompRdl) {
+    for (name, sig) in METHODS {
+        let term = if BLOCKDEP.contains(name) {
+            TermEffect::BlockDep
+        } else {
+            TermEffect::Terminates
+        };
+        let purity = if IMPURE.contains(name) { PurityEffect::Impure } else { PurityEffect::Pure };
+        env.type_sig_with_effects("Hash", name, sig, term, purity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::CompRdl;
+
+    #[test]
+    fn registers_the_full_method_list() {
+        let mut env = CompRdl::new();
+        crate::stdlib::register_native_helpers(&mut env);
+        env.register_helpers_ruby(crate::stdlib::RUBY_HELPERS);
+        register(&mut env);
+        assert!(env.annotation_count("Hash") >= 48);
+        assert!(env.comp_type_count("Hash") >= 20);
+    }
+
+    #[test]
+    fn no_duplicate_method_names() {
+        let mut names: Vec<&str> = METHODS.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate Hash annotations");
+    }
+}

@@ -1,0 +1,175 @@
+//! Comp-type annotations for `String` (paper Table 1: 114 methods).
+//!
+//! Const-string receivers (string literals that are never written to, §2.2)
+//! behave like singletons: pure operations such as `upcase` or `+` compute
+//! the resulting const string at the type level, while mutating methods fall
+//! back to plain `String` (and trigger a weak update at the checker level).
+
+use crate::env::CompRdl;
+use rdl_types::{PurityEffect, TermEffect};
+
+/// `(name, signature)` pairs for the String annotation set.
+pub const METHODS: &[(&str, &str)] = &[
+    ("+", "(t<:String) -> «str_concat(tself, t)»"),
+    ("concat", "(t<:String) -> String"),
+    ("<<", "(t<:Object) -> String"),
+    ("*", "(Integer) -> String"),
+    ("%", "(t<:Object) -> String"),
+    ("==", "(t<:Object) -> %bool"),
+    ("eql?", "(t<:Object) -> %bool"),
+    ("equal?", "(t<:Object) -> %bool"),
+    ("<=>", "(t<:String) -> Integer or nil"),
+    ("<", "(t<:String) -> %bool"),
+    (">", "(t<:String) -> %bool"),
+    ("<=", "(t<:String) -> %bool"),
+    (">=", "(t<:String) -> %bool"),
+    ("=~", "(t<:Object) -> Integer or nil"),
+    ("[]", "(t<:Object, ?Integer) -> String or nil"),
+    ("[]=", "(t<:Object, u<:String) -> «u»"),
+    ("slice", "(t<:Object, ?Integer) -> String or nil"),
+    ("slice!", "(t<:Object, ?Integer) -> String or nil"),
+    ("length", "() -> «str_len(tself)»"),
+    ("size", "() -> «str_len(tself)»"),
+    ("bytesize", "() -> Integer"),
+    ("empty?", "() -> %bool"),
+    ("upcase", "() -> «str_op(tself, :upcase)»"),
+    ("upcase!", "() -> String or nil"),
+    ("downcase", "() -> «str_op(tself, :downcase)»"),
+    ("downcase!", "() -> String or nil"),
+    ("capitalize", "() -> «str_op(tself, :capitalize)»"),
+    ("capitalize!", "() -> String or nil"),
+    ("swapcase", "() -> String"),
+    ("swapcase!", "() -> String or nil"),
+    ("strip", "() -> «str_op(tself, :strip)»"),
+    ("strip!", "() -> String or nil"),
+    ("lstrip", "() -> String"),
+    ("lstrip!", "() -> String or nil"),
+    ("rstrip", "() -> String"),
+    ("rstrip!", "() -> String or nil"),
+    ("chomp", "() -> «str_op(tself, :chomp)»"),
+    ("chomp!", "() -> String or nil"),
+    ("chop", "() -> String"),
+    ("chop!", "() -> String or nil"),
+    ("chr", "() -> String"),
+    ("reverse", "() -> «str_op(tself, :reverse)»"),
+    ("reverse!", "() -> String"),
+    ("sub", "(t<:Object, u<:String) -> String"),
+    ("sub!", "(t<:Object, u<:String) -> String or nil"),
+    ("gsub", "(t<:Object, u<:String) -> String"),
+    ("gsub!", "(t<:Object, u<:String) -> String or nil"),
+    ("tr", "(String, String) -> String"),
+    ("tr!", "(String, String) -> String or nil"),
+    ("tr_s", "(String, String) -> String"),
+    ("delete", "(String) -> String"),
+    ("delete!", "(String) -> String or nil"),
+    ("squeeze", "(?String) -> String"),
+    ("squeeze!", "(?String) -> String or nil"),
+    ("replace", "(t<:String) -> «t»"),
+    ("insert", "(Integer, String) -> String"),
+    ("prepend", "(*String) -> String"),
+    ("include?", "(t<:String) -> %bool"),
+    ("start_with?", "(*String) -> %bool"),
+    ("end_with?", "(*String) -> %bool"),
+    ("match", "(t<:Object) -> Object or nil"),
+    ("match?", "(t<:Object) -> %bool"),
+    ("index", "(t<:Object, ?Integer) -> Integer or nil"),
+    ("rindex", "(t<:Object, ?Integer) -> Integer or nil"),
+    ("count", "(String) -> Integer"),
+    ("split", "(?Object, ?Integer) -> Array<String>"),
+    ("partition", "(t<:Object) -> Array<String>"),
+    ("rpartition", "(t<:Object) -> Array<String>"),
+    ("chars", "() -> Array<String>"),
+    ("bytes", "() -> Array<Integer>"),
+    ("lines", "(?String) -> Array<String>"),
+    ("each_char", "() { (String) -> Object } -> String"),
+    ("each_byte", "() { (Integer) -> Object } -> String"),
+    ("each_line", "(?String) { (String) -> Object } -> String"),
+    ("scan", "(t<:Object) -> Array<String>"),
+    ("ljust", "(Integer, ?String) -> String"),
+    ("rjust", "(Integer, ?String) -> String"),
+    ("center", "(Integer, ?String) -> String"),
+    ("to_s", "() -> «str_op(tself, :to_s)»"),
+    ("to_str", "() -> «str_op(tself, :to_str)»"),
+    ("to_i", "() -> Integer"),
+    ("to_f", "() -> Float"),
+    ("to_r", "() -> Object"),
+    ("to_c", "() -> Object"),
+    ("to_sym", "() -> Symbol"),
+    ("intern", "() -> Symbol"),
+    ("inspect", "() -> String"),
+    ("dump", "() -> String"),
+    ("hash", "() -> Integer"),
+    ("freeze", "() -> «str_op(tself, :freeze)»"),
+    ("frozen?", "() -> %bool"),
+    ("dup", "() -> «str_op(tself, :dup)»"),
+    ("clone", "() -> «str_op(tself, :dup)»"),
+    ("succ", "() -> String"),
+    ("next", "() -> String"),
+    ("ord", "() -> Integer"),
+    ("hex", "() -> Integer"),
+    ("oct", "() -> Integer"),
+    ("sum", "() -> Integer"),
+    ("crypt", "(String) -> String"),
+    ("unpack", "(String) -> Array<Object>"),
+    ("unpack1", "(String) -> Object"),
+    ("encode", "(?String) -> String"),
+    ("encoding", "() -> Object"),
+    ("force_encoding", "(String) -> String"),
+    ("valid_encoding?", "() -> %bool"),
+    ("ascii_only?", "() -> %bool"),
+    ("unicode_normalize", "() -> String"),
+    ("casecmp", "(String) -> Integer or nil"),
+    ("casecmp?", "(String) -> %bool"),
+    ("between?", "(String, String) -> %bool"),
+    ("getbyte", "(Integer) -> Integer or nil"),
+    ("setbyte", "(Integer, Integer) -> Integer"),
+    ("byteslice", "(Integer, ?Integer) -> String or nil"),
+    ("grapheme_clusters", "() -> Array<String>"),
+    ("scrub", "(?String) -> String"),
+    ("b", "() -> String"),
+];
+
+const BLOCKDEP: &[&str] = &["each_char", "each_byte", "each_line"];
+
+const IMPURE: &[&str] = &[
+    "<<", "concat", "[]=", "upcase!", "downcase!", "capitalize!", "swapcase!", "strip!",
+    "lstrip!", "rstrip!", "chomp!", "chop!", "reverse!", "sub!", "gsub!", "tr!", "delete!",
+    "squeeze!", "replace", "insert", "prepend", "slice!", "force_encoding", "setbyte", "clear",
+];
+
+/// Registers the String annotation set into `env`.
+pub fn register(env: &mut CompRdl) {
+    for (name, sig) in METHODS {
+        let term = if BLOCKDEP.contains(name) {
+            TermEffect::BlockDep
+        } else {
+            TermEffect::Terminates
+        };
+        let purity = if IMPURE.contains(name) { PurityEffect::Impure } else { PurityEffect::Pure };
+        env.type_sig_with_effects("String", name, sig, term, purity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::CompRdl;
+
+    #[test]
+    fn registers_the_full_method_list() {
+        let mut env = CompRdl::new();
+        crate::stdlib::register_native_helpers(&mut env);
+        env.register_helpers_ruby(crate::stdlib::RUBY_HELPERS);
+        register(&mut env);
+        assert!(env.annotation_count("String") >= 110);
+    }
+
+    #[test]
+    fn no_duplicate_method_names() {
+        let mut names: Vec<&str> = METHODS.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate String annotations");
+    }
+}

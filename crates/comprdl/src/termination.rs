@@ -1,0 +1,324 @@
+//! Termination and purity checking for type-level code (paper §4, Fig. 6).
+//!
+//! CompRDL guarantees that type checking terminates by restricting what
+//! type-level code (comp-type expressions and their helper methods) may do:
+//!
+//! * no `while` loops,
+//! * calls only to methods whose termination effect is `:+` (always
+//!   terminates), or `:blockdep` iterators whose block is pure,
+//! * pure methods may not write instance, class or global variables, and may
+//!   only call other pure methods,
+//! * recursion in type-level code is assumed absent (and cut off at run time
+//!   by the evaluator's depth bound).
+
+use rdl_types::{PurityEffect, TermEffect};
+use ruby_syntax::{Expr, ExprKind, MethodDef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A termination / purity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectViolation {
+    /// Description of what went wrong.
+    pub message: String,
+    /// Line of the offending expression.
+    pub line: u32,
+}
+
+impl fmt::Display for EffectViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// The effect environment: method name → (termination, purity).
+///
+/// Effects are looked up by bare method name, mirroring how the paper's
+/// annotations attach `terminates:` / `pure:` labels to methods.
+#[derive(Debug, Clone, Default)]
+pub struct EffectEnv {
+    effects: HashMap<String, (TermEffect, PurityEffect)>,
+}
+
+impl EffectEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        EffectEnv::default()
+    }
+
+    /// An environment pre-populated with the effects of the core library
+    /// methods and type-level reflection methods used by the standard
+    /// annotations.
+    pub fn with_builtins() -> Self {
+        let mut env = EffectEnv::new();
+        // Pure, terminating reflection / query methods usable in type-level
+        // code.
+        for m in [
+            "is_a?", "kind_of?", "instance_of?", "nil?", "==", "!=", "val", "value", "elts",
+            "entries", "params", "param", "base", "value_type", "key_type", "elem_type", "elems",
+            "merge", "[]", "keys", "values", "first", "last", "length", "size", "empty?",
+            "include?", "key?", "has_key?", "to_s", "to_sym", "name", "new", "union",
+            "subtype_of?", "canonical", "to_type", "upcase", "downcase", "+", "-", "*", "<",
+            ">", "<=", ">=", "fetch", "dig", "freeze", "class",
+        ] {
+            env.set(m, TermEffect::Terminates, PurityEffect::Pure);
+        }
+        // Iterators terminate iff their block does and is pure.
+        for m in ["map", "each", "select", "reject", "find", "detect", "collect", "all?", "any?",
+            "none?", "reduce", "inject", "sort_by", "group_by", "each_pair", "each_with_index",
+            "times", "upto"]
+        {
+            env.set(m, TermEffect::BlockDep, PurityEffect::Pure);
+        }
+        // Mutators are impure (and must not appear inside pure blocks).
+        for m in ["push", "<<", "pop", "shift", "unshift", "concat", "store", "[]=", "delete",
+            "merge!", "update", "gsub!", "sub!", "clear"]
+        {
+            env.set(m, TermEffect::Terminates, PurityEffect::Impure);
+        }
+        env
+    }
+
+    /// Sets the effects for a method name.
+    pub fn set(&mut self, method: &str, term: TermEffect, purity: PurityEffect) {
+        self.effects.insert(method.to_string(), (term, purity));
+    }
+
+    /// The termination effect for a method (unknown methods default to
+    /// `:-`, may diverge).
+    pub fn termination(&self, method: &str) -> TermEffect {
+        self.effects.get(method).map(|(t, _)| *t).unwrap_or(TermEffect::MayDiverge)
+    }
+
+    /// The purity effect for a method (unknown methods default to impure).
+    pub fn purity(&self, method: &str) -> PurityEffect {
+        self.effects.get(method).map(|(_, p)| *p).unwrap_or(PurityEffect::Impure)
+    }
+
+    /// Number of annotated methods.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// True if no effects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+}
+
+/// The termination / purity checker.
+#[derive(Debug, Clone)]
+pub struct TerminationChecker {
+    env: EffectEnv,
+}
+
+impl TerminationChecker {
+    /// Creates a checker over the given effect environment.
+    pub fn new(env: EffectEnv) -> Self {
+        TerminationChecker { env }
+    }
+
+    /// Creates a checker with the builtin effect environment.
+    pub fn with_builtins() -> Self {
+        TerminationChecker::new(EffectEnv::with_builtins())
+    }
+
+    /// A mutable view of the effect environment (to register helper
+    /// effects).
+    pub fn env_mut(&mut self) -> &mut EffectEnv {
+        &mut self.env
+    }
+
+    /// Checks that a type-level expression terminates; returns all
+    /// violations found.
+    pub fn check_expr(&self, expr: &Expr) -> Vec<EffectViolation> {
+        let mut out = Vec::new();
+        self.walk_termination(expr, &mut out);
+        out
+    }
+
+    /// Checks a helper method definition: its body must terminate, and if
+    /// `require_pure` is set it must also be pure.
+    pub fn check_helper(&self, def: &MethodDef, require_pure: bool) -> Vec<EffectViolation> {
+        let mut out = Vec::new();
+        for e in &def.body {
+            self.walk_termination(e, &mut out);
+            if require_pure {
+                self.walk_purity(e, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Checks that a block body is pure (no writes to non-local state and no
+    /// impure calls) — the condition under which a `:blockdep` iterator
+    /// terminates.
+    pub fn check_block_purity(&self, body: &[Expr]) -> Vec<EffectViolation> {
+        let mut out = Vec::new();
+        for e in body {
+            self.walk_purity(e, &mut out);
+        }
+        out
+    }
+
+    fn walk_termination(&self, expr: &Expr, out: &mut Vec<EffectViolation>) {
+        expr.walk(&mut |e| match &e.kind {
+            ExprKind::While { .. } => out.push(EffectViolation {
+                message: "type-level code may not use looping constructs".to_string(),
+                line: e.span.line,
+            }),
+            ExprKind::Call { name, block, .. } => {
+                match self.env.termination(name) {
+                    TermEffect::Terminates => {}
+                    TermEffect::MayDiverge => out.push(EffectViolation {
+                        message: format!(
+                            "call to `{name}`, which is not known to terminate (`terminates: :-`)"
+                        ),
+                        line: e.span.line,
+                    }),
+                    TermEffect::BlockDep => {
+                        if let Some(block) = block {
+                            let impurities = self.check_block_purity(&block.body);
+                            for v in impurities {
+                                out.push(EffectViolation {
+                                    message: format!(
+                                        "iterator `{name}` requires a pure block: {}",
+                                        v.message
+                                    ),
+                                    line: v.line,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        });
+        let _ = expr;
+    }
+
+    fn walk_purity(&self, expr: &Expr, out: &mut Vec<EffectViolation>) {
+        expr.walk(&mut |e| match &e.kind {
+            ExprKind::Assign { target, .. } | ExprKind::OpAssign { target, .. } => match target {
+                ruby_syntax::LValue::IVar(name) => out.push(EffectViolation {
+                    message: format!("writes instance variable @{name}"),
+                    line: e.span.line,
+                }),
+                ruby_syntax::LValue::GVar(name) => out.push(EffectViolation {
+                    message: format!("writes global variable ${name}"),
+                    line: e.span.line,
+                }),
+                ruby_syntax::LValue::Const(name) => out.push(EffectViolation {
+                    message: format!("writes constant {name}"),
+                    line: e.span.line,
+                }),
+                ruby_syntax::LValue::Index { .. } | ruby_syntax::LValue::Attr { .. } => {
+                    out.push(EffectViolation {
+                        message: "mutates the receiver of an index/attribute assignment"
+                            .to_string(),
+                        line: e.span.line,
+                    })
+                }
+                ruby_syntax::LValue::Local(_) => {}
+            },
+            ExprKind::Call { name, .. } => {
+                if self.env.purity(name) == PurityEffect::Impure {
+                    out.push(EffectViolation {
+                        message: format!("calls impure method `{name}`"),
+                        line: e.span.line,
+                    });
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_syntax::{parse_expr, parse_program};
+
+    fn checker() -> TerminationChecker {
+        let mut c = TerminationChecker::with_builtins();
+        // Figure 6 setup: m1/m2 terminate, m3 may diverge.
+        c.env_mut().set("m1", TermEffect::Terminates, PurityEffect::Pure);
+        c.env_mut().set("m2", TermEffect::Terminates, PurityEffect::Pure);
+        c.env_mut().set("m3", TermEffect::MayDiverge, PurityEffect::Impure);
+        c
+    }
+
+    #[test]
+    fn terminating_calls_are_allowed() {
+        let c = checker();
+        assert!(c.check_expr(&parse_expr("m2()").unwrap()).is_empty());
+        assert!(c.check_expr(&parse_expr("m1() == m2()").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn diverging_calls_are_rejected() {
+        let c = checker();
+        let violations = c.check_expr(&parse_expr("m3()").unwrap());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("m3"));
+    }
+
+    #[test]
+    fn loops_are_rejected() {
+        let c = checker();
+        let violations = c.check_expr(&parse_expr("while x\n m1()\nend").unwrap());
+        assert!(violations.iter().any(|v| v.message.contains("looping")));
+    }
+
+    #[test]
+    fn blockdep_iterator_with_pure_block_is_allowed() {
+        let c = checker();
+        let violations = c.check_expr(&parse_expr("array.map { |val| val + 1 }").unwrap());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn blockdep_iterator_with_impure_block_is_rejected() {
+        // Figure 6 line 15: `array.map { |val| array.push(4) }` is rejected
+        // because the block calls the impure method push.
+        let c = checker();
+        let violations = c.check_expr(&parse_expr("array.map { |val| array.push(4) }").unwrap());
+        assert!(violations.iter().any(|v| v.message.contains("push")), "{violations:?}");
+    }
+
+    #[test]
+    fn purity_rejects_state_writes() {
+        let c = checker();
+        let program =
+            parse_program("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
+        let (_, def) = &program.methods()[0];
+        let violations = c.check_helper(def, true);
+        assert!(violations.iter().any(|v| v.message.contains("@cache")));
+
+        let program = parse_program("def helper(t)\n  $global = t\nend\n").unwrap();
+        let (_, def) = &program.methods()[0];
+        assert!(!c.check_helper(def, true).is_empty());
+
+        let program = parse_program("def helper(t)\n  local = t\n  local\nend\n").unwrap();
+        let (_, def) = &program.methods()[0];
+        assert!(c.check_helper(def, true).is_empty());
+    }
+
+    #[test]
+    fn nested_violations_are_found() {
+        let c = checker();
+        let e = parse_expr("if m1() then m3() else m2() end").unwrap();
+        let violations = c.check_expr(&e);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn effect_env_defaults() {
+        let env = EffectEnv::with_builtins();
+        assert_eq!(env.termination("unknown_method"), TermEffect::MayDiverge);
+        assert_eq!(env.purity("unknown_method"), PurityEffect::Impure);
+        assert_eq!(env.termination("map"), TermEffect::BlockDep);
+        assert_eq!(env.purity("push"), PurityEffect::Impure);
+        assert!(!env.is_empty());
+    }
+}

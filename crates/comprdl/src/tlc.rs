@@ -1,0 +1,1271 @@
+//! The type-level computation (comp type) evaluator.
+//!
+//! Comp types are Ruby expressions that run *during type checking* and
+//! produce RDL types (paper §2).  Type-level code manipulates type objects
+//! reflectively — `tself.is_a?(FiniteHash)`, `t.val`, `tself.elts[t.val]`,
+//! `Generic.new(Table, schema_type(tself).merge({t.val => schema_type(t)}))`
+//! — and may call *helper methods* such as `schema_type`, which the paper
+//! counts separately in Table 1.
+//!
+//! The evaluator interprets the Ruby-subset expression with a small value
+//! universe in which RDL [`Type`]s are first-class values, and dispatches
+//! helper calls either to native Rust helpers or to helpers written in the
+//! Ruby subset and registered with the [`HelperRegistry`].
+
+use rdl_types::{ClassTable, HashKey, SingVal, Subtyper, Type, TypeStore};
+use ruby_syntax::{BinOp, Expr, ExprKind, MethodDef};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Maximum number of AST nodes a single comp-type evaluation may visit.
+/// Together with the termination checker (§4) this guarantees type checking
+/// terminates.
+const TLC_FUEL: u64 = 200_000;
+
+/// An error raised while evaluating type-level code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TlcError {
+    /// Human readable description.
+    pub message: String,
+}
+
+impl TlcError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        TlcError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TlcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type-level computation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TlcError {}
+
+/// Result type for type-level evaluation.
+pub type TlcResult<T = TlcValue> = Result<T, TlcError>;
+
+/// The RDL type-node classes that type-level code can test against with
+/// `is_a?` and construct with `.new`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaKind {
+    /// `Singleton` — singleton types (symbols, integers, class objects...).
+    Singleton,
+    /// `Nominal` — plain class types.
+    Nominal,
+    /// `Generic` — generic instantiations such as `Table<T>`.
+    Generic,
+    /// `FiniteHash` — heterogeneous hash types.
+    FiniteHash,
+    /// `Tuple` — heterogeneous array types.
+    Tuple,
+    /// `ConstString` — const string types.
+    ConstString,
+    /// `Union` — union types.
+    Union,
+    /// `Optional` — optional argument types.
+    Optional,
+}
+
+impl MetaKind {
+    fn from_name(name: &str) -> Option<MetaKind> {
+        Some(match name {
+            "Singleton" => MetaKind::Singleton,
+            "Nominal" => MetaKind::Nominal,
+            "Generic" => MetaKind::Generic,
+            "FiniteHash" => MetaKind::FiniteHash,
+            "Tuple" => MetaKind::Tuple,
+            "ConstString" => MetaKind::ConstString,
+            "Union" => MetaKind::Union,
+            "Optional" => MetaKind::Optional,
+            _ => return None,
+        })
+    }
+}
+
+/// A value in the type-level universe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TlcValue {
+    /// `nil`.
+    Nil,
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// A symbol.
+    Sym(String),
+    /// An array of type-level values.
+    Array(Vec<TlcValue>),
+    /// A hash of type-level values.
+    Hash(Vec<(TlcValue, TlcValue)>),
+    /// An RDL type as a first-class value.
+    Type(Type),
+    /// A reference to an ordinary class (e.g. `Table`, `String`, `User`).
+    ClassRef(String),
+    /// A reference to one of the RDL type-node classes.
+    MetaClass(MetaKind),
+}
+
+impl TlcValue {
+    /// Ruby truthiness.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, TlcValue::Nil | TlcValue::Bool(false))
+    }
+
+    /// Converts the value to an RDL type, if it denotes one.  Hashes of
+    /// `symbol => type` convert to finite hash types; class references
+    /// convert to nominal types; symbols/integers/strings convert to
+    /// singleton / const-string types.
+    pub fn into_type(self, store: &mut TypeStore) -> TlcResult<Type> {
+        match self {
+            TlcValue::Type(t) => Ok(t),
+            TlcValue::ClassRef(name) => Ok(class_ref_type(&name)),
+            TlcValue::Sym(s) => Ok(Type::sym(s)),
+            TlcValue::Int(i) => Ok(Type::int(i)),
+            TlcValue::Str(s) => Ok(store.new_const_string(s)),
+            TlcValue::Bool(true) => Ok(Type::Singleton(SingVal::True)),
+            TlcValue::Bool(false) => Ok(Type::Singleton(SingVal::False)),
+            TlcValue::Nil => Ok(Type::nil()),
+            TlcValue::Hash(pairs) => {
+                let mut entries = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    let key = match k {
+                        TlcValue::Sym(s) => HashKey::Sym(s),
+                        TlcValue::Str(s) => HashKey::Str(s),
+                        TlcValue::Int(i) => HashKey::Int(i),
+                        other => {
+                            return Err(TlcError::new(format!(
+                                "cannot use {other:?} as a finite hash key"
+                            )))
+                        }
+                    };
+                    let vt = v.into_type(store)?;
+                    entries.push((key, vt));
+                }
+                Ok(store.new_finite_hash(entries))
+            }
+            TlcValue::Array(items) => {
+                let mut elems = Vec::with_capacity(items.len());
+                for item in items {
+                    elems.push(item.into_type(store)?);
+                }
+                Ok(store.new_tuple(elems))
+            }
+            TlcValue::MetaClass(_) => Err(TlcError::new("a type-node class is not itself a type")),
+        }
+    }
+
+    fn type_equal(&self, other: &TlcValue) -> bool {
+        self == other
+    }
+}
+
+/// The base-class nominal/special type named by a class reference in
+/// type-level code.
+fn class_ref_type(name: &str) -> Type {
+    match name {
+        "Boolean" => Type::Bool,
+        "NilClass" => Type::nil(),
+        _ => Type::nominal(name),
+    }
+}
+
+/// A native helper method callable from type-level code.
+pub type NativeHelper = Rc<dyn Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult>;
+
+/// The registry of helper methods usable inside comp types (Table 1 counts
+/// these per library).
+#[derive(Default, Clone)]
+pub struct HelperRegistry {
+    native: HashMap<String, NativeHelper>,
+    ruby: HashMap<String, Rc<MethodDef>>,
+    /// Lines of type-level Ruby code contributed by registered Ruby helpers
+    /// (used for Table 1 LoC accounting).
+    ruby_loc: usize,
+}
+
+impl fmt::Debug for HelperRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HelperRegistry")
+            .field("native", &self.native.keys().collect::<Vec<_>>())
+            .field("ruby", &self.ruby.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl HelperRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        HelperRegistry::default()
+    }
+
+    /// Registers a native (Rust) helper.
+    pub fn register_native(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult + 'static,
+    ) {
+        self.native.insert(name.to_string(), Rc::new(f));
+    }
+
+    /// Registers helper methods written in the Ruby subset; `src` is parsed
+    /// and each top-level `def` becomes a callable helper.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlcError`] if `src` does not parse.
+    pub fn register_ruby(&mut self, src: &str) -> TlcResult<()> {
+        let program = ruby_syntax::parse_program(src)
+            .map_err(|e| TlcError::new(format!("helper source does not parse: {e}")))?;
+        self.ruby_loc += ruby_syntax::count_loc(src);
+        for (_, m) in program.methods() {
+            self.ruby.insert(m.name.clone(), Rc::new(m.clone()));
+        }
+        Ok(())
+    }
+
+    /// Number of registered helper methods.
+    pub fn len(&self) -> usize {
+        self.native.len() + self.ruby.len()
+    }
+
+    /// True if no helpers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of all registered helpers.
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> =
+            self.native.keys().chain(self.ruby.keys()).cloned().collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Lines of Ruby helper code registered.
+    pub fn ruby_loc(&self) -> usize {
+        self.ruby_loc
+    }
+
+    fn get_native(&self, name: &str) -> Option<NativeHelper> {
+        self.native.get(name).cloned()
+    }
+
+    fn get_ruby(&self, name: &str) -> Option<Rc<MethodDef>> {
+        self.ruby.get(name).cloned()
+    }
+
+    /// Whether a helper with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.native.contains_key(name) || self.ruby.contains_key(name)
+    }
+}
+
+/// Evaluation context handed to native helpers and used internally by the
+/// evaluator.
+pub struct TlcCtx<'a> {
+    /// The type store (helpers may allocate finite hash / tuple types).
+    pub store: &'a mut TypeStore,
+    /// The class hierarchy.
+    pub classes: &'a ClassTable,
+    /// The helper registry.
+    pub helpers: &'a HelperRegistry,
+    /// Extra named bindings visible to type-level code (`tself`, binders).
+    pub bindings: HashMap<String, TlcValue>,
+    fuel: u64,
+    depth: u32,
+}
+
+/// Maximum helper-call nesting depth.  CompRDL assumes type-level code does
+/// not recurse (paper §4); a small bound turns accidental recursion into an
+/// error instead of a stack overflow.
+const MAX_HELPER_DEPTH: u32 = 64;
+
+impl<'a> TlcCtx<'a> {
+    /// Creates a context with the given bindings.
+    pub fn new(
+        store: &'a mut TypeStore,
+        classes: &'a ClassTable,
+        helpers: &'a HelperRegistry,
+        bindings: HashMap<String, TlcValue>,
+    ) -> Self {
+        TlcCtx { store, classes, helpers, bindings, fuel: TLC_FUEL, depth: 0 }
+    }
+
+    fn burn(&mut self) -> TlcResult<()> {
+        if self.fuel == 0 {
+            return Err(TlcError::new("type-level computation exceeded its step budget"));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Evaluates a type-level expression to a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlcError`] if the expression goes wrong (unknown method,
+    /// unbound variable, fuel exhaustion, ...).
+    pub fn eval(&mut self, expr: &Expr) -> TlcResult {
+        self.burn()?;
+        match &expr.kind {
+            ExprKind::Nil => Ok(TlcValue::Nil),
+            ExprKind::True => Ok(TlcValue::Bool(true)),
+            ExprKind::False => Ok(TlcValue::Bool(false)),
+            ExprKind::Int(i) => Ok(TlcValue::Int(*i)),
+            ExprKind::Float(f) => Ok(TlcValue::Int(*f as i64)),
+            ExprKind::Str(s) => Ok(TlcValue::Str(s.clone())),
+            ExprKind::Sym(s) => Ok(TlcValue::Sym(s.clone())),
+            ExprKind::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i)?);
+                }
+                Ok(TlcValue::Array(out))
+            }
+            ExprKind::Hash(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    out.push((self.eval(k)?, self.eval(v)?));
+                }
+                Ok(TlcValue::Hash(out))
+            }
+            ExprKind::SelfExpr => self
+                .bindings
+                .get("tself")
+                .cloned()
+                .ok_or_else(|| TlcError::new("`self` is not bound in type-level code")),
+            ExprKind::Ident(name) => {
+                if let Some(v) = self.bindings.get(name) {
+                    return Ok(v.clone());
+                }
+                self.call_helper(name, &[])
+            }
+            ExprKind::GVar(name) => self
+                .bindings
+                .get(&format!("${name}"))
+                .cloned()
+                .ok_or_else(|| TlcError::new(format!("unbound global ${name} in type-level code"))),
+            ExprKind::IVar(name) => self
+                .bindings
+                .get(&format!("@{name}"))
+                .cloned()
+                .ok_or_else(|| TlcError::new(format!("unbound ivar @{name} in type-level code"))),
+            ExprKind::Const(path) => {
+                let joined = path.join("::");
+                if let Some(kind) = MetaKind::from_name(&joined) {
+                    return Ok(TlcValue::MetaClass(kind));
+                }
+                Ok(TlcValue::ClassRef(joined))
+            }
+            ExprKind::BoolOp { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                match op {
+                    BinOp::And => {
+                        if l.truthy() {
+                            self.eval(rhs)
+                        } else {
+                            Ok(l)
+                        }
+                    }
+                    BinOp::Or => {
+                        if l.truthy() {
+                            Ok(l)
+                        } else {
+                            self.eval(rhs)
+                        }
+                    }
+                }
+            }
+            ExprKind::Not(e) => Ok(TlcValue::Bool(!self.eval(e)?.truthy())),
+            ExprKind::If { arms, else_body } => {
+                for arm in arms {
+                    if self.eval(&arm.cond)?.truthy() {
+                        return self.eval_body(&arm.body);
+                    }
+                }
+                self.eval_body(else_body)
+            }
+            ExprKind::Case { subject, arms, else_body } => {
+                let s = self.eval(subject)?;
+                for arm in arms {
+                    let c = self.eval(&arm.cond)?;
+                    if c.type_equal(&s) {
+                        return self.eval_body(&arm.body);
+                    }
+                }
+                self.eval_body(else_body)
+            }
+            ExprKind::Return(Some(e)) => self.eval(e),
+            ExprKind::Return(None) => Ok(TlcValue::Nil),
+            ExprKind::Assign { target, value } => {
+                let v = self.eval(value)?;
+                if let ruby_syntax::LValue::Local(name) = target {
+                    self.bindings.insert(name.clone(), v.clone());
+                    Ok(v)
+                } else {
+                    Err(TlcError::new(
+                        "type-level code may only assign to local variables (purity)",
+                    ))
+                }
+            }
+            ExprKind::Call { recv, name, args, .. } => {
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.eval(a)?);
+                }
+                match recv {
+                    None => self.call_helper(name, &arg_vals),
+                    Some(r) => {
+                        // `RDL.helper(...)` is routed to the helper registry.
+                        if let ExprKind::Const(path) = &r.kind {
+                            if path == &["RDL".to_string()] {
+                                return self.call_helper(name, &arg_vals);
+                            }
+                        }
+                        let recv_val = self.eval(r)?;
+                        self.call_method(&recv_val, name, &arg_vals)
+                    }
+                }
+            }
+            ExprKind::While { .. } => {
+                Err(TlcError::new("type-level code may not use loops (termination)"))
+            }
+            ExprKind::TypeCast { expr, .. } => self.eval(expr),
+            other => Err(TlcError::new(format!(
+                "unsupported construct in type-level code: {other:?}"
+            ))),
+        }
+    }
+
+    fn eval_body(&mut self, body: &[Expr]) -> TlcResult {
+        let mut last = TlcValue::Nil;
+        for e in body {
+            last = self.eval(e)?;
+        }
+        Ok(last)
+    }
+
+    /// Calls a helper method by name (native first, then Ruby-subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlcError`] if the helper is unknown or fails.
+    pub fn call_helper(&mut self, name: &str, args: &[TlcValue]) -> TlcResult {
+        if let Some(f) = self.helpers.get_native(name) {
+            return f(self, args);
+        }
+        if let Some(def) = self.helpers.get_ruby(name) {
+            if self.depth >= MAX_HELPER_DEPTH {
+                return Err(TlcError::new(
+                    "type-level computation exceeded its step budget (recursive helper?)",
+                ));
+            }
+            self.depth += 1;
+            let saved = self.bindings.clone();
+            for (i, p) in def.params.iter().enumerate() {
+                let v = match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => match &p.default {
+                        Some(d) => self.eval(d)?,
+                        None => TlcValue::Nil,
+                    },
+                };
+                self.bindings.insert(p.name.clone(), v);
+            }
+            let result = self.eval_body(&def.body.clone());
+            self.bindings = saved;
+            self.depth -= 1;
+            return result;
+        }
+        Err(TlcError::new(format!("unknown helper method `{name}` in type-level code")))
+    }
+
+    // ---- methods on type-level values -----------------------------------
+
+    fn call_method(&mut self, recv: &TlcValue, name: &str, args: &[TlcValue]) -> TlcResult {
+        match name {
+            "==" => return Ok(TlcValue::Bool(recv.type_equal(&args[0].clone()))),
+            "!=" => return Ok(TlcValue::Bool(!recv.type_equal(&args[0].clone()))),
+            "nil?" => return Ok(TlcValue::Bool(matches!(recv, TlcValue::Nil))),
+            "is_a?" | "kind_of?" | "instance_of?" => return self.is_a(recv, args),
+            _ => {}
+        }
+        match recv {
+            TlcValue::Type(t) => self.type_method(t, name, args),
+            TlcValue::Hash(pairs) => self.hash_method(pairs, name, args),
+            TlcValue::Array(items) => self.array_method(items, name, args),
+            TlcValue::Str(s) => self.string_method(s, name, args),
+            TlcValue::Sym(s) => match name {
+                "to_s" => Ok(TlcValue::Str(s.clone())),
+                "to_sym" => Ok(recv.clone()),
+                _ => Err(TlcError::new(format!("unknown method `{name}` on symbol"))),
+            },
+            TlcValue::Int(i) => match name {
+                "+" => Ok(TlcValue::Int(i + expect_int(args, 0)?)),
+                "-" => Ok(TlcValue::Int(i - expect_int(args, 0)?)),
+                "*" => Ok(TlcValue::Int(i * expect_int(args, 0)?)),
+                "to_s" => Ok(TlcValue::Str(i.to_string())),
+                _ => Err(TlcError::new(format!("unknown method `{name}` on integer"))),
+            },
+            TlcValue::MetaClass(kind) => self.metaclass_method(*kind, name, args),
+            TlcValue::ClassRef(class) => match name {
+                "new" => Err(TlcError::new(format!(
+                    "type-level code cannot instantiate ordinary class {class}"
+                ))),
+                "to_s" | "name" => Ok(TlcValue::Str(class.clone())),
+                "to_type" => Ok(TlcValue::Type(class_ref_type(class))),
+                _ => {
+                    // Fall back to a helper with an explicit receiver, e.g.
+                    // `DBSchema.table_type(...)`.
+                    let qualified = format!("{class}.{name}");
+                    if self.helpers.contains(&qualified) {
+                        self.call_helper(&qualified, args)
+                    } else {
+                        self.call_helper(name, args)
+                    }
+                }
+            },
+            TlcValue::Nil => Err(TlcError::new(format!("undefined method `{name}` for nil"))),
+            TlcValue::Bool(_) => Err(TlcError::new(format!("unknown method `{name}` on boolean"))),
+        }
+    }
+
+    fn is_a(&mut self, recv: &TlcValue, args: &[TlcValue]) -> TlcResult {
+        let target = args
+            .first()
+            .ok_or_else(|| TlcError::new("is_a? requires an argument"))?;
+        let result = match (recv, target) {
+            (TlcValue::Type(t), TlcValue::MetaClass(kind)) => {
+                let t = self.store.resolve(t);
+                match kind {
+                    MetaKind::Singleton => {
+                        t.is_singleton()
+                            || matches!(t, Type::ConstString(id) if self.store.const_string_value(id).is_some())
+                    }
+                    MetaKind::Nominal => matches!(t, Type::Nominal(_)),
+                    MetaKind::Generic => matches!(t, Type::Generic { .. }),
+                    MetaKind::FiniteHash => matches!(t, Type::FiniteHash(_)),
+                    MetaKind::Tuple => matches!(t, Type::Tuple(_)),
+                    MetaKind::ConstString => matches!(t, Type::ConstString(_)),
+                    MetaKind::Union => matches!(t, Type::Union(_)),
+                    MetaKind::Optional => matches!(t, Type::Optional(_)),
+                }
+            }
+            (TlcValue::Type(t), TlcValue::ClassRef(class)) => {
+                let sub = Subtyper::new(self.classes);
+                sub.is_subtype(self.store, t, &class_ref_type(class))
+            }
+            (TlcValue::Sym(_), TlcValue::ClassRef(c)) => c == "Symbol",
+            (TlcValue::Str(_), TlcValue::ClassRef(c)) => c == "String",
+            (TlcValue::Int(_), TlcValue::ClassRef(c)) => c == "Integer" || c == "Numeric",
+            (TlcValue::Hash(_), TlcValue::ClassRef(c)) => c == "Hash",
+            (TlcValue::Array(_), TlcValue::ClassRef(c)) => c == "Array",
+            _ => false,
+        };
+        Ok(TlcValue::Bool(result))
+    }
+
+    fn metaclass_method(&mut self, kind: MetaKind, name: &str, args: &[TlcValue]) -> TlcResult {
+        if name != "new" {
+            return Err(TlcError::new(format!("unknown method `{name}` on type-node class")));
+        }
+        match kind {
+            MetaKind::Nominal => {
+                let class = expect_class_name(args, 0)?;
+                Ok(TlcValue::Type(class_ref_type(&class)))
+            }
+            MetaKind::Singleton => {
+                let arg = args.first().cloned().unwrap_or(TlcValue::Nil);
+                let t = match arg {
+                    TlcValue::Sym(s) => Type::sym(s),
+                    TlcValue::Int(i) => Type::int(i),
+                    TlcValue::Str(s) => self.store.new_const_string(s),
+                    TlcValue::ClassRef(c) => Type::class_of(c),
+                    TlcValue::Bool(true) => Type::Singleton(SingVal::True),
+                    TlcValue::Bool(false) => Type::Singleton(SingVal::False),
+                    TlcValue::Nil => Type::nil(),
+                    other => {
+                        return Err(TlcError::new(format!(
+                            "cannot build a singleton type from {other:?}"
+                        )))
+                    }
+                };
+                Ok(TlcValue::Type(t))
+            }
+            MetaKind::Generic => {
+                let base = expect_class_name(args, 0)?;
+                let mut params = Vec::new();
+                for a in &args[1..] {
+                    params.push(a.clone().into_type(self.store)?);
+                }
+                Ok(TlcValue::Type(Type::Generic { base, args: params }))
+            }
+            MetaKind::FiniteHash => {
+                let arg = args.first().cloned().unwrap_or(TlcValue::Hash(vec![]));
+                Ok(TlcValue::Type(arg.into_type(self.store)?))
+            }
+            MetaKind::Tuple => {
+                let mut elems = Vec::new();
+                for a in args {
+                    elems.push(a.clone().into_type(self.store)?);
+                }
+                Ok(TlcValue::Type(self.store.new_tuple(elems)))
+            }
+            MetaKind::ConstString => {
+                let s = match args.first() {
+                    Some(TlcValue::Str(s)) => s.clone(),
+                    _ => return Err(TlcError::new("ConstString.new requires a string")),
+                };
+                Ok(TlcValue::Type(self.store.new_const_string(s)))
+            }
+            MetaKind::Union => {
+                let mut members = Vec::new();
+                for a in args {
+                    members.push(a.clone().into_type(self.store)?);
+                }
+                Ok(TlcValue::Type(Type::union(members)))
+            }
+            MetaKind::Optional => {
+                let t = args
+                    .first()
+                    .cloned()
+                    .unwrap_or(TlcValue::Type(Type::Top))
+                    .into_type(self.store)?;
+                Ok(TlcValue::Type(Type::Optional(Box::new(t))))
+            }
+        }
+    }
+
+    fn type_method(&mut self, t: &Type, name: &str, args: &[TlcValue]) -> TlcResult {
+        let resolved = self.store.resolve(t);
+        match name {
+            // The singleton's underlying value.
+            "val" | "value" => match &resolved {
+                Type::Singleton(SingVal::Sym(s)) => Ok(TlcValue::Sym(s.clone())),
+                Type::Singleton(SingVal::Int(i)) => Ok(TlcValue::Int(*i)),
+                Type::Singleton(SingVal::Class(c)) => Ok(TlcValue::ClassRef(c.clone())),
+                Type::Singleton(SingVal::True) => Ok(TlcValue::Bool(true)),
+                Type::Singleton(SingVal::False) => Ok(TlcValue::Bool(false)),
+                Type::Singleton(SingVal::Nil) => Ok(TlcValue::Nil),
+                Type::Singleton(SingVal::FloatBits(b)) => {
+                    Ok(TlcValue::Int(f64::from_bits(*b) as i64))
+                }
+                Type::ConstString(id) => match self.store.const_string_value(*id) {
+                    Some(s) => Ok(TlcValue::Str(s.to_string())),
+                    None => Err(TlcError::new("const string no longer has a known value")),
+                },
+                other => Err(TlcError::new(format!("`{other}` is not a singleton type"))),
+            },
+            // Finite hash entries as a `symbol => type` hash.
+            "elts" | "entries" => match &resolved {
+                Type::FiniteHash(id) => {
+                    let data = self.store.finite_hash(*id).clone();
+                    let pairs = data
+                        .entries
+                        .iter()
+                        .map(|(k, v)| {
+                            let key = match k {
+                                HashKey::Sym(s) => TlcValue::Sym(s.clone()),
+                                HashKey::Str(s) => TlcValue::Str(s.clone()),
+                                HashKey::Int(i) => TlcValue::Int(*i),
+                            };
+                            (key, TlcValue::Type(v.clone()))
+                        })
+                        .collect();
+                    Ok(TlcValue::Hash(pairs))
+                }
+                other => Err(TlcError::new(format!("`{other}` has no elts"))),
+            },
+            // Generic parameters.
+            "params" => match &resolved {
+                Type::Generic { args, .. } => {
+                    Ok(TlcValue::Array(args.iter().map(|a| TlcValue::Type(a.clone())).collect()))
+                }
+                other => Err(TlcError::new(format!("`{other}` has no type parameters"))),
+            },
+            "param" => match &resolved {
+                Type::Generic { args, .. } if !args.is_empty() => {
+                    Ok(TlcValue::Type(args[0].clone()))
+                }
+                other => Err(TlcError::new(format!("`{other}` has no type parameters"))),
+            },
+            "base" => match &resolved {
+                Type::Generic { base, .. } => Ok(TlcValue::ClassRef(base.clone())),
+                Type::Nominal(n) => Ok(TlcValue::ClassRef(n.clone())),
+                Type::Singleton(SingVal::Class(c)) => Ok(TlcValue::ClassRef(c.clone())),
+                other => Err(TlcError::new(format!("`{other}` has no base class"))),
+            },
+            // The union of a finite hash's value types / a Hash generic's
+            // value parameter; `Hash<Symbol, Object>` in the fallback case.
+            "value_type" => Ok(TlcValue::Type(self.value_type_of(&resolved))),
+            "key_type" => Ok(TlcValue::Type(self.key_type_of(&resolved))),
+            // The union of a tuple's element types / an Array generic's
+            // parameter.
+            "elem_type" | "element_type" => Ok(TlcValue::Type(self.elem_type_of(&resolved))),
+            // Tuple element list.
+            "elems" => match &resolved {
+                Type::Tuple(id) => {
+                    let data = self.store.tuple(*id).clone();
+                    Ok(TlcValue::Array(
+                        data.elems.iter().map(|e| TlcValue::Type(e.clone())).collect(),
+                    ))
+                }
+                other => Err(TlcError::new(format!("`{other}` has no tuple elements"))),
+            },
+            // Merge a finite hash type with a hash of additional entries,
+            // yielding a new finite hash type (used by `joins`).
+            "merge" => {
+                let extra = args
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| TlcError::new("merge requires an argument"))?;
+                self.merge_types(&resolved, extra)
+            }
+            // Indexing a finite hash type by a key symbol yields the value
+            // type for that key (used by `Hash#[]`'s comp type).
+            "[]" => {
+                let key = args.first().cloned().unwrap_or(TlcValue::Nil);
+                self.index_type(&resolved, key)
+            }
+            "union" | "union_with" => {
+                let other = args
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| TlcError::new("union requires an argument"))?
+                    .into_type(self.store)?;
+                Ok(TlcValue::Type(Type::union([resolved, other])))
+            }
+            "canonical" | "to_type" => Ok(TlcValue::Type(resolved)),
+            "to_s" | "name" | "inspect" => Ok(TlcValue::Str(resolved.to_string())),
+            "keys" => match &resolved {
+                Type::FiniteHash(id) => {
+                    let data = self.store.finite_hash(*id).clone();
+                    Ok(TlcValue::Array(
+                        data.entries
+                            .iter()
+                            .map(|(k, _)| match k {
+                                HashKey::Sym(s) => TlcValue::Sym(s.clone()),
+                                HashKey::Str(s) => TlcValue::Str(s.clone()),
+                                HashKey::Int(i) => TlcValue::Int(*i),
+                            })
+                            .collect(),
+                    ))
+                }
+                other => Err(TlcError::new(format!("`{other}` has no keys"))),
+            },
+            "size" | "length" => match &resolved {
+                Type::Tuple(id) => Ok(TlcValue::Int(self.store.tuple(*id).elems.len() as i64)),
+                Type::FiniteHash(id) => {
+                    Ok(TlcValue::Int(self.store.finite_hash(*id).entries.len() as i64))
+                }
+                other => Err(TlcError::new(format!("`{other}` has no size"))),
+            },
+            "subtype_of?" | "<=" => {
+                let other = args
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| TlcError::new("subtype_of? requires an argument"))?
+                    .into_type(self.store)?;
+                let sub = Subtyper::new(self.classes);
+                Ok(TlcValue::Bool(sub.is_subtype(self.store, &resolved, &other)))
+            }
+            other => Err(TlcError::new(format!("unknown method `{other}` on type `{resolved}`"))),
+        }
+    }
+
+    fn value_type_of(&mut self, t: &Type) -> Type {
+        match t {
+            Type::FiniteHash(id) => {
+                let data = self.store.finite_hash(*id);
+                Type::union(data.entries.iter().map(|(_, v)| v.clone()))
+            }
+            Type::Generic { base, args } if base == "Hash" && args.len() == 2 => args[1].clone(),
+            _ => Type::object(),
+        }
+    }
+
+    fn key_type_of(&mut self, t: &Type) -> Type {
+        match t {
+            Type::FiniteHash(id) => {
+                let data = self.store.finite_hash(*id);
+                Type::union(data.entries.iter().map(|(k, _)| match k {
+                    HashKey::Sym(s) => Type::sym(s.clone()),
+                    HashKey::Str(_) => Type::nominal("String"),
+                    HashKey::Int(i) => Type::int(*i),
+                }))
+            }
+            Type::Generic { base, args } if base == "Hash" && args.len() == 2 => args[0].clone(),
+            _ => Type::object(),
+        }
+    }
+
+    fn elem_type_of(&mut self, t: &Type) -> Type {
+        match t {
+            Type::Tuple(id) => {
+                let data = self.store.tuple(*id);
+                let u = Type::union(data.elems.iter().cloned());
+                if u == Type::Bot {
+                    Type::object()
+                } else {
+                    u
+                }
+            }
+            Type::Generic { base, args } if base == "Array" && args.len() == 1 => args[0].clone(),
+            _ => Type::object(),
+        }
+    }
+
+    fn merge_types(&mut self, t: &Type, extra: TlcValue) -> TlcResult {
+        let mut entries = match t {
+            Type::FiniteHash(id) => self.store.finite_hash(*id).entries.clone(),
+            Type::Generic { base, .. } if base == "Hash" => Vec::new(),
+            other => {
+                return Err(TlcError::new(format!("cannot merge into non-hash type `{other}`")))
+            }
+        };
+        let extra_entries: Vec<(HashKey, Type)> = match extra {
+            TlcValue::Hash(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    let key = match k {
+                        TlcValue::Sym(s) => HashKey::Sym(s),
+                        TlcValue::Str(s) => HashKey::Str(s),
+                        TlcValue::Int(i) => HashKey::Int(i),
+                        other => {
+                            return Err(TlcError::new(format!("invalid hash key {other:?}")))
+                        }
+                    };
+                    out.push((key, v.into_type(self.store)?));
+                }
+                out
+            }
+            TlcValue::Type(Type::FiniteHash(id)) => self.store.finite_hash(id).entries.clone(),
+            other => return Err(TlcError::new(format!("cannot merge {other:?} into a hash type"))),
+        };
+        for (k, v) in extra_entries {
+            match entries.iter_mut().find(|(ek, _)| *ek == k) {
+                Some(slot) => slot.1 = v,
+                None => entries.push((k, v)),
+            }
+        }
+        Ok(TlcValue::Type(self.store.new_finite_hash(entries)))
+    }
+
+    fn index_type(&mut self, t: &Type, key: TlcValue) -> TlcResult {
+        match t {
+            Type::FiniteHash(id) => {
+                let hk = match &key {
+                    TlcValue::Sym(s) => HashKey::Sym(s.clone()),
+                    TlcValue::Str(s) => HashKey::Str(s.clone()),
+                    TlcValue::Int(i) => HashKey::Int(*i),
+                    TlcValue::Type(Type::Singleton(SingVal::Sym(s))) => HashKey::Sym(s.clone()),
+                    TlcValue::Type(Type::Singleton(SingVal::Int(i))) => HashKey::Int(*i),
+                    other => return Err(TlcError::new(format!("invalid hash key {other:?}"))),
+                };
+                match self.store.finite_hash(*id).get(&hk) {
+                    Some(v) => Ok(TlcValue::Type(v.clone())),
+                    None => Ok(TlcValue::Type(Type::nil())),
+                }
+            }
+            Type::Tuple(id) => match key {
+                TlcValue::Int(i) | TlcValue::Type(Type::Singleton(SingVal::Int(i))) => {
+                    let data = self.store.tuple(*id);
+                    let idx = if i < 0 { data.elems.len() as i64 + i } else { i };
+                    match data.elems.get(idx.max(0) as usize) {
+                        Some(t) => Ok(TlcValue::Type(t.clone())),
+                        None => Ok(TlcValue::Type(Type::nil())),
+                    }
+                }
+                other => Err(TlcError::new(format!("invalid tuple index {other:?}"))),
+            },
+            Type::Generic { base, args } if base == "Hash" && args.len() == 2 => {
+                Ok(TlcValue::Type(args[1].clone()))
+            }
+            Type::Generic { base, args } if base == "Array" && args.len() == 1 => {
+                Ok(TlcValue::Type(args[0].clone()))
+            }
+            other => Err(TlcError::new(format!("cannot index type `{other}`"))),
+        }
+    }
+
+    fn hash_method(
+        &mut self,
+        pairs: &[(TlcValue, TlcValue)],
+        name: &str,
+        args: &[TlcValue],
+    ) -> TlcResult {
+        match name {
+            "[]" => {
+                let key = args.first().cloned().unwrap_or(TlcValue::Nil);
+                Ok(pairs
+                    .iter()
+                    .find(|(k, _)| k.type_equal(&key))
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(TlcValue::Nil))
+            }
+            "merge" => {
+                let mut out = pairs.to_vec();
+                if let Some(TlcValue::Hash(other)) = args.first() {
+                    for (k, v) in other {
+                        match out.iter_mut().find(|(ek, _)| ek.type_equal(k)) {
+                            Some(slot) => slot.1 = v.clone(),
+                            None => out.push((k.clone(), v.clone())),
+                        }
+                    }
+                }
+                Ok(TlcValue::Hash(out))
+            }
+            "keys" => Ok(TlcValue::Array(pairs.iter().map(|(k, _)| k.clone()).collect())),
+            "values" => Ok(TlcValue::Array(pairs.iter().map(|(_, v)| v.clone()).collect())),
+            "key?" | "has_key?" | "include?" => {
+                let key = args.first().cloned().unwrap_or(TlcValue::Nil);
+                Ok(TlcValue::Bool(pairs.iter().any(|(k, _)| k.type_equal(&key))))
+            }
+            "size" | "length" => Ok(TlcValue::Int(pairs.len() as i64)),
+            "empty?" => Ok(TlcValue::Bool(pairs.is_empty())),
+            "to_type" => TlcValue::Hash(pairs.to_vec()).into_type(self.store).map(TlcValue::Type),
+            other => Err(TlcError::new(format!("unknown method `{other}` on type-level hash"))),
+        }
+    }
+
+    fn array_method(&mut self, items: &[TlcValue], name: &str, args: &[TlcValue]) -> TlcResult {
+        match name {
+            "[]" | "at" => {
+                let i = expect_int(args, 0)?;
+                let idx = if i < 0 { items.len() as i64 + i } else { i };
+                Ok(items.get(idx.max(0) as usize).cloned().unwrap_or(TlcValue::Nil))
+            }
+            "first" => Ok(items.first().cloned().unwrap_or(TlcValue::Nil)),
+            "last" => Ok(items.last().cloned().unwrap_or(TlcValue::Nil)),
+            "size" | "length" => Ok(TlcValue::Int(items.len() as i64)),
+            "empty?" => Ok(TlcValue::Bool(items.is_empty())),
+            "include?" => {
+                let target = args.first().cloned().unwrap_or(TlcValue::Nil);
+                Ok(TlcValue::Bool(items.iter().any(|i| i.type_equal(&target))))
+            }
+            "union_type" => {
+                let mut types = Vec::new();
+                for item in items {
+                    types.push(item.clone().into_type(self.store)?);
+                }
+                Ok(TlcValue::Type(Type::union(types)))
+            }
+            other => Err(TlcError::new(format!("unknown method `{other}` on type-level array"))),
+        }
+    }
+
+    fn string_method(&mut self, s: &str, name: &str, args: &[TlcValue]) -> TlcResult {
+        match name {
+            "to_sym" => Ok(TlcValue::Sym(s.to_string())),
+            "to_s" => Ok(TlcValue::Str(s.to_string())),
+            "upcase" => Ok(TlcValue::Str(s.to_uppercase())),
+            "downcase" => Ok(TlcValue::Str(s.to_lowercase())),
+            "length" | "size" => Ok(TlcValue::Int(s.chars().count() as i64)),
+            "include?" => match args.first() {
+                Some(TlcValue::Str(n)) => Ok(TlcValue::Bool(s.contains(n))),
+                _ => Ok(TlcValue::Bool(false)),
+            },
+            "+" => match args.first() {
+                Some(TlcValue::Str(o)) => Ok(TlcValue::Str(format!("{s}{o}"))),
+                _ => Err(TlcError::new("String#+ requires a string")),
+            },
+            other => Err(TlcError::new(format!("unknown method `{other}` on type-level string"))),
+        }
+    }
+}
+
+fn expect_int(args: &[TlcValue], i: usize) -> TlcResult<i64> {
+    match args.get(i) {
+        Some(TlcValue::Int(n)) => Ok(*n),
+        other => Err(TlcError::new(format!("expected an integer argument, got {other:?}"))),
+    }
+}
+
+fn expect_class_name(args: &[TlcValue], i: usize) -> TlcResult<String> {
+    match args.get(i) {
+        Some(TlcValue::ClassRef(c)) => Ok(c.clone()),
+        Some(TlcValue::Str(s)) => Ok(s.clone()),
+        Some(TlcValue::Sym(s)) => Ok(s.clone()),
+        Some(TlcValue::MetaClass(_)) | None => {
+            Err(TlcError::new("expected a class name argument"))
+        }
+        Some(other) => Err(TlcError::new(format!("expected a class name, got {other:?}"))),
+    }
+}
+
+/// Evaluates a comp-type expression with the given bindings and converts the
+/// result to a [`Type`].
+///
+/// # Errors
+///
+/// Returns a [`TlcError`] if evaluation fails or the result does not denote
+/// a type.
+pub fn eval_comp_type(
+    store: &mut TypeStore,
+    classes: &ClassTable,
+    helpers: &HelperRegistry,
+    bindings: HashMap<String, TlcValue>,
+    expr: &Expr,
+) -> Result<Type, TlcError> {
+    let mut ctx = TlcCtx::new(store, classes, helpers, bindings);
+    let value = ctx.eval(expr)?;
+    value.into_type(ctx.store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_syntax::parse_expr;
+
+    fn eval_with(
+        bindings: Vec<(&str, TlcValue)>,
+        helpers: &HelperRegistry,
+        store: &mut TypeStore,
+        src: &str,
+    ) -> Result<Type, TlcError> {
+        let classes = ClassTable::with_builtins();
+        let expr = parse_expr(src).expect("parse");
+        let bindings = bindings.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        eval_comp_type(store, &classes, helpers, bindings, &expr)
+    }
+
+    #[test]
+    fn literal_and_constructor_forms() {
+        let helpers = HelperRegistry::new();
+        let mut store = TypeStore::new();
+        assert_eq!(
+            eval_with(vec![], &helpers, &mut store, "Nominal.new(Table)").unwrap(),
+            Type::nominal("Table")
+        );
+        assert_eq!(
+            eval_with(vec![], &helpers, &mut store, "Singleton.new(:emails)").unwrap(),
+            Type::sym("emails")
+        );
+        let t = eval_with(vec![], &helpers, &mut store, "Generic.new(Array, Nominal.new(String))")
+            .unwrap();
+        assert_eq!(t, Type::array(Type::nominal("String")));
+        let u = eval_with(
+            vec![],
+            &helpers,
+            &mut store,
+            "Union.new(Nominal.new(Integer), Nominal.new(String))",
+        )
+        .unwrap();
+        assert!(matches!(u, Type::Union(_)));
+    }
+
+    #[test]
+    fn conditional_on_singleton_receiver() {
+        // The Bool.∧ example from §3.1.
+        let helpers = HelperRegistry::new();
+        let mut store = TypeStore::new();
+        let src = "if (tself == Singleton.new(true)) && (a == Singleton.new(true))\n\
+                     Singleton.new(true)\n\
+                   elsif (tself == Singleton.new(false)) || (a == Singleton.new(false))\n\
+                     Singleton.new(false)\n\
+                   else\n\
+                     Boolean\n\
+                   end";
+        let t = eval_with(
+            vec![
+                ("tself", TlcValue::Type(Type::Singleton(SingVal::True))),
+                ("a", TlcValue::Type(Type::Singleton(SingVal::True))),
+            ],
+            &helpers,
+            &mut store,
+            src,
+        )
+        .unwrap();
+        assert_eq!(t, Type::Singleton(SingVal::True));
+        let t = eval_with(
+            vec![
+                ("tself", TlcValue::Type(Type::Bool)),
+                ("a", TlcValue::Type(Type::Singleton(SingVal::True))),
+            ],
+            &helpers,
+            &mut store,
+            src,
+        )
+        .unwrap();
+        assert_eq!(t, Type::Bool);
+    }
+
+    #[test]
+    fn finite_hash_indexing_comp_type() {
+        // The Hash#[] comp type from §2.2.
+        let helpers = HelperRegistry::new();
+        let mut store = TypeStore::new();
+        let page_ty = store.new_finite_hash(vec![
+            (HashKey::Sym("info".into()), Type::array(Type::nominal("String"))),
+            (HashKey::Sym("title".into()), Type::nominal("String")),
+        ]);
+        let src = "if tself.is_a?(FiniteHash) && t.is_a?(Singleton)\n\
+                     tself.elts[t.val]\n\
+                   else\n\
+                     tself.value_type\n\
+                   end";
+        let t = eval_with(
+            vec![
+                ("tself", TlcValue::Type(page_ty.clone())),
+                ("t", TlcValue::Type(Type::sym("info"))),
+            ],
+            &helpers,
+            &mut store,
+            src,
+        )
+        .unwrap();
+        assert_eq!(t, Type::array(Type::nominal("String")));
+        // Fallback arm: a plain Hash<Symbol, String> receiver.
+        let t = eval_with(
+            vec![
+                (
+                    "tself",
+                    TlcValue::Type(Type::hash(Type::nominal("Symbol"), Type::nominal("String"))),
+                ),
+                ("t", TlcValue::Type(Type::nominal("Symbol"))),
+            ],
+            &helpers,
+            &mut store,
+            src,
+        )
+        .unwrap();
+        assert_eq!(t, Type::nominal("String"));
+    }
+
+    #[test]
+    fn merge_builds_joined_schema() {
+        let helpers = HelperRegistry::new();
+        let mut store = TypeStore::new();
+        let users = store.new_finite_hash(vec![
+            (HashKey::Sym("id".into()), Type::nominal("Integer")),
+            (HashKey::Sym("username".into()), Type::nominal("String")),
+        ]);
+        let emails = store.new_finite_hash(vec![
+            (HashKey::Sym("email".into()), Type::nominal("String")),
+        ]);
+        let src = "Generic.new(Table, tself.merge({ t.val => targ }))";
+        let expr = parse_expr(src).unwrap();
+        let classes = ClassTable::with_builtins();
+        let mut bindings = HashMap::new();
+        bindings.insert("tself".to_string(), TlcValue::Type(users));
+        bindings.insert("t".to_string(), TlcValue::Type(Type::sym("emails")));
+        bindings.insert("targ".to_string(), TlcValue::Type(emails));
+        let t = eval_comp_type(&mut store, &classes, &helpers, bindings, &expr).unwrap();
+        match t {
+            Type::Generic { base, args } => {
+                assert_eq!(base, "Table");
+                let Type::FiniteHash(id) = args[0] else { panic!("expected a finite hash") };
+                let data = store.finite_hash(id);
+                assert_eq!(data.entries.len(), 3);
+                assert!(data.get(&HashKey::Sym("emails".into())).is_some());
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn native_and_ruby_helpers() {
+        let mut helpers = HelperRegistry::new();
+        helpers.register_native("always_string", |_ctx, _args| {
+            Ok(TlcValue::Type(Type::nominal("String")))
+        });
+        helpers
+            .register_ruby("def pick(t)\n  if t.is_a?(Singleton) then t else Nominal.new(Object) end\nend\n")
+            .unwrap();
+        assert_eq!(helpers.len(), 2);
+        assert!(helpers.contains("pick"));
+        assert!(helpers.ruby_loc() >= 3);
+
+        let mut store = TypeStore::new();
+        assert_eq!(
+            eval_with(vec![], &helpers, &mut store, "always_string()").unwrap(),
+            Type::nominal("String")
+        );
+        assert_eq!(
+            eval_with(
+                vec![("x", TlcValue::Type(Type::sym("a")))],
+                &helpers,
+                &mut store,
+                "pick(x)"
+            )
+            .unwrap(),
+            Type::sym("a")
+        );
+        assert_eq!(
+            eval_with(
+                vec![("x", TlcValue::Type(Type::nominal("String")))],
+                &helpers,
+                &mut store,
+                "pick(x)"
+            )
+            .unwrap(),
+            Type::nominal("Object")
+        );
+    }
+
+    #[test]
+    fn loops_and_unknown_helpers_are_rejected() {
+        let helpers = HelperRegistry::new();
+        let mut store = TypeStore::new();
+        assert!(eval_with(vec![], &helpers, &mut store, "while true\n 1\nend").is_err());
+        assert!(eval_with(vec![], &helpers, &mut store, "mystery_helper(1)").is_err());
+    }
+
+    #[test]
+    fn recursion_is_cut_off_by_fuel() {
+        let mut helpers = HelperRegistry::new();
+        helpers.register_ruby("def loop_forever(t)\n  loop_forever(t)\nend\n").unwrap();
+        let mut store = TypeStore::new();
+        let err = eval_with(
+            vec![("x", TlcValue::Type(Type::Top))],
+            &helpers,
+            &mut store,
+            "loop_forever(x)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("step budget"));
+    }
+
+    #[test]
+    fn tuple_first_comp_type() {
+        let helpers = HelperRegistry::new();
+        let mut store = TypeStore::new();
+        let tuple = store.new_tuple(vec![Type::nominal("Integer"), Type::nominal("String")]);
+        let src = "if tself.is_a?(Tuple) then tself.elems.first else tself.elem_type end";
+        let t = eval_with(vec![("tself", TlcValue::Type(tuple))], &helpers, &mut store, src).unwrap();
+        assert_eq!(t, Type::nominal("Integer"));
+        let t = eval_with(
+            vec![("tself", TlcValue::Type(Type::array(Type::Bool)))],
+            &helpers,
+            &mut store,
+            src,
+        )
+        .unwrap();
+        assert_eq!(t, Type::Bool);
+    }
+
+    #[test]
+    fn is_a_against_ordinary_classes() {
+        let helpers = HelperRegistry::new();
+        let mut store = TypeStore::new();
+        let src = "if t.is_a?(Symbol) then Singleton.new(:ok) else Nominal.new(String) end";
+        let t = eval_with(vec![("t", TlcValue::Type(Type::sym("x")))], &helpers, &mut store, src)
+            .unwrap();
+        assert_eq!(t, Type::sym("ok"));
+        let t = eval_with(
+            vec![("t", TlcValue::Type(Type::nominal("Integer")))],
+            &helpers,
+            &mut store,
+            src,
+        )
+        .unwrap();
+        assert_eq!(t, Type::nominal("String"));
+    }
+}

@@ -1,0 +1,53 @@
+//! The definition of a subject program ("app") in the evaluation corpus.
+
+use comprdl::CompRdl;
+use db_types::DbRegistry;
+
+/// A synthetic subject program, standing in for one of the six apps the
+/// paper evaluates (Wikipedia client, Twitter gem, Discourse, Huginn,
+/// Code.org, Journey).
+pub struct App {
+    /// Display name used in Table 2.
+    pub name: &'static str,
+    /// Which group the app belongs to ("API client libraries" or "Rails
+    /// Applications"), mirroring Table 2's grouping.
+    pub group: &'static str,
+    /// The database schema / associations the app uses (`None` for the API
+    /// client libraries).
+    pub db: Option<DbRegistry>,
+    /// App-specific annotations: the signatures (with `typecheck: "app"`
+    /// labels) of the methods selected for checking, plus the "extra
+    /// annotations" for globals, instance variables and helper methods.
+    pub annotate: fn(&mut CompRdl),
+    /// The app's Ruby-subset source: the classes and methods under check
+    /// plus the runtime fixtures they need.
+    pub source: &'static str,
+    /// A small test suite (top-level expressions using `assert` /
+    /// `assert_equal`) exercising the checked methods, used to measure the
+    /// overhead of the inserted dynamic checks.
+    pub test_suite: &'static str,
+    /// Number of "extra annotations" (paper Table 2 column) the app needed.
+    pub extra_annotations: usize,
+    /// Number of genuine errors seeded in the app (Table 2 "Errs").
+    pub expected_errors: usize,
+}
+
+impl App {
+    /// The full program source: app code followed by the test suite.
+    pub fn full_source(&self) -> String {
+        format!("{}\n{}\n", self.source, self.test_suite)
+    }
+
+    /// Builds the CompRDL environment for this app: core library
+    /// annotations, DB DSL annotations (when the app uses a database), and
+    /// the app's own annotations.
+    pub fn build_env(&self) -> CompRdl {
+        let mut env = CompRdl::new();
+        comprdl::stdlib::register_all(&mut env);
+        if let Some(db) = &self.db {
+            db_types::register_all(&mut env, std::rc::Rc::new(db.clone()));
+        }
+        (self.annotate)(&mut env);
+        env
+    }
+}

@@ -1,0 +1,22 @@
+//! The six synthetic subject programs of the evaluation corpus.
+
+pub mod codeorg;
+pub mod discourse;
+pub mod huginn;
+pub mod journey;
+pub mod twitter;
+pub mod wikipedia;
+
+use crate::app::App;
+
+/// All corpus apps, in the order Table 2 lists them.
+pub fn all() -> Vec<App> {
+    vec![
+        wikipedia::app(),
+        twitter::app(),
+        discourse::app(),
+        huginn::app(),
+        codeorg::app(),
+        journey::app(),
+    ]
+}

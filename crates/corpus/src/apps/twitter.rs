@@ -1,0 +1,78 @@
+//! The Twitter-gem analogue: streaming API bindings over event hashes.
+
+use crate::app::App;
+use comprdl::CompRdl;
+
+const SOURCE: &str = r#"
+class TwitterStream
+  def initialize(handle)
+    @handle = handle
+  end
+
+  # --- runtime fixture: one streamed event --------------------------------
+  def next_event()
+    { id: 91827364, text: 'comp types are neat', lang: 'en',
+      user: { screen_name: 'plt_fan', followers: 1204 },
+      entities: { hashtags: ['types', 'ruby'] } }
+  end
+
+  # --- methods selected for type checking ---------------------------------
+  def event_text()
+    next_event()[:text]
+  end
+
+  def author_name()
+    next_event()[:user][:screen_name]
+  end
+
+  def popular?(threshold)
+    next_event()[:user][:followers] > threshold
+  end
+
+  def hashtag_list()
+    next_event()[:entities][:hashtags].map { |h| '#' + h }
+  end
+end
+"#;
+
+const TEST_SUITE: &str = r#"
+s = TwitterStream.new('plt_fan')
+assert_equal('comp types are neat', s.event_text())
+assert_equal('plt_fan', s.author_name())
+assert(s.popular?(1000))
+assert(!s.popular?(5000))
+assert_equal(['#types', '#ruby'], s.hashtag_list())
+12.times { |i|
+  assert(s.popular?(i * 100))
+  assert_equal(2, s.hashtag_list().length())
+}
+"#;
+
+fn annotate(env: &mut CompRdl) {
+    env.add_class("TwitterStream", "Object");
+    env.type_sig(
+        "TwitterStream",
+        "next_event",
+        "() -> { id: Integer, text: String, lang: String, user: { screen_name: String, followers: Integer }, entities: { hashtags: Array<String> } }",
+        None,
+    );
+    env.var_type("TwitterStream", "handle", "String");
+    env.type_sig("TwitterStream", "event_text", "() -> String", Some("app"));
+    env.type_sig("TwitterStream", "author_name", "() -> String", Some("app"));
+    env.type_sig("TwitterStream", "popular?", "(Integer) -> %bool", Some("app"));
+    env.type_sig("TwitterStream", "hashtag_list", "() -> Array<String>", Some("app"));
+}
+
+/// Builds the Twitter gem app.
+pub fn app() -> App {
+    App {
+        name: "Twitter",
+        group: "API client libraries",
+        db: None,
+        annotate,
+        source: SOURCE,
+        test_suite: TEST_SUITE,
+        extra_annotations: 2,
+        expected_errors: 0,
+    }
+}

@@ -1,0 +1,124 @@
+//! The Wikipedia-client analogue: a Ruby wrapper around a JSON "page" API.
+//!
+//! Mirrors the paper's Wikipedia Client subject (16 methods in the paper's
+//! Page API; a representative subset here).  The methods work over finite
+//! hash types produced from parsed API responses, which is exactly where
+//! comp types for `Hash#[]` / `Array#first` remove casts (Figure 2).
+
+use crate::app::App;
+use comprdl::CompRdl;
+
+const SOURCE: &str = r#"
+class WikiPage
+  def initialize(name)
+    @name = name
+  end
+
+  # --- runtime fixture: simulates the parsed JSON of the page API -------
+  def page()
+    { info: ['https://img/Ruby.png', 'en'], title: 'Ruby (programming language)',
+      categories: ['Programming languages', 'Object-oriented'], links: ['Rails', 'RubyGems', 'RSpec'] }
+  end
+
+  def fetch_json()
+    { title: 'Ruby (programming language)', length: 31025 }
+  end
+
+  # --- methods selected for type checking --------------------------------
+  def image_url()
+    page()[:info].first
+  end
+
+  def title_text()
+    page()[:title]
+  end
+
+  def first_category()
+    page()[:categories].first
+  end
+
+  def category_count()
+    page()[:categories].length()
+  end
+
+  def has_link?(name)
+    page()[:links].include?(name)
+  end
+
+  def summary()
+    page()[:title] + ' -> ' + page()[:info].first
+  end
+
+  def language()
+    page()[:info].last
+  end
+
+  def sorted_links()
+    page()[:links].sort()
+  end
+
+  def link_titles(prefix)
+    page()[:links].map { |l| prefix + l }
+  end
+
+  def parsed_length()
+    data = RDL.type_cast(fetch_json(), "{ title: String, length: Integer }")
+    data[:length]
+  end
+end
+"#;
+
+const TEST_SUITE: &str = r#"
+w = WikiPage.new('Ruby')
+assert_equal('https://img/Ruby.png', w.image_url())
+assert_equal('Ruby (programming language)', w.title_text())
+assert_equal('Programming languages', w.first_category())
+assert_equal(2, w.category_count())
+assert(w.has_link?('Rails'))
+assert(!w.has_link?('Python'))
+assert_equal('en', w.language())
+assert_equal(3, w.sorted_links().length())
+assert_equal(31025, w.parsed_length())
+10.times { |i|
+  assert(w.summary().include?('Ruby'))
+  assert_equal(3, w.link_titles('wiki/').length())
+}
+"#;
+
+fn annotate(env: &mut CompRdl) {
+    env.add_class("WikiPage", "Object");
+    // Extra annotations (not themselves checked): the fixture accessors.
+    env.type_sig(
+        "WikiPage",
+        "page",
+        "() -> { info: Array<String>, title: String, categories: Array<String>, links: Array<String> }",
+        None,
+    );
+    env.type_sig("WikiPage", "fetch_json", "() -> Hash<Symbol, Object>", None);
+    env.var_type("WikiPage", "name", "String");
+    // Methods selected for checking.
+    env.type_sig("WikiPage", "image_url", "() -> String", Some("app"));
+    env.type_sig("WikiPage", "title_text", "() -> String", Some("app"));
+    env.type_sig("WikiPage", "first_category", "() -> String", Some("app"));
+    env.type_sig("WikiPage", "category_count", "() -> Integer", Some("app"));
+    env.type_sig("WikiPage", "has_link?", "(String) -> %bool", Some("app"));
+    env.type_sig("WikiPage", "summary", "() -> String", Some("app"));
+    env.type_sig("WikiPage", "language", "() -> String", Some("app"));
+    env.type_sig("WikiPage", "sorted_links", "() -> Array<String>", Some("app"));
+    env.type_sig("WikiPage", "link_titles", "(String) -> Array<String>", Some("app"));
+    env.type_sig("WikiPage", "parsed_length", "() -> Integer", Some("app"));
+}
+
+/// Builds the Wikipedia client app.
+pub fn app() -> App {
+    App {
+        name: "Wikipedia",
+        group: "API client libraries",
+        db: None,
+        annotate,
+        source: SOURCE,
+        test_suite: TEST_SUITE,
+        extra_annotations: 3,
+        expected_errors: 0,
+    }
+}

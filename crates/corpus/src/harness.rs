@@ -1,0 +1,251 @@
+//! The evaluation harness: reproduces Table 1 and Table 2 of the paper.
+
+use crate::app::App;
+use comprdl::{CheckConfig, CheckOptions, CompRdl, TypeChecker};
+use ruby_interp::Interpreter;
+use std::time::{Duration, Instant};
+
+/// One row of Table 1 (library methods with comp type definitions).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Library name.
+    pub library: String,
+    /// Number of comp type definitions (method annotations registered).
+    pub comp_type_definitions: usize,
+    /// Lines of type-level code (annotation strings).
+    pub ruby_loc: usize,
+}
+
+/// One row of Table 2 (type checking results per subject program).
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Program name.
+    pub program: String,
+    /// Table 2 group ("API client libraries" / "Rails Applications").
+    pub group: String,
+    /// Number of methods type checked.
+    pub methods: usize,
+    /// Lines of code of the checked methods.
+    pub loc: usize,
+    /// Extra annotations written for globals / instance variables / callees.
+    pub extra_annotations: usize,
+    /// Casts needed with comp types.
+    pub casts: usize,
+    /// Casts needed with plain RDL (comp types disabled).
+    pub casts_rdl: usize,
+    /// Type checking time (comp types enabled).
+    pub check_time: Duration,
+    /// Test-suite time without dynamic checks.
+    pub test_time_no_chk: Duration,
+    /// Test-suite time with dynamic checks.
+    pub test_time_with_chk: Duration,
+    /// Number of dynamic checks executed during the checked test run.
+    pub dynamic_checks_run: u64,
+    /// Errors found by type checking.
+    pub errors: usize,
+}
+
+impl Table2Row {
+    /// The dynamic-check overhead as a fraction (e.g. `0.016` for 1.6%).
+    pub fn overhead(&self) -> f64 {
+        let base = self.test_time_no_chk.as_secs_f64();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.test_time_with_chk.as_secs_f64() - base) / base
+    }
+}
+
+/// An error produced while evaluating an app (parse failure, runtime blame in
+/// its test suite, ...).
+#[derive(Debug, Clone)]
+pub struct HarnessError {
+    /// Which app failed.
+    pub app: String,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.app, self.message)
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// The environment used for Table 1: core library + both DB DSL annotation
+/// sets over the Discourse schema.
+pub fn table1_env() -> CompRdl {
+    crate::apps::discourse::app().build_env()
+}
+
+/// Regenerates Table 1: per library, the number of comp type definitions and
+/// the lines of type-level code, plus the shared helper-method count.
+pub fn table1() -> (Vec<Table1Row>, usize) {
+    let env = table1_env();
+    let libraries = [
+        ("Array", "Array"),
+        ("Hash", "Hash"),
+        ("String", "String"),
+        ("Float", "Float"),
+        ("Integer", "Integer"),
+        ("ActiveRecord", "Table"),
+        ("Sequel", "Sequel::Dataset"),
+    ];
+    let rows = libraries
+        .iter()
+        .map(|(display, class)| Table1Row {
+            library: display.to_string(),
+            comp_type_definitions: env.annotation_count(class),
+            ruby_loc: env.annotation_loc(class),
+        })
+        .collect();
+    (rows, env.helper_count())
+}
+
+/// Runs the full evaluation for one app, producing its Table 2 row.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] if the app fails to parse, its test suite hits
+/// a runtime error, or a dynamic check raises blame (none of which should
+/// happen for the shipped corpus).
+pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
+    let err = |message: String| HarnessError { app: app.name.to_string(), message };
+
+    let env = app.build_env();
+    let program = ruby_syntax::parse_program(&app.full_source())
+        .map_err(|e| err(format!("parse error: {e}")))?;
+
+    // Static checking with comp types (timed).
+    let started = Instant::now();
+    let comp_result =
+        TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    let check_time = started.elapsed();
+
+    // Static checking in plain-RDL mode (comp types disabled).
+    let rdl_result = TypeChecker::new(
+        &env,
+        &program,
+        CheckOptions { use_comp_types: false, ..CheckOptions::default() },
+    )
+    .check_labeled("app");
+
+    // Run the test suite without checks.
+    let plain = Interpreter::new(program.clone());
+    let started = Instant::now();
+    plain.eval_program().map_err(|e| err(format!("test suite failed without checks: {e}")))?;
+    let test_time_no_chk = started.elapsed();
+
+    // Run the test suite with the inserted dynamic checks.
+    let hook = comprdl::make_hook(
+        comp_result.checks(),
+        comp_result.store.clone(),
+        env.classes.clone(),
+        env.helpers.clone(),
+        CheckConfig::default(),
+    );
+    let mut checked = Interpreter::new(program.clone());
+    checked.set_hook(hook.clone());
+    let started = Instant::now();
+    checked
+        .eval_program()
+        .map_err(|e| err(format!("test suite failed with dynamic checks: {e}")))?;
+    let test_time_with_chk = started.elapsed();
+
+    Ok(Table2Row {
+        program: app.name.to_string(),
+        group: app.group.to_string(),
+        methods: comp_result.methods_checked(),
+        loc: ruby_syntax::count_loc(app.source),
+        extra_annotations: app.extra_annotations,
+        casts: comp_result.total_casts(),
+        casts_rdl: rdl_result.total_casts(),
+        check_time,
+        test_time_no_chk,
+        test_time_with_chk,
+        dynamic_checks_run: checked.checks_performed(),
+        errors: comp_result.errors().len(),
+    })
+}
+
+/// Runs the evaluation for every app in the corpus.
+///
+/// # Errors
+///
+/// Propagates the first [`HarnessError`] encountered.
+pub fn table2() -> Result<Vec<Table2Row>, HarnessError> {
+    crate::apps::all().iter().map(evaluate_app).collect()
+}
+
+/// Renders Table 1 in roughly the paper's layout.
+pub fn format_table1(rows: &[Table1Row], helper_count: usize) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1. Library methods with comp type definitions.\n");
+    out.push_str(&format!(
+        "{:<14} {:>20} {:>10}\n",
+        "Library", "Comp Type Definitions", "Ruby LoC"
+    ));
+    let mut total_defs = 0;
+    let mut total_loc = 0;
+    for r in rows {
+        total_defs += r.comp_type_definitions;
+        total_loc += r.ruby_loc;
+        out.push_str(&format!(
+            "{:<14} {:>20} {:>10}\n",
+            r.library, r.comp_type_definitions, r.ruby_loc
+        ));
+    }
+    out.push_str(&format!("{:<14} {:>20} {:>10}\n", "Total", total_defs, total_loc));
+    out.push_str(&format!("Helper methods (shared): {helper_count}\n"));
+    out
+}
+
+/// Renders Table 2 in roughly the paper's layout.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2. Type checking results.\n");
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>10} {:>12} {:>12} {:>5}\n",
+        "Program", "Meths", "LoC", "Annots", "Casts", "Casts(RDL)", "Check(ms)", "NoChk(ms)", "w/Chk(ms)", "Errs"
+    ));
+    let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize, 0usize, 0.0f64, 0.0f64, 0.0f64);
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>10.2} {:>12.3} {:>12.3} {:>5}\n",
+            r.program,
+            r.methods,
+            r.loc,
+            r.extra_annotations,
+            r.casts,
+            r.casts_rdl,
+            r.check_time.as_secs_f64() * 1000.0,
+            r.test_time_no_chk.as_secs_f64() * 1000.0,
+            r.test_time_with_chk.as_secs_f64() * 1000.0,
+            r.errors
+        ));
+        totals.0 += r.methods;
+        totals.1 += r.loc;
+        totals.2 += r.extra_annotations;
+        totals.3 += r.casts;
+        totals.4 += r.casts_rdl;
+        totals.5 += r.errors;
+        totals.6 += r.check_time.as_secs_f64() * 1000.0;
+        totals.7 += r.test_time_no_chk.as_secs_f64() * 1000.0;
+        totals.8 += r.test_time_with_chk.as_secs_f64() * 1000.0;
+    }
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>10.2} {:>12.3} {:>12.3} {:>5}\n",
+        "Total", totals.0, totals.1, totals.2, totals.3, totals.4, totals.6, totals.7, totals.8, totals.5
+    ));
+    let ratio = if totals.3 > 0 { totals.4 as f64 / totals.3 as f64 } else { f64::INFINITY };
+    out.push_str(&format!("Cast reduction (RDL / CompRDL): {ratio:.2}x\n"));
+    if totals.7 > 0.0 {
+        out.push_str(&format!(
+            "Dynamic check overhead: {:.1}%\n",
+            (totals.8 - totals.7) / totals.7 * 100.0
+        ));
+    }
+    out
+}

@@ -1,0 +1,99 @@
+//! # corpus
+//!
+//! The evaluation corpus for CompRDL-rs: six synthetic subject programs
+//! standing in for the paper's Wikipedia client, Twitter gem, Discourse,
+//! Huginn, Code.org and Journey (each with a schema, annotations, the three
+//! confirmed bugs seeded in the right places, and a small runnable test
+//! suite), plus the harness that regenerates Table 1 and Table 2.
+//!
+//! ```
+//! let (rows, helpers) = corpus::table1();
+//! assert_eq!(rows.len(), 7);
+//! assert!(helpers > 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod apps;
+pub mod harness;
+
+pub use app::App;
+pub use harness::{
+    evaluate_app, format_table1, format_table2, table1, table2, HarnessError, Table1Row, Table2Row,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_seven_libraries() {
+        let (rows, helpers) = table1();
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(row.comp_type_definitions > 0, "{} has no annotations", row.library);
+            assert!(row.ruby_loc > 0, "{} has no LoC", row.library);
+        }
+        let total: usize = rows.iter().map(|r| r.comp_type_definitions).sum();
+        assert!(total >= 450, "expected hundreds of annotations, got {total}");
+        assert!(helpers >= 20, "expected a shared helper-method pool, got {helpers}");
+        let rendered = format_table1(&rows, helpers);
+        assert!(rendered.contains("ActiveRecord"));
+        assert!(rendered.contains("Total"));
+    }
+
+    #[test]
+    fn every_app_parses_and_type_checks_with_expected_errors() {
+        for app in apps::all() {
+            let env = app.build_env();
+            let program = ruby_syntax::parse_program(&app.full_source())
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", app.name));
+            let result = comprdl::TypeChecker::new(&env, &program, comprdl::CheckOptions::default())
+                .check_labeled("app");
+            assert_eq!(
+                result.errors().len(),
+                app.expected_errors,
+                "{}: unexpected error set {:#?}",
+                app.name,
+                result.errors()
+            );
+            assert!(result.methods_checked() >= 3, "{}: too few methods checked", app.name);
+        }
+    }
+
+    #[test]
+    fn comp_types_need_fewer_casts_than_plain_rdl() {
+        let rows = table2().expect("harness");
+        let casts: usize = rows.iter().map(|r| r.casts).sum();
+        let casts_rdl: usize = rows.iter().map(|r| r.casts_rdl).sum();
+        assert!(
+            casts_rdl > casts,
+            "expected plain RDL to need more casts ({casts_rdl} vs {casts})"
+        );
+        assert!(casts_rdl as f64 >= 2.0 * casts.max(1) as f64,
+            "expected a substantial cast reduction ({casts_rdl} vs {casts})");
+    }
+
+    #[test]
+    fn the_three_seeded_bugs_are_found() {
+        let rows = table2().expect("harness");
+        let errors: usize = rows.iter().map(|r| r.errors).sum();
+        assert_eq!(errors, 3, "{rows:#?}");
+        let by_name = |name: &str| rows.iter().find(|r| r.program == name).unwrap().errors;
+        assert_eq!(by_name("Code.org"), 1);
+        assert_eq!(by_name("Journey"), 2);
+        assert_eq!(by_name("Discourse"), 0);
+    }
+
+    #[test]
+    fn test_suites_run_with_dynamic_checks_enabled() {
+        let rows = table2().expect("harness");
+        for row in &rows {
+            assert!(row.dynamic_checks_run > 0, "{}: no dynamic checks executed", row.program);
+            assert!(row.methods >= 3);
+        }
+        let rendered = format_table2(&rows);
+        assert!(rendered.contains("Cast reduction"));
+    }
+}

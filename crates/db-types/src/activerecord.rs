@@ -1,0 +1,140 @@
+//! Comp-type annotations for the ActiveRecord-style query DSL (paper
+//! Table 1: 77 methods).
+//!
+//! Following §2.1, query methods are annotated once on the generic `Table`
+//! class; the checker types both `Table<T>` relation receivers and model
+//! class receivers (`User.exists?`) through these signatures, with
+//! `schema_type(tself)` computing the relevant column schema in either case.
+
+use comprdl::CompRdl;
+use rdl_types::{PurityEffect, TermEffect};
+
+/// The schema-hash argument comp type shared by most query predicates.
+const SCHEMA_ARG: &str = "«schema_type(tself)» / Hash<Symbol, Object>";
+
+/// `(name, signature)` pairs for the ActiveRecord annotation set.
+pub fn methods() -> Vec<(&'static str, String)> {
+    let relation = "«table_of(tself)»";
+    let row = "«row_type(tself)»";
+    vec![
+        // Predicates over column hashes.
+        ("exists?", format!("(?{SCHEMA_ARG}) -> Boolean")),
+        ("where", format!("(t <: «if t.is_a?(ConstString) then sql_typecheck(tself, t) else schema_type(tself) end» / Hash<Symbol, Object>, *Object) -> {relation}")),
+        ("not", format!("({SCHEMA_ARG}) -> {relation}")),
+        ("rewhere", format!("({SCHEMA_ARG}) -> {relation}")),
+        ("find_by", format!("({SCHEMA_ARG}) -> «maybe(row_type(tself))»")),
+        ("find_by!", format!("({SCHEMA_ARG}) -> {row}")),
+        ("find_or_create_by", format!("({SCHEMA_ARG}) -> {row}")),
+        ("find_or_initialize_by", format!("({SCHEMA_ARG}) -> {row}")),
+        ("create", format!("(?{SCHEMA_ARG}) -> {row}")),
+        ("create!", format!("(?{SCHEMA_ARG}) -> {row}")),
+        ("new", format!("(?{SCHEMA_ARG}) -> {row}")),
+        ("build", format!("(?{SCHEMA_ARG}) -> {row}")),
+        ("update_all", format!("({SCHEMA_ARG}) -> Integer")),
+        // Joins / eager loading (Figure 1b, plus the association check).
+        ("joins", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("includes", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("eager_load", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("preload", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("left_joins", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("left_outer_joins", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("references", format!("(t<:Symbol) -> {relation}")),
+        // Relation shaping.
+        ("select", format!("(*Symbol) -> {relation}")),
+        ("order", format!("(t<:Object) -> {relation}")),
+        ("reorder", format!("(t<:Object) -> {relation}")),
+        ("group", format!("(*Symbol) -> {relation}")),
+        ("having", format!("({SCHEMA_ARG}) -> {relation}")),
+        ("limit", format!("(Integer) -> {relation}")),
+        ("offset", format!("(Integer) -> {relation}")),
+        ("distinct", format!("() -> {relation}")),
+        ("unscope", format!("(*Symbol) -> {relation}")),
+        ("unscoped", format!("() -> {relation}")),
+        ("readonly", format!("() -> {relation}")),
+        ("lock", format!("(?String) -> {relation}")),
+        ("all", format!("() -> {relation}")),
+        ("none", format!("() -> {relation}")),
+        ("merge", format!("(t<:Object) -> {relation}")),
+        ("or", format!("(t<:Object) -> {relation}")),
+        ("extending", format!("() -> {relation}")),
+        ("from", format!("(String) -> {relation}")),
+        // Fetching.
+        ("find", format!("(Integer) -> {row}")),
+        ("take", format!("() -> «maybe(row_type(tself))»")),
+        ("take!", format!("() -> {row}")),
+        ("first", format!("() -> «maybe(row_type(tself))»")),
+        ("first!", format!("() -> {row}")),
+        ("last", format!("() -> «maybe(row_type(tself))»")),
+        ("last!", format!("() -> {row}")),
+        ("second", format!("() -> «maybe(row_type(tself))»")),
+        ("third", format!("() -> «maybe(row_type(tself))»")),
+        ("find_each", format!("() {{ (Object) -> Object }} -> {relation}")),
+        ("find_in_batches", format!("() {{ (Array<Object>) -> Object }} -> {relation}")),
+        ("in_batches", format!("() {{ (Object) -> Object }} -> {relation}")),
+        ("to_a", "() -> Array<Object>".to_string()),
+        ("to_sql", "() -> String".to_string()),
+        ("each", format!("() {{ (Object) -> Object }} -> {relation}")),
+        ("map", "() { (Object) -> b } -> Array<b>".to_string()),
+        ("pluck", "(*Symbol) -> Array<Object>".to_string()),
+        ("ids", "() -> Array<Integer>".to_string()),
+        // Aggregates.
+        ("count", "(?Symbol) -> Integer".to_string()),
+        ("sum", "(?Symbol) -> Numeric".to_string()),
+        ("average", "(Symbol) -> Numeric".to_string()),
+        ("minimum", "(Symbol) -> Object".to_string()),
+        ("maximum", "(Symbol) -> Object".to_string()),
+        ("size", "() -> Integer".to_string()),
+        ("length", "() -> Integer".to_string()),
+        ("empty?", "() -> %bool".to_string()),
+        ("any?", "() -> %bool".to_string()),
+        ("many?", "() -> %bool".to_string()),
+        ("blank?", "() -> %bool".to_string()),
+        ("present?", "() -> %bool".to_string()),
+        // Persistence on fetched rows / relations.
+        ("update", format!("(?{SCHEMA_ARG}) -> %bool")),
+        ("update!", format!("(?{SCHEMA_ARG}) -> %bool")),
+        ("save", "() -> %bool".to_string()),
+        ("save!", "() -> %bool".to_string()),
+        ("destroy", "() -> Object".to_string()),
+        ("destroy_all", "() -> Array<Object>".to_string()),
+        ("delete", "(?Integer) -> Integer".to_string()),
+        ("delete_all", "() -> Integer".to_string()),
+        ("reload", format!("() -> {row}")),
+        ("touch", "() -> %bool".to_string()),
+        ("cache_key", "() -> String".to_string()),
+    ]
+}
+
+const BLOCKDEP: &[&str] = &["each", "map", "find_each", "find_in_batches", "in_batches"];
+
+const IMPURE: &[&str] = &[
+    "create", "create!", "update", "update!", "update_all", "save", "save!", "destroy",
+    "destroy_all", "delete", "delete_all", "touch",
+];
+
+/// Registers the ActiveRecord annotation set (on the `Table` class).
+pub fn register(env: &mut CompRdl) {
+    for (name, sig) in methods() {
+        let term =
+            if BLOCKDEP.contains(&name) { TermEffect::BlockDep } else { TermEffect::Terminates };
+        let purity =
+            if IMPURE.contains(&name) { PurityEffect::Impure } else { PurityEffect::Pure };
+        env.type_sig_with_effects("Table", name, &sig, term, purity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_list_is_substantial_and_unique() {
+        let ms = methods();
+        assert!(ms.len() >= 75, "{}", ms.len());
+        let mut names: Vec<&str> = ms.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

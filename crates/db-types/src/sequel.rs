@@ -1,0 +1,86 @@
+//! Comp-type annotations for the Sequel dataset DSL (paper Table 1: 27
+//! methods).
+//!
+//! Sequel is the second ORM used by the Code.org and Journey subject
+//! programs.  Its dataset methods are annotated on `Sequel::Dataset`; model
+//! classes that inherit from `Sequel::Model` reach them through the same
+//! receiver-class fallback the checker uses for ActiveRecord models.
+
+use comprdl::CompRdl;
+use rdl_types::{PurityEffect, TermEffect};
+
+const SCHEMA_ARG: &str = "«schema_type(tself)» / Hash<Symbol, Object>";
+
+/// `(name, signature)` pairs for the Sequel annotation set.
+pub fn methods() -> Vec<(&'static str, String)> {
+    let dataset = "«table_of(tself)»";
+    let row = "«maybe(row_type(tself))»";
+    vec![
+        ("where", format!("(t <: «if t.is_a?(ConstString) then sql_typecheck(tself, t) else schema_type(tself) end» / Hash<Symbol, Object>, *Object) -> {dataset}")),
+        ("exclude", format!("({SCHEMA_ARG}) -> {dataset}")),
+        ("filter", format!("({SCHEMA_ARG}) -> {dataset}")),
+        ("or_where", format!("({SCHEMA_ARG}) -> {dataset}")),
+        ("grep", format!("(Symbol, String) -> {dataset}")),
+        ("select_columns", format!("(*Symbol) -> {dataset}")),
+        ("select_append", format!("(*Symbol) -> {dataset}")),
+        ("order_by", format!("(*Symbol) -> {dataset}")),
+        ("reverse_order", format!("(*Symbol) -> {dataset}")),
+        ("group_columns", format!("(*Symbol) -> {dataset}")),
+        ("group_and_count", format!("(*Symbol) -> {dataset}")),
+        ("limit_rows", format!("(Integer, ?Integer) -> {dataset}")),
+        ("offset_rows", format!("(Integer) -> {dataset}")),
+        ("distinct_rows", format!("() -> {dataset}")),
+        ("join_table", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("left_join", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("inner_join", "(t<:Symbol) -> «joins_type(tself, t)»".to_string()),
+        ("first_row", format!("(?{SCHEMA_ARG}) -> {row}")),
+        ("last_row", format!("() -> {row}")),
+        ("single_record", format!("() -> {row}")),
+        ("all_rows", "() -> Array<Hash<Symbol, Object>>".to_string()),
+        ("each_row", "() { (Hash<Symbol, Object>) -> Object } -> Object".to_string()),
+        ("map_rows", "(?Symbol) { (Hash<Symbol, Object>) -> b } -> Array<Object>".to_string()),
+        ("select_map", "(Symbol) -> Array<Object>".to_string()),
+        ("select_order_map", "(Symbol) -> Array<Object>".to_string()),
+        ("sum_column", "(Symbol) -> Numeric".to_string()),
+        ("avg", "(Symbol) -> Numeric".to_string()),
+        ("max_column", "(Symbol) -> Object".to_string()),
+        ("min_column", "(Symbol) -> Object".to_string()),
+        ("count_rows", "() -> Integer".to_string()),
+        ("empty_dataset?", "() -> %bool".to_string()),
+        ("insert", format!("({SCHEMA_ARG}) -> Integer")),
+        ("update_rows", format!("({SCHEMA_ARG}) -> Integer")),
+        ("delete_rows", "() -> Integer".to_string()),
+        ("import", "(Array<Symbol>, Array<Array<Object>>) -> Integer".to_string()),
+        ("paged_each", "() { (Hash<Symbol, Object>) -> Object } -> Object".to_string()),
+    ]
+}
+
+const BLOCKDEP: &[&str] = &["each_row", "map_rows", "paged_each"];
+const IMPURE: &[&str] = &["insert", "update_rows", "delete_rows", "import"];
+
+/// Registers the Sequel annotation set (on the `Sequel::Dataset` class).
+pub fn register(env: &mut CompRdl) {
+    for (name, sig) in methods() {
+        let term =
+            if BLOCKDEP.contains(&name) { TermEffect::BlockDep } else { TermEffect::Terminates };
+        let purity =
+            if IMPURE.contains(&name) { PurityEffect::Impure } else { PurityEffect::Pure };
+        env.type_sig_with_effects("Sequel::Dataset", name, &sig, term, purity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_list_is_substantial_and_unique() {
+        let ms = methods();
+        assert!(ms.len() >= 27);
+        let mut names: Vec<&str> = ms.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

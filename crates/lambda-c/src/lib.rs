@@ -1,0 +1,216 @@
+//! # lambda-c
+//!
+//! λC — the core object-oriented calculus the paper uses to formalize
+//! CompRDL (§3): class IDs are both base types and values, library methods
+//! may carry comp types `(a <: e1/A1) → e2/A2`, type checking evaluates
+//! those expressions to concrete classes and rewrites library calls into
+//! checked calls `⌈A⌉ e.m(e)`, and the operational semantics reduces failed
+//! checks (and `nil` receivers) to *blame*.
+//!
+//! The crate provides the syntax, a fuel-bounded evaluator, the type
+//! checker / rewriter, and property-based tests of the paper's soundness
+//! theorem (Theorem 3.1): a well-typed, rewritten expression either reduces
+//! to a value (of a subtype of its static type), reduces to blame, or
+//! diverges — it never gets stuck.
+//!
+//! ```
+//! use lambda_c::{Checker, Expr, LibImpl, LibType, Program, run, SimpleType, Value};
+//!
+//! let mut p = Program::new();
+//! p.def_lib(
+//!     "Bool",
+//!     "and",
+//!     LibType::Simple(SimpleType { dom: "Bool".into(), rng: "Bool".into() }),
+//!     LibImpl::BoolAnd,
+//! );
+//! let e = Expr::call(Expr::val(Value::True), "and", Expr::val(Value::False));
+//! let (rewritten, ty) = Checker::new(&p).check_expr(&e, "Obj").unwrap();
+//! assert_eq!(ty, "Bool");
+//! assert!(run(&p, &rewritten, 1_000).is_value());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod semantics;
+pub mod syntax;
+pub mod typing;
+
+pub use semantics::{run, Evaluator, Outcome};
+pub use syntax::{ClassId, Expr, LibImpl, LibType, Program, SimpleType, UserMethod, Value};
+pub use typing::{Checker, TypeError};
+
+#[cfg(test)]
+mod soundness {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A program with user methods, simple library methods, a comp-typed
+    /// library method, and a deliberately ill-behaved library method, so the
+    /// generator can exercise every typing rule and blame path.
+    fn test_program() -> Program {
+        let mut p = Program::new();
+        p.add_class("A", "Obj");
+        p.add_class("B", "A");
+        // User methods (statically checked).
+        p.def_user(
+            "A",
+            "id",
+            "x",
+            SimpleType { dom: "Obj".into(), rng: "Obj".into() },
+            Expr::Var("x".into()),
+        );
+        p.def_user(
+            "A",
+            "flip",
+            "x",
+            SimpleType { dom: "Bool".into(), rng: "Bool".into() },
+            Expr::If(
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::val(Value::False)),
+                Box::new(Expr::val(Value::True)),
+            ),
+        );
+        // A well-behaved simple library method.
+        p.def_lib(
+            "A",
+            "mkbool",
+            LibType::Simple(SimpleType { dom: "Obj".into(), rng: "Bool".into() }),
+            LibImpl::Const(Value::True),
+        );
+        // An ill-behaved library method: declared to return Bool but returns
+        // an Obj instance — calls to it are well-typed, and the inserted
+        // check catches the lie at run time (blame, not stuckness).
+        p.def_lib(
+            "A",
+            "liar",
+            LibType::Simple(SimpleType { dom: "Obj".into(), rng: "Bool".into() }),
+            LibImpl::Lie,
+        );
+        // The comp-typed Bool.and of §3.1.
+        let ret_expr = Expr::If(
+            Box::new(Expr::Eq(
+                Box::new(Expr::TSelf),
+                Box::new(Expr::val(Value::Class("True".into()))),
+            )),
+            Box::new(Expr::If(
+                Box::new(Expr::Eq(
+                    Box::new(Expr::Var("a".into())),
+                    Box::new(Expr::val(Value::Class("True".into()))),
+                )),
+                Box::new(Expr::val(Value::Class("True".into()))),
+                Box::new(Expr::val(Value::Class("Bool".into()))),
+            )),
+            Box::new(Expr::val(Value::Class("Bool".into()))),
+        );
+        p.def_lib(
+            "Bool",
+            "and",
+            LibType::Comp {
+                arg_expr: Box::new(Expr::val(Value::Class("Bool".into()))),
+                arg_bound: "Bool".into(),
+                ret_expr: Box::new(ret_expr),
+                ret_bound: "Bool".into(),
+            },
+            LibImpl::BoolAnd,
+        );
+        p
+    }
+
+    /// Generates surface expressions over the test program's vocabulary.
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            Just(Expr::val(Value::True)),
+            Just(Expr::val(Value::False)),
+            Just(Expr::val(Value::Nil)),
+            Just(Expr::New("A".into())),
+            Just(Expr::New("B".into())),
+            Just(Expr::SelfE),
+        ];
+        leaf.prop_recursive(4, 32, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone(), inner.clone())
+                    .prop_map(|(a, b, c)| Expr::If(Box::new(a), Box::new(b), Box::new(c))),
+                (inner.clone(), inner.clone(), prop_oneof![
+                    Just("id".to_string()),
+                    Just("flip".to_string()),
+                    Just("mkbool".to_string()),
+                    Just("liar".to_string()),
+                    Just("and".to_string()),
+                ])
+                    .prop_map(|(r, a, m)| Expr::Call(Box::new(r), m, Box::new(a))),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Theorem 3.1 (soundness): if `∅ ⊢ e ↪ e' : A` then `e'` reduces to
+        /// a value, reduces to blame, or diverges — never gets stuck.  And
+        /// when it reduces to a value, the value's class is a subtype of `A`
+        /// (the preservation part).
+        #[test]
+        fn well_typed_programs_do_not_get_stuck(e in arb_expr()) {
+            let program = test_program();
+            let checker = Checker::new(&program);
+            let Ok((rewritten, ty)) = checker.check_expr(&e, "Obj") else {
+                // Ill-typed programs are outside the theorem's premise.
+                return Ok(());
+            };
+            let outcome = run(&program, &rewritten, 50_000);
+            prop_assert!(!outcome.is_stuck(), "stuck: {outcome:?} for {rewritten:?}");
+            if let Outcome::Val(v) = outcome {
+                prop_assert!(
+                    program.subtype(&v.type_of(), &ty),
+                    "preservation violated: {v} : {} but static type {ty}",
+                    v.type_of()
+                );
+            }
+        }
+
+        /// Without the inserted checks, the ill-behaved library method would
+        /// produce values that violate the static types; with them, such
+        /// executions reduce to blame instead.  (This is the reason the
+        /// rewriting step exists.)
+        #[test]
+        fn unchecked_execution_can_break_preservation_but_checked_cannot(e in arb_expr()) {
+            let program = test_program();
+            let checker = Checker::new(&program);
+            let Ok((rewritten, ty)) = checker.check_expr(&e, "Obj") else {
+                return Ok(());
+            };
+            // Run the *unrewritten* expression: it may produce ill-typed
+            // values or even get stuck (that is exactly why checks are
+            // inserted), so no assertion is made about it beyond running it.
+            let _unchecked = run(&program, &e, 50_000);
+            // The rewritten expression never produces an ill-typed value and
+            // never gets stuck.
+            let checked = run(&program, &rewritten, 50_000);
+            prop_assert!(!checked.is_stuck(), "stuck: {checked:?}");
+            if let Outcome::Val(v) = checked {
+                prop_assert!(program.subtype(&v.type_of(), &ty));
+            }
+        }
+    }
+
+    #[test]
+    fn the_liar_is_blamed() {
+        let program = test_program();
+        let checker = Checker::new(&program);
+        let e = Expr::call(Expr::New("A".into()), "liar", Expr::val(Value::Nil));
+        let (rewritten, ty) = checker.check_expr(&e, "Obj").unwrap();
+        assert_eq!(ty, "Bool");
+        let outcome = run(&program, &rewritten, 1_000);
+        assert!(outcome.is_blame(), "{outcome:?}");
+        // Without rewriting, the lie goes unnoticed and preservation breaks.
+        let outcome = run(&program, &e, 1_000);
+        match outcome {
+            Outcome::Val(v) => assert!(!program.subtype(&v.type_of(), "Bool")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Operational semantics of λC with blame (paper §3.1, Figure 8).
+//!
+//! The semantics is presented here as a fuel-bounded evaluator: a well-typed
+//! (and rewritten) expression either produces a value, reduces to *blame*
+//! (a failed checked call or a method invoked on `nil`), or runs out of fuel
+//! (modelling divergence).  The soundness property tests in `lib.rs` check
+//! exactly the statement of Theorem 3.1: evaluation never gets *stuck*.
+
+use crate::syntax::{Expr, LibImpl, Program, Value};
+use std::collections::HashMap;
+
+/// The outcome of evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Evaluation produced a value.
+    Val(Value),
+    /// A dynamic check failed or a method was invoked on `nil`.
+    Blame(String),
+    /// Fuel ran out (the program may diverge).
+    Timeout,
+    /// Evaluation got stuck (no rule applies).  Soundness says this never
+    /// happens for well-typed programs.
+    Stuck(String),
+}
+
+impl Outcome {
+    /// True if the outcome is a value.
+    pub fn is_value(&self) -> bool {
+        matches!(self, Outcome::Val(_))
+    }
+
+    /// True if the outcome is blame.
+    pub fn is_blame(&self) -> bool {
+        matches!(self, Outcome::Blame(_))
+    }
+
+    /// True if evaluation got stuck.
+    pub fn is_stuck(&self) -> bool {
+        matches!(self, Outcome::Stuck(_))
+    }
+}
+
+/// The evaluator.
+pub struct Evaluator<'a> {
+    program: &'a Program,
+    fuel: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with the given fuel budget.
+    pub fn new(program: &'a Program, fuel: u64) -> Self {
+        Evaluator { program, fuel }
+    }
+
+    /// Evaluates a closed expression with `self` bound to `self_val`.
+    pub fn eval(&mut self, expr: &Expr, self_val: &Value) -> Outcome {
+        let env = HashMap::new();
+        self.eval_in(expr, self_val, &env)
+    }
+
+    fn eval_in(&mut self, expr: &Expr, self_val: &Value, env: &HashMap<String, Value>) -> Outcome {
+        if self.fuel == 0 {
+            return Outcome::Timeout;
+        }
+        self.fuel -= 1;
+        match expr {
+            Expr::Val(v) => Outcome::Val(v.clone()),
+            Expr::Var(x) => match env.get(x) {
+                Some(v) => Outcome::Val(v.clone()),
+                None => Outcome::Stuck(format!("unbound variable {x}")),
+            },
+            Expr::SelfE | Expr::TSelf => Outcome::Val(self_val.clone()),
+            Expr::New(a) => Outcome::Val(Value::Instance(a.clone())),
+            Expr::Seq(a, b) => match self.eval_in(a, self_val, env) {
+                Outcome::Val(_) => self.eval_in(b, self_val, env),
+                other => other,
+            },
+            Expr::Eq(a, b) => {
+                let va = match self.eval_in(a, self_val, env) {
+                    Outcome::Val(v) => v,
+                    other => return other,
+                };
+                let vb = match self.eval_in(b, self_val, env) {
+                    Outcome::Val(v) => v,
+                    other => return other,
+                };
+                Outcome::Val(if va == vb { Value::True } else { Value::False })
+            }
+            Expr::If(c, t, e) => match self.eval_in(c, self_val, env) {
+                Outcome::Val(v) => {
+                    if v.truthy() {
+                        self.eval_in(t, self_val, env)
+                    } else {
+                        self.eval_in(e, self_val, env)
+                    }
+                }
+                other => other,
+            },
+            Expr::Call(recv, m, arg) => self.eval_call(recv, m, arg, None, self_val, env),
+            Expr::CheckedCall(expected, recv, m, arg) => {
+                self.eval_call(recv, m, arg, Some(expected.clone()), self_val, env)
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        recv: &Expr,
+        m: &str,
+        arg: &Expr,
+        check: Option<String>,
+        self_val: &Value,
+        env: &HashMap<String, Value>,
+    ) -> Outcome {
+        let vr = match self.eval_in(recv, self_val, env) {
+            Outcome::Val(v) => v,
+            other => return other,
+        };
+        let va = match self.eval_in(arg, self_val, env) {
+            Outcome::Val(v) => v,
+            other => return other,
+        };
+        // Invoking a method on nil reduces to blame (§3.3).
+        if matches!(vr, Value::Nil) {
+            return Outcome::Blame(format!("method `{m}` invoked on nil"));
+        }
+        let recv_class = vr.type_of();
+        let Some(owner) = self.program.lookup_class_of(&recv_class, m) else {
+            return Outcome::Stuck(format!("no method `{m}` on {recv_class}"));
+        };
+        // User-defined methods run their bodies (E-AppUD).
+        if let Some(def) = self.program.user_methods.get(&(owner.clone(), m.to_string())) {
+            let mut callee_env = HashMap::new();
+            callee_env.insert(def.param.clone(), va);
+            let result = self.eval_in(&def.body.clone(), &vr, &callee_env);
+            return match (result, check) {
+                (Outcome::Val(v), Some(expected)) => self.apply_check(v, &expected, m),
+                (other, _) => other,
+            };
+        }
+        // Library methods run their native behaviour (E-AppLib), and checked
+        // calls test the result against the inserted class (blame on
+        // failure).
+        if let Some((_ty, imp)) = self.program.lib_methods.get(&(owner, m.to_string())) {
+            let result = match imp {
+                LibImpl::Const(v) => v.clone(),
+                LibImpl::ReturnSelf => vr.clone(),
+                LibImpl::ReturnArg => va.clone(),
+                LibImpl::BoolAnd => {
+                    if vr.truthy() && va.truthy() {
+                        Value::True
+                    } else {
+                        Value::False
+                    }
+                }
+                LibImpl::Lie => Value::Instance("Obj".to_string()),
+            };
+            return match check {
+                Some(expected) => self.apply_check(result, &expected, m),
+                None => Outcome::Val(result),
+            };
+        }
+        Outcome::Stuck(format!("method `{m}` resolved but has no definition"))
+    }
+
+    fn apply_check(&self, v: Value, expected: &str, m: &str) -> Outcome {
+        if self.program.subtype(&v.type_of(), expected) {
+            Outcome::Val(v)
+        } else {
+            Outcome::Blame(format!(
+                "checked call to `{m}` returned {v} which is not a {expected}"
+            ))
+        }
+    }
+}
+
+/// Evaluates `expr` in `program` with the given fuel, starting from a fresh
+/// `Obj` instance as `self`.
+pub fn run(program: &Program, expr: &Expr, fuel: u64) -> Outcome {
+    Evaluator::new(program, fuel).eval(expr, &Value::Instance("Obj".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{LibType, SimpleType};
+
+    fn bool_program() -> Program {
+        let mut p = Program::new();
+        p.def_lib(
+            "Bool",
+            "and",
+            LibType::Simple(SimpleType { dom: "Bool".into(), rng: "Bool".into() }),
+            LibImpl::BoolAnd,
+        );
+        p
+    }
+
+    #[test]
+    fn basic_forms_evaluate() {
+        let p = Program::new();
+        assert_eq!(run(&p, &Expr::val(Value::True), 100), Outcome::Val(Value::True));
+        assert_eq!(
+            run(&p, &Expr::Eq(Box::new(Expr::val(Value::True)), Box::new(Expr::val(Value::True))), 100),
+            Outcome::Val(Value::True)
+        );
+        assert_eq!(
+            run(
+                &p,
+                &Expr::If(
+                    Box::new(Expr::val(Value::False)),
+                    Box::new(Expr::val(Value::True)),
+                    Box::new(Expr::val(Value::Nil))
+                ),
+                100
+            ),
+            Outcome::Val(Value::Nil)
+        );
+        assert_eq!(run(&p, &Expr::New("Obj".into()), 100), Outcome::Val(Value::Instance("Obj".into())));
+    }
+
+    #[test]
+    fn library_calls_and_checks() {
+        let p = bool_program();
+        let call = Expr::call(Expr::val(Value::True), "and", Expr::val(Value::True));
+        assert_eq!(run(&p, &call, 100), Outcome::Val(Value::True));
+        let checked = Expr::CheckedCall(
+            "True".into(),
+            Box::new(Expr::val(Value::True)),
+            "and".into(),
+            Box::new(Expr::val(Value::True)),
+        );
+        assert_eq!(run(&p, &checked, 100), Outcome::Val(Value::True));
+        // A check against False blames when the result is True.
+        let blamed = Expr::CheckedCall(
+            "False".into(),
+            Box::new(Expr::val(Value::True)),
+            "and".into(),
+            Box::new(Expr::val(Value::True)),
+        );
+        assert!(run(&p, &blamed, 100).is_blame());
+    }
+
+    #[test]
+    fn nil_receiver_blames() {
+        let p = bool_program();
+        let call = Expr::call(Expr::val(Value::Nil), "and", Expr::val(Value::True));
+        assert!(run(&p, &call, 100).is_blame());
+    }
+
+    #[test]
+    fn diverging_user_method_times_out() {
+        let mut p = Program::new();
+        p.add_class("A", "Obj");
+        p.def_user(
+            "A",
+            "loop",
+            "x",
+            SimpleType { dom: "Obj".into(), rng: "Obj".into() },
+            Expr::call(Expr::SelfE, "loop", Expr::Var("x".into())),
+        );
+        let e = Expr::call(Expr::New("A".into()), "loop", Expr::val(Value::Nil));
+        assert_eq!(run(&p, &e, 1_000), Outcome::Timeout);
+    }
+
+    #[test]
+    fn unknown_method_is_stuck() {
+        let p = Program::new();
+        let e = Expr::call(Expr::val(Value::True), "missing", Expr::val(Value::Nil));
+        assert!(run(&p, &e, 100).is_stuck());
+    }
+}

@@ -1,0 +1,363 @@
+//! Syntax of λC (paper §3.1, Figure 4).
+//!
+//! λC is a core object-oriented calculus in which class IDs are base types
+//! *and* values (so type-level computations can return them), methods take
+//! exactly one argument, and library methods may carry comp-type signatures
+//! `(a <: e1/A1) → e2/A2` whose expressions evaluate to class IDs during
+//! type checking.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A class identifier (also a base type and a value).
+pub type ClassId = String;
+
+/// Values of λC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// `nil`.
+    Nil,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// A class ID used as a value (types are values).
+    Class(ClassId),
+    /// An object instance `[A]`.
+    Instance(ClassId),
+}
+
+impl Value {
+    /// `type_of(v)` from the paper: the class of a value.
+    pub fn type_of(&self) -> ClassId {
+        match self {
+            Value::Nil => "Nil".to_string(),
+            Value::True => "True".to_string(),
+            Value::False => "False".to_string(),
+            Value::Class(_) => "Type".to_string(),
+            Value::Instance(a) => a.clone(),
+        }
+    }
+
+    /// Ruby-style truthiness (used by `if`).
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::False)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::True => write!(f, "true"),
+            Value::False => write!(f, "false"),
+            Value::Class(a) => write!(f, "{a}"),
+            Value::Instance(a) => write!(f, "[{a}]"),
+        }
+    }
+}
+
+/// Expressions of λC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A value literal.
+    Val(Value),
+    /// A program variable `x` (or the comp-type variable `a`).
+    Var(String),
+    /// `self`.
+    SelfE,
+    /// `tself` (only valid inside comp types).
+    TSelf,
+    /// `A.new`.
+    New(ClassId),
+    /// `e1; e2`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// `e1 == e2`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `if e1 then e2 else e3`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `e.m(e)`.
+    Call(Box<Expr>, String, Box<Expr>),
+    /// `⌈A⌉ e.m(e)` — a checked library call inserted by the rewriter; not
+    /// part of the surface syntax.
+    CheckedCall(ClassId, Box<Expr>, String, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a call.
+    pub fn call(recv: Expr, m: &str, arg: Expr) -> Expr {
+        Expr::Call(Box::new(recv), m.to_string(), Box::new(arg))
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn val(v: Value) -> Expr {
+        Expr::Val(v)
+    }
+
+    /// Size of the expression (number of nodes), used to bound generators.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Val(_) | Expr::Var(_) | Expr::SelfE | Expr::TSelf | Expr::New(_) => 1,
+            Expr::Seq(a, b) | Expr::Eq(a, b) => 1 + a.size() + b.size(),
+            Expr::If(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            Expr::Call(a, _, b) | Expr::CheckedCall(_, a, _, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+/// A conventional method type `A1 -> A2`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimpleType {
+    /// Domain class.
+    pub dom: ClassId,
+    /// Range class.
+    pub rng: ClassId,
+}
+
+/// A library method type: either conventional or a comp type
+/// `(a <: e1/A1) → e2/A2`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LibType {
+    /// `A1 -> A2`.
+    Simple(SimpleType),
+    /// `(a <: e1/A1) → e2/A2`.
+    Comp {
+        /// Argument-position type-level expression `e1`.
+        arg_expr: Box<Expr>,
+        /// Static bound `A1` on the argument.
+        arg_bound: ClassId,
+        /// Return-position type-level expression `e2`.
+        ret_expr: Box<Expr>,
+        /// Static bound `A2` on the result.
+        ret_bound: ClassId,
+    },
+}
+
+impl LibType {
+    /// The `TCTU` erasure: drops type-level expressions, keeping the bounds
+    /// (used to type check the type-level code itself without infinite
+    /// regress; §3.2).
+    pub fn erase(&self) -> SimpleType {
+        match self {
+            LibType::Simple(s) => s.clone(),
+            LibType::Comp { arg_bound, ret_bound, .. } => {
+                SimpleType { dom: arg_bound.clone(), rng: ret_bound.clone() }
+            }
+        }
+    }
+}
+
+/// A user-defined method: declared type plus a body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserMethod {
+    /// Parameter name.
+    pub param: String,
+    /// Declared type.
+    pub ty: SimpleType,
+    /// The body.
+    pub body: Expr,
+}
+
+/// A library method: a declared (possibly comp) type plus a native
+/// implementation that may or may not respect it (the latter is what blame
+/// catches).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LibImpl {
+    /// Returns a fixed value.
+    Const(Value),
+    /// Returns the receiver.
+    ReturnSelf,
+    /// Returns the argument.
+    ReturnArg,
+    /// Logical conjunction of receiver and argument truthiness (the paper's
+    /// `Bool.∧` example).
+    BoolAnd,
+    /// Deliberately ill-behaved: always returns `nil` regardless of the
+    /// declared return type (used to exercise blame).
+    Lie,
+}
+
+/// A λC program: class hierarchy plus user and library methods.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// class → superclass (absent ⇒ `Obj`).
+    pub superclasses: BTreeMap<ClassId, ClassId>,
+    /// `(class, method)` → user method definition.
+    pub user_methods: BTreeMap<(ClassId, String), UserMethod>,
+    /// `(class, method)` → library method declaration and implementation.
+    pub lib_methods: BTreeMap<(ClassId, String), (LibType, LibImpl)>,
+}
+
+impl Program {
+    /// Built-in classes of λC.
+    pub const BUILTINS: &'static [&'static str] =
+        &["Obj", "Nil", "Bool", "True", "False", "Type"];
+
+    /// Creates an empty program with the builtin class lattice.
+    pub fn new() -> Self {
+        let mut p = Program::default();
+        p.superclasses.insert("True".into(), "Bool".into());
+        p.superclasses.insert("False".into(), "Bool".into());
+        p.superclasses.insert("Bool".into(), "Obj".into());
+        p.superclasses.insert("Type".into(), "Obj".into());
+        p.superclasses.insert("Nil".into(), "Obj".into());
+        p
+    }
+
+    /// Declares a class.
+    pub fn add_class(&mut self, name: &str, superclass: &str) {
+        self.superclasses.insert(name.to_string(), superclass.to_string());
+    }
+
+    /// Adds a user-defined method `def A.m(x): σ = e`.
+    pub fn def_user(&mut self, class: &str, method: &str, param: &str, ty: SimpleType, body: Expr) {
+        self.user_methods.insert(
+            (class.to_string(), method.to_string()),
+            UserMethod { param: param.to_string(), ty, body },
+        );
+    }
+
+    /// Adds a library method declaration `lib A.m(x): δ` with its native
+    /// behaviour.
+    pub fn def_lib(&mut self, class: &str, method: &str, ty: LibType, imp: LibImpl) {
+        self.lib_methods.insert((class.to_string(), method.to_string()), (ty, imp));
+    }
+
+    /// `A ≤ A'` — subclassing, with `Nil` below everything and `Obj` on top.
+    pub fn subtype(&self, a: &str, b: &str) -> bool {
+        if a == b || b == "Obj" || a == "Nil" {
+            return true;
+        }
+        let mut current = a.to_string();
+        let mut fuel = 64;
+        while fuel > 0 {
+            fuel -= 1;
+            match self.superclasses.get(&current) {
+                Some(sup) => {
+                    if sup == b {
+                        return true;
+                    }
+                    current = sup.clone();
+                }
+                None => break,
+            }
+        }
+        false
+    }
+
+    /// The least upper bound `A1 ⊔ A2`.
+    pub fn lub(&self, a: &str, b: &str) -> ClassId {
+        if self.subtype(a, b) {
+            return b.to_string();
+        }
+        if self.subtype(b, a) {
+            return a.to_string();
+        }
+        // Walk a's ancestors until one is above b.
+        let mut current = a.to_string();
+        let mut fuel = 64;
+        while fuel > 0 {
+            fuel -= 1;
+            match self.superclasses.get(&current) {
+                Some(sup) => {
+                    if self.subtype(b, sup) {
+                        return sup.clone();
+                    }
+                    current = sup.clone();
+                }
+                None => break,
+            }
+        }
+        "Obj".to_string()
+    }
+
+    /// Looks up a method (user or library) on `class` or an ancestor,
+    /// returning the defining class.
+    pub fn lookup_class_of(&self, class: &str, method: &str) -> Option<ClassId> {
+        let mut current = class.to_string();
+        let mut fuel = 64;
+        loop {
+            if self.user_methods.contains_key(&(current.clone(), method.to_string()))
+                || self.lib_methods.contains_key(&(current.clone(), method.to_string()))
+            {
+                return Some(current);
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return None;
+            }
+            match self.superclasses.get(&current) {
+                Some(sup) => current = sup.clone(),
+                None => return None,
+            }
+        }
+    }
+
+    /// All declared classes (builtins plus user classes).
+    pub fn classes(&self) -> Vec<ClassId> {
+        let mut out: Vec<ClassId> = Self::BUILTINS.iter().map(|s| s.to_string()).collect();
+        out.extend(self.superclasses.keys().cloned());
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types_and_truthiness() {
+        assert_eq!(Value::True.type_of(), "True");
+        assert_eq!(Value::Nil.type_of(), "Nil");
+        assert_eq!(Value::Class("Obj".into()).type_of(), "Type");
+        assert_eq!(Value::Instance("A".into()).type_of(), "A");
+        assert!(Value::True.truthy());
+        assert!(!Value::Nil.truthy());
+        assert!(Value::Instance("A".into()).truthy());
+    }
+
+    #[test]
+    fn subtyping_lattice() {
+        let mut p = Program::new();
+        p.add_class("A", "Obj");
+        p.add_class("B", "A");
+        assert!(p.subtype("True", "Bool"));
+        assert!(p.subtype("B", "A"));
+        assert!(p.subtype("B", "Obj"));
+        assert!(!p.subtype("A", "B"));
+        assert!(p.subtype("Nil", "A"));
+        assert_eq!(p.lub("True", "False"), "Bool");
+        assert_eq!(p.lub("B", "A"), "A");
+        assert_eq!(p.lub("A", "Bool"), "Obj");
+    }
+
+    #[test]
+    fn method_lookup_walks_ancestors() {
+        let mut p = Program::new();
+        p.add_class("A", "Obj");
+        p.add_class("B", "A");
+        p.def_user(
+            "A",
+            "m",
+            "x",
+            SimpleType { dom: "Obj".into(), rng: "Bool".into() },
+            Expr::val(Value::True),
+        );
+        assert_eq!(p.lookup_class_of("B", "m"), Some("A".to_string()));
+        assert_eq!(p.lookup_class_of("B", "missing"), None);
+    }
+
+    #[test]
+    fn erasure_of_comp_types() {
+        let comp = LibType::Comp {
+            arg_expr: Box::new(Expr::val(Value::Class("Bool".into()))),
+            arg_bound: "Bool".into(),
+            ret_expr: Box::new(Expr::TSelf),
+            ret_bound: "Bool".into(),
+        };
+        assert_eq!(comp.erase(), SimpleType { dom: "Bool".into(), rng: "Bool".into() });
+    }
+}

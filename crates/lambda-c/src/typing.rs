@@ -1,0 +1,437 @@
+//! Type checking and dynamic-check insertion for λC (paper §3.2, Figures 5,
+//! 9 and 10).
+//!
+//! The judgment implemented here is `Γ ⊢ e ↪ e' : A`: under a type
+//! environment and a class table, the source expression `e` is rewritten to
+//! `e'` (inserting `⌈A⌉`-checks at library calls) and has type `A`.  Comp
+//! types in library signatures are themselves type checked under the erased
+//! class table (`TCTU`) and then *evaluated* to obtain the actual argument
+//! and return classes (rule C-App-Comp).
+
+use crate::semantics::{Evaluator, Outcome};
+use crate::syntax::{ClassId, Expr, LibType, Program, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A static type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>) -> Self {
+        TypeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Fuel given to type-level evaluation (comp types must terminate; λC
+/// assumes it, we enforce it).
+const COMP_FUEL: u64 = 10_000;
+
+/// The λC type checker / rewriter.
+pub struct Checker<'a> {
+    program: &'a Program,
+    /// When true, comp types in library signatures are ignored and their
+    /// bounds are used instead — this is the `TCTU` erasure used while
+    /// checking type-level code, preventing infinite regress.
+    erased: bool,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker over `program`.
+    pub fn new(program: &'a Program) -> Self {
+        Checker { program, erased: false }
+    }
+
+    fn erased(program: &'a Program) -> Self {
+        Checker { program, erased: true }
+    }
+
+    /// Checks and rewrites a closed expression with `self` of class
+    /// `self_class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the expression is ill-typed.
+    pub fn check_expr(&self, expr: &Expr, self_class: &str) -> Result<(Expr, ClassId), TypeError> {
+        let env = HashMap::new();
+        self.check(expr, self_class, &env)
+    }
+
+    /// Checks every user-defined method body against its declared type
+    /// (rule T-PDef), returning the rewritten program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TypeError`] found.
+    pub fn check_program(&self) -> Result<Program, TypeError> {
+        let mut rewritten = self.program.clone();
+        for ((class, name), def) in &self.program.user_methods {
+            let mut env = HashMap::new();
+            env.insert(def.param.clone(), def.ty.dom.clone());
+            let (body, actual) = self.check(&def.body, class, &env)?;
+            if !self.program.subtype(&actual, &def.ty.rng) {
+                return Err(TypeError::new(format!(
+                    "{class}.{name}: body has type {actual} but {} is declared",
+                    def.ty.rng
+                )));
+            }
+            rewritten
+                .user_methods
+                .get_mut(&(class.clone(), name.clone()))
+                .expect("method exists")
+                .body = body;
+        }
+        Ok(rewritten)
+    }
+
+    fn check(
+        &self,
+        expr: &Expr,
+        self_class: &str,
+        env: &HashMap<String, ClassId>,
+    ) -> Result<(Expr, ClassId), TypeError> {
+        match expr {
+            Expr::Val(v) => Ok((expr.clone(), v.type_of())),
+            Expr::Var(x) => match env.get(x) {
+                Some(a) => Ok((expr.clone(), a.clone())),
+                None => Err(TypeError::new(format!("unbound variable {x}"))),
+            },
+            Expr::SelfE => Ok((expr.clone(), self_class.to_string())),
+            Expr::TSelf => {
+                // tself has type Type inside type-level code (where the
+                // environment binds it); outside it is ill-formed.
+                if env.contains_key("tself") {
+                    Ok((expr.clone(), "Type".to_string()))
+                } else {
+                    Err(TypeError::new("tself used outside of a comp type"))
+                }
+            }
+            Expr::New(a) => Ok((expr.clone(), a.clone())),
+            Expr::Seq(e1, e2) => {
+                let (r1, _) = self.check(e1, self_class, env)?;
+                let (r2, a2) = self.check(e2, self_class, env)?;
+                Ok((Expr::Seq(Box::new(r1), Box::new(r2)), a2))
+            }
+            Expr::Eq(e1, e2) => {
+                let (r1, _) = self.check(e1, self_class, env)?;
+                let (r2, _) = self.check(e2, self_class, env)?;
+                Ok((Expr::Eq(Box::new(r1), Box::new(r2)), "Bool".to_string()))
+            }
+            Expr::If(c, t, e) => {
+                let (rc, _) = self.check(c, self_class, env)?;
+                let (rt, at) = self.check(t, self_class, env)?;
+                let (re, ae) = self.check(e, self_class, env)?;
+                let ty = self.program.lub(&at, &ae);
+                Ok((Expr::If(Box::new(rc), Box::new(rt), Box::new(re)), ty))
+            }
+            Expr::Call(recv, m, arg) | Expr::CheckedCall(_, recv, m, arg) => {
+                self.check_call(recv, m, arg, self_class, env)
+            }
+        }
+    }
+
+    fn check_call(
+        &self,
+        recv: &Expr,
+        m: &str,
+        arg: &Expr,
+        self_class: &str,
+        env: &HashMap<String, ClassId>,
+    ) -> Result<(Expr, ClassId), TypeError> {
+        let (r_recv, a_recv) = self.check(recv, self_class, env)?;
+        let (r_arg, a_arg) = self.check(arg, self_class, env)?;
+        let owner = self
+            .program
+            .lookup_class_of(&a_recv, m)
+            .ok_or_else(|| TypeError::new(format!("type {a_recv} has no method `{m}`")))?;
+
+        // C-AppUD: user-defined methods are statically checked, no check
+        // inserted.
+        if let Some(def) = self.program.user_methods.get(&(owner.clone(), m.to_string())) {
+            if !self.program.subtype(&a_arg, &def.ty.dom) {
+                return Err(TypeError::new(format!(
+                    "argument of `{m}` has type {a_arg}, expected {}",
+                    def.ty.dom
+                )));
+            }
+            return Ok((
+                Expr::Call(Box::new(r_recv), m.to_string(), Box::new(r_arg)),
+                def.ty.rng.clone(),
+            ));
+        }
+
+        let (lib_ty, _) = self
+            .program
+            .lib_methods
+            .get(&(owner, m.to_string()))
+            .expect("lookup_class_of guarantees a definition");
+
+        match lib_ty {
+            // C-AppLib: simple library types insert a return check.
+            LibType::Simple(s) => {
+                if !self.program.subtype(&a_arg, &s.dom) {
+                    return Err(TypeError::new(format!(
+                        "argument of `{m}` has type {a_arg}, expected {}",
+                        s.dom
+                    )));
+                }
+                Ok((
+                    Expr::CheckedCall(s.rng.clone(), Box::new(r_recv), m.to_string(), Box::new(r_arg)),
+                    s.rng.clone(),
+                ))
+            }
+            // C-App-Comp: comp types are checked under the erased class
+            // table and then evaluated to obtain A1 and A2.
+            LibType::Comp { arg_expr, arg_bound, ret_expr, ret_bound } => {
+                if self.erased {
+                    // TCTU: treat the comp type as its bounds.
+                    if !self.program.subtype(&a_arg, arg_bound) {
+                        return Err(TypeError::new(format!(
+                            "argument of `{m}` has type {a_arg}, expected {arg_bound}"
+                        )));
+                    }
+                    return Ok((
+                        Expr::CheckedCall(
+                            ret_bound.clone(),
+                            Box::new(r_recv),
+                            m.to_string(),
+                            Box::new(r_arg),
+                        ),
+                        ret_bound.clone(),
+                    ));
+                }
+                // Type check the type-level expressions themselves (they
+                // must produce a Type) under the erased checker.
+                let tlc_checker = Checker::erased(self.program);
+                let mut tlc_env = HashMap::new();
+                tlc_env.insert("a".to_string(), "Type".to_string());
+                tlc_env.insert("tself".to_string(), "Type".to_string());
+                let (_, t1) = tlc_checker.check(arg_expr, "Type", &tlc_env)?;
+                let (_, t2) = tlc_checker.check(ret_expr, "Type", &tlc_env)?;
+                for (which, t) in [("argument", &t1), ("return", &t2)] {
+                    if t != "Type" && t != "Nil" {
+                        return Err(TypeError::new(format!(
+                            "{which} comp type of `{m}` has type {t}, expected Type"
+                        )));
+                    }
+                }
+                // Evaluate them with a ↦ Ax and tself ↦ A (class IDs as
+                // values) to obtain the actual parameter and return classes.
+                let a1 = self.eval_comp(arg_expr, &a_recv, &a_arg, m)?;
+                let a2 = self.eval_comp(ret_expr, &a_recv, &a_arg, m)?;
+                if !self.program.subtype(&a_arg, &a1) {
+                    return Err(TypeError::new(format!(
+                        "argument of `{m}` has type {a_arg}, but its comp type computed {a1}"
+                    )));
+                }
+                if !self.program.subtype(&a2, ret_bound) {
+                    return Err(TypeError::new(format!(
+                        "comp type of `{m}` computed {a2}, exceeding its bound {ret_bound}"
+                    )));
+                }
+                Ok((
+                    Expr::CheckedCall(a2.clone(), Box::new(r_recv), m.to_string(), Box::new(r_arg)),
+                    a2,
+                ))
+            }
+        }
+    }
+
+    fn eval_comp(
+        &self,
+        expr: &Expr,
+        recv_class: &str,
+        arg_class: &str,
+        m: &str,
+    ) -> Result<ClassId, TypeError> {
+        let mut evaluator = Evaluator::new(self.program, COMP_FUEL);
+        let mut env = HashMap::new();
+        env.insert("a".to_string(), Value::Class(arg_class.to_string()));
+        let self_val = Value::Class(recv_class.to_string());
+        let outcome = {
+            // Re-use the public entry point by wrapping the environment into
+            // a sequence of equalities is awkward; instead evaluate through a
+            // substituted expression: replace Var("a") with the class value.
+            let substituted = substitute(expr, "a", &Value::Class(arg_class.to_string()));
+            let _ = env;
+            evaluator.eval(&substituted, &self_val)
+        };
+        match outcome {
+            Outcome::Val(Value::Class(a)) => Ok(a),
+            Outcome::Val(other) => Err(TypeError::new(format!(
+                "comp type of `{m}` evaluated to the non-type value {other}"
+            ))),
+            Outcome::Blame(msg) => {
+                Err(TypeError::new(format!("comp type of `{m}` raised blame: {msg}")))
+            }
+            Outcome::Timeout => {
+                Err(TypeError::new(format!("comp type of `{m}` did not terminate")))
+            }
+            Outcome::Stuck(msg) => {
+                Err(TypeError::new(format!("comp type of `{m}` got stuck: {msg}")))
+            }
+        }
+    }
+}
+
+/// Substitutes a variable with a value literal inside a type-level
+/// expression.
+fn substitute(expr: &Expr, var: &str, value: &Value) -> Expr {
+    match expr {
+        Expr::Var(x) if x == var => Expr::Val(value.clone()),
+        Expr::Val(_) | Expr::Var(_) | Expr::SelfE | Expr::TSelf | Expr::New(_) => expr.clone(),
+        Expr::Seq(a, b) => Expr::Seq(
+            Box::new(substitute(a, var, value)),
+            Box::new(substitute(b, var, value)),
+        ),
+        Expr::Eq(a, b) => Expr::Eq(
+            Box::new(substitute(a, var, value)),
+            Box::new(substitute(b, var, value)),
+        ),
+        Expr::If(a, b, c) => Expr::If(
+            Box::new(substitute(a, var, value)),
+            Box::new(substitute(b, var, value)),
+            Box::new(substitute(c, var, value)),
+        ),
+        Expr::Call(a, m, b) => Expr::Call(
+            Box::new(substitute(a, var, value)),
+            m.clone(),
+            Box::new(substitute(b, var, value)),
+        ),
+        Expr::CheckedCall(t, a, m, b) => Expr::CheckedCall(
+            t.clone(),
+            Box::new(substitute(a, var, value)),
+            m.clone(),
+            Box::new(substitute(b, var, value)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{LibImpl, SimpleType};
+
+    /// The Bool.∧ example of §3.1: a comp type whose return is True / False
+    /// when both operands are singletons, Bool otherwise.
+    pub fn bool_and_program() -> Program {
+        let mut p = Program::new();
+        let ret_expr = Expr::If(
+            Box::new(Expr::Eq(
+                Box::new(Expr::TSelf),
+                Box::new(Expr::val(Value::Class("True".into()))),
+            )),
+            Box::new(Expr::If(
+                Box::new(Expr::Eq(
+                    Box::new(Expr::Var("a".into())),
+                    Box::new(Expr::val(Value::Class("True".into()))),
+                )),
+                Box::new(Expr::val(Value::Class("True".into()))),
+                Box::new(Expr::val(Value::Class("Bool".into()))),
+            )),
+            Box::new(Expr::val(Value::Class("Bool".into()))),
+        );
+        p.def_lib(
+            "Bool",
+            "and",
+            LibType::Comp {
+                arg_expr: Box::new(Expr::val(Value::Class("Bool".into()))),
+                arg_bound: "Bool".into(),
+                ret_expr: Box::new(ret_expr),
+                ret_bound: "Bool".into(),
+            },
+            LibImpl::BoolAnd,
+        );
+        p
+    }
+
+    #[test]
+    fn comp_type_computes_singleton_results() {
+        let p = bool_and_program();
+        let checker = Checker::new(&p);
+        let e = Expr::call(Expr::val(Value::True), "and", Expr::val(Value::True));
+        let (rewritten, ty) = checker.check_expr(&e, "Obj").unwrap();
+        assert_eq!(ty, "True");
+        assert!(matches!(rewritten, Expr::CheckedCall(ref a, ..) if a == "True"));
+        // Mixed operands fall back to Bool.
+        let e = Expr::call(Expr::val(Value::False), "and", Expr::val(Value::True));
+        let (_, ty) = checker.check_expr(&e, "Obj").unwrap();
+        assert_eq!(ty, "Bool");
+    }
+
+    #[test]
+    fn user_methods_are_checked_not_rewritten() {
+        let mut p = Program::new();
+        p.add_class("A", "Obj");
+        p.def_user(
+            "A",
+            "id",
+            "x",
+            SimpleType { dom: "Bool".into(), rng: "Bool".into() },
+            Expr::Var("x".into()),
+        );
+        let checker = Checker::new(&p);
+        let e = Expr::call(Expr::New("A".into()), "id", Expr::val(Value::True));
+        let (rewritten, ty) = checker.check_expr(&e, "Obj").unwrap();
+        assert_eq!(ty, "Bool");
+        assert!(matches!(rewritten, Expr::Call(..)));
+        // Ill-typed argument.
+        let bad = Expr::call(Expr::New("A".into()), "id", Expr::New("A".into()));
+        assert!(checker.check_expr(&bad, "Obj").is_err());
+        // The program itself checks.
+        assert!(checker.check_program().is_ok());
+    }
+
+    #[test]
+    fn simple_library_calls_get_checks_inserted() {
+        let mut p = Program::new();
+        p.add_class("A", "Obj");
+        p.def_lib(
+            "A",
+            "mk",
+            LibType::Simple(SimpleType { dom: "Obj".into(), rng: "Bool".into() }),
+            LibImpl::Const(Value::True),
+        );
+        let checker = Checker::new(&p);
+        let e = Expr::call(Expr::New("A".into()), "mk", Expr::val(Value::Nil));
+        let (rewritten, ty) = checker.check_expr(&e, "Obj").unwrap();
+        assert_eq!(ty, "Bool");
+        assert!(matches!(rewritten, Expr::CheckedCall(ref a, ..) if a == "Bool"));
+    }
+
+    #[test]
+    fn ill_typed_method_bodies_are_rejected() {
+        let mut p = Program::new();
+        p.add_class("A", "Obj");
+        p.def_user(
+            "A",
+            "bad",
+            "x",
+            SimpleType { dom: "Obj".into(), rng: "Bool".into() },
+            Expr::New("A".into()),
+        );
+        assert!(Checker::new(&p).check_program().is_err());
+    }
+
+    #[test]
+    fn unknown_methods_and_variables_are_rejected() {
+        let p = Program::new();
+        let checker = Checker::new(&p);
+        assert!(checker
+            .check_expr(&Expr::call(Expr::val(Value::True), "zap", Expr::val(Value::Nil)), "Obj")
+            .is_err());
+        assert!(checker.check_expr(&Expr::Var("ghost".into()), "Obj").is_err());
+        assert!(checker.check_expr(&Expr::TSelf, "Obj").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! # rdl-types
+//!
+//! The RDL type language used by the CompRDL-rs reproduction of *"Type-Level
+//! Computations for Ruby Libraries"* (PLDI 2019): the type representation
+//! (nominal, singleton, generic, union, optional, variable, tuple, finite
+//! hash and const string types), the class hierarchy, subtyping and joins,
+//! the mutable [`TypeStore`] with promotion and weak updates, method
+//! signatures with comp types and effects, and a parser for the textual
+//! annotation language.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rdl_types::{ClassTable, Subtyper, Type, TypeStore, parse_method_sig};
+//!
+//! let classes = ClassTable::with_builtins();
+//! let store = TypeStore::new();
+//! let sub = Subtyper::new(&classes);
+//! assert!(sub.is_subtype(&store, &Type::sym("emails"), &Type::nominal("Symbol")));
+//!
+//! let sig = parse_method_sig("(t<:Symbol) -> «schema_type(tself)»").unwrap();
+//! assert!(sig.is_comp());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod parse;
+pub mod sig;
+pub mod store;
+pub mod subtype;
+pub mod ty;
+
+pub use class::{ClassInfo, ClassTable};
+pub use parse::{parse_method_sig, parse_type_expr, SigParseError};
+pub use sig::{
+    AnnotationTable, CompSpec, MethodKind, MethodSig, ParamSig, PurityEffect, TermEffect, TypeExpr,
+};
+pub use store::{Constraint, ConstStringData, FiniteHashData, TupleData, TypeStore};
+pub use subtype::Subtyper;
+pub use ty::{ConstStringId, FiniteHashId, HashKey, SingVal, TupleId, Type};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_type() -> impl Strategy<Value = Type> {
+        let leaf = prop_oneof![
+            Just(Type::Top),
+            Just(Type::Bot),
+            Just(Type::Bool),
+            Just(Type::nominal("Object")),
+            Just(Type::nominal("String")),
+            Just(Type::nominal("Integer")),
+            Just(Type::nominal("Float")),
+            Just(Type::nominal("Numeric")),
+            Just(Type::nominal("Symbol")),
+            Just(Type::nominal("Array")),
+            Just(Type::nominal("Hash")),
+            Just(Type::sym("emails")),
+            Just(Type::sym("users")),
+            Just(Type::int(0)),
+            Just(Type::int(42)),
+            Just(Type::nil()),
+            Just(Type::Singleton(SingVal::True)),
+            Just(Type::Singleton(SingVal::False)),
+            Just(Type::class_of("User")),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Type::array),
+                (inner.clone(), inner.clone()).prop_map(|(k, v)| Type::hash(k, v)),
+                prop::collection::vec(inner.clone(), 1..4).prop_map(Type::union),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Subtyping is reflexive.
+        #[test]
+        fn subtyping_reflexive(t in arb_type()) {
+            let classes = ClassTable::with_builtins();
+            let store = TypeStore::new();
+            let sub = Subtyper::new(&classes);
+            prop_assert!(sub.is_subtype(&store, &t, &t));
+        }
+
+        /// Everything is below Top and above Bot.
+        #[test]
+        fn subtyping_top_bot(t in arb_type()) {
+            let classes = ClassTable::with_builtins();
+            let store = TypeStore::new();
+            let sub = Subtyper::new(&classes);
+            prop_assert!(sub.is_subtype(&store, &t, &Type::Top));
+            prop_assert!(sub.is_subtype(&store, &Type::Bot, &t));
+        }
+
+        /// Subtyping is transitive on the generated fragment.
+        #[test]
+        fn subtyping_transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
+            let classes = ClassTable::with_builtins();
+            let store = TypeStore::new();
+            let sub = Subtyper::new(&classes);
+            if sub.is_subtype(&store, &a, &b) && sub.is_subtype(&store, &b, &c) {
+                prop_assert!(sub.is_subtype(&store, &a, &c),
+                    "transitivity failed: {a} <= {b} <= {c}");
+            }
+        }
+
+        /// The join is an upper bound of both inputs.
+        #[test]
+        fn lub_is_upper_bound(a in arb_type(), b in arb_type()) {
+            let classes = ClassTable::with_builtins();
+            let store = TypeStore::new();
+            let sub = Subtyper::new(&classes);
+            let j = sub.lub(&store, &a, &b);
+            prop_assert!(sub.is_subtype(&store, &a, &j), "{a} not <= lub {j}");
+            prop_assert!(sub.is_subtype(&store, &b, &j), "{b} not <= lub {j}");
+        }
+
+        /// Union normalization is idempotent and order insensitive.
+        #[test]
+        fn union_normalization(a in arb_type(), b in arb_type(), c in arb_type()) {
+            let u1 = Type::union([a.clone(), b.clone(), c.clone()]);
+            let u2 = Type::union([c, a, b]);
+            prop_assert_eq!(u1.clone(), u2);
+            prop_assert_eq!(Type::union([u1.clone()]), u1);
+        }
+
+        /// Display of a type round-trips through the annotation parser for
+        /// store-free types.
+        #[test]
+        fn display_parses_back(t in arb_type()) {
+            let printed = t.to_string();
+            let reparsed = parse_type_expr(&printed);
+            prop_assert!(reparsed.is_ok(), "failed to reparse {printed}");
+            let mut store = TypeStore::new();
+            let t2 = reparsed.unwrap().instantiate(&mut store);
+            prop_assert_eq!(t2.to_string(), printed);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The mutable type store.
+//!
+//! RDL represents tuple, finite hash and const string types as *objects*
+//! that may be mutated (weak updates, §4 of the paper) and *promoted* to
+//! `Array`, `Hash` and `String` respectively when an operation outside the
+//! precise fragment is applied.  Aliasing matters: in
+//!
+//! ```ruby
+//! a = [1, 'foo']; if ... then b = a end; a[0] = 'one'
+//! ```
+//!
+//! the types of `a` and `b` share one tuple object, so mutating it affects
+//! both.  The [`TypeStore`] reproduces this sharing: store-backed types are
+//! indices into the store, and every constraint asserted against them is
+//! recorded so it can be *replayed* after a weak update or promotion.
+
+use crate::ty::{ConstStringId, FiniteHashId, HashKey, TupleId, Type};
+use serde::{Deserialize, Serialize};
+
+/// A recorded subtyping constraint `lhs <= rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The left-hand side of the constraint.
+    pub lhs: Type,
+    /// The right-hand side of the constraint.
+    pub rhs: Type,
+    /// A human readable description of where the constraint came from.
+    pub origin: String,
+}
+
+/// Data backing a tuple type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TupleData {
+    /// Element types, in order.
+    pub elems: Vec<Type>,
+    /// If the tuple was promoted, the `Array<T>` type it was promoted to.
+    pub promoted: Option<Type>,
+    /// Constraints asserted against this tuple.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Data backing a finite hash type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiniteHashData {
+    /// Known entries in insertion order.
+    pub entries: Vec<(HashKey, Type)>,
+    /// The "rest" type for open finite hashes (`{ a: X, **rest }`), if any.
+    pub rest: Option<Box<Type>>,
+    /// If the hash was promoted, the `Hash<K, V>` type it was promoted to.
+    pub promoted: Option<Type>,
+    /// Constraints asserted against this hash.
+    pub constraints: Vec<Constraint>,
+}
+
+impl FiniteHashData {
+    /// Looks up the type of a key.
+    pub fn get(&self, key: &HashKey) -> Option<&Type> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, t)| t)
+    }
+}
+
+/// Data backing a const string type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstStringData {
+    /// The string contents, if still known precisely.
+    pub value: Option<String>,
+    /// Whether the const string has been promoted to plain `String`.
+    pub promoted: bool,
+    /// Constraints asserted against this const string.
+    pub constraints: Vec<Constraint>,
+}
+
+/// The store of mutable (tuple / finite hash / const string) types.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TypeStore {
+    tuples: Vec<TupleData>,
+    hashes: Vec<FiniteHashData>,
+    strings: Vec<ConstStringData>,
+}
+
+impl TypeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TypeStore::default()
+    }
+
+    // ---- creation -------------------------------------------------------
+
+    /// Allocates a new tuple type with the given element types.
+    pub fn new_tuple(&mut self, elems: Vec<Type>) -> Type {
+        let id = TupleId(self.tuples.len() as u32);
+        self.tuples.push(TupleData { elems, promoted: None, constraints: Vec::new() });
+        Type::Tuple(id)
+    }
+
+    /// Allocates a new finite hash type with the given entries.
+    pub fn new_finite_hash(&mut self, entries: Vec<(HashKey, Type)>) -> Type {
+        let id = FiniteHashId(self.hashes.len() as u32);
+        self.hashes.push(FiniteHashData {
+            entries,
+            rest: None,
+            promoted: None,
+            constraints: Vec::new(),
+        });
+        Type::FiniteHash(id)
+    }
+
+    /// Allocates a new const string type for the given literal.
+    pub fn new_const_string(&mut self, value: impl Into<String>) -> Type {
+        let id = ConstStringId(self.strings.len() as u32);
+        self.strings.push(ConstStringData {
+            value: Some(value.into()),
+            promoted: false,
+            constraints: Vec::new(),
+        });
+        Type::ConstString(id)
+    }
+
+    // ---- access ---------------------------------------------------------
+
+    /// The data backing a tuple type.
+    pub fn tuple(&self, id: TupleId) -> &TupleData {
+        &self.tuples[id.0 as usize]
+    }
+
+    /// The data backing a finite hash type.
+    pub fn finite_hash(&self, id: FiniteHashId) -> &FiniteHashData {
+        &self.hashes[id.0 as usize]
+    }
+
+    /// The data backing a const string type.
+    pub fn const_string(&self, id: ConstStringId) -> &ConstStringData {
+        &self.strings[id.0 as usize]
+    }
+
+    /// The known literal value of a const string, unless promoted.
+    pub fn const_string_value(&self, id: ConstStringId) -> Option<&str> {
+        let data = self.const_string(id);
+        if data.promoted {
+            None
+        } else {
+            data.value.as_deref()
+        }
+    }
+
+    /// Resolves one level of promotion: a promoted tuple / finite hash /
+    /// const string resolves to its promoted type, everything else resolves
+    /// to itself.
+    pub fn resolve(&self, ty: &Type) -> Type {
+        match ty {
+            Type::Tuple(id) => match &self.tuple(*id).promoted {
+                Some(p) => p.clone(),
+                None => ty.clone(),
+            },
+            Type::FiniteHash(id) => match &self.finite_hash(*id).promoted {
+                Some(p) => p.clone(),
+                None => ty.clone(),
+            },
+            Type::ConstString(id) => {
+                if self.const_string(*id).promoted {
+                    Type::nominal("String")
+                } else {
+                    ty.clone()
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// The number of allocated store-backed types (used by stats / tests).
+    pub fn len(&self) -> usize {
+        self.tuples.len() + self.hashes.len() + self.strings.len()
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ---- constraints ----------------------------------------------------
+
+    /// Records a constraint against a store-backed type so it can be
+    /// replayed after weak updates (§4: "we use this same mechanism to
+    /// replay previous constraints on these types whenever they are
+    /// mutated").
+    pub fn record_constraint(&mut self, on: &Type, lhs: Type, rhs: Type, origin: &str) {
+        let c = Constraint { lhs, rhs, origin: origin.to_string() };
+        match on {
+            Type::Tuple(id) => self.tuples[id.0 as usize].constraints.push(c),
+            Type::FiniteHash(id) => self.hashes[id.0 as usize].constraints.push(c),
+            Type::ConstString(id) => self.strings[id.0 as usize].constraints.push(c),
+            _ => {}
+        }
+    }
+
+    /// All constraints recorded against a store-backed type.
+    pub fn constraints_on(&self, ty: &Type) -> Vec<Constraint> {
+        match ty {
+            Type::Tuple(id) => self.tuple(*id).constraints.clone(),
+            Type::FiniteHash(id) => self.finite_hash(*id).constraints.clone(),
+            Type::ConstString(id) => self.const_string(*id).constraints.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    // ---- promotion ------------------------------------------------------
+
+    /// Promotes a tuple to `Array<T>` where `T` is the union of its element
+    /// types, and returns the promoted type.
+    pub fn promote_tuple(&mut self, id: TupleId) -> Type {
+        let data = &self.tuples[id.0 as usize];
+        if let Some(p) = &data.promoted {
+            return p.clone();
+        }
+        let elem = Type::union(data.elems.iter().cloned());
+        let elem = if elem == Type::Bot { Type::object() } else { elem };
+        let promoted = Type::array(elem);
+        self.tuples[id.0 as usize].promoted = Some(promoted.clone());
+        promoted
+    }
+
+    /// Promotes a finite hash to `Hash<K, V>` and returns the promoted type.
+    pub fn promote_finite_hash(&mut self, id: FiniteHashId) -> Type {
+        let data = &self.hashes[id.0 as usize];
+        if let Some(p) = &data.promoted {
+            return p.clone();
+        }
+        let mut key_types: Vec<Type> = Vec::new();
+        let mut val_types: Vec<Type> = Vec::new();
+        for (k, v) in &data.entries {
+            key_types.push(match k {
+                HashKey::Sym(_) => Type::nominal("Symbol"),
+                HashKey::Str(_) => Type::nominal("String"),
+                HashKey::Int(_) => Type::nominal("Integer"),
+            });
+            val_types.push(v.clone());
+        }
+        if let Some(rest) = &data.rest {
+            val_types.push((**rest).clone());
+        }
+        let key = if key_types.is_empty() { Type::nominal("Symbol") } else { Type::union(key_types) };
+        let val = if val_types.is_empty() { Type::object() } else { Type::union(val_types) };
+        let promoted = Type::hash(key, val);
+        self.hashes[id.0 as usize].promoted = Some(promoted.clone());
+        promoted
+    }
+
+    /// Promotes a const string to plain `String`.
+    pub fn promote_const_string(&mut self, id: ConstStringId) -> Type {
+        self.strings[id.0 as usize].promoted = true;
+        Type::nominal("String")
+    }
+
+    /// Promotes any store-backed type; other types are returned unchanged.
+    pub fn promote(&mut self, ty: &Type) -> Type {
+        match ty {
+            Type::Tuple(id) => self.promote_tuple(*id),
+            Type::FiniteHash(id) => self.promote_finite_hash(*id),
+            Type::ConstString(id) => self.promote_const_string(*id),
+            other => other.clone(),
+        }
+    }
+
+    // ---- weak updates ---------------------------------------------------
+
+    /// Weakly updates element `index` of a tuple with `new_ty`: the element
+    /// type becomes the union of its old type and `new_ty` (§4).  Indexes
+    /// past the end extend the tuple.  Returns the constraints that must be
+    /// replayed.
+    pub fn weak_update_tuple(&mut self, id: TupleId, index: usize, new_ty: Type) -> Vec<Constraint> {
+        let data = &mut self.tuples[id.0 as usize];
+        if index < data.elems.len() {
+            let old = data.elems[index].clone();
+            data.elems[index] = Type::union([old, new_ty]);
+        } else {
+            data.elems.push(new_ty);
+        }
+        if data.promoted.is_some() {
+            // Keep the promoted view in sync.
+            let elem = Type::union(data.elems.iter().cloned());
+            data.promoted = Some(Type::array(elem));
+        }
+        data.constraints.clone()
+    }
+
+    /// Weakly updates the value type of `key` in a finite hash (adding the
+    /// key if absent).  Returns the constraints that must be replayed.
+    pub fn weak_update_hash(
+        &mut self,
+        id: FiniteHashId,
+        key: HashKey,
+        new_ty: Type,
+    ) -> Vec<Constraint> {
+        let data = &mut self.hashes[id.0 as usize];
+        match data.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => {
+                let old = v.clone();
+                *v = Type::union([old, new_ty]);
+            }
+            None => data.entries.push((key, new_ty)),
+        }
+        if data.promoted.is_some() {
+            let vals = Type::union(data.entries.iter().map(|(_, v)| v.clone()));
+            data.promoted = Some(Type::hash(Type::nominal("Symbol"), vals));
+        }
+        data.constraints.clone()
+    }
+
+    /// Records that a const string was mutated (e.g. `<<` or `gsub!`): its
+    /// precise value is forgotten and it behaves as `String` from now on.
+    /// Returns the constraints that must be replayed.
+    pub fn weak_update_const_string(&mut self, id: ConstStringId) -> Vec<Constraint> {
+        let data = &mut self.strings[id.0 as usize];
+        data.value = None;
+        data.promoted = true;
+        data.constraints.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::SingVal;
+
+    #[test]
+    fn tuple_promotion_unions_elements() {
+        let mut store = TypeStore::new();
+        let t = store.new_tuple(vec![Type::nominal("Integer"), Type::nominal("String")]);
+        let Type::Tuple(id) = t else { panic!() };
+        let p = store.promote_tuple(id);
+        assert_eq!(
+            p,
+            Type::array(Type::union([Type::nominal("Integer"), Type::nominal("String")]))
+        );
+        assert_eq!(store.resolve(&t), p);
+    }
+
+    #[test]
+    fn finite_hash_promotion() {
+        let mut store = TypeStore::new();
+        let t = store.new_finite_hash(vec![
+            (HashKey::Sym("info".into()), Type::array(Type::nominal("String"))),
+            (HashKey::Sym("title".into()), Type::nominal("String")),
+        ]);
+        let Type::FiniteHash(id) = t else { panic!() };
+        let p = store.promote_finite_hash(id);
+        match p {
+            Type::Generic { base, args } => {
+                assert_eq!(base, "Hash");
+                assert_eq!(args[0], Type::nominal("Symbol"));
+                assert!(matches!(&args[1], Type::Union(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn const_string_tracks_value_until_promoted() {
+        let mut store = TypeStore::new();
+        let t = store.new_const_string("SELECT * FROM users");
+        let Type::ConstString(id) = t else { panic!() };
+        assert_eq!(store.const_string_value(id), Some("SELECT * FROM users"));
+        store.weak_update_const_string(id);
+        assert_eq!(store.const_string_value(id), None);
+        assert_eq!(store.resolve(&t), Type::nominal("String"));
+    }
+
+    #[test]
+    fn weak_update_tuple_unions_element() {
+        let mut store = TypeStore::new();
+        let t = store.new_tuple(vec![Type::nominal("Integer"), Type::nominal("String")]);
+        let Type::Tuple(id) = t else { panic!() };
+        store.record_constraint(&t, Type::Var("alpha".into()), t.clone(), "test");
+        let replay = store.weak_update_tuple(id, 0, Type::nominal("String"));
+        assert_eq!(replay.len(), 1);
+        assert_eq!(
+            store.tuple(id).elems[0],
+            Type::union([Type::nominal("Integer"), Type::nominal("String")])
+        );
+    }
+
+    #[test]
+    fn weak_update_hash_adds_missing_keys() {
+        let mut store = TypeStore::new();
+        let t = store.new_finite_hash(vec![(HashKey::Sym("a".into()), Type::int(1))]);
+        let Type::FiniteHash(id) = t else { panic!() };
+        store.weak_update_hash(id, HashKey::Sym("b".into()), Type::nominal("String"));
+        assert_eq!(store.finite_hash(id).entries.len(), 2);
+        store.weak_update_hash(id, HashKey::Sym("a".into()), Type::nominal("Integer"));
+        let a_ty = store.finite_hash(id).get(&HashKey::Sym("a".into())).unwrap().clone();
+        assert_eq!(
+            a_ty,
+            Type::union([Type::Singleton(SingVal::Int(1)), Type::nominal("Integer")])
+        );
+    }
+
+    #[test]
+    fn promotion_is_idempotent() {
+        let mut store = TypeStore::new();
+        let t = store.new_tuple(vec![Type::nominal("Integer")]);
+        let Type::Tuple(id) = t else { panic!() };
+        let p1 = store.promote_tuple(id);
+        let p2 = store.promote_tuple(id);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn empty_collections_promote_sensibly() {
+        let mut store = TypeStore::new();
+        let t = store.new_tuple(vec![]);
+        let p = store.promote(&t);
+        assert_eq!(p, Type::array(Type::object()));
+        let h = store.new_finite_hash(vec![]);
+        let p = store.promote(&h);
+        assert_eq!(p, Type::hash(Type::nominal("Symbol"), Type::object()));
+    }
+}

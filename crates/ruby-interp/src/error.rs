@@ -1,0 +1,146 @@
+//! Runtime errors and non-local control flow.
+
+use crate::value::Value;
+use ruby_syntax::Span;
+use std::fmt;
+
+/// The result of evaluating an expression.
+pub type EvalResult<T = Value> = Result<T, Control>;
+
+/// Either a genuine runtime error or a non-local control-flow signal
+/// (`return` / `break` / `next`), which the interpreter models as `Err`
+/// values that are caught at the appropriate frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Control {
+    /// A runtime error.
+    Error(RubyError),
+    /// `return v` propagating out of the current method.
+    Return(Value),
+    /// `break` propagating out of the current block/loop.
+    Break(Value),
+    /// `next` propagating out of the current block iteration.
+    Next(Value),
+}
+
+impl Control {
+    /// Wraps an error message as a generic runtime error.
+    pub fn error(kind: ErrorKind, message: impl Into<String>, span: Span) -> Control {
+        Control::Error(RubyError { kind, message: message.into(), span })
+    }
+}
+
+impl From<RubyError> for Control {
+    fn from(e: RubyError) -> Self {
+        Control::Error(e)
+    }
+}
+
+/// Classification of runtime errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A dynamic check inserted by CompRDL failed: the library method did
+    /// not abide by its computed type, or a comp type evaluated to a
+    /// different type at run time than at type-check time (paper §3.3 / §4).
+    Blame,
+    /// `NoMethodError`.
+    NoMethod,
+    /// `NameError` (undefined local variable or constant).
+    Name,
+    /// `ArgumentError`.
+    Argument,
+    /// `TypeError`.
+    Type,
+    /// An explicit `raise`.
+    Raised,
+    /// An assertion from the mini test harness failed.
+    AssertionFailed,
+    /// The interpreter ran out of fuel (probable infinite loop).
+    Timeout,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Blame => "blame",
+            ErrorKind::NoMethod => "NoMethodError",
+            ErrorKind::Name => "NameError",
+            ErrorKind::Argument => "ArgumentError",
+            ErrorKind::Type => "TypeError",
+            ErrorKind::Raised => "RuntimeError",
+            ErrorKind::AssertionFailed => "AssertionFailed",
+            ErrorKind::Timeout => "Timeout",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A Ruby runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RubyError {
+    /// What kind of error.
+    pub kind: ErrorKind,
+    /// Human readable message.
+    pub message: String,
+    /// Where the error originated.
+    pub span: Span,
+}
+
+impl RubyError {
+    /// Creates an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>, span: Span) -> Self {
+        RubyError { kind, message: message.into(), span }
+    }
+
+    /// True if this error represents blame from a failed dynamic check.
+    pub fn is_blame(&self) -> bool {
+        self.kind == ErrorKind::Blame
+    }
+}
+
+impl fmt::Display for RubyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.span, self.message)
+    }
+}
+
+impl std::error::Error for RubyError {}
+
+/// Converts a terminated control signal into a plain error (a `return`
+/// escaping the program top level is treated as a normal result by callers
+/// that want it).
+pub fn into_error(c: Control) -> RubyError {
+    match c {
+        Control::Error(e) => e,
+        Control::Return(_) => {
+            RubyError::new(ErrorKind::Raised, "unexpected top-level return", Span::dummy())
+        }
+        Control::Break(_) => {
+            RubyError::new(ErrorKind::Raised, "break outside of a loop or block", Span::dummy())
+        }
+        Control::Next(_) => {
+            RubyError::new(ErrorKind::Raised, "next outside of a block", Span::dummy())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blame_classification() {
+        let e = RubyError::new(ErrorKind::Blame, "expected Array, got String", Span::dummy());
+        assert!(e.is_blame());
+        assert!(e.to_string().contains("blame"));
+        let e = RubyError::new(ErrorKind::NoMethod, "undefined method", Span::dummy());
+        assert!(!e.is_blame());
+    }
+
+    #[test]
+    fn control_conversion() {
+        let e = into_error(Control::Break(Value::Nil));
+        assert_eq!(e.kind, ErrorKind::Raised);
+        let e = into_error(Control::Error(RubyError::new(ErrorKind::Name, "x", Span::dummy())));
+        assert_eq!(e.kind, ErrorKind::Name);
+    }
+}

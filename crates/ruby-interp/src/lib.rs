@@ -1,0 +1,38 @@
+//! # ruby-interp
+//!
+//! A tree-walking interpreter for the Ruby subset defined in
+//! [`ruby_syntax`], with:
+//!
+//! * a faithful-enough object model (classes, inheritance, instance and
+//!   class-level state, blocks and closures, attr accessors),
+//! * native implementations of the core library methods that CompRDL
+//!   annotates with comp types (Array, Hash, String, Integer, Float, ...),
+//! * a [`DynamicCheckHook`] interface through which the CompRDL rewriter
+//!   attaches run-time checks to library call sites, so the evaluation
+//!   harness can run subject-program test suites with and without checks
+//!   (paper Table 2, "Test Time No Chk" vs "w/Chk").
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ruby_interp::{Interpreter, Value};
+//!
+//! let prog = ruby_syntax::parse_program(
+//!     "def fib(n)\n  if n < 2 then n else fib(n - 1) + fib(n - 2) end\nend\nfib(10)",
+//! ).unwrap();
+//! let interp = Interpreter::new(prog);
+//! assert_eq!(interp.eval_program().unwrap(), Value::Int(55));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod contracts;
+mod corelib;
+pub mod error;
+pub mod interp;
+pub mod value;
+
+pub use contracts::{CountingHook, DynamicCheckHook, NullHook};
+pub use error::{Control, ErrorKind, EvalResult, RubyError};
+pub use interp::{Frame, Interpreter};
+pub use value::{Closure, ObjectData, Value};

@@ -1,0 +1,311 @@
+//! Runtime values of the Ruby-subset interpreter.
+
+use ruby_syntax::{Block, Expr};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared mutable string contents.
+pub type StrRef = Rc<RefCell<String>>;
+/// Shared mutable array contents.
+pub type ArrayRef = Rc<RefCell<Vec<Value>>>;
+/// Shared mutable hash contents (insertion ordered association list).
+pub type HashRef = Rc<RefCell<Vec<(Value, Value)>>>;
+/// Shared mutable object state.
+pub type ObjectRef = Rc<RefCell<ObjectData>>;
+
+/// The instance state of a user-defined object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectData {
+    /// The object's class name.
+    pub class: String,
+    /// Instance variables (`@x` → value).
+    pub ivars: HashMap<String, Value>,
+}
+
+/// A lambda or block closure.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body expressions.
+    pub body: Vec<Expr>,
+    /// The captured local scope (shared with the defining frame, as in Ruby).
+    pub locals: Rc<RefCell<HashMap<String, Value>>>,
+    /// The captured `self`.
+    pub self_val: Value,
+}
+
+impl Closure {
+    /// Builds a closure from a literal block.
+    pub fn from_block(
+        block: &Block,
+        locals: Rc<RefCell<HashMap<String, Value>>>,
+        self_val: Value,
+    ) -> Self {
+        Closure { params: block.params.clone(), body: block.body.clone(), locals, self_val }
+    }
+}
+
+impl PartialEq for Closure {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.locals, &other.locals) && self.params == other.params
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `nil`
+    Nil,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A (mutable, shared) string.
+    Str(StrRef),
+    /// A symbol.
+    Sym(String),
+    /// A (mutable, shared) array.
+    Array(ArrayRef),
+    /// A (mutable, shared) hash.
+    Hash(HashRef),
+    /// An instance of a user-defined class.
+    Object(ObjectRef),
+    /// A class object (the value of a constant such as `User`).
+    Class(String),
+    /// A lambda / proc.
+    Lambda(Rc<Closure>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(RefCell::new(s.into())))
+    }
+
+    /// Builds an array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// Builds a hash value from key/value pairs.
+    pub fn hash(pairs: Vec<(Value, Value)>) -> Value {
+        Value::Hash(Rc::new(RefCell::new(pairs)))
+    }
+
+    /// Builds a new instance of `class` with no instance variables.
+    pub fn new_object(class: impl Into<String>) -> Value {
+        Value::Object(Rc::new(RefCell::new(ObjectData {
+            class: class.into(),
+            ivars: HashMap::new(),
+        })))
+    }
+
+    /// Ruby truthiness: everything except `nil` and `false` is truthy.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// The name of the value's class.
+    pub fn class_name(&self) -> String {
+        match self {
+            Value::Nil => "NilClass".to_string(),
+            Value::Bool(true) => "TrueClass".to_string(),
+            Value::Bool(false) => "FalseClass".to_string(),
+            Value::Int(_) => "Integer".to_string(),
+            Value::Float(_) => "Float".to_string(),
+            Value::Str(_) => "String".to_string(),
+            Value::Sym(_) => "Symbol".to_string(),
+            Value::Array(_) => "Array".to_string(),
+            Value::Hash(_) => "Hash".to_string(),
+            Value::Object(o) => o.borrow().class.clone(),
+            Value::Class(_) => "Class".to_string(),
+            Value::Lambda(_) => "Proc".to_string(),
+        }
+    }
+
+    /// Ruby `==` (structural for strings/arrays/hashes, identity for
+    /// objects).
+    pub fn ruby_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            (Value::Str(a), Value::Str(b)) => *a.borrow() == *b.borrow(),
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Class(a), Value::Class(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => {
+                let a = a.borrow();
+                let b = b.borrow();
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.ruby_eq(y))
+            }
+            (Value::Hash(a), Value::Hash(b)) => {
+                let a = a.borrow();
+                let b = b.borrow();
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.iter().any(|(k2, v2)| k.ruby_eq(k2) && v.ruby_eq(v2))
+                    })
+            }
+            (Value::Object(a), Value::Object(b)) => Rc::ptr_eq(a, b),
+            (Value::Lambda(a), Value::Lambda(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// `inspect`-style rendering (strings quoted).
+    pub fn inspect(&self) -> String {
+        match self {
+            Value::Nil => "nil".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Str(s) => format!("{:?}", s.borrow()),
+            Value::Sym(s) => format!(":{s}"),
+            Value::Array(items) => {
+                let inner: Vec<String> = items.borrow().iter().map(|v| v.inspect()).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Hash(pairs) => {
+                let inner: Vec<String> = pairs
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| format!("{} => {}", k.inspect(), v.inspect()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+            Value::Object(o) => format!("#<{}>", o.borrow().class),
+            Value::Class(c) => c.clone(),
+            Value::Lambda(_) => "#<Proc>".to_string(),
+        }
+    }
+
+    /// `to_s`-style rendering (strings unquoted).
+    pub fn to_display_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.borrow().clone(),
+            Value::Sym(s) => s.clone(),
+            Value::Nil => String::new(),
+            other => other.inspect(),
+        }
+    }
+
+    /// Reads the string contents if this is a string.
+    pub fn as_str(&self) -> Option<String> {
+        match self {
+            Value::Str(s) => Some(s.borrow().clone()),
+            _ => None,
+        }
+    }
+
+    /// Reads the integer if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a hash value (using Ruby `==` on keys).
+    pub fn hash_get(&self, key: &Value) -> Option<Value> {
+        match self {
+            Value::Hash(pairs) => {
+                pairs.borrow().iter().find(|(k, _)| k.ruby_eq(key)).map(|(_, v)| v.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Inserts/overwrites a key in a hash value.
+    pub fn hash_set(&self, key: Value, value: Value) {
+        if let Value::Hash(pairs) = self {
+            let mut pairs = pairs.borrow_mut();
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k.ruby_eq(&key)) {
+                slot.1 = value;
+            } else {
+                pairs.push((key, value));
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.ruby_eq(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_display_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(0).truthy());
+        assert!(Value::str("").truthy());
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(Value::Int(1).class_name(), "Integer");
+        assert_eq!(Value::str("x").class_name(), "String");
+        assert_eq!(Value::Sym("a".into()).class_name(), "Symbol");
+        assert_eq!(Value::new_object("User").class_name(), "User");
+        assert_eq!(Value::Class("User".into()).class_name(), "Class");
+    }
+
+    #[test]
+    fn structural_equality() {
+        assert!(Value::array(vec![Value::Int(1), Value::str("a")])
+            .ruby_eq(&Value::array(vec![Value::Int(1), Value::str("a")])));
+        assert!(!Value::array(vec![Value::Int(1)]).ruby_eq(&Value::array(vec![Value::Int(2)])));
+        assert!(Value::Int(1).ruby_eq(&Value::Float(1.0)));
+        let h1 = Value::hash(vec![(Value::Sym("a".into()), Value::Int(1))]);
+        let h2 = Value::hash(vec![(Value::Sym("a".into()), Value::Int(1))]);
+        assert!(h1.ruby_eq(&h2));
+    }
+
+    #[test]
+    fn object_identity_equality() {
+        let a = Value::new_object("User");
+        let b = Value::new_object("User");
+        assert!(!a.ruby_eq(&b));
+        assert!(a.ruby_eq(&a.clone()));
+    }
+
+    #[test]
+    fn hash_access_helpers() {
+        let h = Value::hash(vec![(Value::Sym("name".into()), Value::str("alice"))]);
+        assert_eq!(h.hash_get(&Value::Sym("name".into())), Some(Value::str("alice")));
+        assert_eq!(h.hash_get(&Value::Sym("missing".into())), None);
+        h.hash_set(Value::Sym("name".into()), Value::str("bob"));
+        h.hash_set(Value::Sym("age".into()), Value::Int(3));
+        assert_eq!(h.hash_get(&Value::Sym("name".into())), Some(Value::str("bob")));
+        assert_eq!(h.hash_get(&Value::Sym("age".into())), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn inspect_and_display() {
+        assert_eq!(Value::str("hi").inspect(), "\"hi\"");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::array(vec![Value::Int(1), Value::Nil]).inspect(), "[1, nil]");
+        assert_eq!(Value::Sym("x".into()).inspect(), ":x");
+    }
+}

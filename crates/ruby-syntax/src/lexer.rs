@@ -1,0 +1,663 @@
+//! A hand written lexer for the Ruby subset.
+//!
+//! The lexer is line oriented: logical statement boundaries are reported as
+//! [`TokenKind::Newline`] tokens. Newlines are suppressed inside parentheses
+//! and brackets, after binary operators and commas (line continuations), and
+//! before a leading-dot method chain, which matches how Ruby treats those
+//! positions.
+
+use crate::span::Span;
+use crate::token::{Kw, Token, TokenKind};
+use std::fmt;
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Converts Ruby subset source text into a token stream.
+pub struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    line: u32,
+    paren_depth: i32,
+    bracket_depth: i32,
+    tokens: Vec<Token>,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            paren_depth: 0,
+            bracket_depth: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Lexes the entire input, returning the token stream (terminated by
+    /// [`TokenKind::Eof`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] for unterminated strings and unexpected
+    /// characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        while self.pos < self.bytes.len() {
+            self.skip_spaces_and_comments();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.maybe_push_newline(start, line);
+                }
+                b';' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Newline, start, line);
+                }
+                b'"' | b'\'' => self.lex_string(c)?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'@' => self.lex_ivar()?,
+                b'$' => self.lex_gvar()?,
+                b':' => self.lex_colon(),
+                b'a'..=b'z' | b'_' => self.lex_ident(),
+                b'A'..=b'Z' => self.lex_const(),
+                _ => self.lex_operator()?,
+            }
+        }
+        // Ensure the final statement is terminated before EOF.
+        if !matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(TokenKind::Newline) | None
+        ) {
+            let span = Span::new(self.pos, self.pos, self.line);
+            self.tokens.push(Token::new(TokenKind::Newline, span));
+        }
+        let span = Span::new(self.pos, self.pos, self.line);
+        self.tokens.push(Token::new(TokenKind::Eof, span));
+        Ok(self.tokens)
+    }
+
+    fn skip_spaces_and_comments(&mut self) {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => self.pos += 1,
+                Some(b'\\') if self.bytes.get(self.pos + 1) == Some(&b'\n') => {
+                    // Explicit line continuation.
+                    self.pos += 2;
+                    self.line += 1;
+                }
+                Some(b'#') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn maybe_push_newline(&mut self, start: usize, line: u32) {
+        if self.paren_depth > 0 || self.bracket_depth > 0 {
+            return;
+        }
+        // Suppress after tokens that cannot end a statement.
+        let suppress_after = match self.tokens.last().map(|t| &t.kind) {
+            None | Some(TokenKind::Newline) => true,
+            Some(k) => matches!(
+                k,
+                TokenKind::Plus
+                    | TokenKind::Minus
+                    | TokenKind::Star
+                    | TokenKind::Slash
+                    | TokenKind::Percent
+                    | TokenKind::Pow
+                    | TokenKind::EqEq
+                    | TokenKind::NotEq
+                    | TokenKind::Lt
+                    | TokenKind::Gt
+                    | TokenKind::Le
+                    | TokenKind::Ge
+                    | TokenKind::AndAnd
+                    | TokenKind::OrOr
+                    | TokenKind::Assign
+                    | TokenKind::PlusAssign
+                    | TokenKind::MinusAssign
+                    | TokenKind::OrOrAssign
+                    | TokenKind::FatArrow
+                    | TokenKind::Arrow
+                    | TokenKind::Comma
+                    | TokenKind::Dot
+                    | TokenKind::ColonColon
+                    | TokenKind::LParen
+                    | TokenKind::LBracket
+                    | TokenKind::LBrace
+                    | TokenKind::Pipe
+                    | TokenKind::Label(_)
+                    | TokenKind::Keyword(Kw::And)
+                    | TokenKind::Keyword(Kw::Or)
+                    | TokenKind::Keyword(Kw::Not)
+                    | TokenKind::Keyword(Kw::Then)
+                    | TokenKind::Keyword(Kw::Do)
+                    | TokenKind::Keyword(Kw::Else)
+            ),
+        };
+        if suppress_after {
+            return;
+        }
+        // Suppress before a leading-dot method chain on the next line.
+        let mut look = self.pos;
+        loop {
+            match self.bytes.get(look) {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => look += 1,
+                Some(b'#') => {
+                    while look < self.bytes.len() && self.bytes[look] != b'\n' {
+                        look += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.bytes.get(look) == Some(&b'.') && self.bytes.get(look + 1) != Some(&b'.') {
+            return;
+        }
+        self.push(TokenKind::Newline, start, line);
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let span = Span::new(start, self.pos, line);
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<(), LexError> {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".to_string(),
+                        span: Span::new(start, self.pos, line),
+                    })
+                }
+                Some(&c) if c == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') if quote == b'"' => {
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    match esc {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\'') => out.push('\''),
+                        Some(other) => {
+                            out.push('\\');
+                            out.push(other as char);
+                        }
+                        None => out.push('\\'),
+                    }
+                    self.pos += 2;
+                }
+                Some(b'\\') if self.bytes.get(self.pos + 1) == Some(&b'\'') => {
+                    out.push('\'');
+                    self.pos += 2;
+                }
+                Some(&b'\n') => {
+                    out.push('\n');
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Collect a full UTF-8 character.
+                    let ch_start = self.pos;
+                    let ch_len = utf8_len(c);
+                    self.pos += ch_len;
+                    out.push_str(&self.src[ch_start..self.pos.min(self.src.len())]);
+                }
+            }
+        }
+        self.push(TokenKind::Str(out), start, line);
+        Ok(())
+    }
+
+    fn lex_number(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        let line = self.line;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9') | Some(b'_')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && matches!(self.bytes.get(self.pos + 1), Some(b'0'..=b'9'))
+        {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9') | Some(b'_')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E'))
+            && matches!(self.bytes.get(self.pos + 1), Some(b'0'..=b'9') | Some(b'-') | Some(b'+'))
+        {
+            is_float = true;
+            self.pos += 2;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+        let kind = if is_float {
+            TokenKind::Float(text.parse::<f64>().map_err(|_| LexError {
+                message: format!("invalid float literal `{text}`"),
+                span: Span::new(start, self.pos, line),
+            })?)
+        } else {
+            TokenKind::Int(text.parse::<i64>().map_err(|_| LexError {
+                message: format!("invalid integer literal `{text}`"),
+                span: Span::new(start, self.pos, line),
+            })?)
+        };
+        self.push(kind, start, line);
+        Ok(())
+    }
+
+    fn ident_tail(&mut self) -> String {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn lex_ivar(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1;
+        let name = self.ident_tail();
+        if name.is_empty() {
+            return Err(LexError {
+                message: "expected instance variable name after `@`".to_string(),
+                span: Span::new(start, self.pos, line),
+            });
+        }
+        self.push(TokenKind::IVar(name), start, line);
+        Ok(())
+    }
+
+    fn lex_gvar(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1;
+        let name = self.ident_tail();
+        if name.is_empty() {
+            return Err(LexError {
+                message: "expected global variable name after `$`".to_string(),
+                span: Span::new(start, self.pos, line),
+            });
+        }
+        self.push(TokenKind::GVar(name), start, line);
+        Ok(())
+    }
+
+    fn lex_colon(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        if self.bytes.get(self.pos + 1) == Some(&b':') {
+            self.pos += 2;
+            self.push(TokenKind::ColonColon, start, line);
+            return;
+        }
+        // A symbol: `:` immediately followed by an identifier (possibly
+        // ending in ? or !) or an operator name like :[] or :+.
+        match self.bytes.get(self.pos + 1) {
+            Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'_') => {
+                self.pos += 1;
+                let mut name = self.ident_tail();
+                if matches!(self.bytes.get(self.pos), Some(b'?') | Some(b'!')) {
+                    name.push(self.bytes[self.pos] as char);
+                    self.pos += 1;
+                }
+                if self.bytes.get(self.pos) == Some(&b'=')
+                    && self.bytes.get(self.pos + 1) != Some(&b'=')
+                    && self.bytes.get(self.pos + 1) != Some(&b'>')
+                {
+                    // attribute-writer symbols such as :name=
+                    name.push('=');
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Symbol(name), start, line);
+            }
+            Some(b'[') if self.bytes.get(self.pos + 2) == Some(&b']') => {
+                if self.bytes.get(self.pos + 3) == Some(&b'=') {
+                    self.pos += 4;
+                    self.push(TokenKind::Symbol("[]=".to_string()), start, line);
+                } else {
+                    self.pos += 3;
+                    self.push(TokenKind::Symbol("[]".to_string()), start, line);
+                }
+            }
+            // Operator symbols such as :+, :**, :<=, :==, :<=>.
+            Some(b'+') | Some(b'-') | Some(b'*') | Some(b'/') | Some(b'%') | Some(b'<')
+            | Some(b'>') | Some(b'=') => {
+                let rest = &self.src[self.pos + 1..];
+                let op = ["<=>", "**", "<=", ">=", "==", "+", "-", "*", "/", "%", "<", ">"]
+                    .iter()
+                    .find(|op| rest.starts_with(**op))
+                    .copied();
+                match op {
+                    Some(op) => {
+                        self.pos += 1 + op.len();
+                        self.push(TokenKind::Symbol(op.to_string()), start, line);
+                    }
+                    None => {
+                        self.pos += 1;
+                        self.push(TokenKind::Colon, start, line);
+                    }
+                }
+            }
+            _ => {
+                self.pos += 1;
+                self.push(TokenKind::Colon, start, line);
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut name = self.ident_tail();
+        if matches!(self.bytes.get(self.pos), Some(b'?') | Some(b'!')) {
+            name.push(self.bytes[self.pos] as char);
+            self.pos += 1;
+        }
+        // A label `name:` (not followed by another `:`).
+        if self.bytes.get(self.pos) == Some(&b':')
+            && self.bytes.get(self.pos + 1) != Some(&b':')
+            && !name.ends_with('?')
+            && !name.ends_with('!')
+            && Kw::from_str(&name).is_none()
+        {
+            self.pos += 1;
+            self.push(TokenKind::Label(name), start, line);
+            return;
+        }
+        let kind = match Kw::from_str(&name) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(name),
+        };
+        self.push(kind, start, line);
+    }
+
+    fn lex_const(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let name = self.ident_tail();
+        if self.bytes.get(self.pos) == Some(&b':') && self.bytes.get(self.pos + 1) != Some(&b':') {
+            self.pos += 1;
+            self.push(TokenKind::Label(name), start, line);
+            return;
+        }
+        self.push(TokenKind::Const(name), start, line);
+    }
+
+    fn lex_operator(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        let line = self.line;
+        let c = self.bytes[self.pos];
+        let next = self.bytes.get(self.pos + 1).copied();
+        let next2 = self.bytes.get(self.pos + 2).copied();
+        let (kind, len) = match (c, next, next2) {
+            (b'*', Some(b'*'), _) => (TokenKind::Pow, 2),
+            (b'=', Some(b'='), _) => (TokenKind::EqEq, 2),
+            (b'=', Some(b'>'), _) => (TokenKind::FatArrow, 2),
+            (b'!', Some(b'='), _) => (TokenKind::NotEq, 2),
+            (b'<', Some(b'='), Some(b'>')) => (TokenKind::Spaceship, 3),
+            (b'<', Some(b'='), _) => (TokenKind::Le, 2),
+            (b'>', Some(b'='), _) => (TokenKind::Ge, 2),
+            (b'&', Some(b'&'), _) => (TokenKind::AndAnd, 2),
+            (b'|', Some(b'|'), Some(b'=')) => (TokenKind::OrOrAssign, 3),
+            (b'|', Some(b'|'), _) => (TokenKind::OrOr, 2),
+            (b'+', Some(b'='), _) => (TokenKind::PlusAssign, 2),
+            (b'-', Some(b'='), _) => (TokenKind::MinusAssign, 2),
+            (b'-', Some(b'>'), _) => (TokenKind::Arrow, 2),
+            (b'=', _, _) => (TokenKind::Assign, 1),
+            (b'+', _, _) => (TokenKind::Plus, 1),
+            (b'-', _, _) => (TokenKind::Minus, 1),
+            (b'*', _, _) => (TokenKind::Star, 1),
+            (b'/', _, _) => (TokenKind::Slash, 1),
+            (b'%', _, _) => (TokenKind::Percent, 1),
+            (b'<', _, _) => (TokenKind::Lt, 1),
+            (b'>', _, _) => (TokenKind::Gt, 1),
+            (b'!', _, _) => (TokenKind::Bang, 1),
+            (b',', _, _) => (TokenKind::Comma, 1),
+            (b'.', _, _) => (TokenKind::Dot, 1),
+            (b'(', _, _) => {
+                self.paren_depth += 1;
+                (TokenKind::LParen, 1)
+            }
+            (b')', _, _) => {
+                self.paren_depth -= 1;
+                (TokenKind::RParen, 1)
+            }
+            (b'[', _, _) => {
+                self.bracket_depth += 1;
+                (TokenKind::LBracket, 1)
+            }
+            (b']', _, _) => {
+                self.bracket_depth -= 1;
+                (TokenKind::RBracket, 1)
+            }
+            (b'{', _, _) => (TokenKind::LBrace, 1),
+            (b'}', _, _) => (TokenKind::RBrace, 1),
+            (b'|', _, _) => (TokenKind::Pipe, 1),
+            (b'&', _, _) => (TokenKind::Amp, 1),
+            (b'?', _, _) => (TokenKind::Question, 1),
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", c as char),
+                    span: Span::new(start, start + 1, line),
+                })
+            }
+        };
+        self.pos += len;
+        self.push(kind, start, line);
+        Ok(())
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first >> 5 == 0b110 {
+        2
+    } else if first >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Convenience wrapper: lexes `src` into tokens.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let toks = ruby_syntax::lex("a = 1 + 2").unwrap();
+/// assert!(toks.len() > 4);
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        let k = kinds("a = 1 + 2");
+        assert_eq!(
+            k,
+            vec![
+                T::Ident("a".into()),
+                T::Assign,
+                T::Int(1),
+                T::Plus,
+                T::Int(2),
+                T::Newline,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_symbols_and_labels() {
+        let k = kinds("{ name: 'Alice', age: 30 }");
+        assert!(k.contains(&T::Label("name".into())));
+        assert!(k.contains(&T::Label("age".into())));
+        let k = kinds("joins(:emails)");
+        assert!(k.contains(&T::Symbol("emails".into())));
+    }
+
+    #[test]
+    fn lexes_operator_symbols() {
+        let k = kinds(":[] :[]= :+ :-");
+        assert!(k.contains(&T::Symbol("[]".into())));
+        assert!(k.contains(&T::Symbol("[]=".into())));
+        assert!(k.contains(&T::Symbol("+".into())));
+        assert!(k.contains(&T::Symbol("-".into())));
+    }
+
+    #[test]
+    fn lexes_ivar_gvar() {
+        let k = kinds("@page = $schema");
+        assert_eq!(k[0], T::IVar("page".into()));
+        assert_eq!(k[2], T::GVar("schema".into()));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let k = kinds(r#"x = "a\nb" + 'c'"#);
+        assert!(k.contains(&T::Str("a\nb".into())));
+        assert!(k.contains(&T::Str("c".into())));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("x = 'oops").is_err());
+    }
+
+    #[test]
+    fn lexes_floats_and_ints() {
+        let k = kinds("1 2.5 1_000 3e2");
+        assert_eq!(k[0], T::Int(1));
+        assert_eq!(k[1], T::Float(2.5));
+        assert_eq!(k[2], T::Int(1000));
+        assert_eq!(k[3], T::Float(300.0));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a # a comment\nb");
+        assert_eq!(
+            k,
+            vec![
+                T::Ident("a".into()),
+                T::Newline,
+                T::Ident("b".into()),
+                T::Newline,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn newline_suppressed_inside_parens_and_after_comma() {
+        let k = kinds("foo(1,\n 2)\n");
+        assert!(!k[..k.len() - 3].contains(&T::Newline));
+        let k = kinds("a = [1,\n2,\n3]");
+        let newline_count = k.iter().filter(|t| **t == T::Newline).count();
+        assert_eq!(newline_count, 1);
+    }
+
+    #[test]
+    fn newline_suppressed_before_leading_dot() {
+        let k = kinds("Post.includes(:topic)\n  .where(x)\n");
+        let newline_count = k.iter().filter(|t| **t == T::Newline).count();
+        assert_eq!(newline_count, 1, "{k:?}");
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        let k = kinds("if x then y else z end");
+        assert_eq!(k[0], T::Keyword(Kw::If));
+        assert_eq!(k[2], T::Keyword(Kw::Then));
+        assert_eq!(k[4], T::Keyword(Kw::Else));
+        assert_eq!(k[6], T::Keyword(Kw::End));
+    }
+
+    #[test]
+    fn question_mark_methods() {
+        let k = kinds("User.exists?(x)");
+        assert!(k.contains(&T::Ident("exists?".into())));
+    }
+
+    #[test]
+    fn lexes_double_colon_paths() {
+        let k = kinds("ActiveRecord::Base");
+        assert_eq!(
+            k[..3],
+            [
+                T::Const("ActiveRecord".into()),
+                T::ColonColon,
+                T::Const("Base".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn spaceship_and_pow() {
+        let k = kinds("a <=> b ** c");
+        assert!(k.contains(&T::Spaceship));
+        assert!(k.contains(&T::Pow));
+    }
+}

@@ -1,0 +1,401 @@
+//! Type checking of parsed SQL against a schema (paper §2.3).
+
+use crate::parser::{Cond, Select, SqlExpr, SqlParseError, SqlType};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database schema: table name → (column name → SQL type).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SqlSchema {
+    tables: BTreeMap<String, BTreeMap<String, SqlType>>,
+}
+
+impl SqlSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        SqlSchema::default()
+    }
+
+    /// Adds a table with its columns.
+    pub fn add_table(&mut self, name: &str, columns: &[(&str, SqlType)]) {
+        self.tables.insert(
+            name.to_string(),
+            columns.iter().map(|(c, t)| (c.to_string(), *t)).collect(),
+        );
+    }
+
+    /// True if the schema knows the table.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Looks up a column's type within specific tables.
+    pub fn column_type(&self, tables: &[String], column: &str) -> Option<SqlType> {
+        for t in tables {
+            if let Some(cols) = self.tables.get(t) {
+                if let Some(ty) = cols.get(column) {
+                    return Some(*ty);
+                }
+            }
+        }
+        None
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}
+
+/// An error found while type checking SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlTypeError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SqlTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlTypeError {}
+
+impl From<SqlParseError> for SqlTypeError {
+    fn from(e: SqlParseError) -> Self {
+        SqlTypeError { message: e.message }
+    }
+}
+
+/// Completes a WHERE fragment into a full, artificial `SELECT` query so it
+/// can be parsed (paper §2.3): the fragment is wrapped into
+/// `SELECT * FROM <t0> INNER JOIN <t1> ON a.id = b.a_id WHERE <fragment>`,
+/// and each `?` is replaced with a `[Type]` placeholder taken from
+/// `arg_types`.
+pub fn complete_fragment(fragment: &str, tables: &[String], arg_types: &[SqlType]) -> String {
+    let mut sql = String::from("SELECT * FROM ");
+    if tables.is_empty() {
+        sql.push_str("unknown_table");
+    } else {
+        sql.push_str(&tables[0]);
+        for t in &tables[1..] {
+            sql.push_str(" INNER JOIN ");
+            sql.push_str(t);
+            sql.push_str(" ON a.id = b.a_id");
+        }
+    }
+    sql.push_str(" WHERE ");
+    // Replace each ? with the corresponding typed placeholder.
+    let mut next_arg = 0usize;
+    let mut out = String::with_capacity(fragment.len());
+    for c in fragment.chars() {
+        if c == '?' {
+            let ty = arg_types.get(next_arg).copied().unwrap_or(SqlType::Unknown);
+            next_arg += 1;
+            out.push('[');
+            out.push_str(match ty {
+                SqlType::Integer => "Integer",
+                SqlType::Text => "String",
+                SqlType::Float => "Float",
+                SqlType::Boolean => "Boolean",
+                SqlType::Unknown => "Unknown",
+            });
+            out.push(']');
+        } else {
+            out.push(c);
+        }
+    }
+    sql.push_str(&out);
+    sql
+}
+
+/// Type checks a complete `SELECT` against the schema.  Only the WHERE
+/// clause is checked (as in the paper); unknown tables and columns, and
+/// comparisons between incompatible types, are errors.
+pub fn check_select(schema: &SqlSchema, select: &Select) -> Vec<SqlTypeError> {
+    let mut errors = Vec::new();
+    let mut tables = vec![select.from.clone()];
+    tables.extend(select.joins.iter().cloned());
+    for t in &tables {
+        if !schema.has_table(t) {
+            errors.push(SqlTypeError { message: format!("unknown table `{t}`") });
+        }
+    }
+    if let Some(cond) = &select.where_clause {
+        check_cond(schema, &tables, cond, &mut errors);
+    }
+    errors
+}
+
+/// Convenience entry point used by the `where` comp type: completes the raw
+/// `fragment` against `tables`, parses it and type checks it.
+///
+/// # Errors
+///
+/// Returns every parse or type error found (an empty vector means the
+/// fragment is well typed).
+pub fn check_fragment(
+    schema: &SqlSchema,
+    tables: &[String],
+    fragment: &str,
+    arg_types: &[SqlType],
+) -> Vec<SqlTypeError> {
+    let sql = complete_fragment(fragment, tables, arg_types);
+    match crate::parser::parse_select(&sql) {
+        Ok(select) => check_select(schema, &select),
+        Err(e) => vec![e.into()],
+    }
+}
+
+fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut Vec<SqlTypeError>) {
+    match cond {
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            check_cond(schema, tables, a, errors);
+            check_cond(schema, tables, b, errors);
+        }
+        Cond::Not(inner) => check_cond(schema, tables, inner, errors),
+        Cond::IsNull { expr, .. } => {
+            let _ = expr_type(schema, tables, expr, errors);
+        }
+        Cond::Expr(e) => {
+            let t = expr_type(schema, tables, e, errors);
+            if let Some(t) = t {
+                if t != SqlType::Boolean && t != SqlType::Unknown {
+                    errors.push(SqlTypeError {
+                        message: format!("expression of type {t} used as a condition"),
+                    });
+                }
+            }
+        }
+        Cond::Compare { lhs, op, rhs } => {
+            let lt = expr_type(schema, tables, lhs, errors);
+            let rt = expr_type(schema, tables, rhs, errors);
+            if let (Some(lt), Some(rt)) = (lt, rt) {
+                if !compatible(lt, rt) {
+                    errors.push(SqlTypeError {
+                        message: format!(
+                            "cannot compare {lt} {op} {rt} ({} vs {})",
+                            describe(lhs),
+                            describe(rhs)
+                        ),
+                    });
+                }
+            }
+        }
+        Cond::InList { expr, list } => {
+            let et = expr_type(schema, tables, expr, errors);
+            for item in list {
+                let it = expr_type(schema, tables, item, errors);
+                if let (Some(et), Some(it)) = (et, it) {
+                    if !compatible(et, it) {
+                        errors.push(SqlTypeError {
+                            message: format!(
+                                "IN list element of type {it} is incompatible with {} of type {et}",
+                                describe(expr)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Cond::InSelect { expr, select } => {
+            let et = expr_type(schema, tables, expr, errors);
+            // The nested query is checked in its own table scope.
+            let mut inner_tables = vec![select.from.clone()];
+            inner_tables.extend(select.joins.iter().cloned());
+            for t in &inner_tables {
+                if !schema.has_table(t) {
+                    errors.push(SqlTypeError { message: format!("unknown table `{t}`") });
+                }
+            }
+            if let Some(cond) = &select.where_clause {
+                check_cond(schema, &inner_tables, cond, errors);
+            }
+            // The inner SELECT must produce a single column compatible with
+            // the tested expression — this is exactly the injected Discourse
+            // bug from Figure 3 (searching a string in a set of integers).
+            if select.columns.len() == 1 {
+                let inner_ty = expr_type(schema, &inner_tables, &select.columns[0], errors);
+                if let (Some(et), Some(it)) = (et, inner_ty) {
+                    if !compatible(et, it) {
+                        errors.push(SqlTypeError {
+                            message: format!(
+                                "{} has type {et} but the subquery returns {it}",
+                                describe(expr)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn describe(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Column { table: Some(t), column } => format!("{t}.{column}"),
+        SqlExpr::Column { table: None, column } => column.clone(),
+        SqlExpr::Int(i) => i.to_string(),
+        SqlExpr::Float(f) => f.to_string(),
+        SqlExpr::Str(s) => format!("'{s}'"),
+        SqlExpr::Bool(b) => b.to_string(),
+        SqlExpr::Null => "NULL".to_string(),
+        SqlExpr::Placeholder(t) => format!("?[{t}]"),
+    }
+}
+
+fn expr_type(
+    schema: &SqlSchema,
+    tables: &[String],
+    expr: &SqlExpr,
+    errors: &mut Vec<SqlTypeError>,
+) -> Option<SqlType> {
+    match expr {
+        SqlExpr::Int(_) => Some(SqlType::Integer),
+        SqlExpr::Float(_) => Some(SqlType::Float),
+        SqlExpr::Str(_) => Some(SqlType::Text),
+        SqlExpr::Bool(_) => Some(SqlType::Boolean),
+        SqlExpr::Null => Some(SqlType::Unknown),
+        SqlExpr::Placeholder(t) => Some(*t),
+        SqlExpr::Column { table, column } => {
+            let search: Vec<String> = match table {
+                Some(t) => vec![t.clone()],
+                None => tables.to_vec(),
+            };
+            if let Some(t) = table {
+                if !schema.has_table(t) {
+                    errors.push(SqlTypeError { message: format!("unknown table `{t}`") });
+                    return None;
+                }
+            }
+            match schema.column_type(&search, column) {
+                Some(t) => Some(t),
+                None => {
+                    errors.push(SqlTypeError {
+                        message: format!(
+                            "unknown column `{column}` in table(s) {}",
+                            search.join(", ")
+                        ),
+                    });
+                    None
+                }
+            }
+        }
+    }
+}
+
+fn compatible(a: SqlType, b: SqlType) -> bool {
+    use SqlType::*;
+    matches!(
+        (a, b),
+        (Unknown, _)
+            | (_, Unknown)
+            | (Integer, Integer)
+            | (Float, Float)
+            | (Integer, Float)
+            | (Float, Integer)
+            | (Text, Text)
+            | (Boolean, Boolean)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn discourse_schema() -> SqlSchema {
+        let mut s = SqlSchema::new();
+        s.add_table(
+            "posts",
+            &[("id", SqlType::Integer), ("topic_id", SqlType::Integer), ("raw", SqlType::Text)],
+        );
+        s.add_table("topics", &[("id", SqlType::Integer), ("title", SqlType::Text)]);
+        s.add_table(
+            "topic_allowed_groups",
+            &[("group_id", SqlType::Integer), ("topic_id", SqlType::Integer)],
+        );
+        s
+    }
+
+    #[test]
+    fn figure3_bug_is_detected() {
+        // topics.title (TEXT) IN (SELECT topic_id (INTEGER) ...) — type error.
+        let schema = discourse_schema();
+        let errors = check_fragment(
+            &schema,
+            &["posts".to_string(), "topics".to_string()],
+            "topics.title IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)",
+            &[SqlType::Integer],
+        );
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].message.contains("subquery"));
+    }
+
+    #[test]
+    fn corrected_figure3_query_checks() {
+        let schema = discourse_schema();
+        let errors = check_fragment(
+            &schema,
+            &["posts".to_string(), "topics".to_string()],
+            "topics.id IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)",
+            &[SqlType::Integer],
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn unknown_columns_and_tables_are_errors() {
+        let schema = discourse_schema();
+        let errors =
+            check_fragment(&schema, &["topics".to_string()], "missing_column = 1", &[]);
+        assert!(errors.iter().any(|e| e.message.contains("unknown column")));
+        let errors = check_fragment(&schema, &["nonexistent".to_string()], "id = 1", &[]);
+        assert!(errors.iter().any(|e| e.message.contains("unknown table")));
+    }
+
+    #[test]
+    fn comparison_type_mismatches_are_errors() {
+        let schema = discourse_schema();
+        let errors = check_fragment(&schema, &["topics".to_string()], "title = 3", &[]);
+        assert_eq!(errors.len(), 1);
+        let errors = check_fragment(&schema, &["topics".to_string()], "title = 'x' AND id > 0", &[]);
+        assert!(errors.is_empty(), "{errors:?}");
+        let errors =
+            check_fragment(&schema, &["topics".to_string()], "id IN (1, 2, 'three')", &[]);
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn placeholders_take_argument_types() {
+        let schema = discourse_schema();
+        let ok = check_fragment(&schema, &["topics".to_string()], "title = ?", &[SqlType::Text]);
+        assert!(ok.is_empty());
+        let bad =
+            check_fragment(&schema, &["topics".to_string()], "title = ?", &[SqlType::Integer]);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn fragment_completion_shape() {
+        let sql = complete_fragment(
+            "group_id = ?",
+            &["posts".to_string(), "topics".to_string()],
+            &[SqlType::Integer],
+        );
+        assert!(sql.starts_with("SELECT * FROM posts INNER JOIN topics"));
+        assert!(sql.contains("group_id = [Integer]"));
+    }
+
+    #[test]
+    fn null_checks_and_boolean_columns() {
+        let mut schema = discourse_schema();
+        schema.add_table("users", &[("staged", SqlType::Boolean), ("id", SqlType::Integer)]);
+        let errors = check_fragment(&schema, &["users".to_string()], "staged = true", &[]);
+        assert!(errors.is_empty(), "{errors:?}");
+        let errors = check_fragment(&schema, &["users".to_string()], "id IS NOT NULL", &[]);
+        assert!(errors.is_empty());
+        let errors = check_fragment(&schema, &["users".to_string()], "id", &[]);
+        assert_eq!(errors.len(), 1, "bare non-boolean column as condition");
+    }
+}

@@ -1,0 +1,29 @@
+//! # sql-tc
+//!
+//! A small SQL type checker, reproducing CompRDL's raw-SQL checking
+//! (paper §2.3): raw SQL fragments that appear inside `where(...)` calls are
+//! completed into artificial-but-parseable `SELECT` statements, `?`
+//! placeholders are replaced by typed placeholder nodes carrying the Ruby
+//! argument types, and the resulting WHERE clause is checked against the
+//! database schema.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sql_tc::{check_fragment, SqlSchema, SqlType};
+//!
+//! let mut schema = SqlSchema::new();
+//! schema.add_table("topics", &[("id", SqlType::Integer), ("title", SqlType::Text)]);
+//!
+//! // `title` is TEXT, comparing it with an Integer placeholder is an error.
+//! let errors = check_fragment(&schema, &["topics".into()], "title = ?", &[SqlType::Integer]);
+//! assert_eq!(errors.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod parser;
+
+pub use checker::{check_fragment, check_select, complete_fragment, SqlSchema, SqlTypeError};
+pub use parser::{parse_condition, parse_select, Cond, Select, SqlExpr, SqlParseError, SqlType};

@@ -1,0 +1,586 @@
+//! Lexer, AST and parser for the SQL subset used by CompRDL's raw-SQL
+//! checking (paper §2.3).
+//!
+//! The subset covers what appears in `where` fragments of the subject
+//! programs: `SELECT ... FROM ... [INNER JOIN ... ON ...] [WHERE cond]`,
+//! boolean connectives, comparison operators, `IN` with literal lists or
+//! nested `SELECT`s, `IS [NOT] NULL`, `LIKE`, and `?` placeholders (replaced
+//! by typed placeholder nodes before checking).
+
+use std::fmt;
+
+/// A SQL scalar type, as recorded in the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// `INTEGER` columns (and integer literals).
+    Integer,
+    /// `VARCHAR` / `TEXT` columns (and string literals).
+    Text,
+    /// `BOOLEAN` columns.
+    Boolean,
+    /// `FLOAT` / `REAL` columns.
+    Float,
+    /// A value whose type is unknown (e.g. `NULL`).
+    Unknown,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SqlType::Integer => "INTEGER",
+            SqlType::Text => "TEXT",
+            SqlType::Boolean => "BOOLEAN",
+            SqlType::Float => "FLOAT",
+            SqlType::Unknown => "UNKNOWN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error produced while lexing or parsing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+/// A scalar SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// A column reference, optionally qualified (`topics.title`).
+    Column {
+        /// Table qualifier, if written.
+        table: Option<String>,
+        /// Column name.
+        column: String,
+    },
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+    /// A `?` placeholder that has been assigned a type (from the Ruby-side
+    /// argument types).
+    Placeholder(SqlType),
+}
+
+/// A boolean condition (the contents of a WHERE clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `lhs op rhs` with a comparison operator.
+    Compare {
+        /// Left operand.
+        lhs: SqlExpr,
+        /// The operator (`=`, `<>`, `<`, `>`, `<=`, `>=`, `LIKE`).
+        op: String,
+        /// Right operand.
+        rhs: SqlExpr,
+    },
+    /// `expr IN (e1, e2, ...)`.
+    InList {
+        /// The tested expression.
+        expr: SqlExpr,
+        /// The list members.
+        list: Vec<SqlExpr>,
+    },
+    /// `expr IN (SELECT col FROM ...)`.
+    InSelect {
+        /// The tested expression.
+        expr: SqlExpr,
+        /// The nested query.
+        select: Box<Select>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: SqlExpr,
+        /// Whether the test is negated.
+        negated: bool,
+    },
+    /// `lhs AND rhs`.
+    And(Box<Cond>, Box<Cond>),
+    /// `lhs OR rhs`.
+    Or(Box<Cond>, Box<Cond>),
+    /// `NOT cond`.
+    Not(Box<Cond>),
+    /// A bare expression used as a condition (e.g. a boolean column).
+    Expr(SqlExpr),
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Selected columns (`*` becomes an empty list with `star = true`).
+    pub columns: Vec<SqlExpr>,
+    /// Whether `SELECT *` was used.
+    pub star: bool,
+    /// The primary table.
+    pub from: String,
+    /// Joined tables (via `INNER JOIN x ON a = b`).
+    pub joins: Vec<String>,
+    /// The WHERE clause, if present.
+    pub where_clause: Option<Cond>,
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Placeholder,
+    TypedPlaceholder(SqlType),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+    Eof,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '?' => {
+                out.push(Tok::Placeholder);
+                i += 1;
+            }
+            '[' => {
+                // `[Integer]` — a typed placeholder inserted by fragment
+                // completion.
+                let mut j = i + 1;
+                let mut word = String::new();
+                while j < chars.len() && chars[j] != ']' {
+                    word.push(chars[j]);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(SqlParseError { message: "unterminated [Type] placeholder".into() });
+                }
+                let ty = match word.trim() {
+                    "Integer" => SqlType::Integer,
+                    "String" | "Text" => SqlType::Text,
+                    "Float" => SqlType::Float,
+                    "Boolean" | "%bool" => SqlType::Boolean,
+                    _ => SqlType::Unknown,
+                };
+                out.push(Tok::TypedPlaceholder(ty));
+                i = j + 1;
+            }
+            '\'' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < chars.len() && chars[j] != '\'' {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(SqlParseError { message: "unterminated string literal".into() });
+                }
+                out.push(Tok::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut text = String::new();
+                let mut is_float = false;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    if chars[j] == '.' {
+                        is_float = true;
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| SqlParseError {
+                        message: format!("bad float literal {text}"),
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| SqlParseError {
+                        message: format!("bad integer literal {text}"),
+                    })?));
+                }
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                let mut word = String::new();
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '.')
+                {
+                    word.push(chars[j]);
+                    j += 1;
+                }
+                out.push(Tok::Word(word));
+                i = j;
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Le);
+                i += 2;
+            }
+            '>' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ge);
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '(' | ')' | ',' | '=' | '<' | '>' | '*' => {
+                out.push(Tok::Symbol(c));
+                i += 1;
+            }
+            other => {
+                return Err(SqlParseError { message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if let Tok::Word(w) = self.peek() {
+            if w.eq_ignore_ascii_case(word) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), SqlParseError> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(SqlParseError { message: format!("expected `{word}`, found {:?}", self.peek()) })
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), SqlParseError> {
+        if self.peek() == &Tok::Symbol(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(SqlParseError { message: format!("expected `{c}`, found {:?}", self.peek()) })
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select, SqlParseError> {
+        self.expect_word("SELECT")?;
+        let mut columns = Vec::new();
+        let mut star = false;
+        if self.peek() == &Tok::Symbol('*') {
+            self.bump();
+            star = true;
+        } else {
+            loop {
+                columns.push(self.parse_expr()?);
+                if self.peek() == &Tok::Symbol(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_word("FROM")?;
+        let from = match self.bump() {
+            Tok::Word(w) => w,
+            other => {
+                return Err(SqlParseError { message: format!("expected table name, found {other:?}") })
+            }
+        };
+        let mut joins = Vec::new();
+        loop {
+            if self.eat_word("INNER") || self.eat_word("LEFT") || self.eat_word("OUTER") {
+                self.expect_word("JOIN")?;
+            } else if !self.eat_word("JOIN") {
+                break;
+            }
+            let table = match self.bump() {
+                Tok::Word(w) => w,
+                other => {
+                    return Err(SqlParseError {
+                        message: format!("expected joined table name, found {other:?}"),
+                    })
+                }
+            };
+            joins.push(table);
+            if self.eat_word("ON") {
+                // Join conditions are parsed but ignored by the checker
+                // (the paper's checker only looks at the WHERE clause).
+                let _ = self.parse_cond()?;
+            }
+        }
+        let where_clause = if self.eat_word("WHERE") { Some(self.parse_cond()?) } else { None };
+        Ok(Select { columns, star, from, joins, where_clause })
+    }
+
+    fn parse_cond(&mut self) -> Result<Cond, SqlParseError> {
+        let mut lhs = self.parse_cond_and()?;
+        while self.eat_word("OR") {
+            let rhs = self.parse_cond_and()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cond_and(&mut self) -> Result<Cond, SqlParseError> {
+        let mut lhs = self.parse_cond_atom()?;
+        while self.eat_word("AND") {
+            let rhs = self.parse_cond_atom()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cond_atom(&mut self) -> Result<Cond, SqlParseError> {
+        if self.eat_word("NOT") {
+            let inner = self.parse_cond_atom()?;
+            return Ok(Cond::Not(Box::new(inner)));
+        }
+        if self.peek() == &Tok::Symbol('(') {
+            self.bump();
+            let inner = self.parse_cond()?;
+            self.expect_symbol(')')?;
+            return Ok(inner);
+        }
+        let lhs = self.parse_expr()?;
+        // IS [NOT] NULL
+        if self.eat_word("IS") {
+            let negated = self.eat_word("NOT");
+            self.expect_word("NULL")?;
+            return Ok(Cond::IsNull { expr: lhs, negated });
+        }
+        // IN (...)
+        if self.eat_word("IN") {
+            self.expect_symbol('(')?;
+            if matches!(self.peek(), Tok::Word(w) if w.eq_ignore_ascii_case("select")) {
+                let select = self.parse_select()?;
+                self.expect_symbol(')')?;
+                return Ok(Cond::InSelect { expr: lhs, select: Box::new(select) });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if self.peek() == &Tok::Symbol(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_symbol(')')?;
+            return Ok(Cond::InList { expr: lhs, list });
+        }
+        // Comparison.
+        let op = match self.peek().clone() {
+            Tok::Symbol('=') => {
+                self.bump();
+                "=".to_string()
+            }
+            Tok::Symbol('<') => {
+                self.bump();
+                "<".to_string()
+            }
+            Tok::Symbol('>') => {
+                self.bump();
+                ">".to_string()
+            }
+            Tok::Le => {
+                self.bump();
+                "<=".to_string()
+            }
+            Tok::Ge => {
+                self.bump();
+                ">=".to_string()
+            }
+            Tok::Ne => {
+                self.bump();
+                "<>".to_string()
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("like") => {
+                self.bump();
+                "LIKE".to_string()
+            }
+            _ => return Ok(Cond::Expr(lhs)),
+        };
+        let rhs = self.parse_expr()?;
+        Ok(Cond::Compare { lhs, op, rhs })
+    }
+
+    fn parse_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        match self.bump() {
+            Tok::Int(i) => Ok(SqlExpr::Int(i)),
+            Tok::Float(f) => Ok(SqlExpr::Float(f)),
+            Tok::Str(s) => Ok(SqlExpr::Str(s)),
+            Tok::Placeholder => Ok(SqlExpr::Placeholder(SqlType::Unknown)),
+            Tok::TypedPlaceholder(t) => Ok(SqlExpr::Placeholder(t)),
+            Tok::Word(w) => {
+                if w.eq_ignore_ascii_case("null") {
+                    return Ok(SqlExpr::Null);
+                }
+                if w.eq_ignore_ascii_case("true") {
+                    return Ok(SqlExpr::Bool(true));
+                }
+                if w.eq_ignore_ascii_case("false") {
+                    return Ok(SqlExpr::Bool(false));
+                }
+                match w.split_once('.') {
+                    Some((table, column)) => Ok(SqlExpr::Column {
+                        table: Some(table.to_string()),
+                        column: column.to_string(),
+                    }),
+                    None => Ok(SqlExpr::Column { table: None, column: w }),
+                }
+            }
+            other => Err(SqlParseError { message: format!("unexpected token {other:?}") }),
+        }
+    }
+}
+
+/// Parses a complete `SELECT` statement.
+///
+/// # Errors
+///
+/// Returns a [`SqlParseError`] on malformed SQL.
+///
+/// # Examples
+///
+/// ```
+/// let q = sql_tc::parse_select("SELECT * FROM users WHERE id = 1").unwrap();
+/// assert_eq!(q.from, "users");
+/// assert!(q.where_clause.is_some());
+/// ```
+pub fn parse_select(src: &str) -> Result<Select, SqlParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let select = p.parse_select()?;
+    Ok(select)
+}
+
+/// Parses a bare condition (the contents of a WHERE fragment).
+///
+/// # Errors
+///
+/// Returns a [`SqlParseError`] on malformed SQL.
+pub fn parse_condition(src: &str) -> Result<Cond, SqlParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let cond = p.parse_cond()?;
+    Ok(cond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse_select("SELECT id, username FROM users").unwrap();
+        assert_eq!(q.columns.len(), 2);
+        assert!(!q.star);
+        assert_eq!(q.from, "users");
+    }
+
+    #[test]
+    fn parses_joins_and_where() {
+        let q = parse_select(
+            "SELECT * FROM posts INNER JOIN topics ON a.id = b.a_id WHERE topics.title = 'x'",
+        )
+        .unwrap();
+        assert!(q.star);
+        assert_eq!(q.joins, vec!["topics".to_string()]);
+        assert!(matches!(q.where_clause, Some(Cond::Compare { .. })));
+    }
+
+    #[test]
+    fn parses_nested_select_in() {
+        let q = parse_select(
+            "SELECT * FROM posts WHERE topics.title IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = [Integer])",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Cond::InSelect { expr, select } => {
+                assert!(matches!(expr, SqlExpr::Column { .. }));
+                assert_eq!(select.from, "topic_allowed_groups");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_connectives_and_is_null() {
+        let c = parse_condition("a = 1 AND (b IS NOT NULL OR c LIKE 'x%')").unwrap();
+        assert!(matches!(c, Cond::And(_, _)));
+        let c = parse_condition("deleted_at IS NULL").unwrap();
+        assert!(matches!(c, Cond::IsNull { negated: false, .. }));
+    }
+
+    #[test]
+    fn parses_placeholders() {
+        let c = parse_condition("group_id = ?").unwrap();
+        match c {
+            Cond::Compare { rhs: SqlExpr::Placeholder(SqlType::Unknown), .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let c = parse_condition("group_id = [Integer]").unwrap();
+        match c {
+            Cond::Compare { rhs: SqlExpr::Placeholder(SqlType::Integer), .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_errors() {
+        assert!(parse_select("SELECT FROM").is_err());
+        assert!(parse_select("SELECT * WHERE x = 1").is_err());
+        assert!(parse_condition("a = 'unterminated").is_err());
+    }
+}

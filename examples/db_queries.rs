@@ -1,0 +1,105 @@
+//! Reproduces Figure 1 of the paper: precise type checking of ActiveRecord
+//! database queries (`exists?`, `joins`) via comp types and `schema_type`.
+//!
+//! Run with `cargo run --example db_queries`.
+
+use comprdl::{CheckOptions, CompRdl, TypeChecker};
+use db_types::{ColumnType, DbRegistry};
+use std::rc::Rc;
+
+fn discourse_env() -> CompRdl {
+    let mut db = DbRegistry::new();
+    db.add_table(
+        "users",
+        &[
+            ("id", ColumnType::Integer),
+            ("username", ColumnType::String),
+            ("staged", ColumnType::Boolean),
+        ],
+    );
+    db.add_table(
+        "emails",
+        &[
+            ("id", ColumnType::Integer),
+            ("email", ColumnType::String),
+            ("user_id", ColumnType::Integer),
+        ],
+    );
+    db.add_model("User", "users");
+    db.add_association("User", "emails", "emails");
+
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    db_types::register_all(&mut env, Rc::new(db));
+    env.type_sig_singleton("User", "reserved?", "(String) -> %bool", None);
+    env.type_sig_singleton("User", "available?", "(String, String) -> %bool", Some("model"));
+    env
+}
+
+fn check(env: &CompRdl, source: &str) {
+    let program = ruby_syntax::parse_program(source).expect("parses");
+    let result = TypeChecker::new(env, &program, CheckOptions::default()).check_labeled("model");
+    println!("  methods checked: {}", result.methods_checked());
+    println!("  casts needed   : {}", result.total_casts());
+    if result.errors().is_empty() {
+        println!("  no type errors");
+    }
+    for err in result.errors() {
+        println!("  TYPE ERROR: {err}");
+    }
+    println!();
+}
+
+fn main() {
+    let env = discourse_env();
+
+    println!("Figure 1: Discourse's User.available? type checks precisely:");
+    check(
+        &env,
+        r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    return false if reserved?(name)
+    return true if !User.exists?({ username: name })
+    return User.joins(:emails).exists?({ staged: true, username: name, emails: { email: email } })
+  end
+end
+"#,
+    );
+
+    println!("The same query with a wrong column type (staged: 'yes') is rejected:");
+    check(
+        &env,
+        r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.joins(:emails).exists?({ staged: 'yes', username: name, emails: { email: email } })
+  end
+end
+"#,
+    );
+
+    println!("Querying a column that does not exist is rejected:");
+    check(
+        &env,
+        r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.exists?({ user_name: name })
+  end
+end
+"#,
+    );
+
+    println!("Joining through an undeclared association is rejected:");
+    check(
+        &env,
+        r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.joins(:apartments).exists?({ username: name })
+  end
+end
+"#,
+    );
+}

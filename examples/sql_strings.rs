@@ -1,0 +1,70 @@
+//! Reproduces Figure 3 of the paper: type checking raw SQL strings embedded
+//! in `where(...)` calls, including the injected Discourse bug (searching a
+//! string column in an integer set).
+//!
+//! Run with `cargo run --example sql_strings`.
+
+use comprdl::{CheckOptions, CompRdl, TypeChecker};
+use db_types::{ColumnType, DbRegistry};
+use sql_tc::{check_fragment, SqlType};
+use std::rc::Rc;
+
+fn main() {
+    // The three tables of Figure 3.
+    let mut db = DbRegistry::new();
+    db.add_table(
+        "posts",
+        &[("id", ColumnType::Integer), ("topic_id", ColumnType::Integer)],
+    );
+    db.add_table("topics", &[("id", ColumnType::Integer), ("title", ColumnType::String)]);
+    db.add_table(
+        "topic_allowed_groups",
+        &[("group_id", ColumnType::Integer), ("topic_id", ColumnType::Integer)],
+    );
+    db.add_model("Post", "posts");
+    db.add_model("Topic", "topics");
+    db.add_association("Post", "topic", "topics");
+
+    // 1. The standalone SQL fragment checker (what `sql_typecheck` calls).
+    println!("-- standalone fragment check ------------------------------------");
+    let schema = db.to_sql_schema();
+    let buggy = "topics.title IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)";
+    let errors = check_fragment(
+        &schema,
+        &["posts".to_string(), "topics".to_string()],
+        buggy,
+        &[SqlType::Integer],
+    );
+    println!("fragment: {buggy}");
+    for e in &errors {
+        println!("  {e}");
+    }
+
+    // 2. The same check reached through the comp type of `where` during
+    //    ordinary type checking of a model method.
+    println!("\n-- through the `where` comp type ---------------------------------");
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    db_types::register_all(&mut env, Rc::new(db));
+    env.type_sig_singleton("Post", "allowed", "(Integer) -> Object", Some("model"));
+
+    let buggy_src = r#"
+class Post < ActiveRecord::Base
+  def self.allowed(group_id)
+    Post.includes(:topic)
+      .where('topics.title IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)', group_id)
+  end
+end
+"#;
+    let program = ruby_syntax::parse_program(buggy_src).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+    println!("buggy query:");
+    for err in result.errors() {
+        println!("  TYPE ERROR: {err}");
+    }
+
+    let fixed_src = buggy_src.replace("topics.title IN", "topics.id IN");
+    let program = ruby_syntax::parse_program(&fixed_src).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+    println!("corrected query: {} errors", result.errors().len());
+}

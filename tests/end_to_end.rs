@@ -1,0 +1,67 @@
+//! End-to-end integration test over the whole corpus: every subject app
+//! parses, type checks with exactly the expected (seeded) errors, needs
+//! fewer casts with comp types than without, and its test suite runs under
+//! the inserted dynamic checks without blame.
+
+#[test]
+fn full_corpus_evaluation_matches_the_paper_shape() {
+    let rows = corpus::table2().expect("harness runs");
+    assert_eq!(rows.len(), 6);
+
+    // Three confirmed errors across the corpus: one in Code.org, two in
+    // Journey (paper §5.3).
+    let errors: usize = rows.iter().map(|r| r.errors).sum();
+    assert_eq!(errors, 3);
+
+    // Comp types need substantially fewer casts than plain RDL.
+    let casts: usize = rows.iter().map(|r| r.casts).sum();
+    let casts_rdl: usize = rows.iter().map(|r| r.casts_rdl).sum();
+    assert!(casts_rdl > casts);
+
+    // Every app ran its suite with checks enabled.
+    for row in &rows {
+        assert!(row.dynamic_checks_run > 0, "{}", row.program);
+    }
+}
+
+#[test]
+fn table1_totals_are_in_the_papers_ballpark() {
+    let (rows, helpers) = corpus::table1();
+    let total: usize = rows.iter().map(|r| r.comp_type_definitions).sum();
+    // The paper reports 586 comp type definitions and 83 helper methods; we
+    // assert the same order of magnitude rather than exact numbers.
+    assert!(total >= 450 && total <= 800, "total annotations {total}");
+    assert!(helpers >= 20 && helpers <= 150, "helpers {helpers}");
+}
+
+#[test]
+fn disabling_consistency_checks_still_catches_return_violations() {
+    use comprdl::{CheckConfig, CheckOptions, CompRdl, TypeChecker};
+    use ruby_interp::Interpreter;
+
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    env.type_sig("Object", "data", "() -> { count: Integer }", None);
+    env.type_sig("Object", "reads", "() -> Integer", Some("app"));
+    let src = "def data()\n  { count: 41 }\nend\ndef reads()\n  data()[:count] + 1\nend\nassert_equal(42, reads())\n";
+    let program = ruby_syntax::parse_program(src).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    assert!(result.errors().is_empty());
+
+    for config in [
+        CheckConfig { return_checks: true, consistency_checks: true },
+        CheckConfig { return_checks: true, consistency_checks: false },
+        CheckConfig { return_checks: false, consistency_checks: false },
+    ] {
+        let hook = comprdl::make_hook(
+            result.checks(),
+            result.store.clone(),
+            env.classes.clone(),
+            env.helpers.clone(),
+            config,
+        );
+        let mut interp = Interpreter::new(program.clone());
+        interp.set_hook(hook);
+        interp.eval_program().expect("suite passes under every check configuration");
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration test reproducing Figure 1: precise typing of ActiveRecord
+//! queries through comp types, across the whole crate stack
+//! (ruby-syntax → rdl-types → comprdl → db-types).
+
+use comprdl::{CheckOptions, CompRdl, ErrorCategory, TypeChecker};
+use db_types::{ColumnType, DbRegistry};
+use std::rc::Rc;
+
+fn figure1_env() -> CompRdl {
+    let mut db = DbRegistry::new();
+    db.add_table(
+        "users",
+        &[
+            ("id", ColumnType::Integer),
+            ("username", ColumnType::String),
+            ("staged", ColumnType::Boolean),
+        ],
+    );
+    db.add_table(
+        "emails",
+        &[
+            ("id", ColumnType::Integer),
+            ("email", ColumnType::String),
+            ("user_id", ColumnType::Integer),
+        ],
+    );
+    db.add_model("User", "users");
+    db.add_model("Email", "emails");
+    db.add_association("User", "emails", "emails");
+
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    db_types::register_all(&mut env, Rc::new(db));
+    env.type_sig_singleton("User", "reserved?", "(String) -> %bool", None);
+    env.type_sig_singleton("User", "available?", "(String, String) -> %bool", Some("model"));
+    env
+}
+
+const FIGURE1: &str = r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    return false if reserved?(name)
+    return true if !User.exists?({ username: name })
+    return User.joins(:emails).exists?({ staged: true, username: name, emails: { email: email } })
+  end
+end
+"#;
+
+#[test]
+fn figure1_type_checks_without_casts_or_errors() {
+    let env = figure1_env();
+    let program = ruby_syntax::parse_program(FIGURE1).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+    assert_eq!(result.methods_checked(), 1);
+    assert!(result.errors().is_empty(), "{:?}", result.errors());
+    assert_eq!(result.total_casts(), 0);
+    // All three query calls are dynamically checked (library methods).
+    let query_checks = result
+        .checks()
+        .iter()
+        .filter(|c| c.description.contains("exists?") || c.description.contains("joins"))
+        .count();
+    assert!(query_checks >= 3, "{:#?}", result.checks());
+}
+
+#[test]
+fn wrong_column_value_types_are_rejected() {
+    let env = figure1_env();
+    let src = r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.exists?({ username: name, staged: 'yes' })
+  end
+end
+"#;
+    let program = ruby_syntax::parse_program(src).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+    assert_eq!(result.errors().len(), 1, "{:?}", result.errors());
+    assert_eq!(result.errors()[0].category, ErrorCategory::ArgumentType);
+}
+
+#[test]
+fn unknown_columns_are_rejected() {
+    let env = figure1_env();
+    let src = r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.exists?({ user_name: name })
+  end
+end
+"#;
+    let program = ruby_syntax::parse_program(src).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+    assert_eq!(result.errors().len(), 1, "{:?}", result.errors());
+}
+
+#[test]
+fn joined_schema_covers_both_tables() {
+    // After joins(:emails), querying both users and emails columns is fine,
+    // but a bogus nested column is rejected.
+    let env = figure1_env();
+    let ok = r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.joins(:emails).exists?({ username: name, emails: { email: email, user_id: 1 } })
+  end
+end
+"#;
+    let program = ruby_syntax::parse_program(ok).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+    assert!(result.errors().is_empty(), "{:?}", result.errors());
+
+    let bad = r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.joins(:emails).exists?({ username: name, emails: { address: email } })
+  end
+end
+"#;
+    let program = ruby_syntax::parse_program(bad).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+    assert_eq!(result.errors().len(), 1, "{:?}", result.errors());
+}
+
+#[test]
+fn plain_rdl_mode_does_not_find_the_column_errors() {
+    // Without comp types the argument type falls back to Hash<Symbol,
+    // Object>, so the unknown-column bug slips through — the imprecision the
+    // paper's comparison highlights.
+    let env = figure1_env();
+    let src = r#"
+class User < ActiveRecord::Base
+  def self.available?(name, email)
+    User.exists?({ user_name: name })
+  end
+end
+"#;
+    let program = ruby_syntax::parse_program(src).unwrap();
+    let options = CheckOptions { use_comp_types: false, ..CheckOptions::default() };
+    let result = TypeChecker::new(&env, &program, options).check_labeled("model");
+    assert!(result.errors().is_empty(), "{:?}", result.errors());
+}

