@@ -20,7 +20,11 @@ fn env_with_db() -> CompRdl {
     );
     db.add_table(
         "emails",
-        &[("id", ColumnType::Integer), ("email", ColumnType::String), ("user_id", ColumnType::Integer)],
+        &[
+            ("id", ColumnType::Integer),
+            ("email", ColumnType::String),
+            ("user_id", ColumnType::Integer),
+        ],
     );
     db.add_model("User", "users");
     db.add_association("User", "emails", "emails");
@@ -30,13 +34,15 @@ fn env_with_db() -> CompRdl {
     env
 }
 
-fn eval_helper(env: &CompRdl, classes: &ClassTable, src: &str, bindings: Vec<(&str, Type)>) -> Type {
+fn eval_helper(
+    env: &CompRdl,
+    classes: &ClassTable,
+    src: &str,
+    bindings: Vec<(&str, Type)>,
+) -> Type {
     let expr = ruby_syntax::parse_expr(src).expect("parses");
     let mut store = TypeStore::new();
-    let bindings = bindings
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), TlcValue::Type(v)))
-        .collect();
+    let bindings = bindings.into_iter().map(|(k, v)| (k.to_string(), TlcValue::Type(v))).collect();
     comprdl::eval_comp_type(&mut store, classes, &env.helpers, bindings, &expr).expect("evaluates")
 }
 

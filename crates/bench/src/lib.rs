@@ -24,8 +24,7 @@ pub fn run_app_suite(app: &corpus::App, config: Option<CheckConfig>) -> u64 {
     let program = ruby_syntax::parse_program(&app.full_source()).expect("app parses");
     let mut interp = Interpreter::new(program.clone());
     if let Some(config) = config {
-        let result =
-            TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+        let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
         let hook = comprdl::make_hook(
             result.checks(),
             result.store.clone(),

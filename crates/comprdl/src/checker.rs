@@ -52,6 +52,23 @@ pub enum ErrorCategory {
     Sql,
 }
 
+impl ErrorCategory {
+    /// Stable diagnostic code for this category of type error.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorCategory::UndefinedConstant => "TYP0001",
+            ErrorCategory::NoMethod => "TYP0002",
+            ErrorCategory::ArgumentType => "TYP0003",
+            ErrorCategory::ReturnType => "TYP0004",
+            ErrorCategory::CompType => "TYP0005",
+            ErrorCategory::WeakUpdate => "TYP0006",
+            ErrorCategory::Termination => "TYP0007",
+            ErrorCategory::Arity => "TYP0008",
+            ErrorCategory::Sql => "TYP0009",
+        }
+    }
+}
+
 /// A type error found by the checker.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TypeErrorInfo {
@@ -63,8 +80,15 @@ pub struct TypeErrorInfo {
     pub method: String,
     /// Human readable message.
     pub message: String,
-    /// Source line.
-    pub line: u32,
+    /// Where in the checked source the error points.
+    pub span: Span,
+}
+
+impl TypeErrorInfo {
+    /// 1-based source line of the error (the start of its span).
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
 }
 
 impl fmt::Display for TypeErrorInfo {
@@ -72,8 +96,17 @@ impl fmt::Display for TypeErrorInfo {
         write!(
             f,
             "{}#{} (line {}): {:?}: {}",
-            self.class, self.method, self.line, self.category, self.message
+            self.class, self.method, self.span.line, self.category, self.message
         )
+    }
+}
+
+impl std::error::Error for TypeErrorInfo {}
+
+impl From<TypeErrorInfo> for diagnostics::Diagnostic {
+    fn from(e: TypeErrorInfo) -> Self {
+        diagnostics::Diagnostic::error(e.category.code(), e.message.clone())
+            .with_label(e.span, format!("while checking `{}#{}`", e.class, e.method))
     }
 }
 
@@ -313,7 +346,7 @@ impl<'a> TypeChecker<'a> {
                     message: format!(
                         "body has type `{result_ty}` but the method is declared to return `{declared_ret}`"
                     ),
-                    line: def.span.line,
+                    span: def.span,
                 });
             }
         }
@@ -326,7 +359,12 @@ impl<'a> TypeChecker<'a> {
             explicit_casts: ctx.explicit_casts,
             implicit_casts: ctx.implicit_casts,
             checks: ctx.checks,
-            loc: def.body.iter().map(|e| e.span.line).collect::<std::collections::BTreeSet<_>>().len()
+            loc: def
+                .body
+                .iter()
+                .map(|e| e.span.line)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
                 + 2,
         }
     }
@@ -356,7 +394,7 @@ impl<'a> TypeChecker<'a> {
             class: ctx.class.clone(),
             method: ctx.method.clone(),
             message,
-            line: span.line,
+            span,
         });
     }
 
@@ -375,10 +413,8 @@ impl<'a> TypeChecker<'a> {
     }
 
     fn is_imprecise_shallow(&self, t: &Type) -> bool {
-        matches!(
-            self.store.resolve(t),
-            Type::Dynamic | Type::Top | Type::Union(_)
-        ) || matches!(self.store.resolve(t), Type::Nominal(n) if n == "Object")
+        matches!(self.store.resolve(t), Type::Dynamic | Type::Top | Type::Union(_))
+            || matches!(self.store.resolve(t), Type::Nominal(n) if n == "Object")
     }
 
     fn precision_loss(&self, ctx: &mut MethodCtx, span: Span, what: &str, ty: &Type) -> Type {
@@ -644,7 +680,9 @@ impl<'a> TypeChecker<'a> {
                             ctx,
                             ErrorCategory::ArgumentType,
                             span,
-                            format!("cannot assign `{value_ty}` to @{name} declared as `{declared}`"),
+                            format!(
+                                "cannot assign `{value_ty}` to @{name} declared as `{declared}`"
+                            ),
                         );
                     }
                 }
@@ -659,7 +697,9 @@ impl<'a> TypeChecker<'a> {
                             ctx,
                             ErrorCategory::ArgumentType,
                             span,
-                            format!("cannot assign `{value_ty}` to ${name} declared as `{declared}`"),
+                            format!(
+                                "cannot assign `{value_ty}` to ${name} declared as `{declared}`"
+                            ),
                         );
                     }
                 }
@@ -760,12 +800,9 @@ impl<'a> TypeChecker<'a> {
         let is_table = class == "Table" || class == "Sequel::Dataset";
         if is_model_class || is_table {
             for dsl in ["Table", "Sequel::Dataset"] {
-                if let Some((owner, sig)) = self.env.annotations.lookup(
-                    &self.env.classes,
-                    dsl,
-                    MethodKind::Instance,
-                    name,
-                ) {
+                if let Some((owner, sig)) =
+                    self.env.annotations.lookup(&self.env.classes, dsl, MethodKind::Instance, name)
+                {
                     return Some((owner, MethodKind::Instance, sig.clone()));
                 }
             }
@@ -802,11 +839,9 @@ impl<'a> TypeChecker<'a> {
         let sig = self.lookup_signature(&recv_ty, name);
 
         let result = match sig {
-            Some((owner, kind, sig)) => {
-                self.check_against_signature(
-                    ctx, expr, &owner, kind, name, &sig, &recv_ty, args, &arg_types, block,
-                )
-            }
+            Some((owner, kind, sig)) => self.check_against_signature(
+                ctx, expr, &owner, kind, name, &sig, &recv_ty, args, &arg_types, block,
+            ),
             None => {
                 // Unannotated method: if the program defines it, treat the
                 // call as unchecked (Dynamic); if the receiver is imprecise,
@@ -814,11 +849,10 @@ impl<'a> TypeChecker<'a> {
                 // the receiver type is a structural type without that
                 // method, report an error.
                 let defined_in_program = self.call_target_defined(&recv_ty, name);
-                if defined_in_program {
-                    self.infer_block_body(ctx, block, &Type::Dynamic);
-                    Type::Dynamic
-                } else if matches!(resolved_recv, Type::Dynamic | Type::Var(_))
-                    || matches!(&resolved_recv, Type::Singleton(SingVal::Nil)) {
+                if defined_in_program
+                    || matches!(resolved_recv, Type::Dynamic | Type::Var(_))
+                    || matches!(&resolved_recv, Type::Singleton(SingVal::Nil))
+                {
                     self.infer_block_body(ctx, block, &Type::Dynamic);
                     Type::Dynamic
                 } else if self.is_imprecise(&recv_ty) {
@@ -879,10 +913,7 @@ impl<'a> TypeChecker<'a> {
     fn known_structural_miss(&self, recv: &Type, _name: &str) -> bool {
         matches!(
             recv,
-            Type::Tuple(_)
-                | Type::FiniteHash(_)
-                | Type::ConstString(_)
-                | Type::Generic { .. }
+            Type::Tuple(_) | Type::FiniteHash(_) | Type::ConstString(_) | Type::Generic { .. }
         ) || matches!(recv, Type::Nominal(n) if ["String", "Integer", "Float", "Symbol", "Array", "Hash"].contains(&n.as_str()))
     }
 
@@ -1095,10 +1126,7 @@ impl<'a> TypeChecker<'a> {
                 let data = self.store.finite_hash(id).clone();
                 map.insert("k".to_string(), Type::nominal("Symbol"));
                 let vals = Type::union(data.entries.iter().map(|(_, v)| v.clone()));
-                map.insert(
-                    "v".to_string(),
-                    if vals == Type::Bot { Type::object() } else { vals },
-                );
+                map.insert("v".to_string(), if vals == Type::Bot { Type::object() } else { vals });
             }
             Type::ConstString(_) | Type::Nominal(_) => {}
             _ => {}
@@ -1151,9 +1179,25 @@ impl<'a> TypeChecker<'a> {
 
 /// Kernel-level methods that never produce "no method" errors.
 const KERNEL_METHODS: &[&str] = &[
-    "puts", "print", "p", "raise", "require", "require_relative", "lambda", "proc", "rand",
-    "assert", "assert_equal", "refute", "attr_accessor", "attr_reader", "attr_writer", "loop",
-    "freeze", "format", "sleep",
+    "puts",
+    "print",
+    "p",
+    "raise",
+    "require",
+    "require_relative",
+    "lambda",
+    "proc",
+    "rand",
+    "assert",
+    "assert_equal",
+    "refute",
+    "attr_accessor",
+    "attr_reader",
+    "attr_writer",
+    "loop",
+    "freeze",
+    "format",
+    "sleep",
 ];
 
 #[cfg(test)]
@@ -1176,11 +1220,7 @@ mod tests {
     fn simple_method_checks() {
         let mut env = env_with_stdlib();
         env.type_sig_singleton("Object", "double", "(Integer) -> Integer", Some("app"));
-        let res = check_src(
-            &env,
-            "def self.double(x)\n  x * 2\nend\n",
-            CheckOptions::default(),
-        );
+        let res = check_src(&env, "def self.double(x)\n  x * 2\nend\n", CheckOptions::default());
         assert_eq!(res.methods_checked(), 1);
         assert!(res.errors().is_empty(), "{:?}", res.errors());
     }
@@ -1203,22 +1243,14 @@ mod tests {
             "def self.broken()\n  TotallyMissingConst\nend\n",
             CheckOptions::default(),
         );
-        assert!(res
-            .errors()
-            .iter()
-            .any(|e| e.category == ErrorCategory::UndefinedConstant));
+        assert!(res.errors().iter().any(|e| e.category == ErrorCategory::UndefinedConstant));
     }
 
     #[test]
     fn figure2_needs_no_cast_with_comp_types_but_one_without() {
         // Figure 2: page[:info].first
         let mut env = env_with_stdlib();
-        env.type_sig(
-            "Object",
-            "page",
-            "() -> { info: Array<String>, title: String }",
-            None,
-        );
+        env.type_sig("Object", "page", "() -> { info: Array<String>, title: String }", None);
         env.type_sig_singleton("Object", "noop", "() -> Object", None);
         env.type_sig("Object", "image_url", "() -> String", Some("app"));
         let src = "def image_url()\n  page()[:info].first\nend\n";
@@ -1232,30 +1264,19 @@ mod tests {
         // Without comp types (plain RDL): the finite hash is accessed via
         // `Hash#[] : (k) -> v`, so `first` is called on `Array<String> or
         // String` and a cast is required.
-        let res = check_src(
-            &env,
-            src,
-            CheckOptions { use_comp_types: false, ..CheckOptions::default() },
-        );
+        let res =
+            check_src(&env, src, CheckOptions { use_comp_types: false, ..CheckOptions::default() });
         assert!(res.total_casts() >= 1, "expected an implicit cast, got {res:?}");
     }
 
     #[test]
     fn explicit_cast_is_counted_and_silences_imprecision() {
         let mut env = env_with_stdlib();
-        env.type_sig(
-            "Object",
-            "page",
-            "() -> { info: Array<String>, title: String }",
-            None,
-        );
+        env.type_sig("Object", "page", "() -> { info: Array<String>, title: String }", None);
         env.type_sig("Object", "image_url", "() -> String", Some("app"));
         let src = "def image_url()\n  RDL.type_cast(page()[:info], \"Array<String>\").first\nend\n";
-        let res = check_src(
-            &env,
-            src,
-            CheckOptions { use_comp_types: false, ..CheckOptions::default() },
-        );
+        let res =
+            check_src(&env, src, CheckOptions { use_comp_types: false, ..CheckOptions::default() });
         assert_eq!(res.explicit_casts(), 1);
         assert!(res.errors().is_empty(), "{:?}", res.errors());
     }
@@ -1284,11 +1305,7 @@ mod tests {
         let mut env = env_with_stdlib();
         env.type_sig_singleton("Object", "caller", "() -> Object", Some("app"));
         env.type_sig_singleton("Object", "helper", "(Integer, Integer) -> Integer", None);
-        let res = check_src(
-            &env,
-            "def self.caller()\n  helper(1)\nend\n",
-            CheckOptions::default(),
-        );
+        let res = check_src(&env, "def self.caller()\n  helper(1)\nend\n", CheckOptions::default());
         assert!(res.errors().iter().any(|e| e.category == ErrorCategory::Arity));
     }
 

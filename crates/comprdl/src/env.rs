@@ -74,7 +74,13 @@ impl CompRdl {
     /// # Panics
     ///
     /// Panics if the annotation string does not parse.
-    pub fn type_sig_singleton(&mut self, class: &str, method: &str, sig: &str, label: Option<&str>) {
+    pub fn type_sig_singleton(
+        &mut self,
+        class: &str,
+        method: &str,
+        sig: &str,
+        label: Option<&str>,
+    ) {
         let parsed = self.parse_sig(class, method, sig, label);
         self.annotations.add_singleton(class, method, parsed);
     }
@@ -97,7 +103,13 @@ impl CompRdl {
         self.annotations.add_instance(class, method, parsed);
     }
 
-    fn parse_sig(&mut self, class: &str, method: &str, sig: &str, label: Option<&str>) -> MethodSig {
+    fn parse_sig(
+        &mut self,
+        class: &str,
+        method: &str,
+        sig: &str,
+        label: Option<&str>,
+    ) -> MethodSig {
         self.record_loc(class, sig);
         let mut parsed = parse_method_sig(sig).unwrap_or_else(|e| {
             panic!("invalid type annotation for {class}#{method}: {e}\n  {sig}")
@@ -147,9 +159,7 @@ impl CompRdl {
     ///
     /// Panics if the helper source does not parse.
     pub fn register_helpers_ruby(&mut self, src: &str) {
-        self.helpers
-            .register_ruby(src)
-            .unwrap_or_else(|e| panic!("invalid helper methods: {e}"));
+        self.helpers.register_ruby(src).unwrap_or_else(|e| panic!("invalid helper methods: {e}"));
     }
 
     // ---- statistics (Table 1) ---------------------------------------------
@@ -189,10 +199,7 @@ mod tests {
         env.var_type("User", "name", "String");
         env.global_type("$schema", "Hash<Symbol, Object>");
 
-        assert!(env
-            .annotations
-            .lookup(&env.classes, "Hash", MethodKind::Instance, "[]")
-            .is_some());
+        assert!(env.annotations.lookup(&env.classes, "Hash", MethodKind::Instance, "[]").is_some());
         assert!(env
             .annotations
             .lookup(&env.classes, "User", MethodKind::Singleton, "find")
@@ -228,10 +235,8 @@ mod tests {
             TermEffect::BlockDep,
             PurityEffect::Pure,
         );
-        let (_, sig) = env
-            .annotations
-            .lookup(&env.classes, "Array", MethodKind::Instance, "map")
-            .unwrap();
+        let (_, sig) =
+            env.annotations.lookup(&env.classes, "Array", MethodKind::Instance, "map").unwrap();
         assert_eq!(sig.term, TermEffect::BlockDep);
         assert_eq!(sig.purity, PurityEffect::Pure);
     }

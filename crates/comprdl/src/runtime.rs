@@ -54,12 +54,7 @@ pub fn type_of_value(value: &Value, store: &mut TypeStore) -> Type {
 
 /// Checks whether a runtime value inhabits a type.  This is the membership
 /// test used by the inserted dynamic checks (`⌈A⌉e.m(e)` in λC).
-pub fn value_matches(
-    value: &Value,
-    ty: &Type,
-    store: &TypeStore,
-    classes: &ClassTable,
-) -> bool {
+pub fn value_matches(value: &Value, ty: &Type, store: &TypeStore, classes: &ClassTable) -> bool {
     let ty = store.resolve(ty);
     match &ty {
         Type::Top | Type::Dynamic | Type::Var(_) => true,
@@ -109,9 +104,7 @@ pub fn value_matches(
             // returns (a relation object or an array of rows).
             ("Table", _) => true,
             ("Enumerator", Value::Array(_)) => true,
-            (other, v) => {
-                matches!(v, Value::Nil) || classes.is_subclass(&v.class_name(), other)
-            }
+            (other, v) => matches!(v, Value::Nil) || classes.is_subclass(&v.class_name(), other),
         },
         Type::Tuple(id) => match value {
             Value::Array(items) => {
@@ -137,7 +130,10 @@ pub fn value_matches(
                     };
                     match value.hash_get(&key) {
                         Some(v) => value_matches(&v, t, store, classes),
-                        None => matches!(t, Type::Optional(_)) || matches!(t, Type::Singleton(SingVal::Nil)),
+                        None => {
+                            matches!(t, Type::Optional(_))
+                                || matches!(t, Type::Singleton(SingVal::Nil))
+                        }
                     }
                 })
             }
@@ -210,10 +206,8 @@ impl CompRdlHook {
         helpers: HelperRegistry,
         config: CheckConfig,
     ) -> Self {
-        let map = checks
-            .into_iter()
-            .map(|c| ((c.site.start, c.site.end, c.site.line), c))
-            .collect();
+        let map =
+            checks.into_iter().map(|c| ((c.site.start, c.site.end, c.site.line), c)).collect();
         CompRdlHook {
             checks: map,
             store: RefCell::new(store),
@@ -268,10 +262,8 @@ impl DynamicCheckHook for CompRdlHook {
         bindings.insert("tself".to_string(), TlcValue::Type(recv_ty));
         for (i, binder) in consistency.binders.iter().enumerate() {
             if let Some(name) = binder {
-                let arg_ty = args
-                    .get(i)
-                    .map(|v| type_of_value(v, &mut store))
-                    .unwrap_or_else(Type::nil);
+                let arg_ty =
+                    args.get(i).map(|v| type_of_value(v, &mut store)).unwrap_or_else(Type::nil);
                 bindings.insert(name.clone(), TlcValue::Type(arg_ty));
             }
         }
@@ -361,20 +353,11 @@ mod tests {
             Type::Tuple(_)
         ));
         assert!(matches!(
-            type_of_value(
-                &Value::hash(vec![(Value::Sym("a".into()), Value::Int(1))]),
-                &mut store
-            ),
+            type_of_value(&Value::hash(vec![(Value::Sym("a".into()), Value::Int(1))]), &mut store),
             Type::FiniteHash(_)
         ));
-        assert_eq!(
-            type_of_value(&Value::new_object("User"), &mut store),
-            Type::nominal("User")
-        );
-        assert_eq!(
-            type_of_value(&Value::Class("User".into()), &mut store),
-            Type::class_of("User")
-        );
+        assert_eq!(type_of_value(&Value::new_object("User"), &mut store), Type::nominal("User"));
+        assert_eq!(type_of_value(&Value::Class("User".into()), &mut store), Type::class_of("User"));
     }
 
     #[test]

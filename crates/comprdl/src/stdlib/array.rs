@@ -145,31 +145,89 @@ end
 
 /// Iterator methods whose termination depends on their block (`:blockdep`).
 const BLOCKDEP: &[&str] = &[
-    "map", "map!", "collect", "collect!", "each", "each_index", "each_with_index",
-    "each_with_object", "each_slice", "each_cons", "reverse_each", "select", "select!", "filter",
-    "filter_map", "reject", "reject!", "find", "detect", "find_all", "partition", "group_by",
-    "chunk_while", "reduce", "inject", "min_by", "max_by", "sort_by", "sort_by!", "take_while",
-    "drop_while", "delete_if", "keep_if", "flat_map", "collect_concat", "bsearch", "cycle",
-    "all?", "any?", "none?", "one?",
+    "map",
+    "map!",
+    "collect",
+    "collect!",
+    "each",
+    "each_index",
+    "each_with_index",
+    "each_with_object",
+    "each_slice",
+    "each_cons",
+    "reverse_each",
+    "select",
+    "select!",
+    "filter",
+    "filter_map",
+    "reject",
+    "reject!",
+    "find",
+    "detect",
+    "find_all",
+    "partition",
+    "group_by",
+    "chunk_while",
+    "reduce",
+    "inject",
+    "min_by",
+    "max_by",
+    "sort_by",
+    "sort_by!",
+    "take_while",
+    "drop_while",
+    "delete_if",
+    "keep_if",
+    "flat_map",
+    "collect_concat",
+    "bsearch",
+    "cycle",
+    "all?",
+    "any?",
+    "none?",
+    "one?",
 ];
 
 /// Methods that mutate the receiver (impure).
 const IMPURE: &[&str] = &[
-    "[]=", "push", "append", "<<", "unshift", "prepend", "insert", "pop", "shift", "delete",
-    "delete_at", "delete_if", "keep_if", "clear", "map!", "collect!", "select!", "reject!",
-    "sort!", "sort_by!", "uniq!", "compact!", "flatten!", "reverse!", "rotate!", "shuffle!",
-    "concat", "fill", "replace", "slice!",
+    "[]=",
+    "push",
+    "append",
+    "<<",
+    "unshift",
+    "prepend",
+    "insert",
+    "pop",
+    "shift",
+    "delete",
+    "delete_at",
+    "delete_if",
+    "keep_if",
+    "clear",
+    "map!",
+    "collect!",
+    "select!",
+    "reject!",
+    "sort!",
+    "sort_by!",
+    "uniq!",
+    "compact!",
+    "flatten!",
+    "reverse!",
+    "rotate!",
+    "shuffle!",
+    "concat",
+    "fill",
+    "replace",
+    "slice!",
 ];
 
 /// Registers the Array annotation set into `env`.
 pub fn register(env: &mut CompRdl) {
     env.register_helpers_ruby(ARRAY_HELPERS);
     for (name, sig) in METHODS {
-        let term = if BLOCKDEP.contains(name) {
-            TermEffect::BlockDep
-        } else {
-            TermEffect::Terminates
-        };
+        let term =
+            if BLOCKDEP.contains(name) { TermEffect::BlockDep } else { TermEffect::Terminates };
         let purity = if IMPURE.contains(name) { PurityEffect::Impure } else { PurityEffect::Pure };
         env.type_sig_with_effects("Array", name, sig, term, purity);
     }

@@ -71,23 +71,39 @@ pub const METHODS: &[(&str, &str)] = &[
 ];
 
 const BLOCKDEP: &[&str] = &[
-    "any?", "all?", "none?", "each", "each_pair", "each_key", "each_value", "map", "collect",
-    "flat_map", "select", "filter", "reject", "find", "detect", "reduce", "inject", "delete_if",
-    "keep_if", "sort_by", "group_by", "transform_values", "transform_keys",
+    "any?",
+    "all?",
+    "none?",
+    "each",
+    "each_pair",
+    "each_key",
+    "each_value",
+    "map",
+    "collect",
+    "flat_map",
+    "select",
+    "filter",
+    "reject",
+    "find",
+    "detect",
+    "reduce",
+    "inject",
+    "delete_if",
+    "keep_if",
+    "sort_by",
+    "group_by",
+    "transform_values",
+    "transform_keys",
 ];
 
-const IMPURE: &[&str] = &[
-    "[]=", "store", "merge!", "update", "delete", "delete_if", "keep_if", "clear",
-];
+const IMPURE: &[&str] =
+    &["[]=", "store", "merge!", "update", "delete", "delete_if", "keep_if", "clear"];
 
 /// Registers the Hash annotation set into `env`.
 pub fn register(env: &mut CompRdl) {
     for (name, sig) in METHODS {
-        let term = if BLOCKDEP.contains(name) {
-            TermEffect::BlockDep
-        } else {
-            TermEffect::Terminates
-        };
+        let term =
+            if BLOCKDEP.contains(name) { TermEffect::BlockDep } else { TermEffect::Terminates };
         let purity = if IMPURE.contains(name) { PurityEffect::Impure } else { PurityEffect::Pure };
         env.type_sig_with_effects("Hash", name, sig, term, purity);
     }

@@ -148,9 +148,7 @@ pub fn register_native_helpers(env: &mut CompRdl) {
         let get = |v: &TlcValue| -> Option<f64> {
             match v {
                 TlcValue::Type(Type::Singleton(SingVal::Int(i))) => Some(*i as f64),
-                TlcValue::Type(Type::Singleton(SingVal::FloatBits(b))) => {
-                    Some(f64::from_bits(*b))
-                }
+                TlcValue::Type(Type::Singleton(SingVal::FloatBits(b))) => Some(f64::from_bits(*b)),
                 _ => None,
             }
         };
@@ -293,16 +291,12 @@ pub fn register_native_helpers(env: &mut CompRdl) {
     });
 
     // String length / emptiness on const strings.
-    env.register_helper_native("str_len", |ctx, args| {
-        match args.first() {
-            Some(TlcValue::Type(Type::ConstString(id))) => {
-                match ctx.store.const_string_value(*id) {
-                    Some(s) => Ok(TlcValue::Type(Type::int(s.chars().count() as i64))),
-                    None => Ok(TlcValue::Type(Type::nominal("Integer"))),
-                }
-            }
-            _ => Ok(TlcValue::Type(Type::nominal("Integer"))),
-        }
+    env.register_helper_native("str_len", |ctx, args| match args.first() {
+        Some(TlcValue::Type(Type::ConstString(id))) => match ctx.store.const_string_value(*id) {
+            Some(s) => Ok(TlcValue::Type(Type::int(s.chars().count() as i64))),
+            None => Ok(TlcValue::Type(Type::nominal("Integer"))),
+        },
+        _ => Ok(TlcValue::Type(Type::nominal("Integer"))),
     });
 }
 

@@ -155,11 +155,8 @@ const BLOCKDEP: &[&str] = &["times", "upto", "downto", "step", "tap", "then"];
 pub fn register(env: &mut CompRdl) {
     for (class, extra) in [("Integer", INTEGER_ONLY), ("Float", FLOAT_ONLY)] {
         for (name, sig) in ARITH.iter().chain(extra.iter()) {
-            let term = if BLOCKDEP.contains(name) {
-                TermEffect::BlockDep
-            } else {
-                TermEffect::Terminates
-            };
+            let term =
+                if BLOCKDEP.contains(name) { TermEffect::BlockDep } else { TermEffect::Terminates };
             env.type_sig_with_effects(class, name, sig, term, PurityEffect::Pure);
         }
     }
@@ -183,8 +180,7 @@ mod tests {
     #[test]
     fn no_duplicate_method_names() {
         for extra in [INTEGER_ONLY, FLOAT_ONLY] {
-            let mut names: Vec<&str> =
-                ARITH.iter().chain(extra.iter()).map(|(n, _)| *n).collect();
+            let mut names: Vec<&str> = ARITH.iter().chain(extra.iter()).map(|(n, _)| *n).collect();
             let before = names.len();
             names.sort_unstable();
             names.dedup();

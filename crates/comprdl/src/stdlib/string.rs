@@ -132,19 +132,38 @@ pub const METHODS: &[(&str, &str)] = &[
 const BLOCKDEP: &[&str] = &["each_char", "each_byte", "each_line"];
 
 const IMPURE: &[&str] = &[
-    "<<", "concat", "[]=", "upcase!", "downcase!", "capitalize!", "swapcase!", "strip!",
-    "lstrip!", "rstrip!", "chomp!", "chop!", "reverse!", "sub!", "gsub!", "tr!", "delete!",
-    "squeeze!", "replace", "insert", "prepend", "slice!", "force_encoding", "setbyte", "clear",
+    "<<",
+    "concat",
+    "[]=",
+    "upcase!",
+    "downcase!",
+    "capitalize!",
+    "swapcase!",
+    "strip!",
+    "lstrip!",
+    "rstrip!",
+    "chomp!",
+    "chop!",
+    "reverse!",
+    "sub!",
+    "gsub!",
+    "tr!",
+    "delete!",
+    "squeeze!",
+    "replace",
+    "insert",
+    "prepend",
+    "slice!",
+    "force_encoding",
+    "setbyte",
+    "clear",
 ];
 
 /// Registers the String annotation set into `env`.
 pub fn register(env: &mut CompRdl) {
     for (name, sig) in METHODS {
-        let term = if BLOCKDEP.contains(name) {
-            TermEffect::BlockDep
-        } else {
-            TermEffect::Terminates
-        };
+        let term =
+            if BLOCKDEP.contains(name) { TermEffect::BlockDep } else { TermEffect::Terminates };
         let purity = if IMPURE.contains(name) { PurityEffect::Impure } else { PurityEffect::Pure };
         env.type_sig_with_effects("String", name, sig, term, purity);
     }

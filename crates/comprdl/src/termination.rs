@@ -12,7 +12,7 @@
 //!   by the evaluator's depth bound).
 
 use rdl_types::{PurityEffect, TermEffect};
-use ruby_syntax::{Expr, ExprKind, MethodDef};
+use ruby_syntax::{Expr, ExprKind, MethodDef, Span};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -21,13 +21,30 @@ use std::fmt;
 pub struct EffectViolation {
     /// Description of what went wrong.
     pub message: String,
-    /// Line of the offending expression.
-    pub line: u32,
+    /// Where the offending expression is.
+    pub span: Span,
+}
+
+impl EffectViolation {
+    /// 1-based source line of the violation.
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
 }
 
 impl fmt::Display for EffectViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.span.line, self.message)
+    }
+}
+
+impl From<EffectViolation> for diagnostics::Diagnostic {
+    fn from(v: EffectViolation) -> Self {
+        diagnostics::Diagnostic::error("TERM0001", v.message.clone())
+            .with_label(v.span, "in type-level code")
+            .with_note(
+                "type-level computations must provably terminate and be pure (paper \u{a7}4)",
+            )
     }
 }
 
@@ -54,26 +71,87 @@ impl EffectEnv {
         // Pure, terminating reflection / query methods usable in type-level
         // code.
         for m in [
-            "is_a?", "kind_of?", "instance_of?", "nil?", "==", "!=", "val", "value", "elts",
-            "entries", "params", "param", "base", "value_type", "key_type", "elem_type", "elems",
-            "merge", "[]", "keys", "values", "first", "last", "length", "size", "empty?",
-            "include?", "key?", "has_key?", "to_s", "to_sym", "name", "new", "union",
-            "subtype_of?", "canonical", "to_type", "upcase", "downcase", "+", "-", "*", "<",
-            ">", "<=", ">=", "fetch", "dig", "freeze", "class",
+            "is_a?",
+            "kind_of?",
+            "instance_of?",
+            "nil?",
+            "==",
+            "!=",
+            "val",
+            "value",
+            "elts",
+            "entries",
+            "params",
+            "param",
+            "base",
+            "value_type",
+            "key_type",
+            "elem_type",
+            "elems",
+            "merge",
+            "[]",
+            "keys",
+            "values",
+            "first",
+            "last",
+            "length",
+            "size",
+            "empty?",
+            "include?",
+            "key?",
+            "has_key?",
+            "to_s",
+            "to_sym",
+            "name",
+            "new",
+            "union",
+            "subtype_of?",
+            "canonical",
+            "to_type",
+            "upcase",
+            "downcase",
+            "+",
+            "-",
+            "*",
+            "<",
+            ">",
+            "<=",
+            ">=",
+            "fetch",
+            "dig",
+            "freeze",
+            "class",
         ] {
             env.set(m, TermEffect::Terminates, PurityEffect::Pure);
         }
         // Iterators terminate iff their block does and is pure.
-        for m in ["map", "each", "select", "reject", "find", "detect", "collect", "all?", "any?",
-            "none?", "reduce", "inject", "sort_by", "group_by", "each_pair", "each_with_index",
-            "times", "upto"]
-        {
+        for m in [
+            "map",
+            "each",
+            "select",
+            "reject",
+            "find",
+            "detect",
+            "collect",
+            "all?",
+            "any?",
+            "none?",
+            "reduce",
+            "inject",
+            "sort_by",
+            "group_by",
+            "each_pair",
+            "each_with_index",
+            "times",
+            "upto",
+        ] {
             env.set(m, TermEffect::BlockDep, PurityEffect::Pure);
         }
         // Mutators are impure (and must not appear inside pure blocks).
-        for m in ["push", "<<", "pop", "shift", "unshift", "concat", "store", "[]=", "delete",
-            "merge!", "update", "gsub!", "sub!", "clear"]
-        {
+        for m in [
+            "push", "<<", "pop", "shift", "unshift", "concat", "store", "[]=", "delete", "merge!",
+            "update", "gsub!", "sub!", "clear",
+        ] {
             env.set(m, TermEffect::Terminates, PurityEffect::Impure);
         }
         env
@@ -165,33 +243,31 @@ impl TerminationChecker {
         expr.walk(&mut |e| match &e.kind {
             ExprKind::While { .. } => out.push(EffectViolation {
                 message: "type-level code may not use looping constructs".to_string(),
-                line: e.span.line,
+                span: e.span,
             }),
-            ExprKind::Call { name, block, .. } => {
-                match self.env.termination(name) {
-                    TermEffect::Terminates => {}
-                    TermEffect::MayDiverge => out.push(EffectViolation {
-                        message: format!(
-                            "call to `{name}`, which is not known to terminate (`terminates: :-`)"
-                        ),
-                        line: e.span.line,
-                    }),
-                    TermEffect::BlockDep => {
-                        if let Some(block) = block {
-                            let impurities = self.check_block_purity(&block.body);
-                            for v in impurities {
-                                out.push(EffectViolation {
-                                    message: format!(
-                                        "iterator `{name}` requires a pure block: {}",
-                                        v.message
-                                    ),
-                                    line: v.line,
-                                });
-                            }
+            ExprKind::Call { name, block, .. } => match self.env.termination(name) {
+                TermEffect::Terminates => {}
+                TermEffect::MayDiverge => out.push(EffectViolation {
+                    message: format!(
+                        "call to `{name}`, which is not known to terminate (`terminates: :-`)"
+                    ),
+                    span: e.span,
+                }),
+                TermEffect::BlockDep => {
+                    if let Some(block) = block {
+                        let impurities = self.check_block_purity(&block.body);
+                        for v in impurities {
+                            out.push(EffectViolation {
+                                message: format!(
+                                    "iterator `{name}` requires a pure block: {}",
+                                    v.message
+                                ),
+                                span: v.span,
+                            });
                         }
                     }
                 }
-            }
+            },
             _ => {}
         });
         let _ = expr;
@@ -202,32 +278,30 @@ impl TerminationChecker {
             ExprKind::Assign { target, .. } | ExprKind::OpAssign { target, .. } => match target {
                 ruby_syntax::LValue::IVar(name) => out.push(EffectViolation {
                     message: format!("writes instance variable @{name}"),
-                    line: e.span.line,
+                    span: e.span,
                 }),
                 ruby_syntax::LValue::GVar(name) => out.push(EffectViolation {
                     message: format!("writes global variable ${name}"),
-                    line: e.span.line,
+                    span: e.span,
                 }),
                 ruby_syntax::LValue::Const(name) => out.push(EffectViolation {
                     message: format!("writes constant {name}"),
-                    line: e.span.line,
+                    span: e.span,
                 }),
                 ruby_syntax::LValue::Index { .. } | ruby_syntax::LValue::Attr { .. } => {
                     out.push(EffectViolation {
                         message: "mutates the receiver of an index/attribute assignment"
                             .to_string(),
-                        line: e.span.line,
+                        span: e.span,
                     })
                 }
                 ruby_syntax::LValue::Local(_) => {}
             },
-            ExprKind::Call { name, .. } => {
-                if self.env.purity(name) == PurityEffect::Impure {
-                    out.push(EffectViolation {
-                        message: format!("calls impure method `{name}`"),
-                        line: e.span.line,
-                    });
-                }
+            ExprKind::Call { name, .. } if self.env.purity(name) == PurityEffect::Impure => {
+                out.push(EffectViolation {
+                    message: format!("calls impure method `{name}`"),
+                    span: e.span,
+                });
             }
             _ => {}
         });
@@ -289,8 +363,7 @@ mod tests {
     #[test]
     fn purity_rejects_state_writes() {
         let c = checker();
-        let program =
-            parse_program("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
+        let program = parse_program("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
         let (_, def) = &program.methods()[0];
         let violations = c.check_helper(def, true);
         assert!(violations.iter().any(|v| v.message.contains("@cache")));

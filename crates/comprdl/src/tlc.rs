@@ -13,7 +13,7 @@
 //! Ruby subset and registered with the [`HelperRegistry`].
 
 use rdl_types::{ClassTable, HashKey, SingVal, Subtyper, Type, TypeStore};
-use ruby_syntax::{BinOp, Expr, ExprKind, MethodDef};
+use ruby_syntax::{BinOp, Expr, ExprKind, MethodDef, Span};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -28,22 +28,55 @@ const TLC_FUEL: u64 = 200_000;
 pub struct TlcError {
     /// Human readable description.
     pub message: String,
+    /// Where in the type-level source the evaluation failed, when known.
+    /// [`TlcCtx::eval`] attaches the span of the innermost failing
+    /// expression automatically.
+    pub span: Option<Span>,
 }
 
 impl TlcError {
-    /// Creates an error.
+    /// Creates an error with no location (yet).
     pub fn new(message: impl Into<String>) -> Self {
-        TlcError { message: message.into() }
+        TlcError { message: message.into(), span: None }
+    }
+
+    /// Attaches a location, replacing any existing one.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches a location only if none is set, so the innermost (most
+    /// precise) span wins as an error propagates outwards.
+    pub fn or_span(mut self, span: Span) -> Self {
+        if self.span.is_none() && !span.is_dummy() {
+            self.span = Some(span);
+        }
+        self
     }
 }
 
 impl fmt::Display for TlcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type-level computation error: {}", self.message)
+        write!(f, "type-level computation error: {}", self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " (at {span})")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for TlcError {}
+
+impl From<TlcError> for diagnostics::Diagnostic {
+    fn from(e: TlcError) -> Self {
+        let mut d = diagnostics::Diagnostic::error("TLC0001", e.message.clone());
+        if let Some(span) = e.span {
+            d = d.with_label(span, "while evaluating this type-level expression");
+        }
+        d.with_note("the span is relative to the type-level (comp type) source")
+    }
+}
 
 /// Result type for type-level evaluation.
 pub type TlcResult<T = TlcValue> = Result<T, TlcError>;
@@ -241,8 +274,7 @@ impl HelperRegistry {
 
     /// Names of all registered helpers.
     pub fn names(&self) -> Vec<String> {
-        let mut out: Vec<String> =
-            self.native.keys().chain(self.ruby.keys()).cloned().collect();
+        let mut out: Vec<String> = self.native.keys().chain(self.ruby.keys()).cloned().collect();
         out.sort();
         out.dedup();
         out
@@ -313,6 +345,10 @@ impl<'a> TlcCtx<'a> {
     /// Returns a [`TlcError`] if the expression goes wrong (unknown method,
     /// unbound variable, fuel exhaustion, ...).
     pub fn eval(&mut self, expr: &Expr) -> TlcResult {
+        self.eval_inner(expr).map_err(|e| e.or_span(expr.span))
+    }
+
+    fn eval_inner(&mut self, expr: &Expr) -> TlcResult {
         self.burn()?;
         match &expr.kind {
             ExprKind::Nil => Ok(TlcValue::Nil),
@@ -347,16 +383,16 @@ impl<'a> TlcCtx<'a> {
                 }
                 self.call_helper(name, &[])
             }
-            ExprKind::GVar(name) => self
-                .bindings
-                .get(&format!("${name}"))
-                .cloned()
-                .ok_or_else(|| TlcError::new(format!("unbound global ${name} in type-level code"))),
-            ExprKind::IVar(name) => self
-                .bindings
-                .get(&format!("@{name}"))
-                .cloned()
-                .ok_or_else(|| TlcError::new(format!("unbound ivar @{name} in type-level code"))),
+            ExprKind::GVar(name) => {
+                self.bindings.get(&format!("${name}")).cloned().ok_or_else(|| {
+                    TlcError::new(format!("unbound global ${name} in type-level code"))
+                })
+            }
+            ExprKind::IVar(name) => {
+                self.bindings.get(&format!("@{name}")).cloned().ok_or_else(|| {
+                    TlcError::new(format!("unbound ivar @{name} in type-level code"))
+                })
+            }
             ExprKind::Const(path) => {
                 let joined = path.join("::");
                 if let Some(kind) = MetaKind::from_name(&joined) {
@@ -438,9 +474,9 @@ impl<'a> TlcCtx<'a> {
                 Err(TlcError::new("type-level code may not use loops (termination)"))
             }
             ExprKind::TypeCast { expr, .. } => self.eval(expr),
-            other => Err(TlcError::new(format!(
-                "unsupported construct in type-level code: {other:?}"
-            ))),
+            other => {
+                Err(TlcError::new(format!("unsupported construct in type-level code: {other:?}")))
+            }
         }
     }
 
@@ -538,9 +574,7 @@ impl<'a> TlcCtx<'a> {
     }
 
     fn is_a(&mut self, recv: &TlcValue, args: &[TlcValue]) -> TlcResult {
-        let target = args
-            .first()
-            .ok_or_else(|| TlcError::new("is_a? requires an argument"))?;
+        let target = args.first().ok_or_else(|| TlcError::new("is_a? requires an argument"))?;
         let result = match (recv, target) {
             (TlcValue::Type(t), TlcValue::MetaClass(kind)) => {
                 let t = self.store.resolve(t);
@@ -838,9 +872,7 @@ impl<'a> TlcCtx<'a> {
                         TlcValue::Sym(s) => HashKey::Sym(s),
                         TlcValue::Str(s) => HashKey::Str(s),
                         TlcValue::Int(i) => HashKey::Int(i),
-                        other => {
-                            return Err(TlcError::new(format!("invalid hash key {other:?}")))
-                        }
+                        other => return Err(TlcError::new(format!("invalid hash key {other:?}"))),
                     };
                     out.push((key, v.into_type(self.store)?));
                 }
@@ -993,9 +1025,7 @@ fn expect_class_name(args: &[TlcValue], i: usize) -> TlcResult<String> {
         Some(TlcValue::ClassRef(c)) => Ok(c.clone()),
         Some(TlcValue::Str(s)) => Ok(s.clone()),
         Some(TlcValue::Sym(s)) => Ok(s.clone()),
-        Some(TlcValue::MetaClass(_)) | None => {
-            Err(TlcError::new("expected a class name argument"))
-        }
+        Some(TlcValue::MetaClass(_)) | None => Err(TlcError::new("expected a class name argument")),
         Some(other) => Err(TlcError::new(format!("expected a class name, got {other:?}"))),
     }
 }
@@ -1147,9 +1177,8 @@ mod tests {
             (HashKey::Sym("id".into()), Type::nominal("Integer")),
             (HashKey::Sym("username".into()), Type::nominal("String")),
         ]);
-        let emails = store.new_finite_hash(vec![
-            (HashKey::Sym("email".into()), Type::nominal("String")),
-        ]);
+        let emails =
+            store.new_finite_hash(vec![(HashKey::Sym("email".into()), Type::nominal("String"))]);
         let src = "Generic.new(Table, tself.merge({ t.val => targ }))";
         let expr = parse_expr(src).unwrap();
         let classes = ClassTable::with_builtins();
@@ -1177,7 +1206,9 @@ mod tests {
             Ok(TlcValue::Type(Type::nominal("String")))
         });
         helpers
-            .register_ruby("def pick(t)\n  if t.is_a?(Singleton) then t else Nominal.new(Object) end\nend\n")
+            .register_ruby(
+                "def pick(t)\n  if t.is_a?(Singleton) then t else Nominal.new(Object) end\nend\n",
+            )
             .unwrap();
         assert_eq!(helpers.len(), 2);
         assert!(helpers.contains("pick"));
@@ -1189,13 +1220,8 @@ mod tests {
             Type::nominal("String")
         );
         assert_eq!(
-            eval_with(
-                vec![("x", TlcValue::Type(Type::sym("a")))],
-                &helpers,
-                &mut store,
-                "pick(x)"
-            )
-            .unwrap(),
+            eval_with(vec![("x", TlcValue::Type(Type::sym("a")))], &helpers, &mut store, "pick(x)")
+                .unwrap(),
             Type::sym("a")
         );
         assert_eq!(
@@ -1239,7 +1265,8 @@ mod tests {
         let mut store = TypeStore::new();
         let tuple = store.new_tuple(vec![Type::nominal("Integer"), Type::nominal("String")]);
         let src = "if tself.is_a?(Tuple) then tself.elems.first else tself.elem_type end";
-        let t = eval_with(vec![("tself", TlcValue::Type(tuple))], &helpers, &mut store, src).unwrap();
+        let t =
+            eval_with(vec![("tself", TlcValue::Type(tuple))], &helpers, &mut store, src).unwrap();
         assert_eq!(t, Type::nominal("Integer"));
         let t = eval_with(
             vec![("tself", TlcValue::Type(Type::array(Type::Bool)))],

@@ -92,7 +92,11 @@ fn schema() -> DbRegistry {
     );
     db.add_table(
         "users",
-        &[("id", ColumnType::Integer), ("name", ColumnType::String), ("admin", ColumnType::Boolean)],
+        &[
+            ("id", ColumnType::Integer),
+            ("name", ColumnType::String),
+            ("admin", ColumnType::Boolean),
+        ],
     );
     db.add_model("Section", "sections");
     db.add_model("User", "users");

@@ -133,13 +133,14 @@ fn schema() -> DbRegistry {
             ("user_id", ColumnType::Integer),
         ],
     );
-    db.add_table(
-        "topics",
-        &[("id", ColumnType::Integer), ("title", ColumnType::String)],
-    );
+    db.add_table("topics", &[("id", ColumnType::Integer), ("title", ColumnType::String)]);
     db.add_table(
         "posts",
-        &[("id", ColumnType::Integer), ("topic_id", ColumnType::Integer), ("raw", ColumnType::String)],
+        &[
+            ("id", ColumnType::Integer),
+            ("topic_id", ColumnType::Integer),
+            ("raw", ColumnType::String),
+        ],
     );
     db.add_table(
         "topic_allowed_groups",

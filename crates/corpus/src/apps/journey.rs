@@ -92,10 +92,7 @@ fn schema() -> DbRegistry {
             ("answered", ColumnType::Boolean),
         ],
     );
-    db.add_table(
-        "questionnaires",
-        &[("id", ColumnType::Integer), ("name", ColumnType::String)],
-    );
+    db.add_table("questionnaires", &[("id", ColumnType::Integer), ("name", ColumnType::String)]);
     db.add_model("Question", "questions");
     db.add_model("Questionnaire", "questionnaires");
     db
@@ -110,7 +107,12 @@ fn annotate(env: &mut CompRdl) {
         "({ action: String or Symbol, id: Integer }) -> String",
         None,
     );
-    env.type_sig_singleton("Question", "question_titles", "(Integer) -> Array<Object>", Some("app"));
+    env.type_sig_singleton(
+        "Question",
+        "question_titles",
+        "(Integer) -> Array<Object>",
+        Some("app"),
+    );
     env.type_sig_singleton("Question", "answered?", "(Integer) -> %bool", Some("app"));
     env.type_sig_singleton("Question", "field_class", "() -> Object", Some("app"));
     env.type_sig_singleton("Question", "build_redirect", "() -> String", Some("app"));

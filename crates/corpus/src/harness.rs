@@ -2,6 +2,7 @@
 
 use crate::app::App;
 use comprdl::{CheckConfig, CheckOptions, CompRdl, TypeChecker};
+use diagnostics::{Diagnostic, DiagnosticBag};
 use ruby_interp::Interpreter;
 use std::time::{Duration, Instant};
 
@@ -41,11 +42,17 @@ pub struct Table2Row {
     pub test_time_with_chk: Duration,
     /// Number of dynamic checks executed during the checked test run.
     pub dynamic_checks_run: u64,
-    /// Errors found by type checking.
-    pub errors: usize,
+    /// Every error from the comp-type checking run as a [`Diagnostic`],
+    /// aggregated per app through the shared diagnostics spine.
+    pub diagnostics: DiagnosticBag,
 }
 
 impl Table2Row {
+    /// Errors found by type checking (the size of [`Table2Row::diagnostics`]).
+    pub fn errors(&self) -> usize {
+        self.diagnostics.len()
+    }
+
     /// The dynamic-check overhead as a fraction (e.g. `0.016` for 1.6%).
     pub fn overhead(&self) -> f64 {
         let base = self.test_time_no_chk.as_secs_f64();
@@ -64,11 +71,19 @@ pub struct HarnessError {
     pub app: String,
     /// Description of the failure.
     pub message: String,
+    /// The underlying error as a [`Diagnostic`], when one exists (a parse
+    /// error or runtime error carries a span; a missing fixture does not).
+    /// Boxed to keep the `Err` variant small.
+    pub diagnostic: Option<Box<Diagnostic>>,
 }
 
 impl std::fmt::Display for HarnessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}] {}", self.app, self.message)
+        write!(f, "[{}] {}", self.app, self.message)?;
+        if let Some(d) = &self.diagnostic {
+            write!(f, " [{}]", d.code)?;
+        }
+        Ok(())
     }
 }
 
@@ -112,11 +127,15 @@ pub fn table1() -> (Vec<Table1Row>, usize) {
 /// a runtime error, or a dynamic check raises blame (none of which should
 /// happen for the shipped corpus).
 pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
-    let err = |message: String| HarnessError { app: app.name.to_string(), message };
+    let err = |message: String, diagnostic: Option<Box<Diagnostic>>| HarnessError {
+        app: app.name.to_string(),
+        message,
+        diagnostic,
+    };
 
     let env = app.build_env();
     let program = ruby_syntax::parse_program(&app.full_source())
-        .map_err(|e| err(format!("parse error: {e}")))?;
+        .map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
 
     // Static checking with comp types (timed).
     let started = Instant::now();
@@ -135,7 +154,9 @@ pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
     // Run the test suite without checks.
     let plain = Interpreter::new(program.clone());
     let started = Instant::now();
-    plain.eval_program().map_err(|e| err(format!("test suite failed without checks: {e}")))?;
+    plain.eval_program().map_err(|e| {
+        err(format!("test suite failed without checks: {e}"), Some(Box::new(e.into())))
+    })?;
     let test_time_no_chk = started.elapsed();
 
     // Run the test suite with the inserted dynamic checks.
@@ -149,9 +170,9 @@ pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
     let mut checked = Interpreter::new(program.clone());
     checked.set_hook(hook.clone());
     let started = Instant::now();
-    checked
-        .eval_program()
-        .map_err(|e| err(format!("test suite failed with dynamic checks: {e}")))?;
+    checked.eval_program().map_err(|e| {
+        err(format!("test suite failed with dynamic checks: {e}"), Some(Box::new(e.into())))
+    })?;
     let test_time_with_chk = started.elapsed();
 
     Ok(Table2Row {
@@ -166,8 +187,38 @@ pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
         test_time_no_chk,
         test_time_with_chk,
         dynamic_checks_run: checked.checks_performed(),
-        errors: comp_result.errors().len(),
+        diagnostics: comp_result.errors().into_iter().cloned().map(Diagnostic::from).collect(),
     })
+}
+
+/// Aggregates diagnostics across evaluated rows: per app, the bag of every
+/// type error its comp-type checking run produced (the per-app error counts
+/// of the paper's Table 2, but carrying full span/code information).
+pub fn corpus_diagnostics(rows: &[Table2Row]) -> Vec<(String, DiagnosticBag)> {
+    rows.iter().map(|row| (row.program.clone(), row.diagnostics.clone())).collect()
+}
+
+/// Renders the per-app diagnostic aggregation as a compact table: app name,
+/// error/warning counts, and counts by diagnostic code.
+pub fn format_diagnostic_summary(per_app: &[(String, DiagnosticBag)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Diagnostics per app (aggregated through the shared spine).
+",
+    );
+    for (app, bag) in per_app {
+        out.push_str(&format!(
+            "{app:<12} {bag}
+"
+        ));
+    }
+    let total: usize = per_app.iter().map(|(_, b)| b.len()).sum();
+    out.push_str(&format!(
+        "{:<12} {total} diagnostics
+",
+        "Total"
+    ));
+    out
 }
 
 /// Runs the evaluation for every app in the corpus.
@@ -208,7 +259,16 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     out.push_str("Table 2. Type checking results.\n");
     out.push_str(&format!(
         "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>10} {:>12} {:>12} {:>5}\n",
-        "Program", "Meths", "LoC", "Annots", "Casts", "Casts(RDL)", "Check(ms)", "NoChk(ms)", "w/Chk(ms)", "Errs"
+        "Program",
+        "Meths",
+        "LoC",
+        "Annots",
+        "Casts",
+        "Casts(RDL)",
+        "Check(ms)",
+        "NoChk(ms)",
+        "w/Chk(ms)",
+        "Errs"
     ));
     let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize, 0usize, 0.0f64, 0.0f64, 0.0f64);
     for r in rows {
@@ -223,21 +283,30 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
             r.check_time.as_secs_f64() * 1000.0,
             r.test_time_no_chk.as_secs_f64() * 1000.0,
             r.test_time_with_chk.as_secs_f64() * 1000.0,
-            r.errors
+            r.errors()
         ));
         totals.0 += r.methods;
         totals.1 += r.loc;
         totals.2 += r.extra_annotations;
         totals.3 += r.casts;
         totals.4 += r.casts_rdl;
-        totals.5 += r.errors;
+        totals.5 += r.errors();
         totals.6 += r.check_time.as_secs_f64() * 1000.0;
         totals.7 += r.test_time_no_chk.as_secs_f64() * 1000.0;
         totals.8 += r.test_time_with_chk.as_secs_f64() * 1000.0;
     }
     out.push_str(&format!(
         "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>10.2} {:>12.3} {:>12.3} {:>5}\n",
-        "Total", totals.0, totals.1, totals.2, totals.3, totals.4, totals.6, totals.7, totals.8, totals.5
+        "Total",
+        totals.0,
+        totals.1,
+        totals.2,
+        totals.3,
+        totals.4,
+        totals.6,
+        totals.7,
+        totals.8,
+        totals.5
     ));
     let ratio = if totals.3 > 0 { totals.4 as f64 / totals.3 as f64 } else { f64::INFINITY };
     out.push_str(&format!("Cast reduction (RDL / CompRDL): {ratio:.2}x\n"));

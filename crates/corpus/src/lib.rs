@@ -20,7 +20,8 @@ pub mod harness;
 
 pub use app::App;
 pub use harness::{
-    evaluate_app, format_table1, format_table2, table1, table2, HarnessError, Table1Row, Table2Row,
+    corpus_diagnostics, evaluate_app, format_diagnostic_summary, format_table1, format_table2,
+    table1, table2, HarnessError, Table1Row, Table2Row,
 };
 
 #[cfg(test)]
@@ -49,8 +50,9 @@ mod tests {
             let env = app.build_env();
             let program = ruby_syntax::parse_program(&app.full_source())
                 .unwrap_or_else(|e| panic!("{}: parse error: {e}", app.name));
-            let result = comprdl::TypeChecker::new(&env, &program, comprdl::CheckOptions::default())
-                .check_labeled("app");
+            let result =
+                comprdl::TypeChecker::new(&env, &program, comprdl::CheckOptions::default())
+                    .check_labeled("app");
             assert_eq!(
                 result.errors().len(),
                 app.expected_errors,
@@ -71,16 +73,18 @@ mod tests {
             casts_rdl > casts,
             "expected plain RDL to need more casts ({casts_rdl} vs {casts})"
         );
-        assert!(casts_rdl as f64 >= 2.0 * casts.max(1) as f64,
-            "expected a substantial cast reduction ({casts_rdl} vs {casts})");
+        assert!(
+            casts_rdl as f64 >= 2.0 * casts.max(1) as f64,
+            "expected a substantial cast reduction ({casts_rdl} vs {casts})"
+        );
     }
 
     #[test]
     fn the_three_seeded_bugs_are_found() {
         let rows = table2().expect("harness");
-        let errors: usize = rows.iter().map(|r| r.errors).sum();
+        let errors: usize = rows.iter().map(|r| r.errors()).sum();
         assert_eq!(errors, 3, "{rows:#?}");
-        let by_name = |name: &str| rows.iter().find(|r| r.program == name).unwrap().errors;
+        let by_name = |name: &str| rows.iter().find(|r| r.program == name).unwrap().errors();
         assert_eq!(by_name("Code.org"), 1);
         assert_eq!(by_name("Journey"), 2);
         assert_eq!(by_name("Discourse"), 0);

@@ -1,0 +1,236 @@
+//! Minimal, offline-friendly stand-in for the [criterion] benchmarking
+//! crate, exposing just the API surface the `bench` crate uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the real criterion (and its statistics / plotting stack)
+//! cannot be vendored. This shim keeps the benches compiling and *running* —
+//! it performs a warm-up pass and reports the mean wall-clock time per
+//! iteration over `sample_size` samples — while staying API-compatible so
+//! the real crate can be swapped back in by pointing the workspace
+//! `criterion` dependency at crates.io.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Registers a stand-alone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkIdOrName>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group by function and parameter name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, e.g. `BenchmarkId::new("comp_types", "Discourse")`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// A one-part id from a displayable parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            f.write_str(&self.parameter)
+        } else if self.parameter.is_empty() {
+            f.write_str(&self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrName>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{}", self.name, id) };
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // Warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        report(&label, &b.samples);
+        self
+    }
+
+    /// Runs a benchmark that closes over a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkIdOrName>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Either a plain string name or a structured [`BenchmarkId`].
+pub struct BenchmarkIdOrName(String);
+
+impl fmt::Display for BenchmarkIdOrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BenchmarkIdOrName {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrName(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrName {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrName(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrName {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrName(id.to_string())
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{label:<60} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring criterion's
+/// macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("with", 7), &7, |b, n| b.iter(|| black_box(n * 2)));
+        g.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group!(shim_benches, trivial);
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        shim_benches();
+    }
+
+    #[test]
+    fn id_display_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

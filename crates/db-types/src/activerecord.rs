@@ -60,14 +60,14 @@ pub fn methods() -> Vec<(&'static str, String)> {
         ("from", format!("(String) -> {relation}")),
         // Fetching.
         ("find", format!("(Integer) -> {row}")),
-        ("take", format!("() -> «maybe(row_type(tself))»")),
+        ("take", "() -> «maybe(row_type(tself))»".to_string()),
         ("take!", format!("() -> {row}")),
-        ("first", format!("() -> «maybe(row_type(tself))»")),
+        ("first", "() -> «maybe(row_type(tself))»".to_string()),
         ("first!", format!("() -> {row}")),
-        ("last", format!("() -> «maybe(row_type(tself))»")),
+        ("last", "() -> «maybe(row_type(tself))»".to_string()),
         ("last!", format!("() -> {row}")),
-        ("second", format!("() -> «maybe(row_type(tself))»")),
-        ("third", format!("() -> «maybe(row_type(tself))»")),
+        ("second", "() -> «maybe(row_type(tself))»".to_string()),
+        ("third", "() -> «maybe(row_type(tself))»".to_string()),
         ("find_each", format!("() {{ (Object) -> Object }} -> {relation}")),
         ("find_in_batches", format!("() {{ (Array<Object>) -> Object }} -> {relation}")),
         ("in_batches", format!("() {{ (Object) -> Object }} -> {relation}")),
@@ -108,8 +108,18 @@ pub fn methods() -> Vec<(&'static str, String)> {
 const BLOCKDEP: &[&str] = &["each", "map", "find_each", "find_in_batches", "in_batches"];
 
 const IMPURE: &[&str] = &[
-    "create", "create!", "update", "update!", "update_all", "save", "save!", "destroy",
-    "destroy_all", "delete", "delete_all", "touch",
+    "create",
+    "create!",
+    "update",
+    "update!",
+    "update_all",
+    "save",
+    "save!",
+    "destroy",
+    "destroy_all",
+    "delete",
+    "delete_all",
+    "touch",
 ];
 
 /// Registers the ActiveRecord annotation set (on the `Table` class).
@@ -117,8 +127,7 @@ pub fn register(env: &mut CompRdl) {
     for (name, sig) in methods() {
         let term =
             if BLOCKDEP.contains(&name) { TermEffect::BlockDep } else { TermEffect::Terminates };
-        let purity =
-            if IMPURE.contains(&name) { PurityEffect::Impure } else { PurityEffect::Pure };
+        let purity = if IMPURE.contains(&name) { PurityEffect::Impure } else { PurityEffect::Pure };
         env.type_sig_with_effects("Table", name, &sig, term, purity);
     }
 }

@@ -173,10 +173,7 @@ fn schema_hash(
     }
 }
 
-fn call_schema_type(
-    ctx: &mut comprdl::TlcCtx<'_>,
-    t: &Type,
-) -> Result<Type, TlcError> {
+fn call_schema_type(ctx: &mut comprdl::TlcCtx<'_>, t: &Type) -> Result<Type, TlcError> {
     match ctx.call_helper("schema_type", &[TlcValue::Type(t.clone())])? {
         TlcValue::Type(t) => Ok(t),
         other => Err(TlcError::new(format!("schema_type returned a non-type {other:?}"))),

@@ -77,10 +77,8 @@ impl DbRegistry {
 
     /// Declares a table and its columns.
     pub fn add_table(&mut self, name: &str, columns: &[(&str, ColumnType)]) {
-        self.tables.insert(
-            name.to_string(),
-            columns.iter().map(|(c, t)| (c.to_string(), *t)).collect(),
-        );
+        self.tables
+            .insert(name.to_string(), columns.iter().map(|(c, t)| (c.to_string(), *t)).collect());
     }
 
     /// Declares a model class backed by `table`.
@@ -198,7 +196,11 @@ mod tests {
         );
         db.add_table(
             "emails",
-            &[("id", ColumnType::Integer), ("email", ColumnType::String), ("user_id", ColumnType::Integer)],
+            &[
+                ("id", ColumnType::Integer),
+                ("email", ColumnType::String),
+                ("user_id", ColumnType::Integer),
+            ],
         );
         db.add_model("User", "users");
         db.add_association("User", "emails", "emails");
@@ -234,10 +236,7 @@ mod tests {
         let Type::FiniteHash(id) = t else { panic!() };
         let data = store.finite_hash(id);
         assert_eq!(data.entries.len(), 3);
-        assert_eq!(
-            data.get(&HashKey::Sym("username".into())),
-            Some(&Type::nominal("String"))
-        );
+        assert_eq!(data.get(&HashKey::Sym("username".into())), Some(&Type::nominal("String")));
         assert_eq!(data.get(&HashKey::Sym("staged".into())), Some(&Type::Bool));
         assert!(db.schema_finite_hash("missing", &mut store).is_none());
     }
@@ -247,10 +246,7 @@ mod tests {
         let db = sample();
         let sql = db.to_sql_schema();
         assert!(sql.has_table("users"));
-        assert_eq!(
-            sql.column_type(&["users".to_string()], "username"),
-            Some(SqlType::Text)
-        );
+        assert_eq!(sql.column_type(&["users".to_string()], "username"), Some(SqlType::Text));
         assert_eq!(sql.column_type(&["users".to_string()], "id"), Some(SqlType::Integer));
     }
 

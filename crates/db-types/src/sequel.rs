@@ -63,8 +63,7 @@ pub fn register(env: &mut CompRdl) {
     for (name, sig) in methods() {
         let term =
             if BLOCKDEP.contains(&name) { TermEffect::BlockDep } else { TermEffect::Terminates };
-        let purity =
-            if IMPURE.contains(&name) { PurityEffect::Impure } else { PurityEffect::Pure };
+        let purity = if IMPURE.contains(&name) { PurityEffect::Impure } else { PurityEffect::Pure };
         env.type_sig_with_effects("Sequel::Dataset", name, &sig, term, purity);
     }
 }

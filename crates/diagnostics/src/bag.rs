@@ -1,0 +1,110 @@
+//! Collecting and summarising diagnostics across a whole run.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An append-only collection of diagnostics with severity / code counting,
+/// used by the corpus harness to aggregate per-app results into the paper's
+/// Table 1 / Table 2 shape.
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosticBag {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one diagnostic.
+    pub fn push(&mut self, d: impl Into<Diagnostic>) {
+        self.diags.push(d.into());
+    }
+
+    /// Adds every diagnostic from an iterator.
+    pub fn extend<I, D>(&mut self, iter: I)
+    where
+        I: IntoIterator<Item = D>,
+        D: Into<Diagnostic>,
+    {
+        self.diags.extend(iter.into_iter().map(Into::into));
+    }
+
+    /// All collected diagnostics, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Total number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of diagnostics with [`Severity::Error`].
+    pub fn error_count(&self) -> usize {
+        self.count_of(Severity::Error)
+    }
+
+    /// Number of diagnostics with [`Severity::Warning`].
+    pub fn warning_count(&self) -> usize {
+        self.count_of(Severity::Warning)
+    }
+
+    /// Number of diagnostics of the given severity.
+    pub fn count_of(&self, sev: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == sev).count()
+    }
+
+    /// Diagnostic counts grouped by code (sorted by code).
+    pub fn counts_by_code(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for d in &self.diags {
+            *m.entry(d.code.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+impl fmt::Display for DiagnosticBag {
+    /// A compact one-line summary: `3 errors, 1 warning (TYP0004 x2, ...)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} errors, {} warnings", self.error_count(), self.warning_count())?;
+        if !self.is_empty() {
+            let parts: Vec<String> =
+                self.counts_by_code().into_iter().map(|(c, n)| format!("{c} x{n}")).collect();
+            write!(f, " ({})", parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Diagnostic> for DiagnosticBag {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        DiagnosticBag { diags: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_severity_and_code() {
+        let mut bag = DiagnosticBag::new();
+        bag.push(Diagnostic::error("TYP0001", "a"));
+        bag.push(Diagnostic::error("TYP0001", "b"));
+        bag.push(Diagnostic::warning("TYP0009", "c"));
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag.error_count(), 2);
+        assert_eq!(bag.warning_count(), 1);
+        assert_eq!(bag.counts_by_code()["TYP0001"], 2);
+        assert_eq!(bag.to_string(), "2 errors, 1 warnings (TYP0001 x2, TYP0009 x1)");
+    }
+}

@@ -1,0 +1,142 @@
+//! Rendering diagnostics as rustc-style annotated source snippets.
+//!
+//! ```text
+//! error[TYP0004]: body type does not match declared return type
+//!   --> codeorg.rb:3:3
+//!    |
+//!  3 |   @current_user
+//!    |   ^^^^^^^^^^^^^ found `User or nil`, declared `User`
+//!    |
+//!    = note: documented as never nil, but the reader can return nil
+//! ```
+
+use crate::diagnostic::{Diagnostic, Label};
+use crate::source::SourceMap;
+use std::fmt::Write as _;
+
+/// Renders one diagnostic against its source as an annotated snippet.
+pub fn render(sm: &SourceMap, diag: &Diagnostic) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message);
+
+    // Labels with real spans get annotated source lines; located labels are
+    // grouped per source line so a line is printed once however many labels
+    // point at it.
+    let mut located: Vec<&Label> = diag.labels.iter().filter(|l| !l.span.is_dummy()).collect();
+    located.sort_by_key(|l| (sm.position(l.span).0, !l.primary, l.span.start));
+
+    if let Some(first) = located.first() {
+        let (line, col) = sm.position(first.span);
+        let _ = writeln!(out, "  --> {}:{}:{}", sm.name(), line, col);
+        let gutter =
+            located.iter().map(|l| sm.position(l.span).0).max().unwrap_or(line).to_string().len();
+        let _ = writeln!(out, "{:gutter$} |", "");
+
+        let mut prev_line: Option<u32> = None;
+        for label in &located {
+            let (lline, lcol) = sm.position(label.span);
+            if prev_line != Some(lline) {
+                if let Some(p) = prev_line {
+                    // Visual break between non-adjacent annotated lines.
+                    if lline > p + 1 {
+                        let _ = writeln!(out, "{:gutter$} |", "");
+                    }
+                }
+                let text = sm.line_text(lline).unwrap_or("");
+                let _ = writeln!(out, "{lline:gutter$} | {text}");
+                prev_line = Some(lline);
+            }
+            let line_len = sm.line_text(lline).map(str::len).unwrap_or(0);
+            let start = (lcol as usize - 1).min(line_len);
+            let width = label.span.len().clamp(1, line_len.saturating_sub(start).max(1));
+            let marker = if label.primary { "^" } else { "-" };
+            let _ = write!(out, "{:gutter$} | {:start$}{}", "", "", marker.repeat(width));
+            if label.message.is_empty() {
+                out.push('\n');
+            } else {
+                let _ = writeln!(out, " {}", label.message);
+            }
+        }
+        let _ = writeln!(out, "{:gutter$} |", "");
+        for note in &diag.notes {
+            let _ = writeln!(out, "{:gutter$} = note: {note}", "");
+        }
+    } else {
+        for note in &diag.notes {
+            let _ = writeln!(out, "  = note: {note}");
+        }
+    }
+    // Labels without a location still carry their message as trailing notes.
+    for label in diag.labels.iter().filter(|l| l.span.is_dummy() && !l.message.is_empty()) {
+        let _ = writeln!(out, "  = note: {}", label.message);
+    }
+    out
+}
+
+/// Renders a batch of diagnostics separated by blank lines.
+pub fn render_all(sm: &SourceMap, diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| render(sm, d)).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Diagnostic;
+    use crate::span::Span;
+
+    fn sm() -> SourceMap {
+        SourceMap::new("app.rb", "def m(x)\n  x.foo(1)\nend\n")
+    }
+
+    #[test]
+    fn renders_primary_label_with_carets() {
+        let d = Diagnostic::error("TYP0002", "no method `foo`")
+            .with_label(Span::new(11, 16, 2), "receiver has type Integer");
+        let r = render(&sm(), &d);
+        assert!(r.contains("error[TYP0002]: no method `foo`"), "{r}");
+        assert!(r.contains("--> app.rb:2:3"), "{r}");
+        assert!(r.contains("2 |   x.foo(1)"), "{r}");
+        assert!(r.contains("^^^^^ receiver has type Integer"), "{r}");
+    }
+
+    #[test]
+    fn renders_multiple_labels_across_lines() {
+        let d = Diagnostic::error("TYP0001", "mismatch")
+            .with_label(Span::new(11, 12, 2), "used here")
+            .with_secondary_label(Span::new(6, 7, 1), "param declared here")
+            .with_note("one note");
+        let r = render(&sm(), &d);
+        let caret_line = r.lines().position(|l| l.contains("^ used here")).unwrap();
+        let dash_line = r.lines().position(|l| l.contains("- param declared here")).unwrap();
+        // Line 1's label renders before line 2's even though it is secondary.
+        assert!(dash_line < caret_line, "{r}");
+        assert!(r.contains("= note: one note"), "{r}");
+    }
+
+    #[test]
+    fn two_labels_on_one_line_print_line_once() {
+        let d = Diagnostic::error("TYP0001", "mismatch")
+            .with_label(Span::new(11, 12, 2), "first")
+            .with_secondary_label(Span::new(17, 18, 2), "second");
+        let r = render(&sm(), &d);
+        assert_eq!(r.matches("x.foo(1)").count(), 1, "{r}");
+        assert!(r.contains("^ first"), "{r}");
+        assert!(r.contains("- second"), "{r}");
+    }
+
+    #[test]
+    fn dummy_span_renders_headline_and_notes_only() {
+        let d = Diagnostic::error("TLC0001", "helper failed").with_note("while evaluating");
+        let r = render(&sm(), &d);
+        assert!(r.starts_with("error[TLC0001]: helper failed"), "{r}");
+        assert!(!r.contains("-->"), "{r}");
+        assert!(r.contains("= note: while evaluating"), "{r}");
+    }
+
+    #[test]
+    fn clamps_out_of_range_spans() {
+        let d = Diagnostic::error("X0001", "weird").with_label(Span::new(500, 600, 9), "here");
+        let r = render(&sm(), &d);
+        assert!(r.contains("^"), "{r}");
+    }
+}

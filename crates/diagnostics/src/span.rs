@@ -1,0 +1,129 @@
+//! Source positions and spans.
+//!
+//! Every token, AST node and error in the workspace carries a [`Span`] so
+//! that each layer — lexer, parser, signature parser, comp-type evaluator,
+//! static checker, interpreter and SQL checker — can report errors that
+//! point back into the original source text through one shared type.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer, together with
+/// the 1-based line on which the span starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diagnostics::Span;
+    /// let s = Span::new(0, 3, 1);
+    /// assert_eq!(s.len(), 3);
+    /// ```
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// A dummy span used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0, line: 0 }
+    }
+
+    /// Whether this is the dummy span of a synthesized node.
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0 && self.line == 0
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// The resulting line is the line of whichever span starts first.
+    pub fn to(&self, other: Span) -> Span {
+        let (line, start) = if self.start <= other.start {
+            (self.line, self.start)
+        } else {
+            (other.line, other.start)
+        };
+        Span { start, end: self.end.max(other.end), line }
+    }
+
+    /// Alias for [`Span::to`]: merges two spans into the smallest covering
+    /// span. Dummy spans are treated as identity elements, so merging a real
+    /// span with a synthesized one keeps the real location.
+    pub fn merge(&self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            *self
+        } else {
+            self.to(other)
+        }
+    }
+
+    /// Extracts the spanned text from `src`, if in range.
+    pub fn snippet<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_orders_correctly() {
+        let a = Span::new(0, 4, 1);
+        let b = Span::new(10, 12, 3);
+        assert_eq!(a.to(b), Span::new(0, 12, 1));
+        assert_eq!(b.to(a), Span::new(0, 12, 1));
+    }
+
+    #[test]
+    fn merge_treats_dummy_as_identity() {
+        let real = Span::new(5, 9, 2);
+        assert_eq!(Span::dummy().merge(real), real);
+        assert_eq!(real.merge(Span::dummy()), real);
+        assert_eq!(real.merge(Span::new(0, 2, 1)), Span::new(0, 9, 1));
+    }
+
+    #[test]
+    fn snippet_extracts_text() {
+        let src = "hello world";
+        let s = Span::new(6, 11, 1);
+        assert_eq!(s.snippet(src), Some("world"));
+        let out = Span::new(6, 100, 1);
+        assert_eq!(out.snippet(src), None);
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::dummy().is_empty());
+        assert!(Span::dummy().is_dummy());
+        assert!(!Span::new(2, 5, 1).is_dummy());
+        assert_eq!(Span::new(2, 5, 1).len(), 3);
+    }
+}

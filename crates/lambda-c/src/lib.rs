@@ -39,10 +39,15 @@ pub use semantics::{run, Evaluator, Outcome};
 pub use syntax::{ClassId, Expr, LibImpl, LibType, Program, SimpleType, UserMethod, Value};
 pub use typing::{Checker, TypeError};
 
+// Deterministic property tests of the soundness theorem. The container has
+// no crates.io access, so instead of `proptest` these use a seeded xorshift
+// generator to draw a few hundred random surface expressions and assert the
+// same properties a shrinking property tester would.
 #[cfg(test)]
 mod soundness {
     use super::*;
-    use proptest::prelude::*;
+
+    use test_rng::Rng;
 
     /// A program with user methods, simple library methods, a comp-typed
     /// library method, and a deliberately ill-behaved library method, so the
@@ -117,71 +122,78 @@ mod soundness {
     }
 
     /// Generates surface expressions over the test program's vocabulary.
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            Just(Expr::val(Value::True)),
-            Just(Expr::val(Value::False)),
-            Just(Expr::val(Value::Nil)),
-            Just(Expr::New("A".into())),
-            Just(Expr::New("B".into())),
-            Just(Expr::SelfE),
-        ];
-        leaf.prop_recursive(4, 32, 3, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone(), inner.clone())
-                    .prop_map(|(a, b, c)| Expr::If(Box::new(a), Box::new(b), Box::new(c))),
-                (inner.clone(), inner.clone(), prop_oneof![
-                    Just("id".to_string()),
-                    Just("flip".to_string()),
-                    Just("mkbool".to_string()),
-                    Just("liar".to_string()),
-                    Just("and".to_string()),
-                ])
-                    .prop_map(|(r, a, m)| Expr::Call(Box::new(r), m, Box::new(a))),
-            ]
-        })
+    fn arb_expr(rng: &mut Rng, depth: u32) -> Expr {
+        if depth == 0 || rng.below(2) == 0 {
+            return match rng.below(6) {
+                0 => Expr::val(Value::True),
+                1 => Expr::val(Value::False),
+                2 => Expr::val(Value::Nil),
+                3 => Expr::New("A".into()),
+                4 => Expr::New("B".into()),
+                _ => Expr::SelfE,
+            };
+        }
+        match rng.below(4) {
+            0 => Expr::Seq(Box::new(arb_expr(rng, depth - 1)), Box::new(arb_expr(rng, depth - 1))),
+            1 => Expr::Eq(Box::new(arb_expr(rng, depth - 1)), Box::new(arb_expr(rng, depth - 1))),
+            2 => Expr::If(
+                Box::new(arb_expr(rng, depth - 1)),
+                Box::new(arb_expr(rng, depth - 1)),
+                Box::new(arb_expr(rng, depth - 1)),
+            ),
+            _ => {
+                let m = ["id", "flip", "mkbool", "liar", "and"][rng.below(5) as usize];
+                Expr::Call(
+                    Box::new(arb_expr(rng, depth - 1)),
+                    m.to_string(),
+                    Box::new(arb_expr(rng, depth - 1)),
+                )
+            }
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(512))]
+    const CASES: usize = 512;
 
-        /// Theorem 3.1 (soundness): if `∅ ⊢ e ↪ e' : A` then `e'` reduces to
-        /// a value, reduces to blame, or diverges — never gets stuck.  And
-        /// when it reduces to a value, the value's class is a subtype of `A`
-        /// (the preservation part).
-        #[test]
-        fn well_typed_programs_do_not_get_stuck(e in arb_expr()) {
-            let program = test_program();
-            let checker = Checker::new(&program);
+    /// Theorem 3.1 (soundness): if `∅ ⊢ e ↪ e' : A` then `e'` reduces to
+    /// a value, reduces to blame, or diverges — never gets stuck.  And
+    /// when it reduces to a value, the value's class is a subtype of `A`
+    /// (the preservation part).
+    #[test]
+    fn well_typed_programs_do_not_get_stuck() {
+        let program = test_program();
+        let checker = Checker::new(&program);
+        let mut rng = Rng::new(0xA11CE);
+        for _ in 0..CASES {
+            let e = arb_expr(&mut rng, 4);
             let Ok((rewritten, ty)) = checker.check_expr(&e, "Obj") else {
                 // Ill-typed programs are outside the theorem's premise.
-                return Ok(());
+                continue;
             };
             let outcome = run(&program, &rewritten, 50_000);
-            prop_assert!(!outcome.is_stuck(), "stuck: {outcome:?} for {rewritten:?}");
+            assert!(!outcome.is_stuck(), "stuck: {outcome:?} for {rewritten:?}");
             if let Outcome::Val(v) = outcome {
-                prop_assert!(
+                assert!(
                     program.subtype(&v.type_of(), &ty),
                     "preservation violated: {v} : {} but static type {ty}",
                     v.type_of()
                 );
             }
         }
+    }
 
-        /// Without the inserted checks, the ill-behaved library method would
-        /// produce values that violate the static types; with them, such
-        /// executions reduce to blame instead.  (This is the reason the
-        /// rewriting step exists.)
-        #[test]
-        fn unchecked_execution_can_break_preservation_but_checked_cannot(e in arb_expr()) {
-            let program = test_program();
-            let checker = Checker::new(&program);
+    /// Without the inserted checks, the ill-behaved library method would
+    /// produce values that violate the static types; with them, such
+    /// executions reduce to blame instead.  (This is the reason the
+    /// rewriting step exists.)
+    #[test]
+    fn unchecked_execution_can_break_preservation_but_checked_cannot() {
+        let program = test_program();
+        let checker = Checker::new(&program);
+        let mut rng = Rng::new(0xB0B0B0);
+        for _ in 0..CASES {
+            let e = arb_expr(&mut rng, 4);
             let Ok((rewritten, ty)) = checker.check_expr(&e, "Obj") else {
-                return Ok(());
+                continue;
             };
             // Run the *unrewritten* expression: it may produce ill-typed
             // values or even get stuck (that is exactly why checks are
@@ -190,9 +202,9 @@ mod soundness {
             // The rewritten expression never produces an ill-typed value and
             // never gets stuck.
             let checked = run(&program, &rewritten, 50_000);
-            prop_assert!(!checked.is_stuck(), "stuck: {checked:?}");
+            assert!(!checked.is_stuck(), "stuck: {checked:?}");
             if let Outcome::Val(v) = checked {
-                prop_assert!(program.subtype(&v.type_of(), &ty));
+                assert!(program.subtype(&v.type_of(), &ty));
             }
         }
     }

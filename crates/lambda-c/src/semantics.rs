@@ -167,9 +167,7 @@ impl<'a> Evaluator<'a> {
         if self.program.subtype(&v.type_of(), expected) {
             Outcome::Val(v)
         } else {
-            Outcome::Blame(format!(
-                "checked call to `{m}` returned {v} which is not a {expected}"
-            ))
+            Outcome::Blame(format!("checked call to `{m}` returned {v} which is not a {expected}"))
         }
     }
 }
@@ -201,7 +199,11 @@ mod tests {
         let p = Program::new();
         assert_eq!(run(&p, &Expr::val(Value::True), 100), Outcome::Val(Value::True));
         assert_eq!(
-            run(&p, &Expr::Eq(Box::new(Expr::val(Value::True)), Box::new(Expr::val(Value::True))), 100),
+            run(
+                &p,
+                &Expr::Eq(Box::new(Expr::val(Value::True)), Box::new(Expr::val(Value::True))),
+                100
+            ),
             Outcome::Val(Value::True)
         );
         assert_eq!(
@@ -216,7 +218,10 @@ mod tests {
             ),
             Outcome::Val(Value::Nil)
         );
-        assert_eq!(run(&p, &Expr::New("Obj".into()), 100), Outcome::Val(Value::Instance("Obj".into())));
+        assert_eq!(
+            run(&p, &Expr::New("Obj".into()), 100),
+            Outcome::Val(Value::Instance("Obj".into()))
+        );
     }
 
     #[test]

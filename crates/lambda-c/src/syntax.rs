@@ -6,7 +6,6 @@
 //! `(a <: e1/A1) → e2/A2` whose expressions evaluate to class IDs during
 //! type checking.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -14,7 +13,7 @@ use std::fmt;
 pub type ClassId = String;
 
 /// Values of λC.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Value {
     /// `nil`.
     Nil,
@@ -59,7 +58,7 @@ impl fmt::Display for Value {
 }
 
 /// Expressions of λC.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
     /// A value literal.
     Val(Value),
@@ -107,7 +106,7 @@ impl Expr {
 }
 
 /// A conventional method type `A1 -> A2`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimpleType {
     /// Domain class.
     pub dom: ClassId,
@@ -117,7 +116,7 @@ pub struct SimpleType {
 
 /// A library method type: either conventional or a comp type
 /// `(a <: e1/A1) → e2/A2`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LibType {
     /// `A1 -> A2`.
     Simple(SimpleType),
@@ -149,7 +148,7 @@ impl LibType {
 }
 
 /// A user-defined method: declared type plus a body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserMethod {
     /// Parameter name.
     pub param: String,
@@ -162,7 +161,7 @@ pub struct UserMethod {
 /// A library method: a declared (possibly comp) type plus a native
 /// implementation that may or may not respect it (the latter is what blame
 /// catches).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LibImpl {
     /// Returns a fixed value.
     Const(Value),
@@ -179,7 +178,7 @@ pub enum LibImpl {
 }
 
 /// A λC program: class hierarchy plus user and library methods.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     /// class → superclass (absent ⇒ `Obj`).
     pub superclasses: BTreeMap<ClassId, ClassId>,
@@ -191,8 +190,7 @@ pub struct Program {
 
 impl Program {
     /// Built-in classes of λC.
-    pub const BUILTINS: &'static [&'static str] =
-        &["Obj", "Nil", "Bool", "True", "False", "Type"];
+    pub const BUILTINS: &'static [&'static str] = &["Obj", "Nil", "Bool", "True", "False", "Type"];
 
     /// Creates an empty program with the builtin class lattice.
     pub fn new() -> Self {

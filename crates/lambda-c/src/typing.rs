@@ -187,7 +187,12 @@ impl<'a> Checker<'a> {
                     )));
                 }
                 Ok((
-                    Expr::CheckedCall(s.rng.clone(), Box::new(r_recv), m.to_string(), Box::new(r_arg)),
+                    Expr::CheckedCall(
+                        s.rng.clone(),
+                        Box::new(r_recv),
+                        m.to_string(),
+                        Box::new(r_arg),
+                    ),
                     s.rng.clone(),
                 ))
             }
@@ -291,14 +296,12 @@ fn substitute(expr: &Expr, var: &str, value: &Value) -> Expr {
     match expr {
         Expr::Var(x) if x == var => Expr::Val(value.clone()),
         Expr::Val(_) | Expr::Var(_) | Expr::SelfE | Expr::TSelf | Expr::New(_) => expr.clone(),
-        Expr::Seq(a, b) => Expr::Seq(
-            Box::new(substitute(a, var, value)),
-            Box::new(substitute(b, var, value)),
-        ),
-        Expr::Eq(a, b) => Expr::Eq(
-            Box::new(substitute(a, var, value)),
-            Box::new(substitute(b, var, value)),
-        ),
+        Expr::Seq(a, b) => {
+            Expr::Seq(Box::new(substitute(a, var, value)), Box::new(substitute(b, var, value)))
+        }
+        Expr::Eq(a, b) => {
+            Expr::Eq(Box::new(substitute(a, var, value)), Box::new(substitute(b, var, value)))
+        }
         Expr::If(a, b, c) => Expr::If(
             Box::new(substitute(a, var, value)),
             Box::new(substitute(b, var, value)),

@@ -5,11 +5,10 @@
 //! `Object` at the top (the paper's λC similarly assumes the classes form a
 //! lattice with `Obj` as top).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Information recorded about a class.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassInfo {
     /// The superclass name (`None` only for `Object`).
     pub superclass: Option<String>,
@@ -28,7 +27,7 @@ impl Default for ClassInfo {
 }
 
 /// The class hierarchy: class name → [`ClassInfo`].
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClassTable {
     classes: BTreeMap<String, ClassInfo>,
 }

@@ -36,108 +36,136 @@ pub use parse::{parse_method_sig, parse_type_expr, SigParseError};
 pub use sig::{
     AnnotationTable, CompSpec, MethodKind, MethodSig, ParamSig, PurityEffect, TermEffect, TypeExpr,
 };
-pub use store::{Constraint, ConstStringData, FiniteHashData, TupleData, TypeStore};
+pub use store::{ConstStringData, Constraint, FiniteHashData, TupleData, TypeStore};
 pub use subtype::Subtyper;
 pub use ty::{ConstStringId, FiniteHashId, HashKey, SingVal, TupleId, Type};
 
+// Deterministic property tests. The container has no crates.io access, so
+// instead of `proptest` these use a seeded xorshift generator to draw a few
+// thousand random store-free types and assert the same algebraic properties
+// a shrinking property tester would.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    fn arb_type() -> impl Strategy<Value = Type> {
-        let leaf = prop_oneof![
-            Just(Type::Top),
-            Just(Type::Bot),
-            Just(Type::Bool),
-            Just(Type::nominal("Object")),
-            Just(Type::nominal("String")),
-            Just(Type::nominal("Integer")),
-            Just(Type::nominal("Float")),
-            Just(Type::nominal("Numeric")),
-            Just(Type::nominal("Symbol")),
-            Just(Type::nominal("Array")),
-            Just(Type::nominal("Hash")),
-            Just(Type::sym("emails")),
-            Just(Type::sym("users")),
-            Just(Type::int(0)),
-            Just(Type::int(42)),
-            Just(Type::nil()),
-            Just(Type::Singleton(SingVal::True)),
-            Just(Type::Singleton(SingVal::False)),
-            Just(Type::class_of("User")),
-        ];
-        leaf.prop_recursive(3, 24, 4, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(Type::array),
-                (inner.clone(), inner.clone()).prop_map(|(k, v)| Type::hash(k, v)),
-                prop::collection::vec(inner.clone(), 1..4).prop_map(Type::union),
-            ]
-        })
+    use test_rng::Rng;
+
+    fn leaf_type(rng: &mut Rng) -> Type {
+        match rng.below(19) {
+            0 => Type::Top,
+            1 => Type::Bot,
+            2 => Type::Bool,
+            3 => Type::nominal("Object"),
+            4 => Type::nominal("String"),
+            5 => Type::nominal("Integer"),
+            6 => Type::nominal("Float"),
+            7 => Type::nominal("Numeric"),
+            8 => Type::nominal("Symbol"),
+            9 => Type::nominal("Array"),
+            10 => Type::nominal("Hash"),
+            11 => Type::sym("emails"),
+            12 => Type::sym("users"),
+            13 => Type::int(0),
+            14 => Type::int(42),
+            15 => Type::nil(),
+            16 => Type::Singleton(SingVal::True),
+            17 => Type::Singleton(SingVal::False),
+            _ => Type::class_of("User"),
+        }
     }
 
-    proptest! {
-        /// Subtyping is reflexive.
-        #[test]
-        fn subtyping_reflexive(t in arb_type()) {
-            let classes = ClassTable::with_builtins();
-            let store = TypeStore::new();
-            let sub = Subtyper::new(&classes);
-            prop_assert!(sub.is_subtype(&store, &t, &t));
+    fn arb_type(rng: &mut Rng, depth: u32) -> Type {
+        if depth == 0 || rng.below(2) == 0 {
+            return leaf_type(rng);
         }
-
-        /// Everything is below Top and above Bot.
-        #[test]
-        fn subtyping_top_bot(t in arb_type()) {
-            let classes = ClassTable::with_builtins();
-            let store = TypeStore::new();
-            let sub = Subtyper::new(&classes);
-            prop_assert!(sub.is_subtype(&store, &t, &Type::Top));
-            prop_assert!(sub.is_subtype(&store, &Type::Bot, &t));
-        }
-
-        /// Subtyping is transitive on the generated fragment.
-        #[test]
-        fn subtyping_transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
-            let classes = ClassTable::with_builtins();
-            let store = TypeStore::new();
-            let sub = Subtyper::new(&classes);
-            if sub.is_subtype(&store, &a, &b) && sub.is_subtype(&store, &b, &c) {
-                prop_assert!(sub.is_subtype(&store, &a, &c),
-                    "transitivity failed: {a} <= {b} <= {c}");
+        match rng.below(3) {
+            0 => Type::array(arb_type(rng, depth - 1)),
+            1 => Type::hash(arb_type(rng, depth - 1), arb_type(rng, depth - 1)),
+            _ => {
+                let n = 1 + rng.below(3) as usize;
+                Type::union((0..n).map(|_| arb_type(rng, depth - 1)))
             }
         }
+    }
 
-        /// The join is an upper bound of both inputs.
-        #[test]
-        fn lub_is_upper_bound(a in arb_type(), b in arb_type()) {
-            let classes = ClassTable::with_builtins();
-            let store = TypeStore::new();
-            let sub = Subtyper::new(&classes);
-            let j = sub.lub(&store, &a, &b);
-            prop_assert!(sub.is_subtype(&store, &a, &j), "{a} not <= lub {j}");
-            prop_assert!(sub.is_subtype(&store, &b, &j), "{b} not <= lub {j}");
+    const CASES: usize = 2000;
+
+    /// Subtyping is reflexive, and everything is below Top / above Bot.
+    #[test]
+    fn subtyping_reflexive_top_bot() {
+        let classes = ClassTable::with_builtins();
+        let store = TypeStore::new();
+        let sub = Subtyper::new(&classes);
+        let mut rng = Rng::new(0xC0FFEE);
+        for _ in 0..CASES {
+            let t = arb_type(&mut rng, 3);
+            assert!(sub.is_subtype(&store, &t, &t), "{t} not <= itself");
+            assert!(sub.is_subtype(&store, &t, &Type::Top), "{t} not <= Top");
+            assert!(sub.is_subtype(&store, &Type::Bot, &t), "Bot not <= {t}");
         }
+    }
 
-        /// Union normalization is idempotent and order insensitive.
-        #[test]
-        fn union_normalization(a in arb_type(), b in arb_type(), c in arb_type()) {
+    /// Subtyping is transitive on the generated fragment.
+    #[test]
+    fn subtyping_transitive() {
+        let classes = ClassTable::with_builtins();
+        let store = TypeStore::new();
+        let sub = Subtyper::new(&classes);
+        let mut rng = Rng::new(0xBADCAB);
+        for _ in 0..CASES {
+            let a = arb_type(&mut rng, 2);
+            let b = arb_type(&mut rng, 2);
+            let c = arb_type(&mut rng, 2);
+            if sub.is_subtype(&store, &a, &b) && sub.is_subtype(&store, &b, &c) {
+                assert!(sub.is_subtype(&store, &a, &c), "transitivity failed: {a} <= {b} <= {c}");
+            }
+        }
+    }
+
+    /// The join is an upper bound of both inputs.
+    #[test]
+    fn lub_is_upper_bound() {
+        let classes = ClassTable::with_builtins();
+        let store = TypeStore::new();
+        let sub = Subtyper::new(&classes);
+        let mut rng = Rng::new(0xFEED01);
+        for _ in 0..CASES {
+            let a = arb_type(&mut rng, 3);
+            let b = arb_type(&mut rng, 3);
+            let j = sub.lub(&store, &a, &b);
+            assert!(sub.is_subtype(&store, &a, &j), "{a} not <= lub {j}");
+            assert!(sub.is_subtype(&store, &b, &j), "{b} not <= lub {j}");
+        }
+    }
+
+    /// Union normalization is idempotent and order insensitive.
+    #[test]
+    fn union_normalization() {
+        let mut rng = Rng::new(0xD00DAD);
+        for _ in 0..CASES {
+            let a = arb_type(&mut rng, 3);
+            let b = arb_type(&mut rng, 3);
+            let c = arb_type(&mut rng, 3);
             let u1 = Type::union([a.clone(), b.clone(), c.clone()]);
             let u2 = Type::union([c, a, b]);
-            prop_assert_eq!(u1.clone(), u2);
-            prop_assert_eq!(Type::union([u1.clone()]), u1);
+            assert_eq!(u1, u2);
+            assert_eq!(Type::union([u1.clone()]), u1);
         }
+    }
 
-        /// Display of a type round-trips through the annotation parser for
-        /// store-free types.
-        #[test]
-        fn display_parses_back(t in arb_type()) {
+    /// Display of a type round-trips through the annotation parser for
+    /// store-free types.
+    #[test]
+    fn display_parses_back() {
+        let mut rng = Rng::new(0x5EED5A);
+        for _ in 0..CASES {
+            let t = arb_type(&mut rng, 3);
             let printed = t.to_string();
             let reparsed = parse_type_expr(&printed);
-            prop_assert!(reparsed.is_ok(), "failed to reparse {printed}");
+            assert!(reparsed.is_ok(), "failed to reparse {printed}");
             let mut store = TypeStore::new();
             let t2 = reparsed.unwrap().instantiate(&mut store);
-            prop_assert_eq!(t2.to_string(), printed);
+            assert_eq!(t2.to_string(), printed);
         }
     }
 }

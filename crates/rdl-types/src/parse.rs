@@ -31,6 +31,14 @@ pub struct SigParseError {
     pub offset: usize,
 }
 
+impl SigParseError {
+    /// The offset rendered as a one-character [`diagnostics::Span`] into the
+    /// annotation string (annotations are single-line).
+    pub fn span(&self) -> diagnostics::Span {
+        diagnostics::Span::new(self.offset, self.offset + 1, 1)
+    }
+}
+
 impl fmt::Display for SigParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "annotation parse error at {}: {}", self.offset, self.message)
@@ -38,6 +46,14 @@ impl fmt::Display for SigParseError {
 }
 
 impl std::error::Error for SigParseError {}
+
+impl From<SigParseError> for diagnostics::Diagnostic {
+    fn from(e: SigParseError) -> Self {
+        diagnostics::Diagnostic::error("SIG0001", e.message.clone())
+            .with_label(e.span(), "in this annotation")
+            .with_note("the span is relative to the annotation string, not the Ruby source")
+    }
+}
 
 type SResult<T> = Result<T, SigParseError>;
 
@@ -148,9 +164,7 @@ impl SigParser {
     fn eat_str(&mut self, s: &str) -> bool {
         self.skip_ws();
         let want: Vec<char> = s.chars().collect();
-        if self.chars[self.pos.min(self.chars.len())..]
-            .starts_with(&want)
-        {
+        if self.chars[self.pos.min(self.chars.len())..].starts_with(&want) {
             self.pos += want.len();
             true
         } else {
@@ -389,9 +403,8 @@ impl SigParser {
                     text.push(self.bump().expect("peeked"));
                 }
                 if text.contains('.') {
-                    let f: f64 = text
-                        .parse()
-                        .map_err(|_| self.error(&format!("invalid float `{text}`")))?;
+                    let f: f64 =
+                        text.parse().map_err(|_| self.error(&format!("invalid float `{text}`")))?;
                     Ok(TypeExpr::Simple(Type::Singleton(SingVal::float(f))))
                 } else {
                     let i: i64 = text
@@ -512,7 +525,9 @@ impl SigParser {
         // `<<< ruby-code >>>`
         let mut body = String::new();
         loop {
-            if self.peek() == Some('>') && self.peek_at(1) == Some('>') && self.peek_at(2) == Some('>')
+            if self.peek() == Some('>')
+                && self.peek_at(1) == Some('>')
+                && self.peek_at(2) == Some('>')
             {
                 self.pos += 3;
                 break;
@@ -581,7 +596,8 @@ mod tests {
 
     #[test]
     fn parses_comp_argument_with_bound() {
-        let sig = parse_method_sig("(«schema_type(tself)» / Hash<Symbol, Object>) -> Boolean").unwrap();
+        let sig =
+            parse_method_sig("(«schema_type(tself)» / Hash<Symbol, Object>) -> Boolean").unwrap();
         match &sig.params[0].ty {
             TypeExpr::Comp(spec) => {
                 assert_eq!(spec.source, "schema_type(tself)");

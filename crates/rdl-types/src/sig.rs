@@ -19,12 +19,11 @@ use crate::class::ClassTable;
 use crate::store::TypeStore;
 use crate::ty::{HashKey, Type};
 use ruby_syntax::Expr;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Termination effect of a method (paper §4, Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TermEffect {
     /// `:+` — the method always terminates.
     Terminates,
@@ -37,7 +36,7 @@ pub enum TermEffect {
 }
 
 /// Purity effect of a method (paper §4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PurityEffect {
     /// `:+` — the method writes no instance/class/global state and calls
     /// only pure methods.
@@ -49,7 +48,7 @@ pub enum PurityEffect {
 
 /// A type-level computation: a Ruby-subset expression evaluated during type
 /// checking to produce a type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompSpec {
     /// The parsed type-level expression.
     pub expr: Expr,
@@ -61,7 +60,7 @@ pub struct CompSpec {
 }
 
 /// A structural type expression as written in an annotation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TypeExpr {
     /// An ordinary type that needs no store allocation.
     Simple(Type),
@@ -184,7 +183,7 @@ impl fmt::Display for TypeExpr {
 }
 
 /// A single parameter of a method signature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamSig {
     /// The binder name (`t` in `t<:Symbol`) that the return comp type may
     /// refer to; `None` when the parameter is unnamed.
@@ -212,7 +211,7 @@ impl ParamSig {
 
 /// Whether a signature describes an instance method or a class (singleton)
 /// method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MethodKind {
     /// An ordinary instance method (`A#m`).
     Instance,
@@ -221,7 +220,7 @@ pub enum MethodKind {
 }
 
 /// A full method type signature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodSig {
     /// Parameter signatures in positional order.
     pub params: Vec<ParamSig>,
@@ -295,7 +294,7 @@ impl MethodSig {
 /// The global annotation table: method signatures plus variable type
 /// annotations, mirroring RDL's global tables populated by `type`, `var_type`
 /// and `global_type` calls.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AnnotationTable {
     methods: HashMap<(String, MethodKind, String), MethodSig>,
     ivars: HashMap<(String, String), TypeExpr>,
@@ -406,7 +405,10 @@ mod tests {
     fn instantiation_allocates_store_entries() {
         let mut store = TypeStore::new();
         let te = TypeExpr::FiniteHash(vec![
-            (HashKey::Sym("info".into()), TypeExpr::Generic("Array".into(), vec![TypeExpr::nominal("String")])),
+            (
+                HashKey::Sym("info".into()),
+                TypeExpr::Generic("Array".into(), vec![TypeExpr::nominal("String")]),
+            ),
             (HashKey::Sym("title".into()), TypeExpr::nominal("String")),
         ]);
         let t = te.instantiate(&mut store);
@@ -428,7 +430,8 @@ mod tests {
         assert!(comp.has_comp());
         let sig = MethodSig::simple(vec![comp], TypeExpr::nominal("Boolean"));
         assert!(sig.is_comp());
-        let plain = MethodSig::simple(vec![TypeExpr::nominal("String")], TypeExpr::nominal("String"));
+        let plain =
+            MethodSig::simple(vec![TypeExpr::nominal("String")], TypeExpr::nominal("String"));
         assert!(!plain.is_comp());
     }
 
@@ -448,7 +451,9 @@ mod tests {
         assert!(!sig.accepts_arity(0));
 
         let var = MethodSig {
-            params: vec![ParamSig::unnamed(TypeExpr::Vararg(Box::new(TypeExpr::nominal("Object"))))],
+            params: vec![ParamSig::unnamed(TypeExpr::Vararg(Box::new(TypeExpr::nominal(
+                "Object",
+            ))))],
             ..MethodSig::simple(vec![], TypeExpr::nominal("Object"))
         };
         assert!(var.accepts_arity(0));
@@ -460,7 +465,11 @@ mod tests {
         let mut classes = ClassTable::with_builtins();
         classes.add_model_class("User", "ActiveRecord::Base");
         let mut table = AnnotationTable::new();
-        table.add_singleton("ActiveRecord::Base", "exists?", sig_returning(TypeExpr::Simple(Type::Bool)));
+        table.add_singleton(
+            "ActiveRecord::Base",
+            "exists?",
+            sig_returning(TypeExpr::Simple(Type::Bool)),
+        );
         table.add_instance("Array", "first", sig_returning(TypeExpr::nominal("Object")));
 
         let (owner, _) = table

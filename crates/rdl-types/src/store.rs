@@ -15,10 +15,9 @@
 //! recorded so it can be *replayed* after a weak update or promotion.
 
 use crate::ty::{ConstStringId, FiniteHashId, HashKey, TupleId, Type};
-use serde::{Deserialize, Serialize};
 
 /// A recorded subtyping constraint `lhs <= rhs`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Constraint {
     /// The left-hand side of the constraint.
     pub lhs: Type,
@@ -29,7 +28,7 @@ pub struct Constraint {
 }
 
 /// Data backing a tuple type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TupleData {
     /// Element types, in order.
     pub elems: Vec<Type>,
@@ -40,7 +39,7 @@ pub struct TupleData {
 }
 
 /// Data backing a finite hash type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FiniteHashData {
     /// Known entries in insertion order.
     pub entries: Vec<(HashKey, Type)>,
@@ -60,7 +59,7 @@ impl FiniteHashData {
 }
 
 /// Data backing a const string type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConstStringData {
     /// The string contents, if still known precisely.
     pub value: Option<String>,
@@ -71,7 +70,7 @@ pub struct ConstStringData {
 }
 
 /// The store of mutable (tuple / finite hash / const string) types.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TypeStore {
     tuples: Vec<TupleData>,
     hashes: Vec<FiniteHashData>,
@@ -238,7 +237,8 @@ impl TypeStore {
         if let Some(rest) = &data.rest {
             val_types.push((**rest).clone());
         }
-        let key = if key_types.is_empty() { Type::nominal("Symbol") } else { Type::union(key_types) };
+        let key =
+            if key_types.is_empty() { Type::nominal("Symbol") } else { Type::union(key_types) };
         let val = if val_types.is_empty() { Type::object() } else { Type::union(val_types) };
         let promoted = Type::hash(key, val);
         self.hashes[id.0 as usize].promoted = Some(promoted.clone());
@@ -267,7 +267,12 @@ impl TypeStore {
     /// type becomes the union of its old type and `new_ty` (§4).  Indexes
     /// past the end extend the tuple.  Returns the constraints that must be
     /// replayed.
-    pub fn weak_update_tuple(&mut self, id: TupleId, index: usize, new_ty: Type) -> Vec<Constraint> {
+    pub fn weak_update_tuple(
+        &mut self,
+        id: TupleId,
+        index: usize,
+        new_ty: Type,
+    ) -> Vec<Constraint> {
         let data = &mut self.tuples[id.0 as usize];
         if index < data.elems.len() {
             let old = data.elems[index].clone();
@@ -388,10 +393,7 @@ mod tests {
         assert_eq!(store.finite_hash(id).entries.len(), 2);
         store.weak_update_hash(id, HashKey::Sym("a".into()), Type::nominal("Integer"));
         let a_ty = store.finite_hash(id).get(&HashKey::Sym("a".into())).unwrap().clone();
-        assert_eq!(
-            a_ty,
-            Type::union([Type::Singleton(SingVal::Int(1)), Type::nominal("Integer")])
-        );
+        assert_eq!(a_ty, Type::union([Type::Singleton(SingVal::Int(1)), Type::nominal("Integer")]));
     }
 
     #[test]

@@ -76,10 +76,7 @@ impl<'a> Subtyper<'a> {
             (Generic { base: b1, args: a1 }, Generic { base: b2, args: a2 }) => {
                 self.classes.is_subclass(b1, b2)
                     && a1.len() == a2.len()
-                    && a1
-                        .iter()
-                        .zip(a2.iter())
-                        .all(|(x, y)| self.is_subtype_resolved(store, x, y))
+                    && a1.iter().zip(a2.iter()).all(|(x, y)| self.is_subtype_resolved(store, x, y))
             }
             (Generic { base, .. }, Nominal(n)) => self.classes.is_subclass(base, n),
             (Nominal(_), Generic { .. }) => false,
@@ -95,11 +92,7 @@ impl<'a> Subtyper<'a> {
                         .all(|(x, y)| self.is_subtype_resolved(store, x, y))
             }
             (Tuple(id), Generic { base, args }) if base == "Array" && args.len() == 1 => {
-                store
-                    .tuple(*id)
-                    .elems
-                    .iter()
-                    .all(|e| self.is_subtype_resolved(store, e, &args[0]))
+                store.tuple(*id).elems.iter().all(|e| self.is_subtype_resolved(store, e, &args[0]))
             }
             (Tuple(_), Nominal(n)) => self.classes.is_subclass("Array", n),
             // Finite hashes.  RDL does not allow width subtyping: every key
@@ -140,13 +133,7 @@ impl<'a> Subtyper<'a> {
     /// Asserts `sub <= sup`, recording the constraint against any
     /// store-backed types involved so it can be replayed after weak updates.
     /// Returns whether the constraint currently holds.
-    pub fn constrain(
-        &self,
-        store: &mut TypeStore,
-        sub: &Type,
-        sup: &Type,
-        origin: &str,
-    ) -> bool {
+    pub fn constrain(&self, store: &mut TypeStore, sub: &Type, sup: &Type, origin: &str) -> bool {
         if sub.is_store_backed() {
             store.record_constraint(sub, sub.clone(), sup.clone(), origin);
         }
@@ -159,11 +146,7 @@ impl<'a> Subtyper<'a> {
     /// Re-checks previously recorded constraints (used after weak updates;
     /// §4).  Returns the constraints that no longer hold.
     pub fn replay(&self, store: &TypeStore, constraints: &[Constraint]) -> Vec<Constraint> {
-        constraints
-            .iter()
-            .filter(|c| !self.is_subtype(store, &c.lhs, &c.rhs))
-            .cloned()
-            .collect()
+        constraints.iter().filter(|c| !self.is_subtype(store, &c.lhs, &c.rhs)).cloned().collect()
     }
 
     /// The least upper bound (join) of two types, used at conditional join
@@ -272,7 +255,11 @@ mod tests {
             &Type::array(Type::nominal("Numeric")),
             &Type::array(Type::nominal("Integer"))
         ));
-        assert!(sub.is_subtype(&store, &Type::array(Type::nominal("Integer")), &Type::nominal("Array")));
+        assert!(sub.is_subtype(
+            &store,
+            &Type::array(Type::nominal("Integer")),
+            &Type::nominal("Array")
+        ));
     }
 
     #[test]
@@ -301,13 +288,10 @@ mod tests {
             (HashKey::Sym("age".into()), Type::int(30)),
         ]);
         let sub = Subtyper::new(&ct);
-        assert!(sub.is_subtype(
-            &store,
-            &h,
-            &Type::hash(Type::nominal("Symbol"), Type::object())
-        ));
+        assert!(sub.is_subtype(&store, &h, &Type::hash(Type::nominal("Symbol"), Type::object())));
         // Width subtyping is not allowed: `h` has a key `narrower` lacks.
-        let narrower = store.new_finite_hash(vec![(HashKey::Sym("name".into()), Type::nominal("String"))]);
+        let narrower =
+            store.new_finite_hash(vec![(HashKey::Sym("name".into()), Type::nominal("String"))]);
         assert!(!sub.is_subtype(&store, &h, &narrower));
         assert!(!sub.is_subtype(&store, &narrower, &h));
         // But missing keys are fine when the supertype marks them optional.

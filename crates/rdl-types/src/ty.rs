@@ -13,23 +13,22 @@
 //! rather than inline data, so that aliases share a single entry exactly as
 //! RDL's Ruby objects do.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a tuple type in the [`TypeStore`](crate::store::TypeStore).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleId(pub u32);
 
 /// Index of a finite hash type in the [`TypeStore`](crate::store::TypeStore).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiniteHashId(pub u32);
 
 /// Index of a const string type in the [`TypeStore`](crate::store::TypeStore).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConstStringId(pub u32);
 
 /// A value that may inhabit a singleton type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SingVal {
     /// `nil`.
     Nil,
@@ -82,7 +81,7 @@ impl fmt::Display for SingVal {
 }
 
 /// A key of a finite hash type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum HashKey {
     /// A symbol key (`{ info: ... }`).
     Sym(String),
@@ -103,7 +102,7 @@ impl fmt::Display for HashKey {
 }
 
 /// An RDL type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Type {
     /// `%any` — the top type.
     Top,
@@ -345,10 +344,7 @@ mod tests {
 
     #[test]
     fn union_collapses_bools_and_top() {
-        let t = Type::union([
-            Type::Singleton(SingVal::True),
-            Type::Singleton(SingVal::False),
-        ]);
+        let t = Type::union([Type::Singleton(SingVal::True), Type::Singleton(SingVal::False)]);
         assert_eq!(t, Type::Bool);
         let t = Type::union([Type::nominal("String"), Type::Top]);
         assert_eq!(t, Type::Top);

@@ -132,7 +132,8 @@ fn array_method(
             let idx = int_arg(args, 0, span)?;
             let value = arg(args, 1);
             let mut items = items_ref.borrow_mut();
-            let idx = if idx < 0 { (items.len() as i64 + idx).max(0) as usize } else { idx as usize };
+            let idx =
+                if idx < 0 { (items.len() as i64 + idx).max(0) as usize } else { idx as usize };
             while items.len() <= idx {
                 items.push(Value::Nil);
             }
@@ -170,9 +171,7 @@ fn array_method(
         },
         "join" => {
             let sep = args.first().and_then(|a| a.as_str()).unwrap_or_default();
-            Value::str(
-                items.iter().map(|v| v.to_display_string()).collect::<Vec<_>>().join(&sep),
-            )
+            Value::str(items.iter().map(|v| v.to_display_string()).collect::<Vec<_>>().join(&sep))
         }
         "reverse" => Value::array(items.iter().rev().cloned().collect()),
         "sort" => {
@@ -189,7 +188,9 @@ fn array_method(
             }
             Value::array(out)
         }
-        "compact" => Value::array(items.iter().filter(|v| !matches!(v, Value::Nil)).cloned().collect()),
+        "compact" => {
+            Value::array(items.iter().filter(|v| !matches!(v, Value::Nil)).cloned().collect())
+        }
         "flatten" => {
             fn flat(items: &[Value], out: &mut Vec<Value>) {
                 for v in items {
@@ -209,7 +210,13 @@ fn array_method(
                 out.extend(other.borrow().iter().cloned());
                 Value::array(out)
             }
-            _ => return Err(Control::error(ErrorKind::Type, "no implicit conversion into Array", span)),
+            _ => {
+                return Err(Control::error(
+                    ErrorKind::Type,
+                    "no implicit conversion into Array",
+                    span,
+                ))
+            }
         },
         "-" => match arg(args, 0) {
             Value::Array(other) => {
@@ -218,7 +225,13 @@ fn array_method(
                     items.iter().filter(|v| !other.iter().any(|o| o.ruby_eq(v))).cloned().collect(),
                 )
             }
-            _ => return Err(Control::error(ErrorKind::Type, "no implicit conversion into Array", span)),
+            _ => {
+                return Err(Control::error(
+                    ErrorKind::Type,
+                    "no implicit conversion into Array",
+                    span,
+                ))
+            }
         },
         "take" => {
             let n = int_arg(args, 0, span)?.max(0) as usize;
@@ -247,14 +260,14 @@ fn array_method(
             let block = require_block(block, span, "map")?;
             let mut out = Vec::with_capacity(items.len());
             for v in &items {
-                out.push(interp.call_closure(block, &[v.clone()], span)?);
+                out.push(interp.call_closure(block, std::slice::from_ref(v), span)?);
             }
             Value::array(out)
         }
         "each" => {
             let block = require_block(block, span, "each")?;
             for v in &items {
-                match interp.call_closure(block, &[v.clone()], span) {
+                match interp.call_closure(block, std::slice::from_ref(v), span) {
                     Ok(_) => {}
                     Err(Control::Break(v)) => return Ok(Some(v)),
                     Err(other) => return Err(other),
@@ -273,7 +286,7 @@ fn array_method(
             let block = require_block(block, span, "select")?;
             let mut out = Vec::new();
             for v in &items {
-                if interp.call_closure(block, &[v.clone()], span)?.truthy() {
+                if interp.call_closure(block, std::slice::from_ref(v), span)?.truthy() {
                     out.push(v.clone());
                 }
             }
@@ -283,7 +296,7 @@ fn array_method(
             let block = require_block(block, span, "reject")?;
             let mut out = Vec::new();
             for v in &items {
-                if !interp.call_closure(block, &[v.clone()], span)?.truthy() {
+                if !interp.call_closure(block, std::slice::from_ref(v), span)?.truthy() {
                     out.push(v.clone());
                 }
             }
@@ -293,7 +306,7 @@ fn array_method(
             let block = require_block(block, span, "find")?;
             let mut found = Value::Nil;
             for v in &items {
-                if interp.call_closure(block, &[v.clone()], span)?.truthy() {
+                if interp.call_closure(block, std::slice::from_ref(v), span)?.truthy() {
                     found = v.clone();
                     break;
                 }
@@ -305,7 +318,7 @@ fn array_method(
             match block {
                 Some(b) => {
                     for v in &items {
-                        if interp.call_closure(b, &[v.clone()], span)?.truthy() {
+                        if interp.call_closure(b, std::slice::from_ref(v), span)?.truthy() {
                             result = true;
                             break;
                         }
@@ -319,7 +332,7 @@ fn array_method(
             let block = require_block(block, span, "all?")?;
             let mut result = true;
             for v in &items {
-                if !interp.call_closure(block, &[v.clone()], span)?.truthy() {
+                if !interp.call_closure(block, std::slice::from_ref(v), span)?.truthy() {
                     result = false;
                     break;
                 }
@@ -330,7 +343,7 @@ fn array_method(
             let block = require_block(block, span, "none?")?;
             let mut result = true;
             for v in &items {
-                if interp.call_closure(block, &[v.clone()], span)?.truthy() {
+                if interp.call_closure(block, std::slice::from_ref(v), span)?.truthy() {
                     result = false;
                     break;
                 }
@@ -353,7 +366,7 @@ fn array_method(
             let block = require_block(block, span, "sort_by")?;
             let mut keyed: Vec<(Value, Value)> = Vec::with_capacity(items.len());
             for v in &items {
-                keyed.push((interp.call_closure(block, &[v.clone()], span)?, v.clone()));
+                keyed.push((interp.call_closure(block, std::slice::from_ref(v), span)?, v.clone()));
             }
             keyed.sort_by(|a, b| compare_values(&a.0, &b.0));
             Value::array(keyed.into_iter().map(|(_, v)| v).collect())
@@ -362,7 +375,7 @@ fn array_method(
             let block = require_block(block, span, "group_by")?;
             let out = Value::hash(vec![]);
             for v in &items {
-                let key = interp.call_closure(block, &[v.clone()], span)?;
+                let key = interp.call_closure(block, std::slice::from_ref(v), span)?;
                 match out.hash_get(&key) {
                     Some(Value::Array(existing)) => existing.borrow_mut().push(v.clone()),
                     _ => out.hash_set(key, Value::array(vec![v.clone()])),
@@ -383,8 +396,14 @@ fn index_array(items: &[Value], idx: i64) -> Value {
     items.get(idx as usize).cloned().unwrap_or(Value::Nil)
 }
 
-fn require_block<'a>(block: Option<&'a Closure>, span: Span, what: &str) -> EvalResult<&'a Closure> {
-    block.ok_or_else(|| Control::error(ErrorKind::Argument, format!("`{what}` requires a block"), span))
+fn require_block<'a>(
+    block: Option<&'a Closure>,
+    span: Span,
+    what: &str,
+) -> EvalResult<&'a Closure> {
+    block.ok_or_else(|| {
+        Control::error(ErrorKind::Argument, format!("`{what}` requires a block"), span)
+    })
 }
 
 fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
@@ -547,7 +566,12 @@ fn hash_method(
 // String
 // ---------------------------------------------------------------------------
 
-fn string_method(span: Span, recv: &Value, name: &str, args: &[Value]) -> EvalResult<Option<Value>> {
+fn string_method(
+    span: Span,
+    recv: &Value,
+    name: &str,
+    args: &[Value],
+) -> EvalResult<Option<Value>> {
     let Value::Str(s_ref) = recv else { return Ok(None) };
     let s = s_ref.borrow().clone();
     let v = match name {
@@ -590,10 +614,7 @@ fn string_method(span: Span, recv: &Value, name: &str, args: &[Value]) -> EvalRe
         "split" => {
             let sep = args.first().and_then(|a| a.as_str()).unwrap_or_else(|| " ".to_string());
             Value::array(
-                s.split(&sep as &str)
-                    .filter(|part| !part.is_empty())
-                    .map(Value::str)
-                    .collect(),
+                s.split(&sep as &str).filter(|part| !part.is_empty()).map(Value::str).collect(),
             )
         }
         "sub" | "gsub" => {
@@ -679,7 +700,9 @@ fn numeric_binop(a: &Value, b: &Value, op: &str, span: Span) -> EvalResult {
             x % y
         }
         "**" => x.powf(y),
-        _ => return Err(Control::error(ErrorKind::NoMethod, format!("unknown operator {op}"), span)),
+        _ => {
+            return Err(Control::error(ErrorKind::NoMethod, format!("unknown operator {op}"), span))
+        }
     };
     if both_int && result.fract() == 0.0 && result.abs() < 9e15 {
         Ok(Value::Int(result as i64))
@@ -839,7 +862,10 @@ mod tests {
         assert_eq!(run("[1, 2, 3].any? { |x| x > 2 }"), Value::Bool(true));
         assert_eq!(run("[1, 2, 3].all? { |x| x > 0 }"), Value::Bool(true));
         assert_eq!(run("[1, 2, 3].reduce { |a, b| a + b }"), Value::Int(6));
-        assert_eq!(run("total = 0\n[1, 2, 3].each { |x| total = total + x }\ntotal"), Value::Int(6));
+        assert_eq!(
+            run("total = 0\n[1, 2, 3].each { |x| total = total + x }\ntotal"),
+            Value::Int(6)
+        );
         assert_eq!(run("[3, 1, 2].sort_by { |x| 0 - x }"), run("[3, 2, 1]"));
     }
 

@@ -105,6 +105,36 @@ impl fmt::Display for RubyError {
 
 impl std::error::Error for RubyError {}
 
+impl ErrorKind {
+    /// Stable diagnostic code for this kind of runtime error.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Blame => "RT0001",
+            ErrorKind::NoMethod => "RT0002",
+            ErrorKind::Name => "RT0003",
+            ErrorKind::Argument => "RT0004",
+            ErrorKind::Type => "RT0005",
+            ErrorKind::Raised => "RT0006",
+            ErrorKind::AssertionFailed => "RT0007",
+            ErrorKind::Timeout => "RT0008",
+        }
+    }
+}
+
+impl From<RubyError> for diagnostics::Diagnostic {
+    fn from(e: RubyError) -> Self {
+        let mut d = diagnostics::Diagnostic::error(e.kind.code(), e.message.clone())
+            .with_label(e.span, format!("{} raised here", e.kind));
+        if e.kind == ErrorKind::Blame {
+            d = d.with_note(
+                "a dynamic check inserted by CompRDL failed: the library method \
+                 did not abide by its computed type",
+            );
+        }
+        d
+    }
+}
+
 /// Converts a terminated control signal into a plain error (a `return`
 /// escaping the program top level is treated as a normal result by callers
 /// that want it).

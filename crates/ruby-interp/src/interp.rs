@@ -261,9 +261,9 @@ impl Interpreter {
         name: &str,
         args: Vec<Value>,
     ) -> Result<Value, RubyError> {
-        let recv = if singleton { Value::Class(class.to_string()) } else { Value::new_object(class) };
-        self.invoke_method(Span::dummy(), &recv, name, args, None)
-            .map_err(crate::error::into_error)
+        let recv =
+            if singleton { Value::Class(class.to_string()) } else { Value::new_object(class) };
+        self.invoke_method(Span::dummy(), &recv, name, args, None).map_err(crate::error::into_error)
     }
 
     // ---- evaluation -----------------------------------------------------
@@ -353,17 +353,12 @@ impl Interpreter {
                 let closure = block.as_ref().map(|b| self.make_closure(frame, b));
                 // When there is no explicit receiver and no matching method,
                 // fall back to kernel-level helpers (puts, raise, assert...).
-                let checked = self
-                    .hook
-                    .as_ref()
-                    .map(|h| h.has_check(expr.span))
-                    .unwrap_or(false);
+                let checked = self.hook.as_ref().map(|h| h.has_check(expr.span)).unwrap_or(false);
                 if checked {
                     self.checks_performed.set(self.checks_performed.get() + 1);
                     let hook = self.hook.as_ref().expect("checked implies hook");
-                    hook.before_call(expr.span, &recv_val, &arg_vals).map_err(|msg| {
-                        Control::error(ErrorKind::Blame, msg, expr.span)
-                    })?;
+                    hook.before_call(expr.span, &recv_val, &arg_vals)
+                        .map_err(|msg| Control::error(ErrorKind::Blame, msg, expr.span))?;
                 }
                 let result = if recv.is_none() {
                     self.invoke_self_call(expr.span, frame, name, arg_vals, closure)?
@@ -372,9 +367,8 @@ impl Interpreter {
                 };
                 if checked {
                     let hook = self.hook.as_ref().expect("checked implies hook");
-                    hook.after_call(expr.span, &result).map_err(|msg| {
-                        Control::error(ErrorKind::Blame, msg, expr.span)
-                    })?;
+                    hook.after_call(expr.span, &result)
+                        .map_err(|msg| Control::error(ErrorKind::Blame, msg, expr.span))?;
                 }
                 Ok(result)
             }
@@ -450,11 +444,9 @@ impl Interpreter {
                 }
                 match &frame.block {
                     Some(closure) => self.call_closure(closure, &arg_vals, expr.span),
-                    None => Err(Control::error(
-                        ErrorKind::Raised,
-                        "no block given (yield)",
-                        expr.span,
-                    )),
+                    None => {
+                        Err(Control::error(ErrorKind::Raised, "no block given (yield)", expr.span))
+                    }
                 }
             }
             ExprKind::Break => Err(Control::Break(Value::Nil)),
@@ -546,11 +538,7 @@ impl Interpreter {
                 return Ok(v.clone());
             }
         }
-        Err(Control::error(
-            ErrorKind::Name,
-            format!("uninitialized constant {joined}"),
-            span,
-        ))
+        Err(Control::error(ErrorKind::Name, format!("uninitialized constant {joined}"), span))
     }
 
     fn read_lvalue(&self, frame: &Frame, span: Span, target: &LValue) -> EvalResult {
@@ -562,7 +550,7 @@ impl Interpreter {
             LValue::GVar(name) => {
                 Ok(self.globals.borrow().get(name).cloned().unwrap_or(Value::Nil))
             }
-            LValue::Const(name) => self.read_const(span, &[name.clone()]),
+            LValue::Const(name) => self.read_const(span, std::slice::from_ref(name)),
             LValue::Index { recv, index } => {
                 let r = self.eval(frame, recv)?;
                 let i = self.eval(frame, index)?;

@@ -151,9 +151,8 @@ impl Value {
                 let a = a.borrow();
                 let b = b.borrow();
                 a.len() == b.len()
-                    && a.iter().all(|(k, v)| {
-                        b.iter().any(|(k2, v2)| k.ruby_eq(k2) && v.ruby_eq(v2))
-                    })
+                    && a.iter()
+                        .all(|(k, v)| b.iter().any(|(k2, v2)| k.ruby_eq(k2) && v.ruby_eq(v2)))
             }
             (Value::Object(a), Value::Object(b)) => Rc::ptr_eq(a, b),
             (Value::Lambda(a), Value::Lambda(b)) => Rc::ptr_eq(a, b),

@@ -8,10 +8,9 @@
 //! attribute assignment) and `return`.
 
 use crate::span::Span;
-use serde::{Deserialize, Serialize};
 
 /// A whole source file: a sequence of top-level items.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Top-level items in source order.
     pub items: Vec<Item>,
@@ -57,15 +56,12 @@ impl Program {
 
     /// Finds a method definition by owner class and name.
     pub fn find_method(&self, owner: &str, name: &str) -> Option<&MethodDef> {
-        self.methods()
-            .into_iter()
-            .find(|(o, m)| o == owner && m.name == name)
-            .map(|(_, m)| m)
+        self.methods().into_iter().find(|(o, m)| o == owner && m.name == name).map(|(_, m)| m)
     }
 }
 
 /// A top-level or class-body item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Item {
     /// A class definition.
     Class(ClassDef),
@@ -76,7 +72,7 @@ pub enum Item {
 }
 
 /// A class definition `class Name < Super ... end`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassDef {
     /// The class name.
     pub name: String,
@@ -89,7 +85,7 @@ pub struct ClassDef {
 }
 
 /// A method definition `def name(params) ... end`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodDef {
     /// The method name (may end in `?`, `!` or `=`).
     pub name: String,
@@ -111,7 +107,7 @@ impl MethodDef {
 }
 
 /// A formal parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Parameter name.
     pub name: String,
@@ -130,7 +126,7 @@ impl Param {
 
 /// An assignment target.
 #[allow(missing_docs)]
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LValue {
     /// A local variable.
     Local(String),
@@ -147,7 +143,7 @@ pub enum LValue {
 }
 
 /// A block argument attached to a method call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Block parameter names.
     pub params: Vec<String>,
@@ -156,7 +152,7 @@ pub struct Block {
 }
 
 /// Binary operators that are *not* method calls in the subset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
     /// `&&` / `and`
     And,
@@ -165,7 +161,7 @@ pub enum BinOp {
 }
 
 /// One `elsif`/`when` style arm of a conditional.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CondArm {
     /// The test expression.
     pub cond: Expr,
@@ -178,7 +174,7 @@ pub struct CondArm {
 /// Struct-variant fields follow the obvious reading (`recv`/`name`/`args`
 /// for calls, `cond`/`body` for loops, and so on).
 #[allow(missing_docs)]
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExprKind {
     /// `nil`
     Nil,
@@ -262,7 +258,7 @@ pub enum ExprKind {
 }
 
 /// An expression together with its source span.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Expr {
     /// The expression itself.
     pub kind: ExprKind,
@@ -447,11 +443,8 @@ mod tests {
 
     #[test]
     fn walk_visits_nested_nodes() {
-        let e = Expr::call(
-            Expr::synth(ExprKind::Ident("page".into())),
-            "[]",
-            vec![Expr::sym("info")],
-        );
+        let e =
+            Expr::call(Expr::synth(ExprKind::Ident("page".into())), "[]", vec![Expr::sym("info")]);
         assert_eq!(e.node_count(), 3);
     }
 

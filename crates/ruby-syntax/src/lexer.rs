@@ -27,6 +27,13 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
+impl From<LexError> for diagnostics::Diagnostic {
+    fn from(e: LexError) -> Self {
+        diagnostics::Diagnostic::error("LEX0001", e.message.clone())
+            .with_label(e.span, "lexed here")
+    }
+}
+
 /// Converts Ruby subset source text into a token stream.
 pub struct Lexer<'src> {
     src: &'src str,
@@ -89,10 +96,7 @@ impl<'src> Lexer<'src> {
             }
         }
         // Ensure the final statement is terminated before EOF.
-        if !matches!(
-            self.tokens.last().map(|t| &t.kind),
-            Some(TokenKind::Newline) | None
-        ) {
+        if !matches!(self.tokens.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
             let span = Span::new(self.pos, self.pos, self.line);
             self.tokens.push(Token::new(TokenKind::Newline, span));
         }
@@ -405,13 +409,13 @@ impl<'src> Lexer<'src> {
             && self.bytes.get(self.pos + 1) != Some(&b':')
             && !name.ends_with('?')
             && !name.ends_with('!')
-            && Kw::from_str(&name).is_none()
+            && Kw::from_source(&name).is_none()
         {
             self.pos += 1;
             self.push(TokenKind::Label(name), start, line);
             return;
         }
-        let kind = match Kw::from_str(&name) {
+        let kind = match Kw::from_source(&name) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(name),
         };
@@ -600,13 +604,7 @@ mod tests {
         let k = kinds("a # a comment\nb");
         assert_eq!(
             k,
-            vec![
-                T::Ident("a".into()),
-                T::Newline,
-                T::Ident("b".into()),
-                T::Newline,
-                T::Eof
-            ]
+            vec![T::Ident("a".into()), T::Newline, T::Ident("b".into()), T::Newline, T::Eof]
         );
     }
 
@@ -646,11 +644,7 @@ mod tests {
         let k = kinds("ActiveRecord::Base");
         assert_eq!(
             k[..3],
-            [
-                T::Const("ActiveRecord".into()),
-                T::ColonColon,
-                T::Const("Base".into())
-            ]
+            [T::Const("ActiveRecord".into()), T::ColonColon, T::Const("Base".into())]
         );
     }
 

@@ -29,6 +29,13 @@ impl From<LexError> for ParseError {
     }
 }
 
+impl From<ParseError> for diagnostics::Diagnostic {
+    fn from(e: ParseError) -> Self {
+        diagnostics::Diagnostic::error("PARSE0001", e.message.clone())
+            .with_label(e.span, "parsed up to here")
+    }
+}
+
 type PResult<T> = Result<T, ParseError>;
 
 /// Parses a full program (a sequence of classes, methods and expressions).
@@ -157,10 +164,7 @@ impl Parser {
         if self.check_kw(kw) {
             Ok(self.advance())
         } else {
-            Err(self.error(format!(
-                "expected keyword `{kw}`, found {}",
-                self.peek().describe()
-            )))
+            Err(self.error(format!("expected keyword `{kw}`, found {}", self.peek().describe())))
         }
     }
 
@@ -219,7 +223,9 @@ impl Parser {
             | TokenKind::Keyword(Kw::Else)
             | TokenKind::Keyword(Kw::Elsif)
             | TokenKind::Keyword(Kw::When) => Ok(()),
-            other => Err(self.error(format!("expected end of statement, found {}", other.describe()))),
+            other => {
+                Err(self.error(format!("expected end of statement, found {}", other.describe())))
+            }
         }
     }
 
@@ -228,13 +234,12 @@ impl Parser {
         self.advance(); // class | module
         let name = match self.advance().kind {
             TokenKind::Const(name) => name,
-            other => return Err(self.error(format!("expected class name, found {}", other.describe()))),
+            other => {
+                return Err(self.error(format!("expected class name, found {}", other.describe())))
+            }
         };
-        let superclass = if self.eat(&TokenKind::Lt) {
-            Some(self.parse_const_path()?)
-        } else {
-            None
-        };
+        let superclass =
+            if self.eat(&TokenKind::Lt) { Some(self.parse_const_path()?) } else { None };
         self.skip_newlines();
         let mut body = Vec::new();
         while !self.check_kw(Kw::End) {
@@ -325,16 +330,12 @@ impl Parser {
                 let name = match self.advance().kind {
                     TokenKind::Ident(name) => name,
                     other => {
-                        return Err(
-                            self.error(format!("expected parameter name, found {}", other.describe()))
-                        )
+                        return Err(self
+                            .error(format!("expected parameter name, found {}", other.describe())))
                     }
                 };
-                let default = if self.eat(&TokenKind::Assign) {
-                    Some(self.parse_expr()?)
-                } else {
-                    None
-                };
+                let default =
+                    if self.eat(&TokenKind::Assign) { Some(self.parse_expr()?) } else { None };
                 params.push(Param { name, default, block });
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -388,10 +389,7 @@ impl Parser {
                 let cond = self.parse_kw_bool()?;
                 let span = e.span.to(cond.span);
                 e = Expr::new(
-                    ExprKind::If {
-                        arms: vec![CondArm { cond, body: vec![e] }],
-                        else_body: vec![],
-                    },
+                    ExprKind::If { arms: vec![CondArm { cond, body: vec![e] }], else_body: vec![] },
                     span,
                 );
             } else if self.check_kw(Kw::Unless) {
@@ -478,10 +476,7 @@ impl Parser {
             ExprKind::Const(path) if path.len() == 1 => Some(LValue::Const(path[0].clone())),
             ExprKind::Call { recv: Some(recv), name, args, block: None } => {
                 if name == "[]" && args.len() == 1 {
-                    Some(LValue::Index {
-                        recv: recv.clone(),
-                        index: Box::new(args[0].clone()),
-                    })
+                    Some(LValue::Index { recv: recv.clone(), index: Box::new(args[0].clone()) })
                 } else if args.is_empty() {
                     Some(LValue::Attr { recv: recv.clone(), name: name.clone() })
                 } else {
@@ -734,10 +729,7 @@ impl Parser {
                 if matches!(&recv.kind, ExprKind::Const(path) if path == &["RDL".to_string()]) {
                     if let ExprKind::Str(ty) = &args[1].kind {
                         return Expr::new(
-                            ExprKind::TypeCast {
-                                expr: Box::new(args[0].clone()),
-                                ty: ty.clone(),
-                            },
+                            ExprKind::TypeCast { expr: Box::new(args[0].clone()), ty: ty.clone() },
                             span,
                         );
                     }
@@ -862,7 +854,9 @@ impl Parser {
             }
             TokenKind::Keyword(Kw::Return) => {
                 self.advance();
-                let value = if self.stmt_ends_here() || self.check_kw(Kw::If) || self.check_kw(Kw::Unless)
+                let value = if self.stmt_ends_here()
+                    || self.check_kw(Kw::If)
+                    || self.check_kw(Kw::Unless)
                 {
                     None
                 } else {
@@ -929,10 +923,7 @@ impl Parser {
                 } else if self.check(&TokenKind::LBrace) || self.check_kw(Kw::Do) {
                     let block = self.parse_optional_block()?;
                     let full = span.to(self.span());
-                    Ok(Expr::new(
-                        ExprKind::Call { recv: None, name, args: vec![], block },
-                        full,
-                    ))
+                    Ok(Expr::new(ExprKind::Call { recv: None, name, args: vec![], block }, full))
                 } else {
                     Ok(Expr::new(ExprKind::Ident(name), span))
                 }
@@ -1077,10 +1068,7 @@ impl Parser {
             }
         }
         let end = self.expect_kw(Kw::End)?.span;
-        Ok(Expr::new(
-            ExprKind::Case { subject: Box::new(subject), arms, else_body },
-            start.to(end),
-        ))
+        Ok(Expr::new(ExprKind::Case { subject: Box::new(subject), arms, else_body }, start.to(end)))
     }
 }
 
@@ -1174,10 +1162,9 @@ end
 
     #[test]
     fn parses_chained_query() {
-        let e = parse_expr(
-            "Post.includes(:topic)\n  .where('topics.title IN (SELECT 1)', self.id)",
-        )
-        .unwrap();
+        let e =
+            parse_expr("Post.includes(:topic)\n  .where('topics.title IN (SELECT 1)', self.id)")
+                .unwrap();
         match &e.kind {
             ExprKind::Call { name, args, .. } => {
                 assert_eq!(name, "where");

@@ -198,7 +198,10 @@ fn expr(e: &Expr, out: &mut String) {
         ExprKind::Call { recv, name, args, block } => {
             const INFIX: &[&str] =
                 &["+", "-", "*", "/", "%", "**", "==", "<", ">", "<=", ">=", "<=>"];
-            if recv.is_some() && args.len() == 1 && block.is_none() && INFIX.contains(&name.as_str())
+            if recv.is_some()
+                && args.len() == 1
+                && block.is_none()
+                && INFIX.contains(&name.as_str())
             {
                 out.push('(');
                 expr(recv.as_ref().unwrap(), out);

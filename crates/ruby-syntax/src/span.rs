@@ -1,101 +1,8 @@
 //! Source positions and spans.
 //!
-//! Every token and AST node carries a [`Span`] so the type checker and the
-//! dynamic-check rewriter can report errors that point back into the
-//! original Ruby source.
+//! The [`Span`] type lives in the shared [`diagnostics`] crate so that every
+//! layer of the workspace (lexer, parser, checker, interpreter, SQL checker)
+//! reports locations through one type; it is re-exported here because every
+//! token and AST node carries one.
 
-use serde::{Deserialize, Serialize};
-use std::fmt;
-
-/// A half-open byte range `[start, end)` into a source buffer, together with
-/// the 1-based line on which the span starts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct Span {
-    /// Byte offset of the first character.
-    pub start: usize,
-    /// Byte offset one past the last character.
-    pub end: usize,
-    /// 1-based line number of `start`.
-    pub line: u32,
-}
-
-impl Span {
-    /// Creates a new span.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use ruby_syntax::Span;
-    /// let s = Span::new(0, 3, 1);
-    /// assert_eq!(s.len(), 3);
-    /// ```
-    pub fn new(start: usize, end: usize, line: u32) -> Self {
-        Span { start, end, line }
-    }
-
-    /// A dummy span used for synthesized nodes.
-    pub fn dummy() -> Self {
-        Span { start: 0, end: 0, line: 0 }
-    }
-
-    /// Length of the span in bytes.
-    pub fn len(&self) -> usize {
-        self.end.saturating_sub(self.start)
-    }
-
-    /// Whether the span covers no bytes.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Returns the smallest span covering both `self` and `other`.
-    ///
-    /// The resulting line is the line of whichever span starts first.
-    pub fn to(&self, other: Span) -> Span {
-        let (line, start) = if self.start <= other.start {
-            (self.line, self.start)
-        } else {
-            (other.line, other.start)
-        };
-        Span { start, end: self.end.max(other.end), line }
-    }
-
-    /// Extracts the spanned text from `src`, if in range.
-    pub fn snippet<'a>(&self, src: &'a str) -> Option<&'a str> {
-        src.get(self.start..self.end)
-    }
-}
-
-impl fmt::Display for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}", self.line)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn span_join_orders_correctly() {
-        let a = Span::new(0, 4, 1);
-        let b = Span::new(10, 12, 3);
-        assert_eq!(a.to(b), Span::new(0, 12, 1));
-        assert_eq!(b.to(a), Span::new(0, 12, 1));
-    }
-
-    #[test]
-    fn snippet_extracts_text() {
-        let src = "hello world";
-        let s = Span::new(6, 11, 1);
-        assert_eq!(s.snippet(src), Some("world"));
-        let out = Span::new(6, 100, 1);
-        assert_eq!(out.snippet(src), None);
-    }
-
-    #[test]
-    fn dummy_is_empty() {
-        assert!(Span::dummy().is_empty());
-        assert_eq!(Span::new(2, 5, 1).len(), 3);
-    }
-}
+pub use diagnostics::Span;

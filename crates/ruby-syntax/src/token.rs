@@ -35,7 +35,7 @@ pub enum Kw {
 
 impl Kw {
     /// Looks up a keyword by its source spelling.
-    pub fn from_str(s: &str) -> Option<Kw> {
+    pub fn from_source(s: &str) -> Option<Kw> {
         Some(match s {
             "def" => Kw::Def,
             "end" => Kw::End,
@@ -263,9 +263,9 @@ mod tests {
     #[test]
     fn keyword_roundtrip() {
         for kw in [Kw::Def, Kw::End, Kw::If, Kw::Return, Kw::SelfKw, Kw::Yield] {
-            assert_eq!(Kw::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Kw::from_source(kw.as_str()), Some(kw));
         }
-        assert_eq!(Kw::from_str("frobnicate"), None);
+        assert_eq!(Kw::from_source("frobnicate"), None);
     }
 
     #[test]

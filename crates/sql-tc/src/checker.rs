@@ -1,6 +1,7 @@
 //! Type checking of parsed SQL against a schema (paper §2.3).
 
 use crate::parser::{Cond, Select, SqlExpr, SqlParseError, SqlType};
+use diagnostics::Span;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -18,10 +19,8 @@ impl SqlSchema {
 
     /// Adds a table with its columns.
     pub fn add_table(&mut self, name: &str, columns: &[(&str, SqlType)]) {
-        self.tables.insert(
-            name.to_string(),
-            columns.iter().map(|(c, t)| (c.to_string(), *t)).collect(),
-        );
+        self.tables
+            .insert(name.to_string(), columns.iter().map(|(c, t)| (c.to_string(), *t)).collect());
     }
 
     /// True if the schema knows the table.
@@ -52,6 +51,22 @@ impl SqlSchema {
 pub struct SqlTypeError {
     /// Description of the problem.
     pub message: String,
+    /// Where in the (completed) SQL text the problem is; dummy when the
+    /// error concerns something with no SQL-text location (e.g. a table
+    /// name supplied from the Ruby side).
+    pub span: Span,
+}
+
+impl SqlTypeError {
+    /// Creates an error with no usable location.
+    pub fn new(message: impl Into<String>) -> Self {
+        SqlTypeError { message: message.into(), span: Span::dummy() }
+    }
+
+    /// Creates an error located at `span`.
+    pub fn at(message: impl Into<String>, span: Span) -> Self {
+        SqlTypeError { message: message.into(), span }
+    }
 }
 
 impl fmt::Display for SqlTypeError {
@@ -64,7 +79,26 @@ impl std::error::Error for SqlTypeError {}
 
 impl From<SqlParseError> for SqlTypeError {
     fn from(e: SqlParseError) -> Self {
-        SqlTypeError { message: e.message }
+        SqlTypeError { message: e.message, span: e.span }
+    }
+}
+
+impl From<SqlTypeError> for diagnostics::Diagnostic {
+    fn from(e: SqlTypeError) -> Self {
+        let mut d = diagnostics::Diagnostic::error("SQL0002", e.message.clone());
+        if !e.span.is_dummy() {
+            d = d.with_label(e.span, "in this SQL");
+        }
+        d.with_note("the span is relative to the completed SQL query text")
+    }
+}
+
+/// The SQL-text span of an expression, when it has one (column references
+/// carry their location; literals and placeholders do not need one).
+fn expr_span(e: &SqlExpr) -> Span {
+    match e {
+        SqlExpr::Column { span, .. } => *span,
+        _ => Span::dummy(),
     }
 }
 
@@ -119,7 +153,7 @@ pub fn check_select(schema: &SqlSchema, select: &Select) -> Vec<SqlTypeError> {
     tables.extend(select.joins.iter().cloned());
     for t in &tables {
         if !schema.has_table(t) {
-            errors.push(SqlTypeError { message: format!("unknown table `{t}`") });
+            errors.push(SqlTypeError::new(format!("unknown table `{t}`")));
         }
     }
     if let Some(cond) = &select.where_clause {
@@ -162,9 +196,10 @@ fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut V
             let t = expr_type(schema, tables, e, errors);
             if let Some(t) = t {
                 if t != SqlType::Boolean && t != SqlType::Unknown {
-                    errors.push(SqlTypeError {
-                        message: format!("expression of type {t} used as a condition"),
-                    });
+                    errors.push(SqlTypeError::at(
+                        format!("expression of type {t} used as a condition"),
+                        expr_span(e),
+                    ));
                 }
             }
         }
@@ -173,13 +208,14 @@ fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut V
             let rt = expr_type(schema, tables, rhs, errors);
             if let (Some(lt), Some(rt)) = (lt, rt) {
                 if !compatible(lt, rt) {
-                    errors.push(SqlTypeError {
-                        message: format!(
+                    errors.push(SqlTypeError::at(
+                        format!(
                             "cannot compare {lt} {op} {rt} ({} vs {})",
                             describe(lhs),
                             describe(rhs)
                         ),
-                    });
+                        expr_span(lhs).merge(expr_span(rhs)),
+                    ));
                 }
             }
         }
@@ -189,12 +225,13 @@ fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut V
                 let it = expr_type(schema, tables, item, errors);
                 if let (Some(et), Some(it)) = (et, it) {
                     if !compatible(et, it) {
-                        errors.push(SqlTypeError {
-                            message: format!(
+                        errors.push(SqlTypeError::at(
+                            format!(
                                 "IN list element of type {it} is incompatible with {} of type {et}",
                                 describe(expr)
                             ),
-                        });
+                            expr_span(expr).merge(expr_span(item)),
+                        ));
                     }
                 }
             }
@@ -206,7 +243,7 @@ fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut V
             inner_tables.extend(select.joins.iter().cloned());
             for t in &inner_tables {
                 if !schema.has_table(t) {
-                    errors.push(SqlTypeError { message: format!("unknown table `{t}`") });
+                    errors.push(SqlTypeError::new(format!("unknown table `{t}`")));
                 }
             }
             if let Some(cond) = &select.where_clause {
@@ -219,12 +256,13 @@ fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut V
                 let inner_ty = expr_type(schema, &inner_tables, &select.columns[0], errors);
                 if let (Some(et), Some(it)) = (et, inner_ty) {
                     if !compatible(et, it) {
-                        errors.push(SqlTypeError {
-                            message: format!(
+                        errors.push(SqlTypeError::at(
+                            format!(
                                 "{} has type {et} but the subquery returns {it}",
                                 describe(expr)
                             ),
-                        });
+                            expr_span(expr).merge(expr_span(&select.columns[0])),
+                        ));
                     }
                 }
             }
@@ -234,8 +272,8 @@ fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut V
 
 fn describe(e: &SqlExpr) -> String {
     match e {
-        SqlExpr::Column { table: Some(t), column } => format!("{t}.{column}"),
-        SqlExpr::Column { table: None, column } => column.clone(),
+        SqlExpr::Column { table: Some(t), column, .. } => format!("{t}.{column}"),
+        SqlExpr::Column { table: None, column, .. } => column.clone(),
         SqlExpr::Int(i) => i.to_string(),
         SqlExpr::Float(f) => f.to_string(),
         SqlExpr::Str(s) => format!("'{s}'"),
@@ -258,26 +296,24 @@ fn expr_type(
         SqlExpr::Bool(_) => Some(SqlType::Boolean),
         SqlExpr::Null => Some(SqlType::Unknown),
         SqlExpr::Placeholder(t) => Some(*t),
-        SqlExpr::Column { table, column } => {
+        SqlExpr::Column { table, column, span } => {
             let search: Vec<String> = match table {
                 Some(t) => vec![t.clone()],
                 None => tables.to_vec(),
             };
             if let Some(t) = table {
                 if !schema.has_table(t) {
-                    errors.push(SqlTypeError { message: format!("unknown table `{t}`") });
+                    errors.push(SqlTypeError::at(format!("unknown table `{t}`"), *span));
                     return None;
                 }
             }
             match schema.column_type(&search, column) {
                 Some(t) => Some(t),
                 None => {
-                    errors.push(SqlTypeError {
-                        message: format!(
-                            "unknown column `{column}` in table(s) {}",
-                            search.join(", ")
-                        ),
-                    });
+                    errors.push(SqlTypeError::at(
+                        format!("unknown column `{column}` in table(s) {}", search.join(", ")),
+                        *span,
+                    ));
                     None
                 }
             }
@@ -347,8 +383,7 @@ mod tests {
     #[test]
     fn unknown_columns_and_tables_are_errors() {
         let schema = discourse_schema();
-        let errors =
-            check_fragment(&schema, &["topics".to_string()], "missing_column = 1", &[]);
+        let errors = check_fragment(&schema, &["topics".to_string()], "missing_column = 1", &[]);
         assert!(errors.iter().any(|e| e.message.contains("unknown column")));
         let errors = check_fragment(&schema, &["nonexistent".to_string()], "id = 1", &[]);
         assert!(errors.iter().any(|e| e.message.contains("unknown table")));
@@ -359,10 +394,10 @@ mod tests {
         let schema = discourse_schema();
         let errors = check_fragment(&schema, &["topics".to_string()], "title = 3", &[]);
         assert_eq!(errors.len(), 1);
-        let errors = check_fragment(&schema, &["topics".to_string()], "title = 'x' AND id > 0", &[]);
-        assert!(errors.is_empty(), "{errors:?}");
         let errors =
-            check_fragment(&schema, &["topics".to_string()], "id IN (1, 2, 'three')", &[]);
+            check_fragment(&schema, &["topics".to_string()], "title = 'x' AND id > 0", &[]);
+        assert!(errors.is_empty(), "{errors:?}");
+        let errors = check_fragment(&schema, &["topics".to_string()], "id IN (1, 2, 'three')", &[]);
         assert_eq!(errors.len(), 1);
     }
 

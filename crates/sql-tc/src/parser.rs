@@ -7,6 +7,7 @@
 //! nested `SELECT`s, `IS [NOT] NULL`, `LIKE`, and `?` placeholders (replaced
 //! by typed placeholder nodes before checking).
 
+use diagnostics::Span;
 use std::fmt;
 
 /// A SQL scalar type, as recorded in the schema.
@@ -42,6 +43,16 @@ impl fmt::Display for SqlType {
 pub struct SqlParseError {
     /// Description of the problem.
     pub message: String,
+    /// Where in the (completed) SQL text the problem is; dummy when the
+    /// error has no usable location.
+    pub span: Span,
+}
+
+impl SqlParseError {
+    /// Creates an error located at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SqlParseError { message: message.into(), span }
+    }
 }
 
 impl fmt::Display for SqlParseError {
@@ -52,6 +63,16 @@ impl fmt::Display for SqlParseError {
 
 impl std::error::Error for SqlParseError {}
 
+impl From<SqlParseError> for diagnostics::Diagnostic {
+    fn from(e: SqlParseError) -> Self {
+        let mut d = diagnostics::Diagnostic::error("SQL0001", e.message.clone());
+        if !e.span.is_dummy() {
+            d = d.with_label(e.span, "in this SQL");
+        }
+        d.with_note("the span is relative to the completed SQL query text")
+    }
+}
+
 /// A scalar SQL expression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlExpr {
@@ -61,6 +82,8 @@ pub enum SqlExpr {
         table: Option<String>,
         /// Column name.
         column: String,
+        /// Where the reference appears in the (completed) SQL text.
+        span: Span,
     },
     /// An integer literal.
     Int(i64),
@@ -154,16 +177,32 @@ enum Tok {
     Eof,
 }
 
-fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
+fn lex(src: &str) -> Result<(Vec<Tok>, Vec<Span>), SqlParseError> {
     let mut out = Vec::new();
+    let mut spans = Vec::new();
     let chars: Vec<char> = src.chars().collect();
+    // Byte offset of each char (plus a sentinel), so spans stay correct for
+    // non-ASCII literals.
+    let mut bytes: Vec<usize> = src.char_indices().map(|(b, _)| b).collect();
+    bytes.push(src.len());
+    let mut line: u32 = 1;
+    let span_at = |bytes: &[usize], line: u32, from: usize, to: usize| {
+        Span::new(bytes[from], bytes[to.min(bytes.len() - 1)], line)
+    };
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
+        let start = i;
         match c {
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => {
+                if c == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
             '?' => {
                 out.push(Tok::Placeholder);
+                spans.push(span_at(&bytes, line, start, start + 1));
                 i += 1;
             }
             '[' => {
@@ -176,7 +215,10 @@ fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
                     j += 1;
                 }
                 if j >= chars.len() {
-                    return Err(SqlParseError { message: "unterminated [Type] placeholder".into() });
+                    return Err(SqlParseError::new(
+                        "unterminated [Type] placeholder",
+                        span_at(&bytes, line, start, j),
+                    ));
                 }
                 let ty = match word.trim() {
                     "Integer" => SqlType::Integer,
@@ -186,6 +228,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
                     _ => SqlType::Unknown,
                 };
                 out.push(Tok::TypedPlaceholder(ty));
+                spans.push(span_at(&bytes, line, start, j + 1));
                 i = j + 1;
             }
             '\'' => {
@@ -196,9 +239,15 @@ fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
                     j += 1;
                 }
                 if j >= chars.len() {
-                    return Err(SqlParseError { message: "unterminated string literal".into() });
+                    return Err(SqlParseError::new(
+                        "unterminated string literal",
+                        span_at(&bytes, line, start, j),
+                    ));
                 }
+                // Keep the line counter honest across multi-line literals.
+                line += s.chars().filter(|&c| c == '\n').count() as u32;
                 out.push(Tok::Str(s));
+                spans.push(span_at(&bytes, line, start, j + 1));
                 i = j + 1;
             }
             '0'..='9' => {
@@ -212,15 +261,17 @@ fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
                     text.push(chars[j]);
                     j += 1;
                 }
+                let num_span = span_at(&bytes, line, start, j);
                 if is_float {
-                    out.push(Tok::Float(text.parse().map_err(|_| SqlParseError {
-                        message: format!("bad float literal {text}"),
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        SqlParseError::new(format!("bad float literal {text}"), num_span)
                     })?));
                 } else {
-                    out.push(Tok::Int(text.parse().map_err(|_| SqlParseError {
-                        message: format!("bad integer literal {text}"),
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        SqlParseError::new(format!("bad integer literal {text}"), num_span)
                     })?));
                 }
+                spans.push(num_span);
                 i = j;
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -233,35 +284,45 @@ fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
                     j += 1;
                 }
                 out.push(Tok::Word(word));
+                spans.push(span_at(&bytes, line, start, j));
                 i = j;
             }
             '<' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Tok::Le);
+                spans.push(span_at(&bytes, line, start, start + 2));
                 i += 2;
             }
             '>' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Tok::Ge);
+                spans.push(span_at(&bytes, line, start, start + 2));
                 i += 2;
             }
             '<' if chars.get(i + 1) == Some(&'>') => {
                 out.push(Tok::Ne);
+                spans.push(span_at(&bytes, line, start, start + 2));
                 i += 2;
             }
             '!' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Tok::Ne);
+                spans.push(span_at(&bytes, line, start, start + 2));
                 i += 2;
             }
             '(' | ')' | ',' | '=' | '<' | '>' | '*' => {
                 out.push(Tok::Symbol(c));
+                spans.push(span_at(&bytes, line, start, start + 1));
                 i += 1;
             }
             other => {
-                return Err(SqlParseError { message: format!("unexpected character `{other}`") })
+                return Err(SqlParseError::new(
+                    format!("unexpected character `{other}`"),
+                    span_at(&bytes, line, start, start + 1),
+                ))
             }
         }
     }
     out.push(Tok::Eof);
-    Ok(out)
+    spans.push(Span::new(src.len(), src.len(), line));
+    Ok((out, spans))
 }
 
 // ---------------------------------------------------------------------------
@@ -270,12 +331,18 @@ fn lex(src: &str) -> Result<Vec<Tok>, SqlParseError> {
 
 struct Parser {
     toks: Vec<Tok>,
+    spans: Vec<Span>,
     pos: usize,
 }
 
 impl Parser {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    /// Span of the token [`Parser::peek`] returns.
+    fn cur_span(&self) -> Span {
+        self.spans[self.pos.min(self.spans.len() - 1)]
     }
 
     fn bump(&mut self) -> Tok {
@@ -300,7 +367,10 @@ impl Parser {
         if self.eat_word(word) {
             Ok(())
         } else {
-            Err(SqlParseError { message: format!("expected `{word}`, found {:?}", self.peek()) })
+            Err(SqlParseError::new(
+                format!("expected `{word}`, found {:?}", self.peek()),
+                self.cur_span(),
+            ))
         }
     }
 
@@ -309,7 +379,10 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(SqlParseError { message: format!("expected `{c}`, found {:?}", self.peek()) })
+            Err(SqlParseError::new(
+                format!("expected `{c}`, found {:?}", self.peek()),
+                self.cur_span(),
+            ))
         }
     }
 
@@ -331,10 +404,14 @@ impl Parser {
             }
         }
         self.expect_word("FROM")?;
+        let from_span = self.cur_span();
         let from = match self.bump() {
             Tok::Word(w) => w,
             other => {
-                return Err(SqlParseError { message: format!("expected table name, found {other:?}") })
+                return Err(SqlParseError::new(
+                    format!("expected table name, found {other:?}"),
+                    from_span,
+                ))
             }
         };
         let mut joins = Vec::new();
@@ -344,12 +421,14 @@ impl Parser {
             } else if !self.eat_word("JOIN") {
                 break;
             }
+            let join_span = self.cur_span();
             let table = match self.bump() {
                 Tok::Word(w) => w,
                 other => {
-                    return Err(SqlParseError {
-                        message: format!("expected joined table name, found {other:?}"),
-                    })
+                    return Err(SqlParseError::new(
+                        format!("expected joined table name, found {other:?}"),
+                        join_span,
+                    ))
                 }
             };
             joins.push(table);
@@ -456,6 +535,7 @@ impl Parser {
     }
 
     fn parse_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let span = self.cur_span();
         match self.bump() {
             Tok::Int(i) => Ok(SqlExpr::Int(i)),
             Tok::Float(f) => Ok(SqlExpr::Float(f)),
@@ -476,11 +556,12 @@ impl Parser {
                     Some((table, column)) => Ok(SqlExpr::Column {
                         table: Some(table.to_string()),
                         column: column.to_string(),
+                        span,
                     }),
-                    None => Ok(SqlExpr::Column { table: None, column: w }),
+                    None => Ok(SqlExpr::Column { table: None, column: w, span }),
                 }
             }
-            other => Err(SqlParseError { message: format!("unexpected token {other:?}") }),
+            other => Err(SqlParseError::new(format!("unexpected token {other:?}"), span)),
         }
     }
 }
@@ -499,8 +580,8 @@ impl Parser {
 /// assert!(q.where_clause.is_some());
 /// ```
 pub fn parse_select(src: &str) -> Result<Select, SqlParseError> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let (toks, spans) = lex(src)?;
+    let mut p = Parser { toks, spans, pos: 0 };
     let select = p.parse_select()?;
     Ok(select)
 }
@@ -511,8 +592,8 @@ pub fn parse_select(src: &str) -> Result<Select, SqlParseError> {
 ///
 /// Returns a [`SqlParseError`] on malformed SQL.
 pub fn parse_condition(src: &str) -> Result<Cond, SqlParseError> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let (toks, spans) = lex(src)?;
+    let mut p = Parser { toks, spans, pos: 0 };
     let cond = p.parse_cond()?;
     Ok(cond)
 }
@@ -582,5 +663,18 @@ mod tests {
         assert!(parse_select("SELECT FROM").is_err());
         assert!(parse_select("SELECT * WHERE x = 1").is_err());
         assert!(parse_condition("a = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn line_tracking_survives_multiline_string_literals() {
+        // The literal spans two lines; the column reference after it must be
+        // reported on line 2, and newline whitespace itself bumps the line.
+        let cond = parse_condition("a = 'x\ny' AND later = 1").unwrap();
+        let Cond::And(_, rhs) = cond else { panic!("expected AND") };
+        let Cond::Compare { lhs: SqlExpr::Column { column, span, .. }, .. } = *rhs else {
+            panic!("expected comparison on a column")
+        };
+        assert_eq!(column, "later");
+        assert_eq!(span.line, 2, "line must account for the newline inside the literal");
     }
 }

@@ -1,0 +1,63 @@
+//! A tiny seeded PRNG for deterministic property tests.
+//!
+//! The build container has no crates.io access, so the workspace's property
+//! tests (`rdl-types`, `lambda-c`) use this instead of `proptest`: draw a
+//! few thousand random structures from a fixed seed and assert the same
+//! algebraic properties a shrinking property tester would.
+
+#![warn(missing_docs)]
+
+/// xorshift64* with a fixed seed; deterministic across runs and platforms.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a non-zero seed.
+    pub fn new(seed: u64) -> Self {
+        assert_ne!(seed, 0, "xorshift seed must be non-zero");
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `[0, n)` (modulo bias is irrelevant for the tiny
+    /// `n` used in test generators).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(5) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_seed_rejected() {
+        Rng::new(0);
+    }
+}

@@ -5,6 +5,7 @@
 //! Run with `cargo run --example avoid_casts`.
 
 use comprdl::{CheckOptions, CompRdl, TypeChecker};
+use diagnostics::{render, Diagnostic, SourceMap};
 
 fn env() -> CompRdl {
     let mut env = CompRdl::new();
@@ -24,6 +25,10 @@ fn report(label: &str, use_comp_types: bool, source: &str) {
         result.errors().len(),
         result.total_casts()
     );
+    let sm = SourceMap::new("image_url.rb", source);
+    for err in result.errors() {
+        print!("{}", render(&sm, &Diagnostic::from(err.clone())));
+    }
 }
 
 fn main() {
@@ -48,4 +53,18 @@ end
          precisely, so `.first` type checks without any cast; plain RDL promotes\n\
          the hash and requires the cast shown in Figure 2, line 8."
     );
+
+    // With implicit-cast counting off, the precision loss under plain RDL is
+    // reported as a hard error — rendered here through the shared
+    // diagnostics pipeline.
+    println!("\nPlain RDL with implicit-cast counting disabled:\n");
+    let env = env();
+    let program = ruby_syntax::parse_program(without_cast).expect("parses");
+    let options =
+        CheckOptions { use_comp_types: false, count_implicit_casts: false, ..Default::default() };
+    let result = TypeChecker::new(&env, &program, options).check_labeled("app");
+    let sm = SourceMap::new("image_url.rb", without_cast);
+    for err in result.errors() {
+        print!("{}", render(&sm, &Diagnostic::from(err.clone())));
+    }
 }

@@ -5,6 +5,7 @@
 
 use comprdl::{CheckOptions, CompRdl, TypeChecker};
 use db_types::{ColumnType, DbRegistry};
+use diagnostics::{render, Diagnostic, SourceMap};
 use std::rc::Rc;
 
 fn discourse_env() -> CompRdl {
@@ -44,8 +45,11 @@ fn check(env: &CompRdl, source: &str) {
     if result.errors().is_empty() {
         println!("  no type errors");
     }
+    // Each checker error converts into a shared `Diagnostic` and renders as a
+    // span-annotated snippet against the model source.
+    let sm = SourceMap::new("model.rb", source);
     for err in result.errors() {
-        println!("  TYPE ERROR: {err}");
+        print!("{}", render(&sm, &Diagnostic::from(err.clone())));
     }
     println!();
 }

@@ -4,6 +4,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use comprdl::{CheckConfig, CheckOptions, CompRdl, TypeChecker};
+use diagnostics::{render, Diagnostic, SourceMap};
 use ruby_interp::Interpreter;
 
 fn main() {
@@ -12,12 +13,7 @@ fn main() {
     let mut env = CompRdl::new();
     comprdl::stdlib::register_all(&mut env);
     env.add_class("Greeter", "Object");
-    env.type_sig(
-        "Greeter",
-        "config",
-        "() -> { greeting: String, names: Array<String> }",
-        None,
-    );
+    env.type_sig("Greeter", "config", "() -> { greeting: String, names: Array<String> }", None);
     env.type_sig("Greeter", "greet_first", "() -> String", Some("app"));
     env.type_sig("Greeter", "greet_all", "() -> Array<String>", Some("app"));
 
@@ -71,7 +67,29 @@ g.greet_all().each { |line| puts(line) }
     }
     println!("checks executed : {}", interp.checks_performed());
 
-    // 5. The same rows the paper reports in Table 1, for the core libraries.
+    // 5. Diagnostics: a broken variant of the program, with every layer's
+    //    errors rendered as span-annotated snippets through the shared
+    //    `diagnostics` pipeline.
+    let broken = r#"
+class Greeter
+  def config()
+    { greeting: 'Hello', names: ['Ada', 'Grace', 'Barbara'] }
+  end
+
+  def greet_first()
+    config()[:greeting] + config()[:names]
+  end
+end
+"#;
+    println!("\nA broken variant, rendered through the diagnostics pipeline:\n");
+    let sm = SourceMap::new("greeter.rb", broken);
+    let program = ruby_syntax::parse_program(broken).expect("program parses");
+    let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    for err in result.errors() {
+        print!("{}", render(&sm, &Diagnostic::from(err.clone())));
+    }
+
+    // 6. The same rows the paper reports in Table 1, for the core libraries.
     let (rows, helpers) = corpus::table1();
     println!("\n{}", corpus::format_table1(&rows, helpers));
 }

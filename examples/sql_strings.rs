@@ -6,16 +6,14 @@
 
 use comprdl::{CheckOptions, CompRdl, TypeChecker};
 use db_types::{ColumnType, DbRegistry};
-use sql_tc::{check_fragment, SqlType};
+use diagnostics::{render, Diagnostic, SourceMap};
+use sql_tc::{check_fragment, complete_fragment, SqlType};
 use std::rc::Rc;
 
 fn main() {
     // The three tables of Figure 3.
     let mut db = DbRegistry::new();
-    db.add_table(
-        "posts",
-        &[("id", ColumnType::Integer), ("topic_id", ColumnType::Integer)],
-    );
+    db.add_table("posts", &[("id", ColumnType::Integer), ("topic_id", ColumnType::Integer)]);
     db.add_table("topics", &[("id", ColumnType::Integer), ("title", ColumnType::String)]);
     db.add_table(
         "topic_allowed_groups",
@@ -36,8 +34,13 @@ fn main() {
         &[SqlType::Integer],
     );
     println!("fragment: {buggy}");
+    // SQL checker errors carry spans into the completed query, so they render
+    // as annotated snippets through the shared diagnostics pipeline.
+    let completed =
+        complete_fragment(buggy, &["posts".to_string(), "topics".to_string()], &[SqlType::Integer]);
+    let sm = SourceMap::new("<completed sql>", completed);
     for e in &errors {
-        println!("  {e}");
+        print!("{}", render(&sm, &Diagnostic::from(e.clone())));
     }
 
     // 2. The same check reached through the comp type of `where` during
@@ -59,8 +62,9 @@ end
     let program = ruby_syntax::parse_program(buggy_src).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     println!("buggy query:");
+    let sm = SourceMap::new("post.rb", buggy_src);
     for err in result.errors() {
-        println!("  TYPE ERROR: {err}");
+        print!("{}", render(&sm, &Diagnostic::from(err.clone())));
     }
 
     let fixed_src = buggy_src.replace("topics.title IN", "topics.id IN");

@@ -1,0 +1,18 @@
+//! Workspace facade for the CompRDL (PLDI 2019) reproduction.
+//!
+//! This crate exists so the top-level `tests/` and `examples/` directories
+//! build against the whole crate graph with plain `cargo test` /
+//! `cargo run --example`. It re-exports every workspace crate under one
+//! name; library code should depend on the individual crates directly.
+
+#![warn(missing_docs)]
+
+pub use comprdl;
+pub use corpus;
+pub use db_types;
+pub use diagnostics;
+pub use lambda_c;
+pub use rdl_types;
+pub use ruby_interp;
+pub use ruby_syntax;
+pub use sql_tc;

@@ -34,8 +34,7 @@ fn comp_types_calling_nonterminating_helpers_are_rejected_during_checking() {
     env.type_sig("Object", "risky", "(t<:Object) -> «spin()»", None);
     env.type_sig("Object", "caller_method", "() -> Object", Some("app"));
 
-    let program =
-        ruby_syntax::parse_program("def caller_method()\n  risky(1)\nend\n").unwrap();
+    let program = ruby_syntax::parse_program("def caller_method()\n  risky(1)\nend\n").unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     assert!(
         result.errors().iter().any(|e| e.category == ErrorCategory::Termination),
