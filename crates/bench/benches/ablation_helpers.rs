@@ -6,7 +6,7 @@ use comprdl::{CompRdl, TlcValue};
 use criterion::{criterion_group, criterion_main, Criterion};
 use db_types::{ColumnType, DbRegistry};
 use rdl_types::{ClassTable, Type, TypeStore};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn env_with_db() -> CompRdl {
     let mut db = DbRegistry::new();
@@ -30,7 +30,7 @@ fn env_with_db() -> CompRdl {
     db.add_association("User", "emails", "emails");
     let mut env = CompRdl::new();
     comprdl::stdlib::register_all(&mut env);
-    db_types::register_all(&mut env, Rc::new(db));
+    db_types::register_all(&mut env, Arc::new(db));
     env
 }
 

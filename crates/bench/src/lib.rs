@@ -16,6 +16,111 @@ pub fn check_app(app: &corpus::App, options: CheckOptions) -> comprdl::ProgramCh
     TypeChecker::new(&env, &program, options).check_labeled("app")
 }
 
+/// Type checks one corpus app with the comp-type evaluation cache disabled
+/// (the paper's re-evaluate-at-every-call-site baseline).
+pub fn check_app_uncached(app: &corpus::App) -> comprdl::ProgramCheckResult {
+    check_app(app, CheckOptions { use_eval_cache: false, ..CheckOptions::default() })
+}
+
+/// Type checks one corpus app with `threads` per-method worker threads.
+pub fn check_app_parallel(app: &corpus::App, threads: usize) -> comprdl::ProgramCheckResult {
+    let (env, program) = prepare_app(app);
+    TypeChecker::check_labeled_parallel(&env, &program, CheckOptions::default(), "app", threads)
+}
+
+/// Builds an app's environment and parses its source once, so benches can
+/// time the *checking* phase alone (environment assembly re-parses hundreds
+/// of annotation strings and would otherwise dominate the measurement).
+pub fn prepare_app(app: &corpus::App) -> (comprdl::CompRdl, ruby_syntax::Program) {
+    let env = app.build_env();
+    let program = ruby_syntax::parse_program(&app.full_source()).expect("app parses");
+    (env, program)
+}
+
+/// Type checks a prepared app (see [`prepare_app`]) sequentially.
+pub fn check_prepared(
+    env: &comprdl::CompRdl,
+    program: &ruby_syntax::Program,
+    options: CheckOptions,
+) -> comprdl::ProgramCheckResult {
+    TypeChecker::new(env, program, options).check_labeled("app")
+}
+
+/// Type checks a prepared app (see [`prepare_app`]) with `threads` workers.
+pub fn check_prepared_parallel(
+    env: &comprdl::CompRdl,
+    program: &ruby_syntax::Program,
+    threads: usize,
+) -> comprdl::ProgramCheckResult {
+    TypeChecker::check_labeled_parallel(env, program, CheckOptions::default(), "app", threads)
+}
+
+/// Number of timed samples per benchmark: 2 when `BENCH_SMOKE` is set in
+/// the environment (CI runs the benches as a correctness smoke test), the
+/// given default otherwise.
+pub fn sample_size(default: usize) -> usize {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        2
+    } else {
+        default
+    }
+}
+
+/// Builds a Discourse-schema workload with `methods` checked methods, each
+/// performing several DB query calls whose comp types evaluate over a small
+/// set of distinct query shapes.  The six paper apps are deliberately tiny
+/// (a handful of call sites each); this models the density of a real Rails
+/// app, where the same `where` / `exists?` comp types are evaluated at
+/// hundreds of call sites — the workload both the evaluation cache and the
+/// per-method threading are for.
+pub fn scale_workload(methods: usize) -> (comprdl::CompRdl, ruby_syntax::Program) {
+    use db_types::{ColumnType, DbRegistry};
+
+    let mut db = DbRegistry::new();
+    db.add_table(
+        "users",
+        &[
+            ("id", ColumnType::Integer),
+            ("username", ColumnType::String),
+            ("staged", ColumnType::Boolean),
+        ],
+    );
+    db.add_table(
+        "emails",
+        &[
+            ("id", ColumnType::Integer),
+            ("email", ColumnType::String),
+            ("user_id", ColumnType::Integer),
+        ],
+    );
+    db.add_model("User", "users");
+    db.add_model("Email", "emails");
+    db.add_association("User", "emails", "emails");
+
+    let mut env = comprdl::CompRdl::new();
+    comprdl::stdlib::register_all(&mut env);
+    db_types::register_all(&mut env, std::sync::Arc::new(db));
+
+    let mut src = String::from("class User < ActiveRecord::Base\n");
+    for i in 0..methods {
+        env.type_sig_singleton("User", &format!("m{i}"), "(String) -> %bool", Some("app"));
+        // Four query call sites per method, including a raw-SQL `where`
+        // whose comp type runs the embedded SQL type checker — the
+        // expensive evaluation the cache is most valuable for.
+        src.push_str(&format!(
+            "  def self.m{i}(name)\n    \
+             a = User.exists?({{ username: name }})\n    \
+             b = User.where({{ staged: true }}).exists?({{ username: name }})\n    \
+             c = User.joins(:emails).exists?({{ username: name, emails: {{ email: name }} }})\n    \
+             d = User.where('username = ? AND id IN (SELECT user_id FROM emails WHERE email = ?)', name, name).exists?()\n    \
+             a || b || c || d\n  end\n"
+        ));
+    }
+    src.push_str("end\n");
+    let program = ruby_syntax::parse_program(&src).expect("generated workload parses");
+    (env, program)
+}
+
 /// Runs one corpus app's test suite under the given dynamic-check
 /// configuration (or completely unchecked when `config` is `None`),
 /// returning the number of dynamic checks executed.

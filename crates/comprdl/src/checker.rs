@@ -16,16 +16,18 @@
 //!   implicit casts that *would* be required when precision is lost
 //!   (used to reproduce the "Casts" vs "Casts (RDL)" columns of Table 2).
 
+use crate::cache::{CacheKey, CacheStats, CompPosition, CompTypeCache};
 use crate::env::CompRdl;
 use crate::runtime::{ConsistencyCheck, InsertedCheck};
 use crate::termination::TerminationChecker;
-use crate::tlc::{eval_comp_type, TlcValue};
+use crate::tlc::{eval_comp_type, TlcError, TlcValue};
 use rdl_types::{
     HashKey, MethodKind, MethodSig, ParamSig, SingVal, Subtyper, Type, TypeExpr, TypeStore,
 };
 use ruby_syntax::{BinOp, Expr, ExprKind, LValue, MethodDef, Program, Span};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// What kind of type error was found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,11 +126,21 @@ pub struct CheckOptions {
     pub count_implicit_casts: bool,
     /// Run the termination checker on every comp type evaluated.
     pub check_termination: bool,
+    /// Memoize comp-type evaluations keyed on (method, resolved receiver
+    /// type, resolved argument types); see [`crate::cache`].  Disable to get
+    /// the paper's re-evaluate-at-every-call-site behaviour (the baseline
+    /// the `cached_vs_uncached` bench compares against).
+    pub use_eval_cache: bool,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { use_comp_types: true, count_implicit_casts: true, check_termination: true }
+        CheckOptions {
+            use_comp_types: true,
+            count_implicit_casts: true,
+            check_termination: true,
+            use_eval_cache: true,
+        }
     }
 }
 
@@ -161,6 +173,9 @@ pub struct ProgramCheckResult {
     /// The type store built during checking (needed by the dynamic-check
     /// hook so inserted checks can resolve store-backed types).
     pub store: TypeStore,
+    /// Comp-type evaluation cache counters for the run (summed across
+    /// workers for a parallel run; all zeros when the cache is disabled).
+    pub cache_stats: CacheStats,
 }
 
 impl ProgramCheckResult {
@@ -201,12 +216,19 @@ impl ProgramCheckResult {
 }
 
 /// The type checker.
+///
+/// The environment (`env`) and program are shared, immutable inputs; the
+/// store, termination checker and comp-type cache are the run's mutable
+/// state.  A parallel run ([`TypeChecker::check_labeled_parallel`]) gives
+/// every worker thread its own `TypeChecker` over the same shared inputs
+/// and merges the per-worker stores afterwards.
 pub struct TypeChecker<'a> {
     env: &'a CompRdl,
     program: &'a Program,
     options: CheckOptions,
     store: TypeStore,
     termination: TerminationChecker,
+    cache: CompTypeCache,
 }
 
 struct MethodCtx {
@@ -237,26 +259,110 @@ impl<'a> TypeChecker<'a> {
                 rdl_types::PurityEffect::Pure,
             );
         }
-        TypeChecker { env, program, options, store: TypeStore::new(), termination }
+        TypeChecker {
+            env,
+            program,
+            options,
+            store: TypeStore::new(),
+            termination,
+            cache: CompTypeCache::new(),
+        }
+    }
+
+    /// The methods `check_labeled` selects, in program order.
+    fn select_labeled<'p>(
+        env: &CompRdl,
+        program: &'p Program,
+        label: &str,
+    ) -> Vec<(String, &'p MethodDef)> {
+        program
+            .methods()
+            .into_iter()
+            .filter(|(owner, def)| {
+                let kind = if def.singleton { MethodKind::Singleton } else { MethodKind::Instance };
+                env.annotations
+                    .lookup(&env.classes, owner, kind, &def.name)
+                    .map(|(_, sig)| sig.typecheck_label.as_deref() == Some(label))
+                    .unwrap_or(false)
+            })
+            .collect()
     }
 
     /// Checks every method in the program that carries a `typecheck:` label
     /// in its annotation, mirroring `RDL.do_typecheck`.
     pub fn check_labeled(mut self, label: &str) -> ProgramCheckResult {
+        let selected = Self::select_labeled(self.env, self.program, label);
         let mut methods = Vec::new();
-        for (owner, def) in self.program.methods() {
-            let kind = if def.singleton { MethodKind::Singleton } else { MethodKind::Instance };
-            let labeled = self
-                .env
-                .annotations
-                .lookup(&self.env.classes, &owner, kind, &def.name)
-                .map(|(_, sig)| sig.typecheck_label.as_deref() == Some(label))
-                .unwrap_or(false);
-            if labeled {
-                methods.push(self.check_method_def(&owner, def));
+        for (owner, def) in selected {
+            methods.push(self.check_method_def(&owner, def));
+        }
+        ProgramCheckResult { methods, store: self.store, cache_stats: self.cache.stats() }
+    }
+
+    /// Like [`TypeChecker::check_labeled`], but checks methods concurrently:
+    /// `threads` scoped workers pull methods off a shared work queue
+    /// (work stealing — a worker that finishes a cheap method immediately
+    /// grabs the next), each with its own [`TypeStore`] and comp-type cache,
+    /// while the class table, annotations and helpers are shared by
+    /// reference.  Per-worker stores are merged afterwards (shifting the
+    /// store ids referenced by the inserted dynamic checks), and the
+    /// per-method results are returned in program order, so the output is
+    /// deterministic regardless of how the work was distributed.
+    pub fn check_labeled_parallel(
+        env: &CompRdl,
+        program: &Program,
+        options: CheckOptions,
+        label: &str,
+        threads: usize,
+    ) -> ProgramCheckResult {
+        let selected = Self::select_labeled(env, program, label);
+        let workers = threads.clamp(1, selected.len().max(1));
+        if workers <= 1 {
+            return TypeChecker::new(env, program, options).check_labeled(label);
+        }
+
+        // One worker's output: indexed method results, its private store,
+        // and its cache counters.
+        type WorkerOutput = (Vec<(usize, MethodCheckResult)>, TypeStore, CacheStats);
+        let next = AtomicUsize::new(0);
+        let selected_ref = &selected;
+        let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut checker = TypeChecker::new(env, program, options);
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((owner, def)) = selected_ref.get(idx) else { break };
+                            out.push((idx, checker.check_method_def(owner, def)));
+                        }
+                        (out, checker.store, checker.cache.stats())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("checker worker panicked")).collect()
+        });
+
+        let mut store = TypeStore::new();
+        let mut cache_stats = CacheStats::default();
+        let mut merged: Vec<Option<MethodCheckResult>> =
+            (0..selected.len()).map(|_| None).collect();
+        for (results, worker_store, worker_stats) in worker_outputs {
+            let shift = store.absorb(worker_store);
+            cache_stats = cache_stats.merged(worker_stats);
+            for (idx, mut result) in results {
+                for check in &mut result.checks {
+                    check.expected_return = shift.apply(&check.expected_return);
+                    if let Some(consistency) = &mut check.consistency {
+                        consistency.expected = shift.apply(&consistency.expected);
+                    }
+                }
+                merged[idx] = Some(result);
             }
         }
-        ProgramCheckResult { methods, store: self.store }
+        ProgramCheckResult { methods: merged.into_iter().flatten().collect(), store, cache_stats }
     }
 
     /// Checks all annotated methods defined in the program (any label).
@@ -268,13 +374,17 @@ impl<'a> TypeChecker<'a> {
                 methods.push(self.check_method_def(&owner, def));
             }
         }
-        ProgramCheckResult { methods, store: self.store }
+        ProgramCheckResult { methods, store: self.store, cache_stats: self.cache.stats() }
     }
 
     /// Checks a single method definition.
     pub fn check_single(mut self, owner: &str, def: &MethodDef) -> ProgramCheckResult {
         let result = self.check_method_def(owner, def);
-        ProgramCheckResult { methods: vec![result], store: self.store }
+        ProgramCheckResult {
+            methods: vec![result],
+            store: self.store,
+            cache_stats: self.cache.stats(),
+        }
     }
 
     fn check_method_def(&mut self, owner: &str, def: &MethodDef) -> MethodCheckResult {
@@ -344,7 +454,9 @@ impl<'a> TypeChecker<'a> {
                     class: ctx.class.clone(),
                     method: ctx.method.clone(),
                     message: format!(
-                        "body has type `{result_ty}` but the method is declared to return `{declared_ret}`"
+                        "body has type `{}` but the method is declared to return `{}`",
+                        self.store.render(&result_ty),
+                        self.store.render(&declared_ret)
                     ),
                     span: def.span,
                 });
@@ -426,7 +538,10 @@ impl<'a> TypeChecker<'a> {
                 ctx,
                 ErrorCategory::NoMethod,
                 span,
-                format!("{what} has imprecise type `{ty}`; a type cast is required"),
+                format!(
+                    "{what} has imprecise type `{}`; a type cast is required",
+                    self.store.render(ty)
+                ),
             );
             Type::Dynamic
         }
@@ -681,7 +796,9 @@ impl<'a> TypeChecker<'a> {
                             ErrorCategory::ArgumentType,
                             span,
                             format!(
-                                "cannot assign `{value_ty}` to @{name} declared as `{declared}`"
+                                "cannot assign `{}` to @{name} declared as `{}`",
+                                self.store.render(&value_ty),
+                                self.store.render(&declared)
                             ),
                         );
                     }
@@ -698,7 +815,9 @@ impl<'a> TypeChecker<'a> {
                             ErrorCategory::ArgumentType,
                             span,
                             format!(
-                                "cannot assign `{value_ty}` to ${name} declared as `{declared}`"
+                                "cannot assign `{}` to ${name} declared as `{}`",
+                                self.store.render(&value_ty),
+                                self.store.render(&declared)
                             ),
                         );
                     }
@@ -750,7 +869,9 @@ impl<'a> TypeChecker<'a> {
                     span,
                     format!(
                         "weak update invalidates earlier constraint `{} <= {}` (from {})",
-                        violated.lhs, violated.rhs, violated.origin
+                        self.store.render(&violated.lhs),
+                        self.store.render(&violated.rhs),
+                        violated.origin
                     ),
                 );
             }
@@ -866,7 +987,10 @@ impl<'a> TypeChecker<'a> {
                         ctx,
                         ErrorCategory::NoMethod,
                         expr.span,
-                        format!("undefined method `{name}` for type `{resolved_recv}`"),
+                        format!(
+                            "undefined method `{name}` for type `{}`",
+                            self.store.render(&resolved_recv)
+                        ),
                     );
                     Type::Dynamic
                 } else {
@@ -915,6 +1039,77 @@ impl<'a> TypeChecker<'a> {
             recv,
             Type::Tuple(_) | Type::FiniteHash(_) | Type::ConstString(_) | Type::Generic { .. }
         ) || matches!(recv, Type::Nominal(n) if ["String", "Integer", "Float", "Symbol", "Array", "Hash"].contains(&n.as_str()))
+    }
+
+    /// Evaluates a comp-type expression, answering from the evaluation cache
+    /// when an identical evaluation (same method slot, same resolved
+    /// receiver / argument types) was already performed.  See
+    /// [`crate::cache`] for the key and invalidation rules.
+    fn eval_comp_cached(
+        &mut self,
+        owner: &str,
+        method: &str,
+        position: CompPosition,
+        bindings: &HashMap<String, TlcValue>,
+        expr: &Expr,
+    ) -> Result<Type, TlcError> {
+        if !self.options.use_eval_cache || !self.cache.note_evaluation(owner, method, position) {
+            return eval_comp_type(
+                &mut self.store,
+                &self.env.classes,
+                &self.env.helpers,
+                bindings.clone(),
+                expr,
+            );
+        }
+        let key = CacheKey::build(owner, method, position, bindings, &self.store);
+        if let Some(key) = &key {
+            if let Some(cached) = self.cache.lookup(key, &self.store) {
+                // Store-backed parts of a cached result are re-interned into
+                // fresh ids: handing out the original ids would alias
+                // mutable state across call sites, so a weak update at one
+                // site would silently change another site's type.  The
+                // copies start constraint-free, exactly like the ids a
+                // fresh evaluation would have allocated.
+                return cached.map(|t| {
+                    if t.contains_store_backed() {
+                        self.store.deep_copy(&t)
+                    } else {
+                        t
+                    }
+                });
+            }
+        }
+        let result = eval_comp_type(
+            &mut self.store,
+            &self.env.classes,
+            &self.env.helpers,
+            bindings.clone(),
+            expr,
+        );
+        if let Some(key) = key {
+            self.cache.insert(key, result.clone(), &self.store);
+        }
+        result
+    }
+
+    /// The source span to report a failed comp-type evaluation at.  SQL
+    /// fragment errors carry a span relative to the raw fragment string;
+    /// map it through the string-literal argument that supplied the
+    /// fragment so the diagnostic points at the offending SQL inside the
+    /// original Ruby literal.  Everything else points at the call.
+    fn comp_error_span(&self, e: &TlcError, call_span: Span, args: &[Expr]) -> Span {
+        let Some(frag) = e.sql_span else { return call_span };
+        let Some(lit) = args.iter().find(|a| matches!(a.kind, ExprKind::Str(_))) else {
+            return call_span;
+        };
+        // The literal's span covers the quotes; its content starts one byte
+        // in.  (Escape sequences would shift content offsets, but raw SQL
+        // fragments do not use them.)
+        let content_start = lit.span.start + 1;
+        let start = content_start + frag.start;
+        let end = (content_start + frag.end).min(lit.span.end.saturating_sub(1).max(start));
+        Span::new(start, end.max(start + 1), lit.span.line + frag.line.saturating_sub(1))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -971,11 +1166,12 @@ impl<'a> TypeChecker<'a> {
             let t = match (inner_ty, use_comp) {
                 (TypeExpr::Comp(spec), true) => {
                     self.run_termination_check(ctx, expr.span, &spec.expr);
-                    match eval_comp_type(
-                        &mut self.store,
-                        &self.env.classes,
-                        &self.env.helpers,
-                        bindings.clone(),
+                    let i = param_types.len();
+                    match self.eval_comp_cached(
+                        owner,
+                        name,
+                        CompPosition::Param(i.min(u8::MAX as usize) as u8),
+                        &bindings,
                         &spec.expr,
                     ) {
                         Ok(t) => t,
@@ -985,7 +1181,8 @@ impl<'a> TypeChecker<'a> {
                             } else {
                                 ErrorCategory::CompType
                             };
-                            self.error(ctx, category, expr.span, e.message.clone());
+                            let span = self.comp_error_span(&e, expr.span, args);
+                            self.error(ctx, category, span, e.message.clone());
                             Type::Dynamic
                         }
                     }
@@ -1019,8 +1216,8 @@ impl<'a> TypeChecker<'a> {
                                 "argument {} of `{}` has type `{}` but `{}` is expected",
                                 i + 1,
                                 name,
-                                self.store.resolve(at),
-                                self.store.resolve(pt)
+                                self.store.render(at),
+                                self.store.render(pt)
                             ),
                         );
                     }
@@ -1037,13 +1234,7 @@ impl<'a> TypeChecker<'a> {
         let (ret_ty, consistency) = match (&sig.ret, use_comp) {
             (TypeExpr::Comp(spec), true) => {
                 self.run_termination_check(ctx, expr.span, &spec.expr);
-                match eval_comp_type(
-                    &mut self.store,
-                    &self.env.classes,
-                    &self.env.helpers,
-                    bindings.clone(),
-                    &spec.expr,
-                ) {
+                match self.eval_comp_cached(owner, name, CompPosition::Ret, &bindings, &spec.expr) {
                     Ok(t) => {
                         let consistency = ConsistencyCheck {
                             ret_expr: spec.expr.clone(),
@@ -1058,7 +1249,8 @@ impl<'a> TypeChecker<'a> {
                         } else {
                             ErrorCategory::CompType
                         };
-                        self.error(ctx, category, expr.span, e.message.clone());
+                        let span = self.comp_error_span(&e, expr.span, args);
+                        self.error(ctx, category, span, e.message.clone());
                         (Type::Dynamic, None)
                     }
                 }
@@ -1320,6 +1512,139 @@ mod tests {
             CheckOptions::default(),
         );
         assert!(res.errors().iter().any(|e| e.category == ErrorCategory::ArgumentType));
+    }
+
+    #[test]
+    fn comp_eval_cache_hits_and_matches_uncached() {
+        let mut env = env_with_stdlib();
+        env.type_sig("Object", "page", "() -> { info: Array<String>, title: String }", None);
+        env.type_sig("Object", "image_url", "() -> String", Some("app"));
+        env.type_sig("Object", "other_url", "() -> String", Some("app"));
+        env.type_sig("Object", "third_url", "() -> String", Some("app"));
+        // Three methods performing the same finite-hash lookup: the keyed
+        // cache engages from the slot's second evaluation, so the third
+        // must come from the cache.
+        let src = "def image_url()\n  page()[:info].first\nend\n\
+                   def other_url()\n  page()[:info].first\nend\n\
+                   def third_url()\n  page()[:info].first\nend\n";
+        let program = ruby_syntax::parse_program(src).expect("parse");
+
+        let cached = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+        assert!(cached.cache_stats.hits > 0, "expected cache hits, got {:?}", cached.cache_stats);
+
+        let uncached = TypeChecker::new(
+            &env,
+            &program,
+            CheckOptions { use_eval_cache: false, ..CheckOptions::default() },
+        )
+        .check_labeled("app");
+        assert_eq!(uncached.cache_stats, crate::cache::CacheStats::default());
+
+        // Same verdicts either way.
+        let render = |r: &ProgramCheckResult| {
+            r.methods
+                .iter()
+                .map(|m| {
+                    let errs: Vec<String> = m.errors.iter().map(|e| e.to_string()).collect();
+                    format!(
+                        "{}#{} errs={errs:?} casts={}/{} checks={}",
+                        m.class,
+                        m.method,
+                        m.explicit_casts,
+                        m.implicit_casts,
+                        m.checks.len()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&cached), render(&uncached));
+    }
+
+    #[test]
+    fn cache_hits_do_not_alias_mutable_results_across_sites() {
+        // Three call sites evaluate the same comp type to a store-backed
+        // finite hash; the third site then weakly updates its result.  With
+        // naive result sharing the update would mutate the id the second
+        // site's dynamic check references; re-interning on hit keeps every
+        // site's types independent, so cached and uncached runs agree.
+        let mut env = env_with_stdlib();
+        env.type_sig("Object", "page", "() -> { info: Integer }", None);
+        for m in ["a", "b", "c"] {
+            env.type_sig("Object", m, "() -> Object", Some("app"));
+        }
+        let src = "def a()\n  page().merge({ b: 1 })\nend\n\
+                   def b()\n  page().merge({ b: 1 })\nend\n\
+                   def c()\n  h = page().merge({ b: 1 })\n  h[:b] = 'x'\n  h\nend\n";
+        let program = ruby_syntax::parse_program(src).expect("parse");
+        let render = |r: &ProgramCheckResult| {
+            let mut out: Vec<String> = r
+                .methods
+                .iter()
+                .flat_map(|m| {
+                    m.checks.iter().map(|c| {
+                        format!(
+                            "{}/{} -> {}",
+                            m.method,
+                            c.description,
+                            r.store.render(&c.expected_return)
+                        )
+                    })
+                })
+                .collect();
+            out.extend(r.errors().iter().map(|e| e.to_string()));
+            out
+        };
+        let cached = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+        let uncached = TypeChecker::new(
+            &env,
+            &program,
+            CheckOptions { use_eval_cache: false, ..CheckOptions::default() },
+        )
+        .check_labeled("app");
+        assert!(cached.cache_stats.hits > 0, "{:?}", cached.cache_stats);
+        assert_eq!(render(&cached), render(&uncached));
+    }
+
+    #[test]
+    fn parallel_checking_matches_sequential() {
+        let mut env = env_with_stdlib();
+        env.type_sig("Object", "page", "() -> { info: Array<String>, title: String }", None);
+        for m in ["a", "b", "c", "d", "e"] {
+            env.type_sig_singleton("Object", m, "() -> String", Some("app"));
+        }
+        let src = (b'a'..=b'e')
+            .map(|c| format!("def self.{}()\n  page()[:info].first\nend\n", c as char))
+            .collect::<String>();
+        let program = ruby_syntax::parse_program(&src).expect("parse");
+
+        let sequential =
+            TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+        let parallel =
+            TypeChecker::check_labeled_parallel(&env, &program, CheckOptions::default(), "app", 4);
+
+        assert_eq!(sequential.methods_checked(), parallel.methods_checked());
+        let names =
+            |r: &ProgramCheckResult| r.methods.iter().map(|m| m.method.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&sequential), names(&parallel), "method order must be program order");
+        assert_eq!(sequential.total_casts(), parallel.total_casts());
+        assert_eq!(sequential.errors().len(), parallel.errors().len());
+        // The merged store must resolve every inserted check's types: a
+        // store-backed expected-return type resolving without panicking and
+        // matching the sequential rendering is the merge invariant.
+        let seq_checks: Vec<String> = sequential
+            .checks()
+            .iter()
+            .map(|c| {
+                format!("{} -> {}", c.description, sequential.store.render(&c.expected_return))
+            })
+            .collect();
+        let par_checks: Vec<String> = parallel
+            .checks()
+            .iter()
+            .map(|c| format!("{} -> {}", c.description, parallel.store.render(&c.expected_return)))
+            .collect();
+        assert_eq!(seq_checks, par_checks);
     }
 
     #[test]

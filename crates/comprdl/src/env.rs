@@ -145,10 +145,12 @@ impl CompRdl {
     // ---- helpers ----------------------------------------------------------
 
     /// Registers a native (Rust) helper callable from type-level code.
+    /// Helpers must be `Send + Sync` so the assembled environment can be
+    /// shared across the threads of a parallel checking run.
     pub fn register_helper_native(
         &mut self,
         name: &str,
-        f: impl Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult + 'static,
+        f: impl Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult + Send + Sync + 'static,
     ) {
         self.helpers.register_native(name, f);
     }

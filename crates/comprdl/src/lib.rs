@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checker;
 pub mod env;
 pub mod runtime;
@@ -50,6 +51,7 @@ pub mod stdlib;
 pub mod termination;
 pub mod tlc;
 
+pub use cache::{CacheKey, CacheStats, CompPosition, CompTypeCache};
 pub use checker::{
     CheckOptions, ErrorCategory, MethodCheckResult, ProgramCheckResult, TypeChecker, TypeErrorInfo,
 };

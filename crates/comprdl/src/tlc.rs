@@ -16,7 +16,7 @@ use rdl_types::{ClassTable, HashKey, SingVal, Subtyper, Type, TypeStore};
 use ruby_syntax::{BinOp, Expr, ExprKind, MethodDef, Span};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum number of AST nodes a single comp-type evaluation may visit.
 /// Together with the termination checker (§4) this guarantees type checking
@@ -32,17 +32,30 @@ pub struct TlcError {
     /// [`TlcCtx::eval`] attaches the span of the innermost failing
     /// expression automatically.
     pub span: Option<Span>,
+    /// When the error came from checking an embedded SQL fragment: where in
+    /// the *raw fragment string* the problem is.  The static checker maps
+    /// this through the string literal that supplied the fragment so the
+    /// diagnostic points into the original Ruby source.
+    pub sql_span: Option<Span>,
 }
 
 impl TlcError {
     /// Creates an error with no location (yet).
     pub fn new(message: impl Into<String>) -> Self {
-        TlcError { message: message.into(), span: None }
+        TlcError { message: message.into(), span: None, sql_span: None }
     }
 
     /// Attaches a location, replacing any existing one.
     pub fn with_span(mut self, span: Span) -> Self {
         self.span = Some(span);
+        self
+    }
+
+    /// Attaches a span relative to an embedded SQL fragment string.
+    pub fn with_sql_span(mut self, span: Span) -> Self {
+        if !span.is_dummy() {
+            self.sql_span = Some(span);
+        }
         self
     }
 
@@ -208,15 +221,17 @@ fn class_ref_type(name: &str) -> Type {
     }
 }
 
-/// A native helper method callable from type-level code.
-pub type NativeHelper = Rc<dyn Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult>;
+/// A native helper method callable from type-level code.  Helpers are
+/// `Send + Sync` behind an [`Arc`] so a [`HelperRegistry`] can be shared
+/// across the threads of a parallel checking run.
+pub type NativeHelper = Arc<dyn Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult + Send + Sync>;
 
 /// The registry of helper methods usable inside comp types (Table 1 counts
 /// these per library).
 #[derive(Default, Clone)]
 pub struct HelperRegistry {
     native: HashMap<String, NativeHelper>,
-    ruby: HashMap<String, Rc<MethodDef>>,
+    ruby: HashMap<String, Arc<MethodDef>>,
     /// Lines of type-level Ruby code contributed by registered Ruby helpers
     /// (used for Table 1 LoC accounting).
     ruby_loc: usize,
@@ -241,9 +256,9 @@ impl HelperRegistry {
     pub fn register_native(
         &mut self,
         name: &str,
-        f: impl Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult + 'static,
+        f: impl Fn(&mut TlcCtx<'_>, &[TlcValue]) -> TlcResult + Send + Sync + 'static,
     ) {
-        self.native.insert(name.to_string(), Rc::new(f));
+        self.native.insert(name.to_string(), Arc::new(f));
     }
 
     /// Registers helper methods written in the Ruby subset; `src` is parsed
@@ -257,7 +272,7 @@ impl HelperRegistry {
             .map_err(|e| TlcError::new(format!("helper source does not parse: {e}")))?;
         self.ruby_loc += ruby_syntax::count_loc(src);
         for (_, m) in program.methods() {
-            self.ruby.insert(m.name.clone(), Rc::new(m.clone()));
+            self.ruby.insert(m.name.clone(), Arc::new(m.clone()));
         }
         Ok(())
     }
@@ -289,7 +304,7 @@ impl HelperRegistry {
         self.native.get(name).cloned()
     }
 
-    fn get_ruby(&self, name: &str) -> Option<Rc<MethodDef>> {
+    fn get_ruby(&self, name: &str) -> Option<Arc<MethodDef>> {
         self.ruby.get(name).cloned()
     }
 
@@ -312,6 +327,11 @@ pub struct TlcCtx<'a> {
     pub bindings: HashMap<String, TlcValue>,
     fuel: u64,
     depth: u32,
+    /// The stack of Ruby-subset helpers currently being evaluated, with the
+    /// span of each helper's definition.  The whole evaluation shares one
+    /// fuel budget (helper-to-helper calls do not get a fresh one), so when
+    /// the budget runs out this identifies the helper that was burning fuel.
+    helper_stack: Vec<(String, Span)>,
 }
 
 /// Maximum helper-call nesting depth.  CompRDL assumes type-level code does
@@ -327,12 +347,35 @@ impl<'a> TlcCtx<'a> {
         helpers: &'a HelperRegistry,
         bindings: HashMap<String, TlcValue>,
     ) -> Self {
-        TlcCtx { store, classes, helpers, bindings, fuel: TLC_FUEL, depth: 0 }
+        TlcCtx {
+            store,
+            classes,
+            helpers,
+            bindings,
+            fuel: TLC_FUEL,
+            depth: 0,
+            helper_stack: Vec::new(),
+        }
+    }
+
+    /// The error reported when the shared fuel budget runs out: names the
+    /// helper that was executing (the whole evaluation shares one budget, so
+    /// a generic message would blame the outermost comp type instead of the
+    /// helper actually looping) and carries the helper definition's span.
+    fn fuel_exhausted(&self) -> TlcError {
+        match self.helper_stack.last() {
+            Some((name, span)) => TlcError::new(format!(
+                "type-level computation exceeded its step budget while evaluating helper `{name}` \
+                 (helper-to-helper calls share one budget)"
+            ))
+            .with_span(*span),
+            None => TlcError::new("type-level computation exceeded its step budget"),
+        }
     }
 
     fn burn(&mut self) -> TlcResult<()> {
         if self.fuel == 0 {
-            return Err(TlcError::new("type-level computation exceeded its step budget"));
+            return Err(self.fuel_exhausted());
         }
         self.fuel -= 1;
         Ok(())
@@ -499,11 +542,14 @@ impl<'a> TlcCtx<'a> {
         }
         if let Some(def) = self.helpers.get_ruby(name) {
             if self.depth >= MAX_HELPER_DEPTH {
-                return Err(TlcError::new(
-                    "type-level computation exceeded its step budget (recursive helper?)",
-                ));
+                return Err(TlcError::new(format!(
+                    "type-level computation exceeded its step budget in helper `{name}` \
+                     (recursive helper?)"
+                ))
+                .with_span(def.span));
             }
             self.depth += 1;
+            self.helper_stack.push((name.to_string(), def.span));
             let saved = self.bindings.clone();
             for (i, p) in def.params.iter().enumerate() {
                 let v = match args.get(i) {
@@ -517,6 +563,7 @@ impl<'a> TlcCtx<'a> {
             }
             let result = self.eval_body(&def.body.clone());
             self.bindings = saved;
+            self.helper_stack.pop();
             self.depth -= 1;
             return result;
         }
@@ -524,6 +571,12 @@ impl<'a> TlcCtx<'a> {
     }
 
     // ---- methods on type-level values -----------------------------------
+
+    /// Renders a type for an error message with store-backed parts expanded
+    /// structurally, so messages are independent of store allocation order.
+    fn show(&self, t: &Type) -> String {
+        self.store.render(t)
+    }
 
     fn call_method(&mut self, recv: &TlcValue, name: &str, args: &[TlcValue]) -> TlcResult {
         match name {
@@ -695,7 +748,9 @@ impl<'a> TlcCtx<'a> {
                     Some(s) => Ok(TlcValue::Str(s.to_string())),
                     None => Err(TlcError::new("const string no longer has a known value")),
                 },
-                other => Err(TlcError::new(format!("`{other}` is not a singleton type"))),
+                other => {
+                    Err(TlcError::new(format!("`{}` is not a singleton type", self.show(other))))
+                }
             },
             // Finite hash entries as a `symbol => type` hash.
             "elts" | "entries" => match &resolved {
@@ -715,26 +770,30 @@ impl<'a> TlcCtx<'a> {
                         .collect();
                     Ok(TlcValue::Hash(pairs))
                 }
-                other => Err(TlcError::new(format!("`{other}` has no elts"))),
+                other => Err(TlcError::new(format!("`{}` has no elts", self.show(other)))),
             },
             // Generic parameters.
             "params" => match &resolved {
                 Type::Generic { args, .. } => {
                     Ok(TlcValue::Array(args.iter().map(|a| TlcValue::Type(a.clone())).collect()))
                 }
-                other => Err(TlcError::new(format!("`{other}` has no type parameters"))),
+                other => {
+                    Err(TlcError::new(format!("`{}` has no type parameters", self.show(other))))
+                }
             },
             "param" => match &resolved {
                 Type::Generic { args, .. } if !args.is_empty() => {
                     Ok(TlcValue::Type(args[0].clone()))
                 }
-                other => Err(TlcError::new(format!("`{other}` has no type parameters"))),
+                other => {
+                    Err(TlcError::new(format!("`{}` has no type parameters", self.show(other))))
+                }
             },
             "base" => match &resolved {
                 Type::Generic { base, .. } => Ok(TlcValue::ClassRef(base.clone())),
                 Type::Nominal(n) => Ok(TlcValue::ClassRef(n.clone())),
                 Type::Singleton(SingVal::Class(c)) => Ok(TlcValue::ClassRef(c.clone())),
-                other => Err(TlcError::new(format!("`{other}` has no base class"))),
+                other => Err(TlcError::new(format!("`{}` has no base class", self.show(other)))),
             },
             // The union of a finite hash's value types / a Hash generic's
             // value parameter; `Hash<Symbol, Object>` in the fallback case.
@@ -751,7 +810,9 @@ impl<'a> TlcCtx<'a> {
                         data.elems.iter().map(|e| TlcValue::Type(e.clone())).collect(),
                     ))
                 }
-                other => Err(TlcError::new(format!("`{other}` has no tuple elements"))),
+                other => {
+                    Err(TlcError::new(format!("`{}` has no tuple elements", self.show(other))))
+                }
             },
             // Merge a finite hash type with a hash of additional entries,
             // yielding a new finite hash type (used by `joins`).
@@ -792,14 +853,14 @@ impl<'a> TlcCtx<'a> {
                             .collect(),
                     ))
                 }
-                other => Err(TlcError::new(format!("`{other}` has no keys"))),
+                other => Err(TlcError::new(format!("`{}` has no keys", self.show(other)))),
             },
             "size" | "length" => match &resolved {
                 Type::Tuple(id) => Ok(TlcValue::Int(self.store.tuple(*id).elems.len() as i64)),
                 Type::FiniteHash(id) => {
                     Ok(TlcValue::Int(self.store.finite_hash(*id).entries.len() as i64))
                 }
-                other => Err(TlcError::new(format!("`{other}` has no size"))),
+                other => Err(TlcError::new(format!("`{}` has no size", self.show(other)))),
             },
             "subtype_of?" | "<=" => {
                 let other = args
@@ -810,7 +871,10 @@ impl<'a> TlcCtx<'a> {
                 let sub = Subtyper::new(self.classes);
                 Ok(TlcValue::Bool(sub.is_subtype(self.store, &resolved, &other)))
             }
-            other => Err(TlcError::new(format!("unknown method `{other}` on type `{resolved}`"))),
+            other => Err(TlcError::new(format!(
+                "unknown method `{other}` on type `{}`",
+                self.show(&resolved)
+            ))),
         }
     }
 
@@ -861,7 +925,10 @@ impl<'a> TlcCtx<'a> {
             Type::FiniteHash(id) => self.store.finite_hash(*id).entries.clone(),
             Type::Generic { base, .. } if base == "Hash" => Vec::new(),
             other => {
-                return Err(TlcError::new(format!("cannot merge into non-hash type `{other}`")))
+                return Err(TlcError::new(format!(
+                    "cannot merge into non-hash type `{}`",
+                    self.show(other)
+                )))
             }
         };
         let extra_entries: Vec<(HashKey, Type)> = match extra {
@@ -923,7 +990,7 @@ impl<'a> TlcCtx<'a> {
             Type::Generic { base, args } if base == "Array" && args.len() == 1 => {
                 Ok(TlcValue::Type(args[0].clone()))
             }
-            other => Err(TlcError::new(format!("cannot index type `{other}`"))),
+            other => Err(TlcError::new(format!("cannot index type `{}`", self.show(other)))),
         }
     }
 
@@ -1257,6 +1324,38 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("step budget"));
+        // The whole evaluation shares one budget, so the report must name
+        // the helper that was burning it and point at its definition.
+        assert!(err.message.contains("loop_forever"), "{}", err.message);
+        assert!(err.span.is_some(), "exhaustion must carry the helper's span");
+    }
+
+    #[test]
+    fn fuel_exhaustion_names_the_running_helper() {
+        // Mutually recursive helpers exhaust the shared budget; the error
+        // must blame one of the helpers involved, not the outer comp type.
+        let mut helpers = HelperRegistry::new();
+        helpers
+            .register_ruby("def spin(t)\n  spin2(t)\nend\ndef spin2(t)\n  spin(t)\nend\n")
+            .unwrap();
+        let mut store = TypeStore::new();
+        let err =
+            eval_with(vec![("x", TlcValue::Type(Type::Top))], &helpers, &mut store, "spin(x)")
+                .unwrap_err();
+        assert!(err.message.contains("step budget"), "{}", err.message);
+        assert!(
+            err.message.contains("spin"),
+            "expected the originating helper's name in: {}",
+            err.message
+        );
+        assert!(err.span.is_some());
+    }
+
+    #[test]
+    fn helper_registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HelperRegistry>();
+        assert_send_sync::<crate::env::CompRdl>();
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl App {
         let mut env = CompRdl::new();
         comprdl::stdlib::register_all(&mut env);
         if let Some(db) = &self.db {
-            db_types::register_all(&mut env, std::rc::Rc::new(db.clone()));
+            db_types::register_all(&mut env, std::sync::Arc::new(db.clone()));
         }
         (self.annotate)(&mut env);
         env

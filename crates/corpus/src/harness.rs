@@ -120,6 +120,8 @@ pub fn table1() -> (Vec<Table1Row>, usize) {
 }
 
 /// Runs the full evaluation for one app, producing its Table 2 row.
+/// Checking runs sequentially; see [`evaluate_app_with`] for the threaded
+/// variant.
 ///
 /// # Errors
 ///
@@ -127,6 +129,19 @@ pub fn table1() -> (Vec<Table1Row>, usize) {
 /// a runtime error, or a dynamic check raises blame (none of which should
 /// happen for the shipped corpus).
 pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
+    evaluate_app_with(app, 1)
+}
+
+/// Runs the full evaluation for one app, type checking its methods with
+/// `check_threads` worker threads (1 = sequential).  The diagnostics in the
+/// resulting row are sorted by span then code, so the row renders
+/// byte-identically regardless of how many threads checked it or in what
+/// order they finished.
+///
+/// # Errors
+///
+/// See [`evaluate_app`].
+pub fn evaluate_app_with(app: &App, check_threads: usize) -> Result<Table2Row, HarnessError> {
     let err = |message: String, diagnostic: Option<Box<Diagnostic>>| HarnessError {
         app: app.name.to_string(),
         message,
@@ -139,8 +154,17 @@ pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
 
     // Static checking with comp types (timed).
     let started = Instant::now();
-    let comp_result =
-        TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+    let comp_result = if check_threads > 1 {
+        TypeChecker::check_labeled_parallel(
+            &env,
+            &program,
+            CheckOptions::default(),
+            "app",
+            check_threads,
+        )
+    } else {
+        TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app")
+    };
     let check_time = started.elapsed();
 
     // Static checking in plain-RDL mode (comp types disabled).
@@ -175,6 +199,13 @@ pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
     })?;
     let test_time_with_chk = started.elapsed();
 
+    // Canonical diagnostic order (span, then code): the checker already
+    // returns methods in program order, but sorting here guarantees the
+    // rendered output is stable even for aggregators that interleave.
+    let mut diagnostics: DiagnosticBag =
+        comp_result.errors().into_iter().cloned().map(Diagnostic::from).collect();
+    diagnostics.sort_by_span_then_code();
+
     Ok(Table2Row {
         program: app.name.to_string(),
         group: app.group.to_string(),
@@ -187,7 +218,7 @@ pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
         test_time_no_chk,
         test_time_with_chk,
         dynamic_checks_run: checked.checks_performed(),
-        diagnostics: comp_result.errors().into_iter().cloned().map(Diagnostic::from).collect(),
+        diagnostics,
     })
 }
 
@@ -221,13 +252,71 @@ pub fn format_diagnostic_summary(per_app: &[(String, DiagnosticBag)]) -> String 
     out
 }
 
-/// Runs the evaluation for every app in the corpus.
+/// Runs the evaluation for every app in the corpus, sequentially.
 ///
 /// # Errors
 ///
 /// Propagates the first [`HarnessError`] encountered.
 pub fn table2() -> Result<Vec<Table2Row>, HarnessError> {
     crate::apps::all().iter().map(evaluate_app).collect()
+}
+
+/// Runs the evaluation for every app in the corpus concurrently: one scoped
+/// thread per app (the class table, annotations and helper registries are
+/// `Send + Sync`, so each thread assembles and uses its environment
+/// independently), with per-method work-stealing inside each app's checking
+/// run.  Rows come back in corpus order and each row's diagnostics are
+/// sorted canonically, so everything except the measured wall-clock timings
+/// is byte-identical to a [`table2`] run.
+///
+/// # Errors
+///
+/// Propagates the [`HarnessError`] of the first app (in corpus order) that
+/// failed.
+pub fn table2_parallel() -> Result<Vec<Table2Row>, HarnessError> {
+    let apps = crate::apps::all();
+    let per_app_threads = std::thread::available_parallelism()
+        .map(|n| n.get().div_ceil(apps.len().max(1)).max(2))
+        .unwrap_or(2);
+    let results: Vec<Result<Table2Row, HarnessError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|app| scope.spawn(move || evaluate_app_with(app, per_app_threads)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("app evaluation thread panicked")).collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Renders every deterministic column of the given rows (plus each row's
+/// diagnostic summary) — everything in Table 2 except the measured
+/// wall-clock timings.  Sequential and parallel runs over the same corpus
+/// must produce byte-identical output from this function; the test suite
+/// and the CI smoke bench enforce that.
+pub fn stable_report(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>7} {:>5}\n",
+        "Program", "Meths", "LoC", "Annots", "Casts", "Casts(RDL)", "DynChk", "Errs"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>7} {:>5}\n",
+            r.program,
+            r.methods,
+            r.loc,
+            r.extra_annotations,
+            r.casts,
+            r.casts_rdl,
+            r.dynamic_checks_run,
+            r.errors()
+        ));
+        for d in r.diagnostics.iter() {
+            out.push_str(&format!("    {d}\n"));
+        }
+    }
+    out.push_str(&format_diagnostic_summary(&corpus_diagnostics(rows)));
+    out
 }
 
 /// Renders Table 1 in roughly the paper's layout.

@@ -20,8 +20,9 @@ pub mod harness;
 
 pub use app::App;
 pub use harness::{
-    corpus_diagnostics, evaluate_app, format_diagnostic_summary, format_table1, format_table2,
-    table1, table2, HarnessError, Table1Row, Table2Row,
+    corpus_diagnostics, evaluate_app, evaluate_app_with, format_diagnostic_summary, format_table1,
+    format_table2, stable_report, table1, table2, table2_parallel, HarnessError, Table1Row,
+    Table2Row,
 };
 
 #[cfg(test)]
@@ -88,6 +89,17 @@ mod tests {
         assert_eq!(by_name("Code.org"), 1);
         assert_eq!(by_name("Journey"), 2);
         assert_eq!(by_name("Discourse"), 0);
+    }
+
+    #[test]
+    fn parallel_table2_output_is_byte_identical_to_sequential() {
+        let sequential = table2().expect("sequential harness");
+        let parallel = table2_parallel().expect("parallel harness");
+        assert_eq!(
+            stable_report(&sequential),
+            stable_report(&parallel),
+            "sequential and parallel corpus runs must agree on every deterministic column"
+        );
     }
 
     #[test]

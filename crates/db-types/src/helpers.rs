@@ -8,10 +8,12 @@ use crate::schema::DbRegistry;
 use comprdl::{CompRdl, TlcError, TlcValue};
 use rdl_types::{SingVal, Type};
 use sql_tc::SqlType;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Registers the DB helpers into `env`, capturing the schema registry.
-pub fn register_helpers(env: &mut CompRdl, db: Rc<DbRegistry>) {
+/// The registry is shared via [`Arc`] so the helpers stay `Send + Sync`
+/// and the assembled environment can be used from parallel checking runs.
+pub fn register_helpers(env: &mut CompRdl, db: Arc<DbRegistry>) {
     // schema_type(t) — Figure 1b: Table<T> → T; a class or symbol singleton
     // → the finite hash type of its table's columns (all keys optional, so
     // query hashes may mention any subset of columns); anything else →
@@ -137,7 +139,15 @@ pub fn register_helpers(env: &mut CompRdl, db: Rc<DbRegistry>) {
             Ok(TlcValue::Type(Type::nominal("String")))
         } else {
             let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
-            Err(TlcError::new(format!("SQL type error in {fragment:?}: {}", msgs.join("; "))))
+            // `check_fragment` maps spans back into fragment coordinates;
+            // hand the first located one to the checker so the diagnostic
+            // can point inside the Ruby string literal.
+            let mut err =
+                TlcError::new(format!("SQL type error in {fragment:?}: {}", msgs.join("; ")));
+            if let Some(located) = errors.iter().find(|e| !e.span.is_dummy()) {
+                err = err.with_sql_span(located.span);
+            }
+            Err(err)
         }
     });
 }

@@ -10,7 +10,7 @@
 //!
 //! ```
 //! use db_types::{ColumnType, DbRegistry};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mut db = DbRegistry::new();
 //! db.add_table("users", &[("id", ColumnType::Integer), ("username", ColumnType::String)]);
@@ -18,7 +18,7 @@
 //!
 //! let mut env = comprdl::CompRdl::new();
 //! comprdl::stdlib::register_all(&mut env);
-//! db_types::register_all(&mut env, Rc::new(db));
+//! db_types::register_all(&mut env, Arc::new(db));
 //! assert!(env.annotation_count("Table") >= 75);
 //! ```
 
@@ -32,11 +32,12 @@ pub mod sequel;
 pub use schema::{pluralize, Association, ColumnType, DbRegistry};
 
 use comprdl::CompRdl;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Registers the DB helpers and both query DSL annotation sets into `env`,
-/// and declares each registered model as a model class.
-pub fn register_all(env: &mut CompRdl, db: Rc<DbRegistry>) {
+/// and declares each registered model as a model class.  The registry is
+/// shared via [`Arc`] so the resulting environment is `Send + Sync`.
+pub fn register_all(env: &mut CompRdl, db: Arc<DbRegistry>) {
     for model in db.model_names() {
         env.add_model_class(&model, "ActiveRecord::Base");
     }
@@ -75,7 +76,7 @@ mod tests {
 
         let mut env = CompRdl::new();
         comprdl::stdlib::register_all(&mut env);
-        register_all(&mut env, Rc::new(db));
+        register_all(&mut env, Arc::new(db));
         env
     }
 
@@ -160,7 +161,7 @@ end
         db.add_association("Post", "topic", "topics");
         let mut env = CompRdl::new();
         comprdl::stdlib::register_all(&mut env);
-        register_all(&mut env, Rc::new(db));
+        register_all(&mut env, Arc::new(db));
         env.type_sig_singleton("Post", "allowed", "(Integer) -> Object", Some("model"));
 
         let src = r#"
@@ -174,10 +175,18 @@ end
         let program = ruby_syntax::parse_program(src).unwrap();
         let result =
             TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
+        let sql_error = result
+            .errors()
+            .into_iter()
+            .find(|e| e.category == comprdl::ErrorCategory::Sql)
+            .unwrap_or_else(|| panic!("{:?}", result.errors()))
+            .clone();
+        // The span is mapped back through `complete_fragment` into the Ruby
+        // string literal, so it points at the offending SQL in the source.
+        let snippet = &src[sql_error.span.start..sql_error.span.end];
         assert!(
-            result.errors().iter().any(|e| e.category == comprdl::ErrorCategory::Sql),
-            "{:?}",
-            result.errors()
+            snippet.starts_with("topics.title"),
+            "span should point at the mistyped column inside the literal, got {snippet:?}"
         );
         // The corrected query type checks.
         let fixed = src.replace("topics.title IN", "topics.id IN");

@@ -70,6 +70,19 @@ impl DiagnosticBag {
         }
         m
     }
+
+    /// Sorts the collected diagnostics into a canonical order: by primary
+    /// span (start offset, then line), then code, then message.  Aggregators
+    /// that collect from concurrent producers call this so the bag's
+    /// iteration order is independent of completion order.
+    pub fn sort_by_span_then_code(&mut self) {
+        self.diags.sort_by(|a, b| {
+            let sa = a.primary_span();
+            let sb = b.primary_span();
+            (sa.start, sa.line, sa.end, &a.code, &a.message)
+                .cmp(&(sb.start, sb.line, sb.end, &b.code, &b.message))
+        });
+    }
 }
 
 impl fmt::Display for DiagnosticBag {
@@ -94,6 +107,29 @@ impl FromIterator<Diagnostic> for DiagnosticBag {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sort_is_canonical_regardless_of_insertion_order() {
+        use crate::span::Span;
+        let make = |start, code: &str| {
+            Diagnostic::error(code, format!("m{start}"))
+                .with_label(Span::new(start, start + 1, 1), "")
+        };
+        let mut a = DiagnosticBag::new();
+        a.push(make(5, "TYP0002"));
+        a.push(make(1, "TYP0009"));
+        a.push(make(5, "TYP0001"));
+        let mut b = DiagnosticBag::new();
+        b.push(make(5, "TYP0001"));
+        b.push(make(5, "TYP0002"));
+        b.push(make(1, "TYP0009"));
+        a.sort_by_span_then_code();
+        b.sort_by_span_then_code();
+        let render =
+            |bag: &DiagnosticBag| bag.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n");
+        assert_eq!(render(&a), render(&b));
+        assert_eq!(a.iter().next().unwrap().code, "TYP0009", "span order wins over code order");
+    }
 
     #[test]
     fn counts_by_severity_and_code() {

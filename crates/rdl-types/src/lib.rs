@@ -36,7 +36,7 @@ pub use parse::{parse_method_sig, parse_type_expr, SigParseError};
 pub use sig::{
     AnnotationTable, CompSpec, MethodKind, MethodSig, ParamSig, PurityEffect, TermEffect, TypeExpr,
 };
-pub use store::{ConstStringData, Constraint, FiniteHashData, TupleData, TypeStore};
+pub use store::{ConstStringData, Constraint, FiniteHashData, StoreShift, TupleData, TypeStore};
 pub use subtype::Subtyper;
 pub use ty::{ConstStringId, FiniteHashId, HashKey, SingVal, TupleId, Type};
 

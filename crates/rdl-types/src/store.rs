@@ -75,6 +75,59 @@ pub struct TypeStore {
     tuples: Vec<TupleData>,
     hashes: Vec<FiniteHashData>,
     strings: Vec<ConstStringData>,
+    /// Bumped on every mutation that can change what a store-backed type
+    /// *means* (promotion, weak update).  Caches keyed on store-backed types
+    /// compare this against the generation they captured at insert time and
+    /// treat any difference as an invalidation, so cached results can never
+    /// go stale (plain allocation does not bump it — a fresh id cannot alter
+    /// the meaning of an existing one).
+    generation: u64,
+}
+
+/// Id offsets returned by [`TypeStore::absorb`]: how far the absorbed
+/// store's tuple / finite hash / const string ids were shifted.  Apply with
+/// [`StoreShift::apply`] to every [`Type`] that was minted against the
+/// absorbed store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreShift {
+    /// Offset added to absorbed [`TupleId`]s.
+    pub tuples: u32,
+    /// Offset added to absorbed [`FiniteHashId`]s.
+    pub hashes: u32,
+    /// Offset added to absorbed [`ConstStringId`]s.
+    pub strings: u32,
+}
+
+impl StoreShift {
+    /// True when absorbing did not move any ids (absorbing into an empty
+    /// store).
+    pub fn is_identity(&self) -> bool {
+        *self == StoreShift::default()
+    }
+
+    /// Rewrites every store-backed id inside `ty` by this shift.
+    pub fn apply(&self, ty: &Type) -> Type {
+        if self.is_identity() {
+            return ty.clone();
+        }
+        match ty {
+            Type::Tuple(id) => Type::Tuple(TupleId(id.0 + self.tuples)),
+            Type::FiniteHash(id) => Type::FiniteHash(FiniteHashId(id.0 + self.hashes)),
+            Type::ConstString(id) => Type::ConstString(ConstStringId(id.0 + self.strings)),
+            Type::Generic { base, args } => Type::Generic {
+                base: base.clone(),
+                args: args.iter().map(|a| self.apply(a)).collect(),
+            },
+            Type::Union(ts) => Type::Union(ts.iter().map(|t| self.apply(t)).collect()),
+            Type::Optional(t) => Type::Optional(Box::new(self.apply(t))),
+            Type::Vararg(t) => Type::Vararg(Box::new(self.apply(t))),
+            other => other.clone(),
+        }
+    }
+
+    fn apply_constraint(&self, c: &Constraint) -> Constraint {
+        Constraint { lhs: self.apply(&c.lhs), rhs: self.apply(&c.rhs), origin: c.origin.clone() }
+    }
 }
 
 impl TypeStore {
@@ -176,6 +229,234 @@ impl TypeStore {
         self.len() == 0
     }
 
+    /// The current mutation generation: incremented by every promotion and
+    /// weak update.  Consumers that cache anything derived from store-backed
+    /// types must revalidate when this changes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    // ---- merging --------------------------------------------------------
+
+    /// Appends every type from `other` into this store, returning the id
+    /// shift that must be applied to types minted against `other`.  Used by
+    /// the parallel checker to merge per-worker stores into the single store
+    /// the dynamic-check hook resolves against.
+    pub fn absorb(&mut self, other: TypeStore) -> StoreShift {
+        let shift = StoreShift {
+            tuples: self.tuples.len() as u32,
+            hashes: self.hashes.len() as u32,
+            strings: self.strings.len() as u32,
+        };
+        for t in other.tuples {
+            self.tuples.push(TupleData {
+                elems: t.elems.iter().map(|e| shift.apply(e)).collect(),
+                promoted: t.promoted.as_ref().map(|p| shift.apply(p)),
+                constraints: t.constraints.iter().map(|c| shift.apply_constraint(c)).collect(),
+            });
+        }
+        for h in other.hashes {
+            self.hashes.push(FiniteHashData {
+                entries: h.entries.iter().map(|(k, v)| (k.clone(), shift.apply(v))).collect(),
+                rest: h.rest.as_ref().map(|r| Box::new(shift.apply(r))),
+                promoted: h.promoted.as_ref().map(|p| shift.apply(p)),
+                constraints: h.constraints.iter().map(|c| shift.apply_constraint(c)).collect(),
+            });
+        }
+        for s in other.strings {
+            self.strings.push(ConstStringData {
+                value: s.value,
+                promoted: s.promoted,
+                constraints: s.constraints.iter().map(|c| shift.apply_constraint(c)).collect(),
+            });
+        }
+        // Keep the counter monotonic across the merge so generation-guarded
+        // caches built against either source remain conservative.
+        self.generation += other.generation;
+        shift
+    }
+
+    /// Recursively copies every store-backed type inside `ty` into fresh
+    /// store entries, returning a type with the same structure but brand-new
+    /// ids.  The copies start with **no recorded constraints** — exactly
+    /// like ids a fresh evaluation would have allocated.  Used by the
+    /// comp-type cache on hits: handing out the originally cached ids would
+    /// alias mutable state across call sites (a weak update at one site
+    /// would change another site's type).
+    pub fn deep_copy(&mut self, ty: &Type) -> Type {
+        let mut memo = std::collections::HashMap::new();
+        self.deep_copy_inner(ty, &mut memo)
+    }
+
+    fn deep_copy_inner(
+        &mut self,
+        ty: &Type,
+        memo: &mut std::collections::HashMap<Type, Type>,
+    ) -> Type {
+        match ty {
+            Type::Tuple(id) => {
+                if let Some(copied) = memo.get(ty) {
+                    return copied.clone();
+                }
+                // Allocate the copy first so self-referential data maps to
+                // the new id instead of recursing forever.
+                let copy = self.new_tuple(Vec::new());
+                memo.insert(ty.clone(), copy.clone());
+                let data = self.tuple(*id).clone();
+                let elems = data.elems.iter().map(|e| self.deep_copy_inner(e, memo)).collect();
+                let promoted = data.promoted.as_ref().map(|p| self.deep_copy_inner(p, memo));
+                let Type::Tuple(new_id) = copy else { unreachable!("new_tuple returns a tuple") };
+                self.tuples[new_id.0 as usize].elems = elems;
+                self.tuples[new_id.0 as usize].promoted = promoted;
+                Type::Tuple(new_id)
+            }
+            Type::FiniteHash(id) => {
+                if let Some(copied) = memo.get(ty) {
+                    return copied.clone();
+                }
+                let copy = self.new_finite_hash(Vec::new());
+                memo.insert(ty.clone(), copy.clone());
+                let data = self.finite_hash(*id).clone();
+                let entries = data
+                    .entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.deep_copy_inner(v, memo)))
+                    .collect();
+                let rest = data.rest.as_ref().map(|r| Box::new(self.deep_copy_inner(r, memo)));
+                let promoted = data.promoted.as_ref().map(|p| self.deep_copy_inner(p, memo));
+                let Type::FiniteHash(new_id) = copy else {
+                    unreachable!("new_finite_hash returns a finite hash")
+                };
+                self.hashes[new_id.0 as usize].entries = entries;
+                self.hashes[new_id.0 as usize].rest = rest;
+                self.hashes[new_id.0 as usize].promoted = promoted;
+                Type::FiniteHash(new_id)
+            }
+            Type::ConstString(id) => {
+                if let Some(copied) = memo.get(ty) {
+                    return copied.clone();
+                }
+                let data = self.const_string(*id).clone();
+                let new_id = ConstStringId(self.strings.len() as u32);
+                self.strings.push(ConstStringData {
+                    value: data.value,
+                    promoted: data.promoted,
+                    constraints: Vec::new(),
+                });
+                let copy = Type::ConstString(new_id);
+                memo.insert(ty.clone(), copy.clone());
+                copy
+            }
+            Type::Generic { base, args } => Type::Generic {
+                base: base.clone(),
+                args: args.iter().map(|a| self.deep_copy_inner(a, memo)).collect(),
+            },
+            Type::Union(ts) => {
+                Type::Union(ts.iter().map(|t| self.deep_copy_inner(t, memo)).collect())
+            }
+            Type::Optional(t) => Type::Optional(Box::new(self.deep_copy_inner(t, memo))),
+            Type::Vararg(t) => Type::Vararg(Box::new(self.deep_copy_inner(t, memo))),
+            other => other.clone(),
+        }
+    }
+
+    // ---- display --------------------------------------------------------
+
+    /// Renders a type with store-backed parts expanded structurally:
+    /// `[Integer, String]` for tuples, `{ info: Array<String> }` for finite
+    /// hashes, `"literal"` for const strings.  Unlike [`Type`]'s `Display`
+    /// (which prints raw store ids such as `#fhash3`), this output is
+    /// independent of allocation order, so diagnostics built from it are
+    /// byte-identical across cached / uncached and parallel / sequential
+    /// runs.
+    pub fn render(&self, ty: &Type) -> String {
+        let mut out = String::new();
+        self.render_into(ty, &mut Vec::new(), &mut out);
+        out
+    }
+
+    fn render_into(&self, ty: &Type, visiting: &mut Vec<Type>, out: &mut String) {
+        use std::fmt::Write;
+        // Weak updates can make a store-backed type reference itself
+        // (`a[0] = a`); fall back to the raw id display on re-entry.
+        if ty.is_store_backed() && visiting.contains(ty) {
+            let _ = write!(out, "{ty}");
+            return;
+        }
+        match &self.resolve(ty) {
+            Type::Tuple(id) => {
+                visiting.push(ty.clone());
+                out.push('[');
+                for (i, e) in self.tuple(*id).elems.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.render_into(e, visiting, out);
+                }
+                out.push(']');
+                visiting.pop();
+            }
+            Type::FiniteHash(id) => {
+                visiting.push(ty.clone());
+                let data = self.finite_hash(*id);
+                out.push_str("{ ");
+                for (i, (k, v)) in data.entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{k} ");
+                    self.render_into(v, visiting, out);
+                }
+                if data.entries.is_empty() {
+                    // `{  }` reads badly; normalise the empty hash.
+                    out.truncate(out.len() - 2);
+                    out.push('{');
+                }
+                out.push_str(" }");
+                visiting.pop();
+            }
+            Type::ConstString(id) => match self.const_string_value(*id) {
+                Some(v) => {
+                    let _ = write!(out, "{v:?}");
+                }
+                None => out.push_str("String"),
+            },
+            Type::Generic { base, args } => {
+                let _ = write!(out, "{base}<");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.render_into(a, visiting, out);
+                }
+                out.push('>');
+            }
+            Type::Union(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" or ");
+                    }
+                    self.render_into(t, visiting, out);
+                }
+            }
+            Type::Optional(t) => {
+                out.push('?');
+                self.render_into(t, visiting, out);
+            }
+            Type::Vararg(t) => {
+                out.push('*');
+                self.render_into(t, visiting, out);
+            }
+            other => {
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+
     // ---- constraints ----------------------------------------------------
 
     /// Records a constraint against a store-backed type so it can be
@@ -215,6 +496,7 @@ impl TypeStore {
         let elem = if elem == Type::Bot { Type::object() } else { elem };
         let promoted = Type::array(elem);
         self.tuples[id.0 as usize].promoted = Some(promoted.clone());
+        self.bump_generation();
         promoted
     }
 
@@ -242,12 +524,16 @@ impl TypeStore {
         let val = if val_types.is_empty() { Type::object() } else { Type::union(val_types) };
         let promoted = Type::hash(key, val);
         self.hashes[id.0 as usize].promoted = Some(promoted.clone());
+        self.bump_generation();
         promoted
     }
 
     /// Promotes a const string to plain `String`.
     pub fn promote_const_string(&mut self, id: ConstStringId) -> Type {
-        self.strings[id.0 as usize].promoted = true;
+        if !self.strings[id.0 as usize].promoted {
+            self.strings[id.0 as usize].promoted = true;
+            self.bump_generation();
+        }
         Type::nominal("String")
     }
 
@@ -285,7 +571,9 @@ impl TypeStore {
             let elem = Type::union(data.elems.iter().cloned());
             data.promoted = Some(Type::array(elem));
         }
-        data.constraints.clone()
+        let constraints = data.constraints.clone();
+        self.bump_generation();
+        constraints
     }
 
     /// Weakly updates the value type of `key` in a finite hash (adding the
@@ -308,7 +596,9 @@ impl TypeStore {
             let vals = Type::union(data.entries.iter().map(|(_, v)| v.clone()));
             data.promoted = Some(Type::hash(Type::nominal("Symbol"), vals));
         }
-        data.constraints.clone()
+        let constraints = data.constraints.clone();
+        self.bump_generation();
+        constraints
     }
 
     /// Records that a const string was mutated (e.g. `<<` or `gsub!`): its
@@ -318,7 +608,9 @@ impl TypeStore {
         let data = &mut self.strings[id.0 as usize];
         data.value = None;
         data.promoted = true;
-        data.constraints.clone()
+        let constraints = data.constraints.clone();
+        self.bump_generation();
+        constraints
     }
 }
 
@@ -404,6 +696,81 @@ mod tests {
         let p1 = store.promote_tuple(id);
         let p2 = store.promote_tuple(id);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn generation_tracks_promotions_and_weak_updates() {
+        let mut store = TypeStore::new();
+        let g0 = store.generation();
+        let t = store.new_tuple(vec![Type::nominal("Integer")]);
+        let h = store.new_finite_hash(vec![(HashKey::Sym("a".into()), Type::int(1))]);
+        let s = store.new_const_string("sql");
+        assert_eq!(store.generation(), g0, "allocation must not bump the generation");
+        let Type::Tuple(tid) = t else { panic!() };
+        let Type::FiniteHash(hid) = h else { panic!() };
+        let Type::ConstString(sid) = s else { panic!() };
+        store.weak_update_tuple(tid, 0, Type::nominal("String"));
+        assert_eq!(store.generation(), g0 + 1);
+        store.weak_update_hash(hid, HashKey::Sym("b".into()), Type::nil());
+        assert_eq!(store.generation(), g0 + 2);
+        store.promote_tuple(tid);
+        assert_eq!(store.generation(), g0 + 3);
+        // Idempotent re-promotion does not bump.
+        store.promote_tuple(tid);
+        assert_eq!(store.generation(), g0 + 3);
+        store.promote_const_string(sid);
+        assert_eq!(store.generation(), g0 + 4);
+        store.promote_const_string(sid);
+        assert_eq!(store.generation(), g0 + 4);
+    }
+
+    #[test]
+    fn absorb_shifts_ids_and_nested_types() {
+        let mut base = TypeStore::new();
+        base.new_tuple(vec![Type::nominal("Integer")]);
+        base.new_const_string("left");
+
+        let mut other = TypeStore::new();
+        let inner = other.new_const_string("right");
+        let tup = other.new_tuple(vec![inner.clone(), Type::nominal("Float")]);
+        other.record_constraint(&tup, tup.clone(), Type::nominal("Array"), "merge-test");
+
+        let shift = base.absorb(other);
+        assert_eq!(shift, StoreShift { tuples: 1, hashes: 0, strings: 1 });
+        let moved_tup = shift.apply(&tup);
+        let Type::Tuple(id) = moved_tup else { panic!() };
+        let data = base.tuple(id);
+        // The tuple's inner const-string id was shifted along with it.
+        assert_eq!(data.elems[0], shift.apply(&inner));
+        let Type::ConstString(sid) = &data.elems[0] else { panic!("{:?}", data.elems) };
+        assert_eq!(base.const_string_value(*sid), Some("right"));
+        assert_eq!(data.constraints.len(), 1);
+        assert_eq!(data.constraints[0].lhs, shift.apply(&tup));
+    }
+
+    #[test]
+    fn render_is_structural_and_id_free() {
+        let mut store = TypeStore::new();
+        let s = store.new_const_string("SELECT 1");
+        let t = store.new_tuple(vec![Type::nominal("Integer"), s.clone()]);
+        let h = store.new_finite_hash(vec![
+            (HashKey::Sym("info".into()), Type::array(Type::nominal("String"))),
+            (HashKey::Sym("items".into()), t.clone()),
+        ]);
+        assert_eq!(store.render(&s), "\"SELECT 1\"");
+        assert_eq!(store.render(&t), "[Integer, \"SELECT 1\"]");
+        assert_eq!(store.render(&h), "{ info: Array<String>, items: [Integer, \"SELECT 1\"] }");
+        assert!(!store.render(&Type::hash(Type::nominal("Symbol"), h.clone())).contains("#fhash"));
+        // Promoted types render through their promoted view.
+        let Type::Tuple(id) = t else { panic!() };
+        store.promote_tuple(id);
+        assert!(store.render(&t).starts_with("Array<"));
+        // Self-referential data falls back to the id display instead of
+        // recursing forever.
+        let cyc = store.new_tuple(vec![]);
+        let Type::Tuple(cid) = cyc else { panic!() };
+        store.weak_update_tuple(cid, 0, cyc.clone());
+        assert_eq!(store.render(&cyc), "[#tuple1]");
     }
 
     #[test]

@@ -235,6 +235,20 @@ impl Type {
         matches!(self, Type::Tuple(_) | Type::FiniteHash(_) | Type::ConstString(_))
     }
 
+    /// True if the type mentions a store-backed type anywhere in its
+    /// structure (including inside generics, unions and optional/vararg
+    /// wrappers).  Used by the comp-type evaluation cache to decide whether
+    /// an entry must be revalidated against the store generation.
+    pub fn contains_store_backed(&self) -> bool {
+        match self {
+            Type::Tuple(_) | Type::FiniteHash(_) | Type::ConstString(_) => true,
+            Type::Generic { args, .. } => args.iter().any(Type::contains_store_backed),
+            Type::Union(ts) => ts.iter().any(Type::contains_store_backed),
+            Type::Optional(t) | Type::Vararg(t) => t.contains_store_backed(),
+            _ => false,
+        }
+    }
+
     /// True if the type is a singleton type (including const strings, which
     /// CompRDL treats as singletons; §2.2).
     pub fn is_singleton(&self) -> bool {

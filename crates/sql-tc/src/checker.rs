@@ -89,7 +89,7 @@ impl From<SqlTypeError> for diagnostics::Diagnostic {
         if !e.span.is_dummy() {
             d = d.with_label(e.span, "in this SQL");
         }
-        d.with_note("the span is relative to the completed SQL query text")
+        d.with_note("the span is relative to the SQL text that was checked")
     }
 }
 
@@ -102,12 +102,62 @@ fn expr_span(e: &SqlExpr) -> Span {
     }
 }
 
+/// A byte-level mapping from a completed query (see [`complete_fragment`])
+/// back to the raw WHERE fragment it was built from, so spans produced
+/// against the completed text can be translated into spans inside the
+/// original Ruby string literal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FragmentMap {
+    /// For each byte of the completed query: the fragment byte it came from
+    /// (`None` for the synthesized `SELECT ... WHERE` prefix; every byte of
+    /// an expanded `[Type]` placeholder maps to its originating `?`).
+    frag_of: Vec<Option<usize>>,
+}
+
+impl FragmentMap {
+    /// Translates a span in completed-query coordinates into fragment
+    /// coordinates.  Returns `None` when the span is dummy or lies entirely
+    /// inside the synthesized prefix.
+    pub fn to_fragment(&self, span: Span, fragment: &str) -> Option<Span> {
+        if span.is_dummy() || span.start >= self.frag_of.len() {
+            return None;
+        }
+        let start =
+            self.frag_of[span.start..span.end.min(self.frag_of.len())].iter().find_map(|m| *m)?;
+        let end = self.frag_of[span.start..span.end.min(self.frag_of.len())]
+            .iter()
+            .rev()
+            .find_map(|m| *m)
+            .map(|b| b + 1)
+            .unwrap_or(start + 1);
+        let line = 1 + fragment[..start.min(fragment.len())].matches('\n').count() as u32;
+        Some(Span::new(start, end.min(fragment.len()), line))
+    }
+
+    /// Rewrites an error's span into fragment coordinates (dummy when the
+    /// span does not map back into the fragment).
+    fn map_error(&self, mut e: SqlTypeError, fragment: &str) -> SqlTypeError {
+        e.span = self.to_fragment(e.span, fragment).unwrap_or_else(Span::dummy);
+        e
+    }
+}
+
 /// Completes a WHERE fragment into a full, artificial `SELECT` query so it
 /// can be parsed (paper §2.3): the fragment is wrapped into
 /// `SELECT * FROM <t0> INNER JOIN <t1> ON a.id = b.a_id WHERE <fragment>`,
 /// and each `?` is replaced with a `[Type]` placeholder taken from
 /// `arg_types`.
 pub fn complete_fragment(fragment: &str, tables: &[String], arg_types: &[SqlType]) -> String {
+    complete_fragment_with_map(fragment, tables, arg_types).0
+}
+
+/// [`complete_fragment`] plus the [`FragmentMap`] that translates spans in
+/// the completed query back to fragment offsets.
+pub fn complete_fragment_with_map(
+    fragment: &str,
+    tables: &[String],
+    arg_types: &[SqlType],
+) -> (String, FragmentMap) {
     let mut sql = String::from("SELECT * FROM ");
     if tables.is_empty() {
         sql.push_str("unknown_table");
@@ -120,28 +170,29 @@ pub fn complete_fragment(fragment: &str, tables: &[String], arg_types: &[SqlType
         }
     }
     sql.push_str(" WHERE ");
-    // Replace each ? with the corresponding typed placeholder.
+    let mut frag_of: Vec<Option<usize>> = vec![None; sql.len()];
+    // Replace each ? with the corresponding typed placeholder, tracking
+    // which fragment byte every completed byte came from.
     let mut next_arg = 0usize;
-    let mut out = String::with_capacity(fragment.len());
-    for c in fragment.chars() {
+    for (offset, c) in fragment.char_indices() {
         if c == '?' {
             let ty = arg_types.get(next_arg).copied().unwrap_or(SqlType::Unknown);
             next_arg += 1;
-            out.push('[');
-            out.push_str(match ty {
-                SqlType::Integer => "Integer",
-                SqlType::Text => "String",
-                SqlType::Float => "Float",
-                SqlType::Boolean => "Boolean",
-                SqlType::Unknown => "Unknown",
-            });
-            out.push(']');
+            let placeholder = match ty {
+                SqlType::Integer => "[Integer]",
+                SqlType::Text => "[String]",
+                SqlType::Float => "[Float]",
+                SqlType::Boolean => "[Boolean]",
+                SqlType::Unknown => "[Unknown]",
+            };
+            sql.push_str(placeholder);
+            frag_of.extend(std::iter::repeat_n(Some(offset), placeholder.len()));
         } else {
-            out.push(c);
+            sql.push(c);
+            frag_of.extend(std::iter::repeat_n(Some(offset), c.len_utf8()));
         }
     }
-    sql.push_str(&out);
-    sql
+    (sql, FragmentMap { frag_of })
 }
 
 /// Type checks a complete `SELECT` against the schema.  Only the WHERE
@@ -163,7 +214,11 @@ pub fn check_select(schema: &SqlSchema, select: &Select) -> Vec<SqlTypeError> {
 }
 
 /// Convenience entry point used by the `where` comp type: completes the raw
-/// `fragment` against `tables`, parses it and type checks it.
+/// `fragment` against `tables`, parses it and type checks it.  Error spans
+/// are mapped back through [`complete_fragment`] into coordinates of the
+/// original `fragment`, so callers can point diagnostics into the Ruby
+/// string literal the fragment came from (errors about synthesized parts of
+/// the query carry a dummy span).
 ///
 /// # Errors
 ///
@@ -175,11 +230,12 @@ pub fn check_fragment(
     fragment: &str,
     arg_types: &[SqlType],
 ) -> Vec<SqlTypeError> {
-    let sql = complete_fragment(fragment, tables, arg_types);
-    match crate::parser::parse_select(&sql) {
+    let (sql, map) = complete_fragment_with_map(fragment, tables, arg_types);
+    let errors = match crate::parser::parse_select(&sql) {
         Ok(select) => check_select(schema, &select),
         Err(e) => vec![e.into()],
-    }
+    };
+    errors.into_iter().map(|e| map.map_error(e, fragment)).collect()
 }
 
 fn check_cond(schema: &SqlSchema, tables: &[String], cond: &Cond, errors: &mut Vec<SqlTypeError>) {
@@ -420,6 +476,47 @@ mod tests {
         );
         assert!(sql.starts_with("SELECT * FROM posts INNER JOIN topics"));
         assert!(sql.contains("group_id = [Integer]"));
+    }
+
+    #[test]
+    fn fragment_errors_point_into_the_fragment() {
+        let schema = discourse_schema();
+        // `title` is at fragment bytes 0..5; the error span must cover it in
+        // *fragment* coordinates, not completed-query coordinates.
+        let fragment = "title = 3";
+        let errors = check_fragment(&schema, &["topics".to_string()], fragment, &[]);
+        assert_eq!(errors.len(), 1);
+        let span = errors[0].span;
+        assert!(!span.is_dummy());
+        assert_eq!(span.snippet(fragment), Some("title"));
+        assert_eq!(span.line, 1);
+
+        // Placeholder comparisons: the column reference is mid-fragment.
+        let fragment = "id > 0 AND title = ?";
+        let errors =
+            check_fragment(&schema, &["topics".to_string()], fragment, &[SqlType::Integer]);
+        assert_eq!(errors.len(), 1);
+        let snip = errors[0].span.snippet(fragment).unwrap();
+        assert!(snip.starts_with("title"), "{snip:?}");
+    }
+
+    #[test]
+    fn fragment_map_handles_placeholder_expansion_and_prefix() {
+        let fragment = "a = ? AND b = ?";
+        let (sql, map) =
+            complete_fragment_with_map(fragment, &["t".to_string()], &[SqlType::Integer]);
+        // Bytes of the synthesized prefix do not map back.
+        let prefix_len = sql.find("a = ").unwrap();
+        assert_eq!(map.to_fragment(Span::new(0, 6, 1), fragment), None);
+        // A span over the expanded `[Integer]` maps back to the `?` byte.
+        let ph = sql.find("[Integer]").unwrap();
+        let mapped = map.to_fragment(Span::new(ph, ph + 9, 1), fragment).unwrap();
+        assert_eq!(mapped.snippet(fragment), Some("?"));
+        // A span over a literal byte maps back exactly.
+        let mapped = map.to_fragment(Span::new(prefix_len, prefix_len + 1, 1), fragment).unwrap();
+        assert_eq!(mapped.snippet(fragment), Some("a"));
+        // The second `?` got no arg type and expands to `[Unknown]`.
+        assert!(sql.ends_with("b = [Unknown]"), "{sql}");
     }
 
     #[test]

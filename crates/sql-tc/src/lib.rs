@@ -25,5 +25,8 @@
 pub mod checker;
 pub mod parser;
 
-pub use checker::{check_fragment, check_select, complete_fragment, SqlSchema, SqlTypeError};
+pub use checker::{
+    check_fragment, check_select, complete_fragment, complete_fragment_with_map, FragmentMap,
+    SqlSchema, SqlTypeError,
+};
 pub use parser::{parse_condition, parse_select, Cond, Select, SqlExpr, SqlParseError, SqlType};

@@ -6,7 +6,7 @@
 use comprdl::{CheckOptions, CompRdl, TypeChecker};
 use db_types::{ColumnType, DbRegistry};
 use diagnostics::{render, Diagnostic, SourceMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn discourse_env() -> CompRdl {
     let mut db = DbRegistry::new();
@@ -31,7 +31,7 @@ fn discourse_env() -> CompRdl {
 
     let mut env = CompRdl::new();
     comprdl::stdlib::register_all(&mut env);
-    db_types::register_all(&mut env, Rc::new(db));
+    db_types::register_all(&mut env, Arc::new(db));
     env.type_sig_singleton("User", "reserved?", "(String) -> %bool", None);
     env.type_sig_singleton("User", "available?", "(String, String) -> %bool", Some("model"));
     env

@@ -7,8 +7,8 @@
 use comprdl::{CheckOptions, CompRdl, TypeChecker};
 use db_types::{ColumnType, DbRegistry};
 use diagnostics::{render, Diagnostic, SourceMap};
-use sql_tc::{check_fragment, complete_fragment, SqlType};
-use std::rc::Rc;
+use sql_tc::{check_fragment, SqlType};
+use std::sync::Arc;
 
 fn main() {
     // The three tables of Figure 3.
@@ -34,11 +34,10 @@ fn main() {
         &[SqlType::Integer],
     );
     println!("fragment: {buggy}");
-    // SQL checker errors carry spans into the completed query, so they render
-    // as annotated snippets through the shared diagnostics pipeline.
-    let completed =
-        complete_fragment(buggy, &["posts".to_string(), "topics".to_string()], &[SqlType::Integer]);
-    let sm = SourceMap::new("<completed sql>", completed);
+    // `check_fragment` maps error spans back through the query completion
+    // into *fragment* coordinates, so they render as annotated snippets
+    // directly against the raw fragment string.
+    let sm = SourceMap::new("<sql fragment>", buggy);
     for e in &errors {
         print!("{}", render(&sm, &Diagnostic::from(e.clone())));
     }
@@ -48,7 +47,7 @@ fn main() {
     println!("\n-- through the `where` comp type ---------------------------------");
     let mut env = CompRdl::new();
     comprdl::stdlib::register_all(&mut env);
-    db_types::register_all(&mut env, Rc::new(db));
+    db_types::register_all(&mut env, Arc::new(db));
     env.type_sig_singleton("Post", "allowed", "(Integer) -> Object", Some("model"));
 
     let buggy_src = r#"

@@ -1,0 +1,21 @@
+//! Reproduces the paper's evaluation tables using the threaded corpus
+//! harness: Table 1 (library comp-type definitions), Table 2 (per-app type
+//! checking results, one scoped thread per app with per-method work
+//! stealing inside each), and the per-app diagnostic aggregation.
+//!
+//! ```sh
+//! cargo run --example table2
+//! ```
+
+fn main() {
+    let (rows, helpers) = corpus::table1();
+    println!("{}", corpus::format_table1(&rows, helpers));
+
+    let rows = corpus::table2_parallel().unwrap_or_else(|e| panic!("harness failed: {e}"));
+    println!("{}", corpus::format_table2(&rows));
+    println!("{}", corpus::format_diagnostic_summary(&corpus::corpus_diagnostics(&rows)));
+
+    // The deterministic view: every column above except the wall-clock
+    // timings, byte-identical between sequential and parallel runs.
+    println!("Deterministic summary (timing-free):\n{}", corpus::stable_report(&rows));
+}

@@ -4,7 +4,7 @@
 
 use comprdl::{CheckOptions, CompRdl, ErrorCategory, TypeChecker};
 use db_types::{ColumnType, DbRegistry};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn figure1_env() -> CompRdl {
     let mut db = DbRegistry::new();
@@ -30,7 +30,7 @@ fn figure1_env() -> CompRdl {
 
     let mut env = CompRdl::new();
     comprdl::stdlib::register_all(&mut env);
-    db_types::register_all(&mut env, Rc::new(db));
+    db_types::register_all(&mut env, Arc::new(db));
     env.type_sig_singleton("User", "reserved?", "(String) -> %bool", None);
     env.type_sig_singleton("User", "available?", "(String, String) -> %bool", Some("model"));
     env

@@ -3,7 +3,7 @@
 
 use comprdl::{CheckOptions, CompRdl, ErrorCategory, TypeChecker};
 use db_types::{ColumnType, DbRegistry};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn figure3_env() -> CompRdl {
     let mut db = DbRegistry::new();
@@ -18,7 +18,7 @@ fn figure3_env() -> CompRdl {
     db.add_association("Post", "topic", "topics");
     let mut env = CompRdl::new();
     comprdl::stdlib::register_all(&mut env);
-    db_types::register_all(&mut env, Rc::new(db));
+    db_types::register_all(&mut env, Arc::new(db));
     env.type_sig_singleton("Post", "allowed", "(Integer) -> Object", Some("model"));
     env
 }
