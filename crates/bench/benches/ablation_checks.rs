@@ -23,7 +23,11 @@ fn ablation_checks(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(bench::run_app_suite(
                 discourse,
-                Some(CheckConfig { return_checks: true, consistency_checks: false }),
+                Some(CheckConfig {
+                    return_checks: true,
+                    consistency_checks: false,
+                    ..CheckConfig::default()
+                }),
             ))
         })
     });
@@ -31,7 +35,11 @@ fn ablation_checks(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(bench::run_app_suite(
                 discourse,
-                Some(CheckConfig { return_checks: true, consistency_checks: true }),
+                Some(CheckConfig {
+                    return_checks: true,
+                    consistency_checks: true,
+                    ..CheckConfig::default()
+                }),
             ))
         })
     });

@@ -1,0 +1,116 @@
+//! The Table 2 overhead experiment: each corpus app's test suite under no
+//! dynamic checks, the paper's pay-at-every-hit checks (`CompRdlHook` with
+//! memoization off), and the memoized fast path.
+//!
+//! Besides timing, this bench is a correctness gate: `table2_overhead`
+//! fails any app whose memoized and unmemoized runs disagree on executed
+//! check counts or produce non-byte-identical blame sets, and this bench
+//! additionally requires the memo to actually hit (and the memoized store
+//! to stay smaller) on the call-site-dense Redmine workload.  CI runs it
+//! with `BENCH_SMOKE=1` (two samples) and fails on divergence.
+
+use comprdl::CheckConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+fn checked_vs_unchecked(c: &mut Criterion) {
+    // Correctness gate first: the harness enforces identical check counts
+    // and byte-identical blame sets per app, erroring out otherwise.
+    let rows = corpus::table2_overhead().expect("overhead harness correctness gate");
+    println!("{}", corpus::format_overhead(&rows));
+    assert_eq!(rows.len(), 7, "the grown corpus has seven apps");
+    let redmine = rows.iter().find(|r| r.program == "Redmine").expect("dense app present");
+    assert!(
+        redmine.memo_stats.hits > redmine.memo_stats.misses,
+        "the memo must mostly hit on the dense workload: {:?}",
+        redmine.memo_stats
+    );
+    assert!(
+        redmine.store_memoized < redmine.store_unmemoized,
+        "memoized interning must not amplify the store ({} vs {})",
+        redmine.store_memoized,
+        redmine.store_unmemoized
+    );
+
+    let unmemoized_config = CheckConfig { memoize: false, ..CheckConfig::default() };
+
+    // Time the suite runs alone: environment assembly, parsing and type
+    // checking are hoisted out of the measured iterations.
+    let apps = corpus::apps::all();
+    let prepared: Vec<_> = apps
+        .iter()
+        .map(|app| {
+            let (env, program) = bench::prepare_app(app);
+            let checked = bench::check_prepared(&env, &program, comprdl::CheckOptions::default());
+            (app.name, env, program, checked)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("dynamic_check_overhead");
+    group.sample_size(bench::sample_size(20));
+    for (name, env, program, checked) in &prepared {
+        group.bench_with_input(BenchmarkId::new("no_hook", name), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(bench::run_prepared_suite(env, program, checked, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("unmemoized", name), &(), |b, ()| {
+            b.iter(|| {
+                std::hint::black_box(bench::run_prepared_suite(
+                    env,
+                    program,
+                    checked,
+                    Some(unmemoized_config),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("memoized", name), &(), |b, ()| {
+            b.iter(|| {
+                std::hint::black_box(bench::run_prepared_suite(
+                    env,
+                    program,
+                    checked,
+                    Some(CheckConfig::default()),
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Aggregate wall-clock comparison on the dense app, the workload the
+    // memo exists for.
+    let (_, env, program, checked) =
+        prepared.iter().find(|(name, ..)| *name == "Redmine").expect("redmine prepared");
+    let runs = bench::sample_size(10);
+    let timed = |config: Option<CheckConfig>| {
+        let started = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(bench::run_prepared_suite(env, program, checked, config));
+        }
+        started.elapsed()
+    };
+    let no_hook: Duration = timed(None);
+    let unmemoized = timed(Some(unmemoized_config));
+    let memoized = timed(Some(CheckConfig::default()));
+    let pct = |with: Duration| {
+        (with.as_secs_f64() - no_hook.as_secs_f64()) / no_hook.as_secs_f64().max(f64::EPSILON)
+            * 100.0
+    };
+    println!(
+        "Redmine suite over {runs} runs: no hook {no_hook:?}, unmemoized {unmemoized:?} \
+         (+{:.1}%), memoized {memoized:?} (+{:.1}%)",
+        pct(unmemoized),
+        pct(memoized)
+    );
+    // The strict timing assertion only runs in full mode: smoke-mode CI
+    // gates on the behavioural checks above — two-sample wall-clock
+    // comparisons on a shared single-core runner would flake.
+    if std::env::var_os("BENCH_SMOKE").is_none() {
+        assert!(
+            memoized < unmemoized,
+            "the memoized hook must be strictly faster on the call-site-dense workload \
+             (memoized {memoized:?} vs unmemoized {unmemoized:?})"
+        );
+    }
+}
+
+criterion_group!(benches, checked_vs_unchecked);
+criterion_main!(benches);

@@ -11,9 +11,8 @@ use ruby_interp::Interpreter;
 
 /// Type checks one corpus app with the given options and returns the result.
 pub fn check_app(app: &corpus::App, options: CheckOptions) -> comprdl::ProgramCheckResult {
-    let env = app.build_env();
-    let program = ruby_syntax::parse_program(&app.full_source()).expect("app parses");
-    TypeChecker::new(&env, &program, options).check_labeled("app")
+    let (env, program) = prepare_app(app);
+    check_prepared(&env, &program, options)
 }
 
 /// Type checks one corpus app with the comp-type evaluation cache disabled
@@ -31,9 +30,11 @@ pub fn check_app_parallel(app: &corpus::App, threads: usize) -> comprdl::Program
 /// Builds an app's environment and parses its source once, so benches can
 /// time the *checking* phase alone (environment assembly re-parses hundreds
 /// of annotation strings and would otherwise dominate the measurement).
+/// Parsing uses the two-file view ([`corpus::App::parse`]), matching the
+/// harness.
 pub fn prepare_app(app: &corpus::App) -> (comprdl::CompRdl, ruby_syntax::Program) {
     let env = app.build_env();
-    let program = ruby_syntax::parse_program(&app.full_source()).expect("app parses");
+    let (program, _sources) = app.parse().expect("app parses");
     (env, program)
 }
 
@@ -124,15 +125,39 @@ pub fn scale_workload(methods: usize) -> (comprdl::CompRdl, ruby_syntax::Program
 /// Runs one corpus app's test suite under the given dynamic-check
 /// configuration (or completely unchecked when `config` is `None`),
 /// returning the number of dynamic checks executed.
+///
+/// The `None` path deliberately skips static checking entirely: it is the
+/// "no checks" baseline the overhead benches compare against, so it must
+/// not pay for the checker inside a timed iteration.
 pub fn run_app_suite(app: &corpus::App, config: Option<CheckConfig>) -> u64 {
-    let env = app.build_env();
-    let program = ruby_syntax::parse_program(&app.full_source()).expect("app parses");
+    if config.is_some() {
+        let (env, program) = prepare_app(app);
+        let result = check_prepared(&env, &program, CheckOptions::default());
+        run_prepared_suite(&env, &program, &result, config)
+    } else {
+        // No environment assembly either: `build_env` re-parses hundreds of
+        // annotation strings, which the unchecked run never consumes.
+        let (program, _sources) = app.parse().expect("app parses");
+        let interp = Interpreter::new(program);
+        interp.eval_program().expect("suite passes");
+        interp.checks_performed()
+    }
+}
+
+/// Runs a prepared app's test suite (environment, program and checking
+/// result built once via [`prepare_app`] + the checker), so benches can time
+/// the suite run alone.  Returns the number of dynamic checks executed.
+pub fn run_prepared_suite(
+    env: &comprdl::CompRdl,
+    program: &ruby_syntax::Program,
+    checked: &comprdl::ProgramCheckResult,
+    config: Option<CheckConfig>,
+) -> u64 {
     let mut interp = Interpreter::new(program.clone());
     if let Some(config) = config {
-        let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
         let hook = comprdl::make_hook(
-            result.checks(),
-            result.store.clone(),
+            checked.checks(),
+            checked.store.clone(),
             env.classes.clone(),
             env.helpers.clone(),
             config,

@@ -15,12 +15,15 @@
 //! Two call sites with the same key run the same expression over the same
 //! inputs and must produce the same result.
 //!
-//! Store-backed bindings are keyed by their *structural* rendering (via
-//! [`TypeStore::render`]) rather than their raw ids: every call site
-//! allocates fresh ids for literal hashes and tuples, so id-based keys
-//! would never match, while structurally identical inputs are exactly the
-//! ones that evaluate identically.  A weak update changes the structure and
-//! therefore the key, so mutated receivers never match stale entries.
+//! Store-backed bindings are keyed by a *structural* digest (via
+//! [`TypeStore::fingerprint`] — cheaper than building the
+//! [`TypeStore::render`] string, and inducing the same equivalence up to
+//! the ~2⁻⁶⁴-per-pair collision probability of a 64-bit digest) rather
+//! than their raw ids: every call site allocates fresh ids for literal
+//! hashes and tuples, so id-based keys would never match, while
+//! structurally identical inputs are exactly the ones that evaluate
+//! identically.  A weak update changes the structure and therefore the
+//! key, so mutated receivers never match stale entries.
 //!
 //! ## Invalidation
 //!
@@ -48,13 +51,13 @@ pub enum CompPosition {
 
 /// One binding's contribution to a cache key: store-free types compare
 /// directly (cheap — no store access needed), store-backed types compare by
-/// their structural rendering so fresh ids with identical content match.
+/// their structural digest so fresh ids with identical content match.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum KeyType {
     /// A type with no store-backed parts, keyed as-is.
     Plain(Type),
-    /// The [`TypeStore::render`] fingerprint of a store-backed type.
-    Structural(String),
+    /// The [`TypeStore::fingerprint`] digest of a store-backed type.
+    Structural(u64),
 }
 
 /// The identity of one comp-type evaluation.  See the module docs for why
@@ -90,7 +93,7 @@ impl CacheKey {
                 TlcValue::Type(t) => {
                     let keyed = if t.contains_store_backed() {
                         store_backed_inputs = true;
-                        KeyType::Structural(store.render(t))
+                        KeyType::Structural(store.fingerprint(t))
                     } else {
                         KeyType::Plain(t.clone())
                     };

@@ -1109,7 +1109,13 @@ impl<'a> TypeChecker<'a> {
         let content_start = lit.span.start + 1;
         let start = content_start + frag.start;
         let end = (content_start + frag.end).min(lit.span.end.saturating_sub(1).max(start));
-        Span::new(start, end.max(start + 1), lit.span.line + frag.line.saturating_sub(1))
+        // The mapped span stays in the literal's source file.
+        Span::in_file(
+            lit.span.file,
+            start,
+            end.max(start + 1),
+            lit.span.line + frag.line.saturating_sub(1),
+        )
     }
 
     #[allow(clippy::too_many_arguments)]

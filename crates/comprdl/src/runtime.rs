@@ -1,9 +1,32 @@
 //! Run-time side of CompRDL: mapping interpreter values to RDL types,
 //! checking values against types, and the [`CompRdlHook`] that enforces the
 //! dynamic checks inserted by the static checker (paper §2.4, §3, §4).
+//!
+//! ## The run-time check memo
+//!
+//! The paper's Table 2 measures the overhead of these dynamic checks on real
+//! test suites, and the naive implementation pays O(structure of the value)
+//! at **every** hit: `before_call` re-interns the receiver/argument types
+//! into the shared [`TypeStore`] and re-evaluates the comp type, and
+//! `after_call` re-walks the returned value against the expected type.  The
+//! hook therefore memoizes both callbacks per call site, keyed on a stable
+//! structural fingerprint of the values that flowed through the site
+//! ([`value_fingerprint`]): a test suite that calls `User.exists?` a
+//! thousand times with the same-shaped rows pays for one evaluation and 999
+//! table hits.
+//!
+//! Invalidation mirrors [`crate::cache`]: every memo entry records the
+//! [`TypeStore::generation`] it was computed at, and a lookup that finds an
+//! entry from an older generation evicts it and re-evaluates — a schema
+//! change between calls (§4 "Heap Mutation") can never replay a stale
+//! verdict.  The same generation guard makes [`type_of_value`] interning
+//! non-amplifying: repeated hits with structurally identical values reuse
+//! the store ids minted the first time instead of growing the store
+//! unboundedly across a run.
 
+use crate::cache::CacheStats;
 use crate::tlc::{eval_comp_type, HelperRegistry, TlcValue};
-use rdl_types::{ClassTable, HashKey, SingVal, Subtyper, Type, TypeStore};
+use rdl_types::{ClassTable, Fingerprint, HashKey, SingVal, Subtyper, Type, TypeStore};
 use ruby_interp::{DynamicCheckHook, Value};
 use ruby_syntax::Span;
 use std::cell::RefCell;
@@ -49,6 +72,94 @@ pub fn type_of_value(value: &Value, store: &mut TypeStore) -> Type {
         Value::Object(o) => Type::nominal(o.borrow().class.clone()),
         Value::Class(c) => Type::class_of(c.clone()),
         Value::Lambda(_) => Type::nominal("Proc"),
+    }
+}
+
+/// A stable structural fingerprint of a runtime value, used to key the
+/// per-call-site check memo: two values digest identically exactly when
+/// [`type_of_value`] would map them to structurally identical types, their
+/// [`Value::inspect`] renderings agree, and [`value_matches`] cannot tell
+/// them apart against any type.  Mutable containers are digested by current
+/// content, so an in-place mutation changes the fingerprint.
+pub fn value_fingerprint(value: &Value) -> u64 {
+    let mut fp = Fingerprint::new();
+    hash_value_guarded(&mut fp, value, &mut Vec::new());
+    fp.finish()
+}
+
+fn hash_value(fp: &mut Fingerprint, value: &Value) {
+    hash_value_guarded(fp, value, &mut Vec::new());
+}
+
+/// `visiting` holds the container `Rc`s on the current recursion path:
+/// runtime values can be self-referential (`a = []; a << a`), and the
+/// digest must terminate on them (re-entry digests as a back-reference
+/// marker, mirroring `TypeStore::fingerprint_into`).
+fn hash_value_guarded(fp: &mut Fingerprint, value: &Value, visiting: &mut Vec<*const ()>) {
+    match value {
+        Value::Nil => fp.write_u8(0),
+        Value::Bool(false) => fp.write_u8(1),
+        Value::Bool(true) => fp.write_u8(2),
+        Value::Int(i) => {
+            fp.write_u8(3);
+            fp.write_i64(*i);
+        }
+        Value::Float(f) => {
+            fp.write_u8(4);
+            fp.write_u64(f.to_bits());
+        }
+        Value::Sym(s) => {
+            fp.write_u8(5);
+            fp.write_str(s);
+        }
+        Value::Str(s) => {
+            fp.write_u8(6);
+            fp.write_str(&s.borrow());
+        }
+        Value::Array(items) => {
+            let ptr = Rc::as_ptr(items) as *const ();
+            if visiting.contains(&ptr) {
+                fp.write_u8(0xFE);
+                return;
+            }
+            visiting.push(ptr);
+            fp.write_u8(7);
+            let items = items.borrow();
+            fp.write_usize(items.len());
+            for v in items.iter() {
+                hash_value_guarded(fp, v, visiting);
+            }
+            visiting.pop();
+        }
+        Value::Hash(pairs) => {
+            let ptr = Rc::as_ptr(pairs) as *const ();
+            if visiting.contains(&ptr) {
+                fp.write_u8(0xFE);
+                return;
+            }
+            visiting.push(ptr);
+            fp.write_u8(8);
+            let pairs = pairs.borrow();
+            fp.write_usize(pairs.len());
+            for (k, v) in pairs.iter() {
+                hash_value_guarded(fp, k, visiting);
+                hash_value_guarded(fp, v, visiting);
+            }
+            visiting.pop();
+        }
+        // Only the class name matters: `type_of_value` maps objects to their
+        // nominal type, `value_matches` only consults the class, and
+        // `inspect` prints `#<Class>`.
+        Value::Object(o) => {
+            fp.write_u8(9);
+            fp.write_str(&o.borrow().class);
+        }
+        Value::Class(c) => {
+            fp.write_u8(10);
+            fp.write_str(c);
+        }
+        // All lambdas type as `Proc` and inspect as `#<Proc>`.
+        Value::Lambda(_) => fp.write_u8(11),
     }
 }
 
@@ -170,31 +281,106 @@ pub struct ConsistencyCheck {
     pub expected: Type,
 }
 
-/// Configuration for which categories of checks the hook enforces; used by
-/// the ablation benchmark.
+/// Configuration for which categories of checks the hook enforces and how
+/// they execute; used by the ablation and overhead benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckConfig {
     /// Check returned values against the computed return type.
     pub return_checks: bool,
     /// Re-evaluate comp types at run time and compare (heap-mutation guard).
     pub consistency_checks: bool,
+    /// Memoize per-site check outcomes keyed on value fingerprints (see the
+    /// module docs).  Disable to get the paper's pay-at-every-hit baseline
+    /// that the `checked_vs_unchecked` bench measures against.
+    pub memoize: bool,
+    /// Raise blame as an error at the call site (`true`, the λC semantics)
+    /// or record it and let execution continue (`false`, used by the
+    /// overhead harness to compare complete blame sets across runs).
+    pub raise_blame: bool,
 }
 
 impl Default for CheckConfig {
     fn default() -> Self {
-        CheckConfig { return_checks: true, consistency_checks: true }
+        CheckConfig {
+            return_checks: true,
+            consistency_checks: true,
+            memoize: true,
+            raise_blame: true,
+        }
+    }
+}
+
+/// One memoized check outcome: the exact result (including the blame
+/// message, so replays are byte-identical to re-evaluations) and the store
+/// generation it was computed at.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    outcome: Result<(), String>,
+    generation: u64,
+}
+
+/// An interned [`type_of_value`] result, reused while the store generation
+/// is unchanged so repeated hits stop allocating fresh store ids.
+#[derive(Debug, Clone)]
+struct InternedType {
+    ty: Type,
+    generation: u64,
+}
+
+/// The per-hook run-time check memo (see the module docs for the key and
+/// invalidation design).
+#[derive(Debug, Default)]
+struct RuntimeMemo {
+    /// `before_call` outcomes keyed on (site, fingerprint of receiver+args).
+    before: HashMap<(Span, u64), MemoEntry>,
+    /// `after_call` outcomes keyed on (site, fingerprint of the return).
+    after: HashMap<(Span, u64), MemoEntry>,
+    /// Value-fingerprint → interned type, shared across sites.
+    value_types: HashMap<u64, InternedType>,
+    stats: CacheStats,
+}
+
+/// Looks up an outcome in one memo table, evicting generation-stale entries
+/// (a promotion or weak update between calls must force re-evaluation, §4).
+fn memo_lookup(
+    table: &mut HashMap<(Span, u64), MemoEntry>,
+    stats: &mut CacheStats,
+    key: &(Span, u64),
+    generation: u64,
+) -> Option<Result<(), String>> {
+    match table.get(key) {
+        Some(entry) if entry.generation == generation => {
+            let outcome = entry.outcome.clone();
+            stats.hits += 1;
+            Some(outcome)
+        }
+        Some(_) => {
+            table.remove(key);
+            stats.invalidations += 1;
+            stats.misses += 1;
+            None
+        }
+        None => {
+            stats.misses += 1;
+            None
+        }
     }
 }
 
 /// The [`DynamicCheckHook`] implementation installed into the interpreter
 /// for programs rewritten by CompRDL.
+///
+/// Checks are keyed by their full [`Span`] — including the source-file id —
+/// so multi-file programs whose byte offsets coincide across files can never
+/// fire a check at the wrong site.
 pub struct CompRdlHook {
-    checks: HashMap<(usize, usize, u32), InsertedCheck>,
+    checks: HashMap<Span, InsertedCheck>,
     store: RefCell<TypeStore>,
     classes: ClassTable,
     helpers: HelperRegistry,
     config: CheckConfig,
     blames: RefCell<Vec<String>>,
+    memo: RefCell<RuntimeMemo>,
 }
 
 impl CompRdlHook {
@@ -206,8 +392,7 @@ impl CompRdlHook {
         helpers: HelperRegistry,
         config: CheckConfig,
     ) -> Self {
-        let map =
-            checks.into_iter().map(|c| ((c.site.start, c.site.end, c.site.line), c)).collect();
+        let map = checks.into_iter().map(|c| (c.site, c)).collect();
         CompRdlHook {
             checks: map,
             store: RefCell::new(store),
@@ -215,6 +400,7 @@ impl CompRdlHook {
             helpers,
             config,
             blames: RefCell::new(Vec::new()),
+            memo: RefCell::new(RuntimeMemo::default()),
         }
     }
 
@@ -223,48 +409,99 @@ impl CompRdlHook {
         self.checks.len()
     }
 
-    /// Blame messages produced so far (also raised as errors at the call
-    /// sites).
+    /// Blame messages produced so far, in execution order (also raised as
+    /// errors at the call sites unless [`CheckConfig::raise_blame`] is off).
     pub fn blames(&self) -> Vec<String> {
         self.blames.borrow().clone()
     }
 
-    fn key(site: Span) -> (usize, usize, u32) {
-        (site.start, site.end, site.line)
+    /// Hit / miss / invalidation counters of the run-time check memo (all
+    /// zeros when [`CheckConfig::memoize`] is off).
+    pub fn memo_stats(&self) -> CacheStats {
+        self.memo.borrow().stats
     }
 
-    fn blame(&self, message: String) -> Result<(), String> {
-        self.blames.borrow_mut().push(message.clone());
-        Err(message)
-    }
-}
-
-impl std::fmt::Debug for CompRdlHook {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CompRdlHook").field("checks", &self.checks.len()).finish()
-    }
-}
-
-impl DynamicCheckHook for CompRdlHook {
-    fn has_check(&self, site: Span) -> bool {
-        self.checks.contains_key(&Self::key(site))
+    /// Number of store-backed types currently interned in the hook's store.
+    /// The memo keeps this from growing per-hit; the overhead harness
+    /// asserts it.
+    pub fn store_size(&self) -> usize {
+        self.store.borrow().len()
     }
 
-    fn before_call(&self, site: Span, recv: &Value, args: &[Value]) -> Result<(), String> {
-        if !self.config.consistency_checks {
-            return Ok(());
+    /// Runs `f` against the hook's type store.  This models type-level state
+    /// mutating *between* calls (§4 "Heap Mutation" — e.g. a migration
+    /// changing a table's schema mid-run) and is what the invalidation tests
+    /// and ablations use to bump the store generation.
+    pub fn mutate_store<R>(&self, f: impl FnOnce(&mut TypeStore) -> R) -> R {
+        f(&mut self.store.borrow_mut())
+    }
+
+    /// Records a blame and either raises it (the default λC behaviour) or
+    /// swallows it so the run can continue collecting the full blame set.
+    fn deliver(&self, outcome: Result<(), String>) -> Result<(), String> {
+        match outcome {
+            Ok(()) => Ok(()),
+            Err(message) => {
+                self.blames.borrow_mut().push(message.clone());
+                if self.config.raise_blame {
+                    Err(message)
+                } else {
+                    Ok(())
+                }
+            }
         }
-        let Some(check) = self.checks.get(&Self::key(site)) else { return Ok(()) };
-        let Some(consistency) = &check.consistency else { return Ok(()) };
+    }
+
+    /// [`type_of_value`] with generation-guarded interning: while the store
+    /// is unmutated, structurally identical values map to the *same* store
+    /// ids instead of freshly allocated ones.
+    fn type_of_value_interned(
+        memo: &mut RuntimeMemo,
+        store: &mut TypeStore,
+        value: &Value,
+    ) -> Type {
+        let fp = value_fingerprint(value);
+        if let Some(interned) = memo.value_types.get(&fp) {
+            if interned.generation == store.generation() {
+                return interned.ty.clone();
+            }
+        }
+        let ty = type_of_value(value, store);
+        memo.value_types
+            .insert(fp, InternedType { ty: ty.clone(), generation: store.generation() });
+        ty
+    }
+
+    /// Evaluates the §4 consistency check, returning `Err` with the blame
+    /// message (not yet recorded) on failure.
+    fn eval_consistency(
+        &self,
+        check: &InsertedCheck,
+        consistency: &ConsistencyCheck,
+        recv: &Value,
+        args: &[Value],
+    ) -> Result<(), String> {
         let mut store = self.store.borrow_mut();
-        let recv_ty = type_of_value(recv, &mut store);
         let mut bindings: HashMap<String, TlcValue> = HashMap::new();
-        bindings.insert("tself".to_string(), TlcValue::Type(recv_ty));
-        for (i, binder) in consistency.binders.iter().enumerate() {
-            if let Some(name) = binder {
-                let arg_ty =
-                    args.get(i).map(|v| type_of_value(v, &mut store)).unwrap_or_else(Type::nil);
-                bindings.insert(name.clone(), TlcValue::Type(arg_ty));
+        {
+            let mut memo = self.memo.borrow_mut();
+            let recv_ty = if self.config.memoize {
+                Self::type_of_value_interned(&mut memo, &mut store, recv)
+            } else {
+                type_of_value(recv, &mut store)
+            };
+            bindings.insert("tself".to_string(), TlcValue::Type(recv_ty));
+            for (i, binder) in consistency.binders.iter().enumerate() {
+                if let Some(name) = binder {
+                    let arg_ty = match args.get(i) {
+                        Some(v) if self.config.memoize => {
+                            Self::type_of_value_interned(&mut memo, &mut store, v)
+                        }
+                        Some(v) => type_of_value(v, &mut store),
+                        None => Type::nil(),
+                    };
+                    bindings.insert(name.clone(), TlcValue::Type(arg_ty));
+                }
             }
         }
         let recomputed = eval_comp_type(
@@ -285,38 +522,114 @@ impl DynamicCheckHook for CompRdlHook {
                 {
                     Ok(())
                 } else {
-                    drop(store);
-                    self.blame(format!(
+                    // Render store-backed types structurally: raw `Display`
+                    // leaks store ids (`#fhash7`), which differ between
+                    // memoized and unmemoized runs and mean nothing to the
+                    // user.
+                    Err(format!(
                         "{}: comp type evaluated to `{}` at run time but `{}` at type-check time",
-                        check.description, t, consistency.expected
+                        check.description,
+                        store.render(&t),
+                        store.render(&consistency.expected)
                     ))
                 }
             }
-            Err(e) => {
-                drop(store);
-                self.blame(format!("{}: comp type failed at run time: {}", check.description, e))
+            Err(e) => Err(format!("{}: comp type failed at run time: {}", check.description, e)),
+        }
+    }
+}
+
+impl std::fmt::Debug for CompRdlHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompRdlHook").field("checks", &self.checks.len()).finish()
+    }
+}
+
+impl DynamicCheckHook for CompRdlHook {
+    fn has_check(&self, site: Span) -> bool {
+        self.checks.contains_key(&site)
+    }
+
+    fn before_call(&self, site: Span, recv: &Value, args: &[Value]) -> Result<(), String> {
+        if !self.config.consistency_checks {
+            return Ok(());
+        }
+        let Some(check) = self.checks.get(&site) else { return Ok(()) };
+        let Some(consistency) = &check.consistency else { return Ok(()) };
+
+        let key = self.config.memoize.then(|| {
+            let mut fp = Fingerprint::new();
+            hash_value(&mut fp, recv);
+            fp.write_usize(args.len());
+            for a in args {
+                hash_value(&mut fp, a);
+            }
+            (site, fp.finish())
+        });
+        let generation = key.map(|_| self.store.borrow().generation());
+        if let (Some(key), Some(generation)) = (key, generation) {
+            let mut memo = self.memo.borrow_mut();
+            let memo = &mut *memo;
+            let cached = memo_lookup(&mut memo.before, &mut memo.stats, &key, generation);
+            if let Some(outcome) = cached {
+                return self.deliver(outcome);
             }
         }
+
+        let outcome = self.eval_consistency(check, consistency, recv, args);
+        if let (Some(key), Some(generation)) = (key, generation) {
+            // Stamp the entry with the generation read *before* evaluation:
+            // the evaluation itself may promote or weakly update store types
+            // (comp-type helpers hold `&mut TypeStore`), and a verdict
+            // computed against the pre-mutation store must not be replayed
+            // as valid for the mutated one.  If the generation moved, the
+            // entry is stale on arrival and the next call re-evaluates —
+            // exactly what the unmemoized baseline would do.
+            self.memo
+                .borrow_mut()
+                .before
+                .insert(key, MemoEntry { outcome: outcome.clone(), generation });
+        }
+        self.deliver(outcome)
     }
 
     fn after_call(&self, site: Span, ret: &Value) -> Result<(), String> {
         if !self.config.return_checks {
             return Ok(());
         }
-        let Some(check) = self.checks.get(&Self::key(site)) else { return Ok(()) };
+        let Some(check) = self.checks.get(&site) else { return Ok(()) };
+
+        let key = self.config.memoize.then(|| (site, value_fingerprint(ret)));
+        if let Some(key) = key {
+            let generation = self.store.borrow().generation();
+            let mut memo = self.memo.borrow_mut();
+            let memo = &mut *memo;
+            let cached = memo_lookup(&mut memo.after, &mut memo.stats, &key, generation);
+            if let Some(outcome) = cached {
+                return self.deliver(outcome);
+            }
+        }
+
         let store = self.store.borrow();
-        if value_matches(ret, &check.expected_return, &store, &self.classes) {
+        let outcome = if value_matches(ret, &check.expected_return, &store, &self.classes) {
             Ok(())
         } else {
-            let msg = format!(
+            Err(format!(
                 "{}: returned {} which is not a {}",
                 check.description,
                 ret.inspect(),
-                check.expected_return
-            );
-            drop(store);
-            self.blame(msg)
+                store.render(&check.expected_return)
+            ))
+        };
+        let generation = store.generation();
+        drop(store);
+        if let Some(key) = key {
+            self.memo
+                .borrow_mut()
+                .after
+                .insert(key, MemoEntry { outcome: outcome.clone(), generation });
         }
+        self.deliver(outcome)
     }
 }
 
@@ -477,6 +790,246 @@ mod tests {
     }
 
     #[test]
+    fn value_fingerprint_tracks_structure_and_mutation() {
+        let a = Value::array(vec![Value::Int(1), Value::str("x")]);
+        let b = Value::array(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(value_fingerprint(&a), value_fingerprint(&b), "distinct Rcs, same structure");
+        assert_ne!(
+            value_fingerprint(&a),
+            value_fingerprint(&Value::array(vec![Value::str("x"), Value::Int(1)]))
+        );
+        // In-place mutation changes the digest.
+        let before = value_fingerprint(&a);
+        if let Value::Array(items) = &a {
+            items.borrow_mut().push(Value::Nil);
+        }
+        assert_ne!(value_fingerprint(&a), before);
+        // Nesting is not flattened away.
+        let flat = Value::array(vec![Value::Int(1), Value::Int(2)]);
+        let nested = Value::array(vec![Value::array(vec![Value::Int(1), Value::Int(2)])]);
+        assert_ne!(value_fingerprint(&flat), value_fingerprint(&nested));
+    }
+
+    #[test]
+    fn cyclic_values_fingerprint_and_check_without_overflowing() {
+        // `a = []; a << a` is expressible in the interpreted subset; the
+        // default-on memo must not turn a check the unmemoized hook handled
+        // fine into a stack overflow.
+        let cyclic = Value::array(vec![Value::Int(1)]);
+        if let Value::Array(items) = &cyclic {
+            items.borrow_mut().push(cyclic.clone());
+        }
+        let other = Value::array(vec![Value::Int(1)]);
+        if let Value::Array(items) = &other {
+            items.borrow_mut().push(other.clone());
+        }
+        assert_eq!(
+            value_fingerprint(&cyclic),
+            value_fingerprint(&other),
+            "structurally identical cycles digest identically"
+        );
+        assert_ne!(
+            value_fingerprint(&cyclic),
+            value_fingerprint(&Value::array(vec![Value::Int(1)]))
+        );
+
+        let site = Span::new(2, 4, 1);
+        let check = InsertedCheck {
+            site,
+            description: "Array#dup".to_string(),
+            expected_return: Type::nominal("Array"),
+            consistency: None,
+        };
+        let hook = CompRdlHook::new(
+            vec![check],
+            TypeStore::new(),
+            classes(),
+            HelperRegistry::new(),
+            CheckConfig::default(),
+        );
+        for _ in 0..3 {
+            assert!(hook.after_call(site, &cyclic).is_ok());
+        }
+        assert!(hook.memo_stats().hits >= 2);
+    }
+
+    #[test]
+    fn repeated_hits_are_memoized_and_do_not_grow_the_store() {
+        let site = Span::new(10, 20, 3);
+        let check = InsertedCheck {
+            site,
+            description: "Array#map".to_string(),
+            expected_return: Type::array(Type::nominal("String")),
+            consistency: None,
+        };
+        let hook = CompRdlHook::new(
+            vec![check],
+            TypeStore::new(),
+            classes(),
+            HelperRegistry::new(),
+            CheckConfig::default(),
+        );
+        let value = Value::array(vec![Value::str("a"), Value::str("b")]);
+        for _ in 0..5 {
+            assert!(hook.after_call(site, &value).is_ok());
+        }
+        let stats = hook.memo_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 4), "{stats:?}");
+        let size_after_first = hook.store_size();
+        for _ in 0..5 {
+            assert!(hook.after_call(site, &value).is_ok());
+        }
+        assert_eq!(hook.store_size(), size_after_first, "store must not grow per hit");
+    }
+
+    #[test]
+    fn memoized_blame_replays_are_byte_identical() {
+        let site = Span::new(1, 2, 1);
+        let mut store = TypeStore::new();
+        // A store-backed expected type, so the message exercises the
+        // structural rendering rather than the raw-id Display.
+        let expected = store.new_finite_hash(vec![(
+            rdl_types::HashKey::Sym("id".into()),
+            Type::nominal("Integer"),
+        )]);
+        let check = InsertedCheck {
+            site,
+            description: "Table#first".to_string(),
+            expected_return: expected,
+            consistency: None,
+        };
+        let hook = CompRdlHook::new(
+            vec![check],
+            store,
+            classes(),
+            HelperRegistry::new(),
+            CheckConfig { raise_blame: false, ..CheckConfig::default() },
+        );
+        let bad = Value::Int(7);
+        for _ in 0..3 {
+            assert!(hook.after_call(site, &bad).is_ok(), "raise_blame off must not raise");
+        }
+        let blames = hook.blames();
+        assert_eq!(blames.len(), 3, "every hit records a blame");
+        assert_eq!(blames[0], blames[1]);
+        assert_eq!(blames[1], blames[2]);
+        assert!(blames[0].contains("{ id: Integer }"), "structural rendering: {}", blames[0]);
+        assert!(!blames[0].contains("#fhash"), "no raw store ids: {}", blames[0]);
+        assert!(hook.memo_stats().hits >= 2);
+    }
+
+    #[test]
+    fn unmemoized_config_matches_memoized_blames() {
+        let site = Span::new(4, 9, 2);
+        let mk = |memoize: bool| {
+            let check = InsertedCheck {
+                site,
+                description: "Hash#[]".to_string(),
+                expected_return: Type::nominal("Integer"),
+                consistency: None,
+            };
+            CompRdlHook::new(
+                vec![check],
+                TypeStore::new(),
+                classes(),
+                HelperRegistry::new(),
+                CheckConfig { memoize, raise_blame: false, ..CheckConfig::default() },
+            )
+        };
+        let memoized = mk(true);
+        let unmemoized = mk(false);
+        for v in [Value::str("a"), Value::Int(1), Value::str("a"), Value::str("b")] {
+            let _ = memoized.after_call(site, &v);
+            let _ = unmemoized.after_call(site, &v);
+        }
+        assert_eq!(memoized.blames(), unmemoized.blames());
+        assert_eq!(unmemoized.memo_stats(), CacheStats::default(), "memo off records nothing");
+    }
+
+    #[test]
+    fn store_generation_bump_invalidates_the_runtime_memo() {
+        // §4 heap mutation: the comp type consults a const string in the
+        // store; promoting it between calls changes the verdict, which the
+        // memo must not replay over.
+        let mut store = TypeStore::new();
+        let marker = store.new_const_string("users");
+        let marker_for_helper = marker.clone();
+        let mut helpers = HelperRegistry::new();
+        helpers.register_native("schema_marker", move |ctx, _args| {
+            let t = match &marker_for_helper {
+                Type::ConstString(id) => match ctx.store.const_string_value(*id) {
+                    Some(_) => Type::nominal("Integer"),
+                    None => Type::nominal("String"),
+                },
+                _ => unreachable!(),
+            };
+            Ok(crate::tlc::TlcValue::Type(t))
+        });
+        let site = Span::new(1, 2, 1);
+        let check = InsertedCheck {
+            site,
+            description: "Table#where".to_string(),
+            expected_return: Type::object(),
+            consistency: Some(ConsistencyCheck {
+                ret_expr: ruby_syntax::parse_expr("schema_marker()").unwrap(),
+                binders: vec![],
+                expected: Type::nominal("Integer"),
+            }),
+        };
+        let hook = CompRdlHook::new(
+            vec![check],
+            store,
+            classes(),
+            helpers,
+            CheckConfig { raise_blame: false, ..CheckConfig::default() },
+        );
+        let recv = Value::Class("User".into());
+
+        // Two calls: evaluate once, replay once, both consistent.
+        assert!(hook.before_call(site, &recv, &[]).is_ok());
+        assert!(hook.before_call(site, &recv, &[]).is_ok());
+        assert_eq!(hook.blames().len(), 0);
+        assert_eq!(hook.memo_stats().hits, 1);
+
+        // Mutate type-level state between calls: the marker promotes, the
+        // helper now answers String, and the memoized Ok must be evicted.
+        hook.mutate_store(|s| {
+            let Type::ConstString(id) = &marker else { unreachable!() };
+            s.promote_const_string(*id);
+        });
+        assert!(hook.before_call(site, &recv, &[]).is_ok(), "raise_blame off");
+        assert_eq!(hook.blames().len(), 1, "stale Ok must not be replayed");
+        assert!(hook.blames()[0].contains("type-check time"), "{:?}", hook.blames());
+        assert_eq!(hook.memo_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn sites_in_different_files_do_not_collide() {
+        // Two spans with identical offsets in different files: the check is
+        // registered for file 1 only, so the byte-identical span in file 0
+        // must neither report a check nor fire one.
+        let site_app = Span::in_file(1, 10, 20, 3);
+        let site_other = Span::in_file(0, 10, 20, 3);
+        let check = InsertedCheck {
+            site: site_app,
+            description: "Array#first".to_string(),
+            expected_return: Type::nominal("Integer"),
+            consistency: None,
+        };
+        let hook = CompRdlHook::new(
+            vec![check],
+            TypeStore::new(),
+            classes(),
+            HelperRegistry::new(),
+            CheckConfig::default(),
+        );
+        assert!(hook.has_check(site_app));
+        assert!(!hook.has_check(site_other), "same offsets, different file");
+        assert!(hook.after_call(site_other, &Value::str("wrong")).is_ok());
+        assert!(hook.after_call(site_app, &Value::str("wrong")).is_err());
+    }
+
+    #[test]
     fn check_config_disables_categories() {
         let site = Span::new(5, 6, 1);
         let check = InsertedCheck {
@@ -490,7 +1043,11 @@ mod tests {
             TypeStore::new(),
             classes(),
             HelperRegistry::new(),
-            CheckConfig { return_checks: false, consistency_checks: false },
+            CheckConfig {
+                return_checks: false,
+                consistency_checks: false,
+                ..CheckConfig::default()
+            },
         );
         assert!(hook.after_call(site, &Value::str("wrong type")).is_ok());
     }

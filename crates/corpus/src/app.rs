@@ -34,8 +34,50 @@ pub struct App {
 
 impl App {
     /// The full program source: app code followed by the test suite.
+    ///
+    /// This is the *single-file* view (everything in file `0`); prefer
+    /// [`App::parse`], which keeps the app and its test suite as separate
+    /// files so their spans stay distinguishable.
     pub fn full_source(&self) -> String {
         format!("{}\n{}\n", self.source, self.test_suite)
+    }
+
+    fn slug(&self) -> String {
+        self.name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect()
+    }
+
+    /// Display name of the app's source file (e.g. `journey.rb`).
+    pub fn source_file_name(&self) -> String {
+        format!("{}.rb", self.slug())
+    }
+
+    /// Display name of the app's test-suite file (e.g. `journey_test.rb`).
+    pub fn test_file_name(&self) -> String {
+        format!("{}_test.rb", self.slug())
+    }
+
+    /// Parses the app as a **two-file** program — the app source and its
+    /// test suite each get their own file id — returning the merged program
+    /// and the [`diagnostics::SourceSet`] that maps every span's file id
+    /// back to a named buffer.  Byte offsets restart at `0` in each file, so
+    /// the file id in each span is what keeps call-site identities (and
+    /// therefore the inserted dynamic checks) from colliding across files.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ruby_syntax::ParseError`] from either file.
+    pub fn parse(
+        &self,
+    ) -> Result<(ruby_syntax::Program, diagnostics::SourceSet), ruby_syntax::ParseError> {
+        let mut sources = diagnostics::SourceSet::new();
+        let app_file = sources.add(self.source_file_name(), self.source);
+        let test_file = sources.add(self.test_file_name(), self.test_suite);
+        let app = ruby_syntax::parse_program_in_file(self.source, app_file)?;
+        let tests = ruby_syntax::parse_program_in_file(self.test_suite, test_file)?;
+        Ok((app.merge(tests), sources))
     }
 
     /// Builds the CompRDL environment for this app: core library

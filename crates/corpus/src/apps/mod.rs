@@ -1,15 +1,18 @@
-//! The six synthetic subject programs of the evaluation corpus.
+//! The synthetic subject programs of the evaluation corpus: the six paper
+//! apps plus the call-site-dense Redmine analogue (see [`redmine`]).
 
 pub mod codeorg;
 pub mod discourse;
 pub mod huginn;
 pub mod journey;
+pub mod redmine;
 pub mod twitter;
 pub mod wikipedia;
 
 use crate::app::App;
 
-/// All corpus apps, in the order Table 2 lists them.
+/// All corpus apps: the paper's six in Table 2 order, then the grown
+/// corpus's additions.
 pub fn all() -> Vec<App> {
     vec![
         wikipedia::app(),
@@ -18,5 +21,6 @@ pub fn all() -> Vec<App> {
         huginn::app(),
         codeorg::app(),
         journey::app(),
+        redmine::app(),
     ]
 }

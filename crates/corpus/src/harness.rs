@@ -149,8 +149,10 @@ pub fn evaluate_app_with(app: &App, check_threads: usize) -> Result<Table2Row, H
     };
 
     let env = app.build_env();
-    let program = ruby_syntax::parse_program(&app.full_source())
-        .map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
+    // Parse as a two-file program (app source + test suite, distinct span
+    // file ids) so dynamic-check sites cannot collide across files.
+    let (program, _sources) =
+        app.parse().map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
 
     // Static checking with comp types (timed).
     let started = Instant::now();
@@ -286,6 +288,209 @@ pub fn table2_parallel() -> Result<Vec<Table2Row>, HarnessError> {
         handles.into_iter().map(|h| h.join().expect("app evaluation thread panicked")).collect()
     });
     results.into_iter().collect()
+}
+
+/// One row of the Table 2 **overhead** evaluation: the app's test-suite
+/// wall-clock under three configurations (no dynamic checks at all, the
+/// paper's pay-at-every-hit checks, and the memoized fast path), plus the
+/// correctness evidence that makes the timings comparable — identical check
+/// counts and byte-identical blame sets between the two checked runs.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Program name.
+    pub program: String,
+    /// Test-suite time with no hook installed.
+    pub no_hook: Duration,
+    /// Test-suite time with `CompRdlHook`, memoization off (the paper's
+    /// baseline: every hit pays the full re-evaluation).
+    pub unmemoized: Duration,
+    /// Test-suite time with `CompRdlHook`, memoization on.
+    pub memoized: Duration,
+    /// Dynamic checks executed (identical across both checked runs).
+    pub checks_run: u64,
+    /// Blame messages produced (byte-identical across both checked runs; 0
+    /// for the healthy shipped corpus).
+    pub blames: usize,
+    /// Memo counters from the memoized run.
+    pub memo_stats: comprdl::CacheStats,
+    /// Store-backed types interned after the unmemoized run.
+    pub store_unmemoized: usize,
+    /// Store-backed types interned after the memoized run (bounded by the
+    /// number of distinct value shapes, not by hit count).
+    pub store_memoized: usize,
+}
+
+impl OverheadRow {
+    /// Dynamic-check overhead of the unmemoized hook as a fraction of the
+    /// no-hook baseline.
+    pub fn overhead_unmemoized(&self) -> f64 {
+        overhead_fraction(self.no_hook, self.unmemoized)
+    }
+
+    /// Dynamic-check overhead of the memoized hook as a fraction of the
+    /// no-hook baseline.
+    pub fn overhead_memoized(&self) -> f64 {
+        overhead_fraction(self.no_hook, self.memoized)
+    }
+}
+
+fn overhead_fraction(base: Duration, with: Duration) -> f64 {
+    let base = base.as_secs_f64();
+    if base == 0.0 {
+        return 0.0;
+    }
+    (with.as_secs_f64() - base) / base
+}
+
+/// Runs one app's test suite under the three Table 2 overhead
+/// configurations and gates the result on run-to-run agreement: the
+/// memoized and unmemoized hooks must execute the same number of checks and
+/// produce **byte-identical** blame sets, otherwise the memo changed
+/// observable behaviour and the row is an error, not a measurement.
+///
+/// Blame is collected rather than raised (`CheckConfig::raise_blame` off)
+/// so the comparison always sees the complete set.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] on parse/runtime failure or when the
+/// correctness gate fails.
+pub fn evaluate_overhead(app: &App) -> Result<OverheadRow, HarnessError> {
+    let err = |message: String, diagnostic: Option<Box<Diagnostic>>| HarnessError {
+        app: app.name.to_string(),
+        message,
+        diagnostic,
+    };
+
+    let env = app.build_env();
+    let (program, _sources) =
+        app.parse().map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
+    let comp = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
+
+    // Baseline: no hook installed.
+    let plain = Interpreter::new(program.clone());
+    let started = Instant::now();
+    plain.eval_program().map_err(|e| {
+        err(format!("test suite failed without checks: {e}"), Some(Box::new(e.into())))
+    })?;
+    let no_hook = started.elapsed();
+
+    // One checked run; returns (time, checks, blames, stats, store size).
+    let checked_run = |memoize: bool| {
+        let hook = comprdl::make_hook(
+            comp.checks(),
+            comp.store.clone(),
+            env.classes.clone(),
+            env.helpers.clone(),
+            CheckConfig { memoize, raise_blame: false, ..CheckConfig::default() },
+        );
+        let mut interp = Interpreter::new(program.clone());
+        interp.set_hook(hook.clone());
+        let started = Instant::now();
+        interp.eval_program().map_err(|e| {
+            err(format!("test suite failed with dynamic checks: {e}"), Some(Box::new(e.into())))
+        })?;
+        let elapsed = started.elapsed();
+        Ok((
+            elapsed,
+            interp.checks_performed(),
+            hook.blames(),
+            hook.memo_stats(),
+            hook.store_size(),
+        ))
+    };
+    let (unmemoized, checks_unmemo, blames_unmemo, _, store_unmemoized) = checked_run(false)?;
+    let (memoized, checks_memo, blames_memo, memo_stats, store_memoized) = checked_run(true)?;
+
+    // The correctness gate.
+    if checks_unmemo != checks_memo {
+        return Err(err(
+            format!(
+                "memoized run executed {checks_memo} dynamic checks, unmemoized {checks_unmemo}"
+            ),
+            None,
+        ));
+    }
+    if blames_unmemo != blames_memo {
+        return Err(err(
+            format!(
+                "memoized and unmemoized blame sets diverged:\n  unmemoized: {blames_unmemo:?}\n  \
+                 memoized:   {blames_memo:?}"
+            ),
+            None,
+        ));
+    }
+
+    Ok(OverheadRow {
+        program: app.name.to_string(),
+        no_hook,
+        unmemoized,
+        memoized,
+        checks_run: checks_memo,
+        blames: blames_memo.len(),
+        memo_stats,
+        store_unmemoized,
+        store_memoized,
+    })
+}
+
+/// Runs the Table 2 overhead evaluation (see [`evaluate_overhead`]) for
+/// every app in the corpus.
+///
+/// # Errors
+///
+/// Propagates the first [`HarnessError`] encountered — including a
+/// correctness-gate failure, which is what the CI smoke bench relies on.
+pub fn table2_overhead() -> Result<Vec<OverheadRow>, HarnessError> {
+    crate::apps::all().iter().map(evaluate_overhead).collect()
+}
+
+/// Renders the overhead rows in roughly the layout of the paper's Table 2
+/// overhead columns, extended with the memoized fast path and the memo's
+/// evidence (hit counts, store sizes).
+pub fn format_overhead(rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2 (overhead). Test-suite time under dynamic checks.\n");
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>10} {:>11} {:>7} {:>11} {:>7} {:>9} {:>13} {:>6}\n",
+        "Program",
+        "DynChk",
+        "NoHook(ms)",
+        "Unmemo(ms)",
+        "Ovh%",
+        "Memo(ms)",
+        "Ovh%",
+        "MemoHits",
+        "Store(un/me)",
+        "Blames"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>10.3} {:>11.3} {:>7.1} {:>11.3} {:>7.1} {:>9} {:>6}/{:<6} {:>6}\n",
+            r.program,
+            r.checks_run,
+            r.no_hook.as_secs_f64() * 1000.0,
+            r.unmemoized.as_secs_f64() * 1000.0,
+            r.overhead_unmemoized() * 100.0,
+            r.memoized.as_secs_f64() * 1000.0,
+            r.overhead_memoized() * 100.0,
+            r.memo_stats.hits,
+            r.store_unmemoized,
+            r.store_memoized,
+            r.blames
+        ));
+    }
+    let total_un: f64 = rows.iter().map(|r| r.unmemoized.as_secs_f64()).sum();
+    let total_memo: f64 = rows.iter().map(|r| r.memoized.as_secs_f64()).sum();
+    let total_base: f64 = rows.iter().map(|r| r.no_hook.as_secs_f64()).sum();
+    if total_base > 0.0 {
+        out.push_str(&format!(
+            "Overhead across the corpus: {:.1}% unmemoized, {:.1}% memoized\n",
+            (total_un - total_base) / total_base * 100.0,
+            (total_memo - total_base) / total_base * 100.0
+        ));
+    }
+    out
 }
 
 /// Renders every deterministic column of the given rows (plus each row's

@@ -1,10 +1,17 @@
 //! # corpus
 //!
-//! The evaluation corpus for CompRDL-rs: six synthetic subject programs
+//! The evaluation corpus for CompRDL-rs: synthetic subject programs
 //! standing in for the paper's Wikipedia client, Twitter gem, Discourse,
 //! Huginn, Code.org and Journey (each with a schema, annotations, the three
 //! confirmed bugs seeded in the right places, and a small runnable test
-//! suite), plus the harness that regenerates Table 1 and Table 2.
+//! suite), plus the call-site-dense Redmine analogue that grows the corpus
+//! past the paper's six, and the harness that regenerates Table 1, Table 2
+//! and the Table 2 dynamic-check overhead comparison
+//! ([`harness::table2_overhead`]).
+//!
+//! Each app parses as a **two-file** program — source plus test suite, each
+//! with its own span file id (see [`App::parse`]) — so call-site identities
+//! never collide across files.
 //!
 //! ```
 //! let (rows, helpers) = corpus::table1();
@@ -20,8 +27,9 @@ pub mod harness;
 
 pub use app::App;
 pub use harness::{
-    corpus_diagnostics, evaluate_app, evaluate_app_with, format_diagnostic_summary, format_table1,
-    format_table2, stable_report, table1, table2, table2_parallel, HarnessError, Table1Row,
+    corpus_diagnostics, evaluate_app, evaluate_app_with, evaluate_overhead,
+    format_diagnostic_summary, format_overhead, format_table1, format_table2, stable_report,
+    table1, table2, table2_overhead, table2_parallel, HarnessError, OverheadRow, Table1Row,
     Table2Row,
 };
 
@@ -100,6 +108,81 @@ mod tests {
             stable_report(&parallel),
             "sequential and parallel corpus runs must agree on every deterministic column"
         );
+    }
+
+    #[test]
+    fn overhead_rows_cover_the_whole_corpus_and_pass_the_gate() {
+        let rows = table2_overhead().expect("overhead harness (includes the blame-set gate)");
+        assert_eq!(rows.len(), 7, "seven apps: the paper's six plus Redmine");
+        for row in &rows {
+            assert!(row.checks_run > 0, "{}: no dynamic checks executed", row.program);
+            assert_eq!(row.blames, 0, "{}: healthy corpus must not blame", row.program);
+            assert!(
+                row.store_memoized <= row.store_unmemoized,
+                "{}: memoized interning grew the store past the baseline ({} > {})",
+                row.program,
+                row.store_memoized,
+                row.store_unmemoized
+            );
+        }
+        // The dense app is the one the memo is for: its sites repeat, so the
+        // memo must actually hit, and interning must stay bounded well below
+        // one allocation batch per hit.
+        let redmine = rows.iter().find(|r| r.program == "Redmine").expect("redmine row");
+        assert!(redmine.checks_run > 300, "dense workload: {} checks", redmine.checks_run);
+        assert!(
+            redmine.memo_stats.hits > redmine.memo_stats.misses,
+            "memo should mostly hit on the dense workload: {:?}",
+            redmine.memo_stats
+        );
+        assert!(
+            redmine.store_memoized < redmine.store_unmemoized / 2,
+            "memoized store should stay far smaller ({} vs {})",
+            redmine.store_memoized,
+            redmine.store_unmemoized
+        );
+        let rendered = format_overhead(&rows);
+        assert!(rendered.contains("Redmine"), "{rendered}");
+        assert!(rendered.contains("Overhead across the corpus"), "{rendered}");
+    }
+
+    #[test]
+    fn multi_file_parsing_fires_the_same_checks_as_the_single_file_view() {
+        // Regression for the span-collision bug: in the two-file parse the
+        // test suite's byte offsets restart at 0 and overlap the app
+        // source's; only the file id in the span keeps the inserted checks
+        // from firing at test-file sites.  The single-file concatenation
+        // never collides (offsets are disjoint), so equal dynamic-check
+        // counts mean the file id did its job.
+        for app in apps::all() {
+            let env = app.build_env();
+            let single = ruby_syntax::parse_program(&app.full_source()).expect("parses");
+            let (multi, sources) = app.parse().expect("parses");
+            assert_eq!(sources.len(), 2);
+
+            let run = |program: &ruby_syntax::Program| {
+                let result =
+                    comprdl::TypeChecker::new(&env, program, comprdl::CheckOptions::default())
+                        .check_labeled("app");
+                let hook = comprdl::make_hook(
+                    result.checks(),
+                    result.store.clone(),
+                    env.classes.clone(),
+                    env.helpers.clone(),
+                    comprdl::CheckConfig::default(),
+                );
+                let mut interp = ruby_interp::Interpreter::new(program.clone());
+                interp.set_hook(hook);
+                interp.eval_program().expect("suite passes");
+                interp.checks_performed()
+            };
+            assert_eq!(
+                run(&single),
+                run(&multi),
+                "{}: dynamic-check count changed between single- and multi-file parsing",
+                app.name
+            );
+        }
     }
 
     #[test]

@@ -79,8 +79,8 @@ impl DiagnosticBag {
         self.diags.sort_by(|a, b| {
             let sa = a.primary_span();
             let sb = b.primary_span();
-            (sa.start, sa.line, sa.end, &a.code, &a.message)
-                .cmp(&(sb.start, sb.line, sb.end, &b.code, &b.message))
+            (sa.file, sa.start, sa.line, sa.end, &a.code, &a.message)
+                .cmp(&(sb.file, sb.start, sb.line, sb.end, &b.code, &b.message))
         });
     }
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use crate::diagnostic::{Diagnostic, Label};
-use crate::source::SourceMap;
+use crate::source::{SourceMap, SourceSet};
 use std::fmt::Write as _;
 
 /// Renders one diagnostic against its source as an annotated snippet.
@@ -78,6 +78,39 @@ pub fn render_all(sm: &SourceMap, diags: &[Diagnostic]) -> String {
     diags.iter().map(|d| render(sm, d)).collect::<Vec<_>>().join("\n")
 }
 
+/// Renders one diagnostic of a multi-file program: the snippet is drawn
+/// against the file of the primary label's span, and any label that points
+/// into a *different* file is appended as a `file:line:col` note (a single
+/// snippet cannot annotate two buffers).
+///
+/// Falls back to headline + notes when the set does not know the primary
+/// span's file.
+pub fn render_in(set: &SourceSet, diag: &Diagnostic) -> String {
+    let anchor = diag.primary_span();
+    let Some(sm) = set.map_for(anchor) else {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message);
+        for note in &diag.notes {
+            let _ = writeln!(out, "  = note: {note}");
+        }
+        return out;
+    };
+    // Keep only labels in the anchor's file for the snippet (dummy-span
+    // labels stay — `render` prints them as trailing notes); labels in
+    // *other* files are reported positionally below, so no location or
+    // message is silently dropped.
+    let mut local = diag.clone();
+    local.labels.retain(|l| l.span.is_dummy() || l.span.file == anchor.file);
+    let mut out = render(sm, &local);
+    for label in diag.labels.iter().filter(|l| l.span.file != anchor.file && !l.span.is_dummy()) {
+        if let Some(other) = set.map_for(label.span) {
+            let (line, col) = other.position(label.span);
+            let _ = writeln!(out, "  = note: {}:{}:{}: {}", other.name(), line, col, label.message);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +164,36 @@ mod tests {
         assert!(r.starts_with("error[TLC0001]: helper failed"), "{r}");
         assert!(!r.contains("-->"), "{r}");
         assert!(r.contains("= note: while evaluating"), "{r}");
+    }
+
+    #[test]
+    fn render_in_picks_the_right_file_and_notes_the_other() {
+        let mut set = SourceSet::new();
+        let app = set.add("app.rb", "def m(x)\n  x.foo(1)\nend\n");
+        let tests = set.add("app_test.rb", "m(3)\n");
+        let d = Diagnostic::error("TYP0002", "no method `foo`")
+            .with_label(Span::in_file(tests, 0, 4, 1), "called from here")
+            .with_secondary_label(Span::in_file(app, 11, 16, 2), "declared here")
+            .with_secondary_label(Span::dummy(), "while evaluating the comp type");
+        let r = render_in(&set, &d);
+        assert!(r.contains("--> app_test.rb:1:1"), "{r}");
+        assert!(r.contains("^^^^ called from here"), "{r}");
+        assert!(r.contains("= note: app.rb:2:3: declared here"), "{r}");
+        assert!(!r.contains("x.foo"), "other file's line must not render as a snippet: {r}");
+        // A dummy-span label must survive as a plain note even though the
+        // anchor sits in a non-zero file.
+        assert!(r.contains("= note: while evaluating the comp type"), "{r}");
+    }
+
+    #[test]
+    fn render_in_unknown_file_falls_back_to_headline() {
+        let set = SourceSet::new();
+        let d = Diagnostic::error("X0001", "boom")
+            .with_label(Span::in_file(4, 0, 1, 1), "here")
+            .with_note("context");
+        let r = render_in(&set, &d);
+        assert!(r.starts_with("error[X0001]: boom"), "{r}");
+        assert!(r.contains("= note: context"), "{r}");
     }
 
     #[test]

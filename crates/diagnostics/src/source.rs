@@ -72,6 +72,56 @@ impl SourceMap {
     }
 }
 
+/// A collection of [`SourceMap`]s indexed by the `file` id carried in every
+/// [`Span`], so multi-file programs (e.g. an app's source plus its test
+/// suite) can resolve any span back to the right named buffer.
+///
+/// File ids are assigned densely in insertion order, matching the ids a
+/// multi-file front end stamps into its spans.
+#[derive(Debug, Clone, Default)]
+pub struct SourceSet {
+    files: Vec<SourceMap>,
+}
+
+impl SourceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SourceSet::default()
+    }
+
+    /// Adds a named source buffer, returning the file id spans into it must
+    /// carry.
+    pub fn add(&mut self, name: impl Into<String>, src: impl Into<String>) -> u32 {
+        self.files.push(SourceMap::new(name, src));
+        (self.files.len() - 1) as u32
+    }
+
+    /// The map for `file`, if one was added.
+    pub fn get(&self, file: u32) -> Option<&SourceMap> {
+        self.files.get(file as usize)
+    }
+
+    /// The map `span` points into, if its file id is known.
+    pub fn map_for(&self, span: Span) -> Option<&SourceMap> {
+        self.get(span.file)
+    }
+
+    /// Number of files in the set.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files were added.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterates over the maps in file-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &SourceMap> {
+        self.files.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +144,18 @@ mod tests {
     fn position_clamps_to_buffer() {
         let sm = SourceMap::new("t.rb", "ab");
         assert_eq!(sm.position(Span::new(100, 101, 9)), (1, 3));
+    }
+
+    #[test]
+    fn source_set_resolves_spans_by_file_id() {
+        let mut set = SourceSet::new();
+        let app = set.add("app.rb", "def m()\nend\n");
+        let tests = set.add("app_test.rb", "m()\n");
+        assert_eq!((app, tests), (0, 1));
+        assert_eq!(set.len(), 2);
+        let in_tests = Span::in_file(tests, 0, 3, 1);
+        assert_eq!(set.map_for(in_tests).unwrap().name(), "app_test.rb");
+        assert_eq!(set.map_for(Span::new(0, 3, 1)).unwrap().name(), "app.rb");
+        assert!(set.map_for(Span::in_file(9, 0, 1, 1)).is_none());
     }
 }

@@ -8,7 +8,13 @@
 use std::fmt;
 
 /// A half-open byte range `[start, end)` into a source buffer, together with
-/// the 1-based line on which the span starts.
+/// the 1-based line on which the span starts and the id of the source file
+/// the offsets index into.
+///
+/// Single-file pipelines can ignore `file` (it defaults to `0`); multi-file
+/// programs give each file a distinct id via [`Span::in_file`] so that two
+/// spans with identical offsets in different files never compare equal —
+/// offsets alone are not an identity once more than one buffer exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Span {
     /// Byte offset of the first character.
@@ -17,10 +23,13 @@ pub struct Span {
     pub end: usize,
     /// 1-based line number of `start`.
     pub line: u32,
+    /// Id of the source file the offsets index into (see
+    /// [`crate::SourceSet`]); `0` for single-file pipelines.
+    pub file: u32,
 }
 
 impl Span {
-    /// Creates a new span.
+    /// Creates a new span in file `0` (the single-file default).
     ///
     /// # Examples
     ///
@@ -30,12 +39,22 @@ impl Span {
     /// assert_eq!(s.len(), 3);
     /// ```
     pub fn new(start: usize, end: usize, line: u32) -> Self {
-        Span { start, end, line }
+        Span { start, end, line, file: 0 }
+    }
+
+    /// Creates a new span carrying an explicit source-file id.
+    pub fn in_file(file: u32, start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line, file }
+    }
+
+    /// Returns this span re-homed into `file`.
+    pub fn with_file(self, file: u32) -> Self {
+        Span { file, ..self }
     }
 
     /// A dummy span used for synthesized nodes.
     pub fn dummy() -> Self {
-        Span { start: 0, end: 0, line: 0 }
+        Span { start: 0, end: 0, line: 0, file: 0 }
     }
 
     /// Whether this is the dummy span of a synthesized node.
@@ -55,14 +74,16 @@ impl Span {
 
     /// Returns the smallest span covering both `self` and `other`.
     ///
-    /// The resulting line is the line of whichever span starts first.
+    /// The resulting line is the line of whichever span starts first; the
+    /// resulting file is `self`'s (joining spans across files has no
+    /// meaningful covering range, so the receiver wins).
     pub fn to(&self, other: Span) -> Span {
         let (line, start) = if self.start <= other.start {
             (self.line, self.start)
         } else {
             (other.line, other.start)
         };
-        Span { start, end: self.end.max(other.end), line }
+        Span { start, end: self.end.max(other.end), line, file: self.file }
     }
 
     /// Alias for [`Span::to`]: merges two spans into the smallest covering
@@ -117,6 +138,17 @@ mod tests {
         assert_eq!(s.snippet(src), Some("world"));
         let out = Span::new(6, 100, 1);
         assert_eq!(out.snippet(src), None);
+    }
+
+    #[test]
+    fn file_id_is_part_of_span_identity() {
+        let a = Span::in_file(0, 4, 9, 2);
+        let b = Span::in_file(1, 4, 9, 2);
+        assert_ne!(a, b, "identical offsets in different files must not compare equal");
+        assert_eq!(a.with_file(1), b);
+        assert_eq!(Span::new(4, 9, 2), a, "Span::new defaults to file 0");
+        // Merging keeps the receiver's file.
+        assert_eq!(a.to(b.with_file(7)).file, 0);
     }
 
     #[test]

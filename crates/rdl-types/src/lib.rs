@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod class;
+pub mod fingerprint;
 pub mod parse;
 pub mod sig;
 pub mod store;
@@ -32,6 +33,7 @@ pub mod subtype;
 pub mod ty;
 
 pub use class::{ClassInfo, ClassTable};
+pub use fingerprint::Fingerprint;
 pub use parse::{parse_method_sig, parse_type_expr, SigParseError};
 pub use sig::{
     AnnotationTable, CompSpec, MethodKind, MethodSig, ParamSig, PurityEffect, TermEffect, TypeExpr,

@@ -14,7 +14,7 @@
 //! indices into the store, and every constraint asserted against them is
 //! recorded so it can be *replayed* after a weak update or promotion.
 
-use crate::ty::{ConstStringId, FiniteHashId, HashKey, TupleId, Type};
+use crate::ty::{ConstStringId, FiniteHashId, HashKey, SingVal, TupleId, Type};
 
 /// A recorded subtyping constraint `lhs <= rhs`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -457,6 +457,149 @@ impl TypeStore {
         }
     }
 
+    /// A stable structural digest of `ty` under this store's **current**
+    /// contents: store-backed ids are resolved to their content (so two
+    /// freshly allocated ids with identical structure digest identically),
+    /// while any weak update or promotion changes the digest.  Cheaper than
+    /// building the [`TypeStore::render`] string when only an identity is
+    /// needed; the comp-type evaluation cache keys store-backed bindings on
+    /// it.  Being a 64-bit digest, distinct structures *can* collide
+    /// (probability ~2⁻⁶⁴ per pair) — acceptable for cache keys, not for
+    /// anything security-sensitive.
+    pub fn fingerprint(&self, ty: &Type) -> u64 {
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        self.fingerprint_into(ty, &mut Vec::new(), &mut fp);
+        fp.finish()
+    }
+
+    fn fingerprint_into(
+        &self,
+        ty: &Type,
+        visiting: &mut Vec<Type>,
+        fp: &mut crate::fingerprint::Fingerprint,
+    ) {
+        // Weak updates can make a store-backed type reference itself; digest
+        // the raw id on re-entry, mirroring `render_into`.
+        if ty.is_store_backed() && visiting.contains(ty) {
+            fp.write_u8(0xFE);
+            fp.write_str(&ty.to_string());
+            return;
+        }
+        match &self.resolve(ty) {
+            Type::Top => fp.write_u8(0),
+            Type::Bot => fp.write_u8(1),
+            Type::Bool => fp.write_u8(2),
+            Type::Dynamic => fp.write_u8(3),
+            Type::Nominal(n) => {
+                fp.write_u8(4);
+                fp.write_str(n);
+            }
+            Type::Var(v) => {
+                fp.write_u8(5);
+                fp.write_str(v);
+            }
+            Type::Singleton(sv) => {
+                fp.write_u8(6);
+                match sv {
+                    SingVal::Nil => fp.write_u8(0),
+                    SingVal::True => fp.write_u8(1),
+                    SingVal::False => fp.write_u8(2),
+                    SingVal::Int(i) => {
+                        fp.write_u8(3);
+                        fp.write_i64(*i);
+                    }
+                    SingVal::FloatBits(b) => {
+                        fp.write_u8(4);
+                        fp.write_u64(*b);
+                    }
+                    SingVal::Sym(s) => {
+                        fp.write_u8(5);
+                        fp.write_str(s);
+                    }
+                    SingVal::Class(c) => {
+                        fp.write_u8(6);
+                        fp.write_str(c);
+                    }
+                }
+            }
+            Type::Generic { base, args } => {
+                fp.write_u8(7);
+                fp.write_str(base);
+                fp.write_usize(args.len());
+                for a in args {
+                    self.fingerprint_into(a, visiting, fp);
+                }
+            }
+            Type::Union(ts) => {
+                fp.write_u8(8);
+                fp.write_usize(ts.len());
+                for t in ts {
+                    self.fingerprint_into(t, visiting, fp);
+                }
+            }
+            Type::Optional(t) => {
+                fp.write_u8(9);
+                self.fingerprint_into(t, visiting, fp);
+            }
+            Type::Vararg(t) => {
+                fp.write_u8(10);
+                self.fingerprint_into(t, visiting, fp);
+            }
+            Type::Tuple(id) => {
+                visiting.push(ty.clone());
+                fp.write_u8(11);
+                let data = self.tuple(*id);
+                fp.write_usize(data.elems.len());
+                for e in &data.elems {
+                    self.fingerprint_into(e, visiting, fp);
+                }
+                visiting.pop();
+            }
+            Type::FiniteHash(id) => {
+                visiting.push(ty.clone());
+                fp.write_u8(12);
+                let data = self.finite_hash(*id);
+                fp.write_usize(data.entries.len());
+                for (k, v) in &data.entries {
+                    match k {
+                        HashKey::Sym(s) => {
+                            fp.write_u8(0);
+                            fp.write_str(s);
+                        }
+                        HashKey::Str(s) => {
+                            fp.write_u8(1);
+                            fp.write_str(s);
+                        }
+                        HashKey::Int(i) => {
+                            fp.write_u8(2);
+                            fp.write_i64(*i);
+                        }
+                    }
+                    self.fingerprint_into(v, visiting, fp);
+                }
+                match &data.rest {
+                    Some(rest) => {
+                        fp.write_u8(1);
+                        self.fingerprint_into(rest, visiting, fp);
+                    }
+                    None => fp.write_u8(0),
+                }
+                visiting.pop();
+            }
+            Type::ConstString(id) => match self.const_string_value(*id) {
+                Some(v) => {
+                    fp.write_u8(13);
+                    fp.write_str(v);
+                }
+                // Promoted const strings behave as plain `String`.
+                None => {
+                    fp.write_u8(4);
+                    fp.write_str("String");
+                }
+            },
+        }
+    }
+
     // ---- constraints ----------------------------------------------------
 
     /// Records a constraint against a store-backed type so it can be
@@ -771,6 +914,42 @@ mod tests {
         let Type::Tuple(cid) = cyc else { panic!() };
         store.weak_update_tuple(cid, 0, cyc.clone());
         assert_eq!(store.render(&cyc), "[#tuple1]");
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_mutation_sensitive() {
+        let mut store = TypeStore::new();
+        let h1 = store.new_finite_hash(vec![(HashKey::Sym("id".into()), Type::int(1))]);
+        let h2 = store.new_finite_hash(vec![(HashKey::Sym("id".into()), Type::int(1))]);
+        assert_ne!(h1, h2, "distinct ids");
+        assert_eq!(
+            store.fingerprint(&h1),
+            store.fingerprint(&h2),
+            "structurally identical store types must share a fingerprint"
+        );
+        assert_ne!(store.fingerprint(&h1), store.fingerprint(&Type::nominal("Hash")));
+
+        // A weak update changes the digest of the mutated id only.
+        let before = store.fingerprint(&h1);
+        let Type::FiniteHash(id2) = h2 else { panic!() };
+        store.weak_update_hash(id2, HashKey::Sym("id".into()), Type::nominal("String"));
+        assert_eq!(store.fingerprint(&h1), before);
+        assert_ne!(store.fingerprint(&h2), before);
+
+        // Promotion digests through the promoted view; a promoted const
+        // string digests as plain String.
+        let s = store.new_const_string("users");
+        let plain = store.fingerprint(&Type::nominal("String"));
+        assert_ne!(store.fingerprint(&s), plain);
+        let Type::ConstString(sid) = s else { panic!() };
+        store.promote_const_string(sid);
+        assert_eq!(store.fingerprint(&s), plain);
+
+        // Self-referential data terminates.
+        let cyc = store.new_tuple(vec![]);
+        let Type::Tuple(cid) = cyc else { panic!() };
+        store.weak_update_tuple(cid, 0, cyc.clone());
+        let _ = store.fingerprint(&cyc);
     }
 
     #[test]

@@ -58,6 +58,17 @@ impl Program {
     pub fn find_method(&self, owner: &str, name: &str) -> Option<&MethodDef> {
         self.methods().into_iter().find(|(o, m)| o == owner && m.name == name).map(|(_, m)| m)
     }
+
+    /// Appends `other`'s items after this program's, producing the combined
+    /// program of a multi-file source (e.g. an app followed by its test
+    /// suite).  Parse each file with
+    /// [`crate::parser::parse_program_in_file`] and a distinct file id first,
+    /// or byte-offset spans from different files become indistinguishable.
+    #[must_use]
+    pub fn merge(mut self, other: Program) -> Program {
+        self.items.extend(other.items);
+        self
+    }
 }
 
 /// A top-level or class-body item.

@@ -40,23 +40,36 @@ pub struct Lexer<'src> {
     bytes: &'src [u8],
     pos: usize,
     line: u32,
+    file: u32,
     paren_depth: i32,
     bracket_depth: i32,
     tokens: Vec<Token>,
 }
 
 impl<'src> Lexer<'src> {
-    /// Creates a lexer over `src`.
+    /// Creates a lexer over `src` (file id `0`, the single-file default).
     pub fn new(src: &'src str) -> Self {
+        Lexer::in_file(src, 0)
+    }
+
+    /// Creates a lexer over `src` stamping every token span with `file`, so
+    /// multi-file programs keep their spans distinguishable (see
+    /// [`diagnostics::Span::file`]).
+    pub fn in_file(src: &'src str, file: u32) -> Self {
         Lexer {
             src,
             bytes: src.as_bytes(),
             pos: 0,
             line: 1,
+            file,
             paren_depth: 0,
             bracket_depth: 0,
             tokens: Vec::new(),
         }
+    }
+
+    fn span_from(&self, start: usize, line: u32) -> Span {
+        Span::in_file(self.file, start, self.pos, line)
     }
 
     /// Lexes the entire input, returning the token stream (terminated by
@@ -97,10 +110,10 @@ impl<'src> Lexer<'src> {
         }
         // Ensure the final statement is terminated before EOF.
         if !matches!(self.tokens.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
-            let span = Span::new(self.pos, self.pos, self.line);
+            let span = self.span_from(self.pos, self.line);
             self.tokens.push(Token::new(TokenKind::Newline, span));
         }
-        let span = Span::new(self.pos, self.pos, self.line);
+        let span = self.span_from(self.pos, self.line);
         self.tokens.push(Token::new(TokenKind::Eof, span));
         Ok(self.tokens)
     }
@@ -192,7 +205,7 @@ impl<'src> Lexer<'src> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
-        let span = Span::new(start, self.pos, line);
+        let span = self.span_from(start, line);
         self.tokens.push(Token::new(kind, span));
     }
 
@@ -206,7 +219,7 @@ impl<'src> Lexer<'src> {
                 None => {
                     return Err(LexError {
                         message: "unterminated string literal".to_string(),
-                        span: Span::new(start, self.pos, line),
+                        span: self.span_from(start, line),
                     })
                 }
                 Some(&c) if c == quote => {
@@ -218,9 +231,17 @@ impl<'src> Lexer<'src> {
                     match esc {
                         Some(b'n') => out.push('\n'),
                         Some(b't') => out.push('\t'),
+                        Some(b'0') => out.push('\0'),
+                        Some(b'e') => out.push('\u{1b}'),
+                        Some(b's') => out.push(' '),
                         Some(b'\\') => out.push('\\'),
                         Some(b'"') => out.push('"'),
                         Some(b'\'') => out.push('\''),
+                        // A backslash before a real newline elides it (line
+                        // continuation inside the literal), but the line
+                        // counter must still advance or every span after the
+                        // literal reports the wrong line.
+                        Some(b'\n') => self.line += 1,
                         Some(other) => {
                             out.push('\\');
                             out.push(other as char);
@@ -280,12 +301,12 @@ impl<'src> Lexer<'src> {
         let kind = if is_float {
             TokenKind::Float(text.parse::<f64>().map_err(|_| LexError {
                 message: format!("invalid float literal `{text}`"),
-                span: Span::new(start, self.pos, line),
+                span: self.span_from(start, line),
             })?)
         } else {
             TokenKind::Int(text.parse::<i64>().map_err(|_| LexError {
                 message: format!("invalid integer literal `{text}`"),
-                span: Span::new(start, self.pos, line),
+                span: self.span_from(start, line),
             })?)
         };
         self.push(kind, start, line);
@@ -311,7 +332,7 @@ impl<'src> Lexer<'src> {
         if name.is_empty() {
             return Err(LexError {
                 message: "expected instance variable name after `@`".to_string(),
-                span: Span::new(start, self.pos, line),
+                span: self.span_from(start, line),
             });
         }
         self.push(TokenKind::IVar(name), start, line);
@@ -326,7 +347,7 @@ impl<'src> Lexer<'src> {
         if name.is_empty() {
             return Err(LexError {
                 message: "expected global variable name after `$`".to_string(),
-                span: Span::new(start, self.pos, line),
+                span: self.span_from(start, line),
             });
         }
         self.push(TokenKind::GVar(name), start, line);
@@ -489,7 +510,7 @@ impl<'src> Lexer<'src> {
             _ => {
                 return Err(LexError {
                     message: format!("unexpected character `{}`", c as char),
-                    span: Span::new(start, start + 1, line),
+                    span: Span::in_file(self.file, start, start + 1, line),
                 })
             }
         };
@@ -525,6 +546,16 @@ fn utf8_len(first: u8) -> usize {
 /// ```
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     Lexer::new(src).tokenize()
+}
+
+/// Like [`lex`], but stamps every token span (and any error span) with the
+/// given source-file id, for multi-file programs.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed input.
+pub fn lex_in_file(src: &str, file: u32) -> Result<Vec<Token>, LexError> {
+    Lexer::in_file(src, file).tokenize()
 }
 
 #[cfg(test)]
@@ -583,6 +614,42 @@ mod tests {
         let k = kinds(r#"x = "a\nb" + 'c'"#);
         assert!(k.contains(&T::Str("a\nb".into())));
         assert!(k.contains(&T::Str("c".into())));
+    }
+
+    #[test]
+    fn decodes_the_full_escape_set() {
+        let k = kinds(r#""a\\b" "q\"q" "z\0\e\sz" "keep\qkeep""#);
+        assert!(k.contains(&T::Str("a\\b".into())), "{k:?}");
+        assert!(k.contains(&T::Str("q\"q".into())), "{k:?}");
+        assert!(k.contains(&T::Str("z\0\u{1b} z".into())), "{k:?}");
+        // Unknown escapes pass through backslash-verbatim, as before.
+        assert!(k.contains(&T::Str("keep\\qkeep".into())), "{k:?}");
+    }
+
+    #[test]
+    fn escaped_newline_in_string_elides_it_and_keeps_lines_correct() {
+        let toks = lex("x = \"a\\\nb\"\ny").unwrap();
+        let str_tok = toks.iter().find(|t| matches!(t.kind, T::Str(_))).unwrap();
+        assert_eq!(str_tok.kind, T::Str("ab".into()), "backslash-newline is a continuation");
+        // `y` sits on line 3 of the source; before the fix the lexer lost
+        // the count at the escaped newline and reported line 2.
+        let y = toks.iter().find(|t| t.kind == T::Ident("y".into())).unwrap();
+        assert_eq!(y.span.line, 3, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_newline_in_string_still_counts_lines() {
+        let toks = lex("x = \"a\nb\"\ny").unwrap();
+        let y = toks.iter().find(|t| t.kind == T::Ident("y".into())).unwrap();
+        assert_eq!(y.span.line, 3, "{toks:?}");
+    }
+
+    #[test]
+    fn file_id_is_stamped_on_every_token() {
+        let toks = lex_in_file("a = 1", 3).unwrap();
+        assert!(toks.iter().all(|t| t.span.file == 3), "{toks:?}");
+        let err = lex_in_file("x = 'oops", 5).unwrap_err();
+        assert_eq!(err.span.file, 5);
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod token;
 pub use ast::{
     BinOp, Block, ClassDef, CondArm, Expr, ExprKind, Item, LValue, MethodDef, Param, Program,
 };
-pub use lexer::{lex, LexError, Lexer};
-pub use parser::{parse_expr, parse_program, parse_stmts, ParseError};
+pub use lexer::{lex, lex_in_file, LexError, Lexer};
+pub use parser::{parse_expr, parse_program, parse_program_in_file, parse_stmts, ParseError};
 pub use printer::{print_expr, print_program};
 pub use span::Span;
 pub use token::{Kw, Token, TokenKind};

@@ -57,6 +57,21 @@ pub fn parse_program(src: &str) -> PResult<Program> {
     p.parse_program()
 }
 
+/// Like [`parse_program`], but every span in the resulting AST carries the
+/// given source-file id, so multi-file programs (merged with
+/// [`Program::merge`]) keep their call sites distinguishable even when byte
+/// offsets coincide across files.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the source does not conform to the subset
+/// grammar.
+pub fn parse_program_in_file(src: &str, file: u32) -> PResult<Program> {
+    let tokens = crate::lexer::lex_in_file(src, file)?;
+    let mut p = Parser::new(tokens);
+    p.parse_program()
+}
+
 /// Parses a single expression (useful for type-level code and tests).
 ///
 /// # Errors

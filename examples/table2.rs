@@ -1,7 +1,9 @@
 //! Reproduces the paper's evaluation tables using the threaded corpus
 //! harness: Table 1 (library comp-type definitions), Table 2 (per-app type
 //! checking results, one scoped thread per app with per-method work
-//! stealing inside each), and the per-app diagnostic aggregation.
+//! stealing inside each), the Table 2 dynamic-check **overhead** comparison
+//! (no hook / unmemoized hook / memoized hook, with its blame-set
+//! correctness gate), and the per-app diagnostic aggregation.
 //!
 //! ```sh
 //! cargo run --example table2
@@ -14,6 +16,13 @@ fn main() {
     let rows = corpus::table2_parallel().unwrap_or_else(|e| panic!("harness failed: {e}"));
     println!("{}", corpus::format_table2(&rows));
     println!("{}", corpus::format_diagnostic_summary(&corpus::corpus_diagnostics(&rows)));
+
+    // The run-time check overhead: each app's suite unchecked, checked the
+    // paper's way (pay at every hit), and checked through the memo.  The
+    // harness itself enforces that both checked runs execute the same
+    // checks and produce byte-identical blame sets.
+    let overhead = corpus::table2_overhead().unwrap_or_else(|e| panic!("overhead gate: {e}"));
+    println!("{}", corpus::format_overhead(&overhead));
 
     // The deterministic view: every column above except the wall-clock
     // timings, byte-identical between sequential and parallel runs.

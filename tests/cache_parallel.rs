@@ -105,7 +105,8 @@ fn evaluate_app_rows_render_identically_for_any_thread_count() {
     // deterministic columns and sorted diagnostics do not depend on how
     // many threads checked the app.
     let apps = corpus::apps::all();
-    let app = &apps[apps.len() - 1]; // Journey: the app with two seeded bugs
+    // Journey: the app with two seeded bugs.
+    let app = apps.iter().find(|a| a.name == "Journey").expect("journey app");
     let base = corpus::evaluate_app(app).expect("evaluate");
     for threads in [2, 4, 8] {
         let row = corpus::evaluate_app_with(app, threads).expect("evaluate");

@@ -6,7 +6,8 @@
 #[test]
 fn full_corpus_evaluation_matches_the_paper_shape() {
     let rows = corpus::table2().expect("harness runs");
-    assert_eq!(rows.len(), 6);
+    // The paper's six apps plus the call-site-dense Redmine analogue.
+    assert_eq!(rows.len(), 7);
 
     // Three confirmed errors across the corpus: one in Code.org, two in
     // Journey (paper §5.3).
@@ -49,9 +50,9 @@ fn disabling_consistency_checks_still_catches_return_violations() {
     assert!(result.errors().is_empty());
 
     for config in [
-        CheckConfig { return_checks: true, consistency_checks: true },
-        CheckConfig { return_checks: true, consistency_checks: false },
-        CheckConfig { return_checks: false, consistency_checks: false },
+        CheckConfig { return_checks: true, consistency_checks: true, ..CheckConfig::default() },
+        CheckConfig { return_checks: true, consistency_checks: false, ..CheckConfig::default() },
+        CheckConfig { return_checks: false, consistency_checks: false, ..CheckConfig::default() },
     ] {
         let hook = comprdl::make_hook(
             result.checks(),
