@@ -1,24 +1,35 @@
 //! The Table 2 overhead experiment: each corpus app's test suite under no
 //! dynamic checks, the paper's pay-at-every-hit checks (`CompRdlHook` with
-//! memoization off), and the memoized fast path.
+//! memoization off), the memoized fast path against a cold shared memo, and
+//! a warm re-run against the same memo.
 //!
 //! Besides timing, this bench is a correctness gate: `table2_overhead`
-//! fails any app whose memoized and unmemoized runs disagree on executed
-//! check counts or produce non-byte-identical blame sets, and this bench
+//! fails any app whose memoized, unmemoized or warm runs disagree on
+//! executed check counts or produce non-byte-identical blame *sequences*
+//! (the warm comparison catches shared-memo cross-talk), and this bench
 //! additionally requires the memo to actually hit (and the memoized store
-//! to stay smaller) on the call-site-dense Redmine workload.  CI runs it
-//! with `BENCH_SMOKE=1` (two samples) and fails on divergence.
+//! to stay smaller) on the call-site-dense Redmine workload, the Sequel
+//! app's mid-suite migration to blame exactly as the baseline does, and the
+//! parallel corpus harness to sustain a non-trivial hit count on one shared
+//! memo.  CI runs it with `BENCH_SMOKE=1` (two samples) and fails on
+//! divergence; the shared memo's shard hit/miss statistics are printed so
+//! regressions in cross-thread hit rate show up in CI logs.
 
-use comprdl::CheckConfig;
+use comprdl::{CheckConfig, SharedMemo};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn checked_vs_unchecked(c: &mut Criterion) {
     // Correctness gate first: the harness enforces identical check counts
-    // and byte-identical blame sets per app, erroring out otherwise.
-    let rows = corpus::table2_overhead().expect("overhead harness correctness gate");
+    // and byte-identical blame sequences per app — including between the
+    // cold and warm shared-memo runs — erroring out otherwise.
+    let overhead_memo = Arc::new(SharedMemo::new());
+    let rows =
+        corpus::table2_overhead_shared(&overhead_memo).expect("overhead harness correctness gate");
     println!("{}", corpus::format_overhead(&rows));
-    assert_eq!(rows.len(), 7, "the grown corpus has seven apps");
+    println!("{}", corpus::format_memo_stats(&overhead_memo));
+    assert_eq!(rows.len(), 8, "the grown corpus has eight apps");
     let redmine = rows.iter().find(|r| r.program == "Redmine").expect("dense app present");
     assert!(
         redmine.memo_stats.hits > redmine.memo_stats.misses,
@@ -31,8 +42,42 @@ fn checked_vs_unchecked(c: &mut Criterion) {
         redmine.store_memoized,
         redmine.store_unmemoized
     );
+    assert!(
+        redmine.warm_memo_stats.hits >= redmine.memo_stats.hits,
+        "a warm run against the shared memo must hit at least as often as the cold one: \
+         {:?} vs {:?}",
+        redmine.warm_memo_stats,
+        redmine.memo_stats
+    );
+    let sequel = rows.iter().find(|r| r.program == "Sequel").expect("migrating app present");
+    assert_eq!(sequel.blames, 3, "the mid-suite migration must blame exactly as the baseline");
+    let memo_stats = overhead_memo.stats();
+    assert!(
+        memo_stats.invalidations > 0,
+        "the Sequel migration must invalidate shared entries: {memo_stats:?}"
+    );
 
-    let unmemoized_config = CheckConfig { memoize: false, ..CheckConfig::default() };
+    // The parallel corpus harness over one shared memo: eight app threads,
+    // one table.  Correctness (byte-identical stable_report) is enforced by
+    // the test suite; here we surface the shared table's hit rate under
+    // concurrent recording.  (Each app keys under its own namespace, so
+    // these hits are apps replaying their own sites through the shared
+    // table while other threads record into it; *cross-hook* replay proper
+    // is what the warm overhead runs above and tests/shared_memo.rs
+    // exercise.)
+    let parallel_memo = Arc::new(SharedMemo::new());
+    let parallel_rows = corpus::table2_parallel_shared(&parallel_memo).expect("parallel harness");
+    assert_eq!(parallel_rows.len(), 8);
+    println!("Parallel harness over one shared memo:");
+    println!("{}", corpus::format_memo_stats(&parallel_memo));
+    assert!(
+        parallel_memo.stats().hits > 0,
+        "the parallel harness must hit the shared memo: {:?}",
+        parallel_memo.stats()
+    );
+
+    let collect_config = CheckConfig { raise_blame: false, ..CheckConfig::default() };
+    let unmemoized_config = CheckConfig { memoize: false, ..collect_config };
 
     // Time the suite runs alone: environment assembly, parsing and type
     // checking are hoisted out of the measured iterations.
@@ -49,6 +94,7 @@ fn checked_vs_unchecked(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynamic_check_overhead");
     group.sample_size(bench::sample_size(20));
     for (name, env, program, checked) in &prepared {
+        let namespace = comprdl::memo_namespace(name);
         group.bench_with_input(BenchmarkId::new("no_hook", name), &(), |b, ()| {
             b.iter(|| std::hint::black_box(bench::run_prepared_suite(env, program, checked, None)))
         });
@@ -68,7 +114,22 @@ fn checked_vs_unchecked(c: &mut Criterion) {
                     env,
                     program,
                     checked,
-                    Some(CheckConfig::default()),
+                    Some(collect_config),
+                ))
+            })
+        });
+        // The shared-memo path: one memo across iterations, so everything
+        // after the first iteration measures warm replays.
+        let shared = Arc::new(SharedMemo::new());
+        group.bench_with_input(BenchmarkId::new("memoized_shared_warm", name), &(), |b, ()| {
+            b.iter(|| {
+                std::hint::black_box(bench::run_prepared_suite_shared(
+                    env,
+                    program,
+                    checked,
+                    collect_config,
+                    &shared,
+                    namespace,
                 ))
             })
         });
@@ -89,16 +150,38 @@ fn checked_vs_unchecked(c: &mut Criterion) {
     };
     let no_hook: Duration = timed(None);
     let unmemoized = timed(Some(unmemoized_config));
-    let memoized = timed(Some(CheckConfig::default()));
+    let memoized = timed(Some(collect_config));
+    // The same runs against one warm shared memo.
+    let shared = Arc::new(SharedMemo::new());
+    let namespace = comprdl::memo_namespace("Redmine");
+    let started = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(bench::run_prepared_suite_shared(
+            env,
+            program,
+            checked,
+            collect_config,
+            &shared,
+            namespace,
+        ));
+    }
+    let memoized_warm = started.elapsed();
     let pct = |with: Duration| {
         (with.as_secs_f64() - no_hook.as_secs_f64()) / no_hook.as_secs_f64().max(f64::EPSILON)
             * 100.0
     };
     println!(
         "Redmine suite over {runs} runs: no hook {no_hook:?}, unmemoized {unmemoized:?} \
-         (+{:.1}%), memoized {memoized:?} (+{:.1}%)",
+         (+{:.1}%), memoized {memoized:?} (+{:.1}%), shared+warm {memoized_warm:?} (+{:.1}%)",
         pct(unmemoized),
-        pct(memoized)
+        pct(memoized),
+        pct(memoized_warm)
+    );
+    println!("{}", corpus::format_memo_stats(&shared));
+    let warm_stats = shared.stats();
+    assert!(
+        warm_stats.hits > warm_stats.misses,
+        "warm shared-memo runs must be dominated by hits: {warm_stats:?}"
     );
     // The strict timing assertion only runs in full mode: smoke-mode CI
     // gates on the behavioural checks above — two-sample wall-clock

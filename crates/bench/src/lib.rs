@@ -153,17 +153,46 @@ pub fn run_prepared_suite(
     checked: &comprdl::ProgramCheckResult,
     config: Option<CheckConfig>,
 ) -> u64 {
-    let mut interp = Interpreter::new(program.clone());
-    if let Some(config) = config {
-        let hook = comprdl::make_hook(
-            checked.checks(),
-            checked.store.clone(),
-            env.classes.clone(),
-            env.helpers.clone(),
+    match config {
+        Some(config) => run_prepared_suite_shared(
+            env,
+            program,
+            checked,
             config,
-        );
-        interp.set_hook(hook);
+            &std::sync::Arc::new(comprdl::SharedMemo::new()),
+            0,
+        ),
+        None => {
+            let interp = Interpreter::new(program.clone());
+            interp.eval_program().expect("suite passes");
+            interp.checks_performed()
+        }
     }
+}
+
+/// Like [`run_prepared_suite`], but the hook records into the given
+/// [`comprdl::SharedMemo`] under `namespace` — so repeated iterations (and
+/// other apps' runs) replay from one warm memo, the configuration the
+/// `checked_vs_unchecked` bench measures and CI smoke-tests.
+pub fn run_prepared_suite_shared(
+    env: &comprdl::CompRdl,
+    program: &ruby_syntax::Program,
+    checked: &comprdl::ProgramCheckResult,
+    config: CheckConfig,
+    memo: &std::sync::Arc<comprdl::SharedMemo>,
+    namespace: u64,
+) -> u64 {
+    let mut interp = Interpreter::new(program.clone());
+    let hook = comprdl::make_hook_shared(
+        checked.checks(),
+        checked.store.clone(),
+        env.classes.clone(),
+        env.helpers.clone(),
+        config,
+        memo.clone(),
+        namespace,
+    );
+    interp.set_hook(hook);
     interp.eval_program().expect("suite passes");
     interp.checks_performed()
 }

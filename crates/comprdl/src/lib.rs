@@ -57,8 +57,8 @@ pub use checker::{
 };
 pub use env::CompRdl;
 pub use runtime::{
-    make_hook, type_of_value, value_fingerprint, value_matches, CheckConfig, CompRdlHook,
-    ConsistencyCheck, InsertedCheck,
+    make_hook, make_hook_shared, memo_namespace, type_of_value, value_fingerprint, value_matches,
+    BlameDiagnostic, CheckConfig, CompRdlHook, ConsistencyCheck, InsertedCheck, SharedMemo,
 };
 pub use termination::{EffectEnv, EffectViolation, TerminationChecker};
 pub use tlc::{eval_comp_type, HelperRegistry, MetaKind, TlcCtx, TlcError, TlcValue};

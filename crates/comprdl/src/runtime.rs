@@ -23,15 +23,56 @@
 //! non-amplifying: repeated hits with structurally identical values reuse
 //! the store ids minted the first time instead of growing the store
 //! unboundedly across a run.
+//!
+//! ## Sharing the memo across hooks
+//!
+//! The memo itself lives in a [`SharedMemo`]: a sharded, `Send + Sync`
+//! table that any number of hooks — e.g. the per-app hooks of the parallel
+//! corpus harness, or the warm re-runs of the overhead harness — can share
+//! through an [`Arc`].  Entries are keyed on `(namespace, site, value
+//! fingerprint)`; hooks that must never exchange verdicts (different
+//! programs whose spans collide) use different namespaces, while replays of
+//! the *same* program reuse one namespace so a warm memo serves every run.
+//!
+//! Two stamps guard every shared entry:
+//!
+//! * the owning hook's [`TypeStore::generation`], exactly as before, and
+//! * a memo-global **epoch**, bumped whenever *any* sharing hook's store
+//!   mutates ([`CompRdlHook::mutate_store`] and comp-type evaluations that
+//!   mutate type-level state both bump it).
+//!
+//! A lookup that finds either stamp stale evicts the entry and
+//! re-evaluates, so one app's mid-suite migration can never replay a stale
+//! verdict into another app's thread.  Within one namespace, sharing is
+//! sound because every hook of that namespace is a deterministic replay of
+//! the same program against the same starting store: equal generations then
+//! imply equal store states.  Under that invariant the generation stamp
+//! alone already rejects every stale entry; the global epoch is a
+//! deliberately coarse backstop that keeps the memo conservative even if a
+//! harness violates replay determinism, at the cost of lazily flushing
+//! every namespace's entries on any mutation.
+//!
+//! ## Blame as diagnostics
+//!
+//! Check failures are recorded as [`BlameDiagnostic`]s — carrying the
+//! interpreter's call-site [`Span`] and a stable code — and convert via
+//! `From` into [`diagnostics::Diagnostic`], so runtime blame renders as
+//! annotated snippets through `diagnostics::render_in` exactly like every
+//! static error.  Memoized replays return the recorded diagnostic verbatim:
+//! replayed blame is byte-identical to freshly evaluated blame, including
+//! its span, and is delivered in execution order.
 
 use crate::cache::CacheStats;
 use crate::tlc::{eval_comp_type, HelperRegistry, TlcValue};
+use diagnostics::Diagnostic;
 use rdl_types::{ClassTable, Fingerprint, HashKey, SingVal, Subtyper, Type, TypeStore};
 use ruby_interp::{DynamicCheckHook, Value};
 use ruby_syntax::Span;
-use std::cell::RefCell;
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Computes the (precise) RDL type of a runtime value.  Containers produce
 /// store-backed tuple / finite hash types; strings produce const strings.
@@ -310,13 +351,60 @@ impl Default for CheckConfig {
     }
 }
 
+/// Diagnostic code of a failed return check (`RT0101`).
+pub const BLAME_RETURN: &str = "RT0101";
+/// Diagnostic code of a failed §4 consistency check (`RT0102`).
+pub const BLAME_CONSISTENCY: &str = "RT0102";
+/// Diagnostic code of a comp type that failed to evaluate at run time
+/// (`RT0103`).
+pub const BLAME_EVAL: &str = "RT0103";
+
+/// One runtime blame: the failed check's message together with the
+/// interpreter's call-site [`Span`] and a stable diagnostic code.
+///
+/// Blame flows through the same diagnostics spine as every static error:
+/// `From<BlameDiagnostic> for Diagnostic` turns it into a span-carrying
+/// [`Diagnostic`] that `diagnostics::render_in` renders as an annotated
+/// snippet.  Memoized replays reproduce the recorded value verbatim, so two
+/// runs that blame at the same sites produce byte-identical diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameDiagnostic {
+    /// The checked call site the blame was raised at.
+    pub site: Span,
+    /// Stable code: [`BLAME_RETURN`], [`BLAME_CONSISTENCY`] or
+    /// [`BLAME_EVAL`].
+    pub code: &'static str,
+    /// The headline message (store-backed types rendered structurally).
+    pub message: String,
+}
+
+impl BlameDiagnostic {
+    fn new(code: &'static str, site: Span, message: String) -> Self {
+        BlameDiagnostic { site, code, message }
+    }
+}
+
+impl std::fmt::Display for BlameDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<BlameDiagnostic> for Diagnostic {
+    fn from(blame: BlameDiagnostic) -> Diagnostic {
+        Diagnostic::error(blame.code, blame.message)
+            .with_label(blame.site, "blame raised at this checked call")
+    }
+}
+
 /// One memoized check outcome: the exact result (including the blame
-/// message, so replays are byte-identical to re-evaluations) and the store
-/// generation it was computed at.
+/// diagnostic, so replays are byte-identical to re-evaluations) and the
+/// store generation / memo epoch it was computed at.
 #[derive(Debug, Clone)]
 struct MemoEntry {
-    outcome: Result<(), String>,
+    outcome: Result<(), BlameDiagnostic>,
     generation: u64,
+    epoch: u64,
 }
 
 /// An interned [`type_of_value`] result, reused while the store generation
@@ -327,44 +415,194 @@ struct InternedType {
     generation: u64,
 }
 
-/// The per-hook run-time check memo (see the module docs for the key and
-/// invalidation design).
+/// Memo keys: `(namespace, call site, value fingerprint)`.  The namespace
+/// keeps programs whose spans collide (every corpus app starts at file 0,
+/// offset 0) from ever exchanging verdicts.
+type MemoKey = (u64, Span, u64);
+
+/// One lock-guarded shard of the shared memo.
 #[derive(Debug, Default)]
-struct RuntimeMemo {
-    /// `before_call` outcomes keyed on (site, fingerprint of receiver+args).
-    before: HashMap<(Span, u64), MemoEntry>,
-    /// `after_call` outcomes keyed on (site, fingerprint of the return).
-    after: HashMap<(Span, u64), MemoEntry>,
-    /// Value-fingerprint → interned type, shared across sites.
-    value_types: HashMap<u64, InternedType>,
-    stats: CacheStats,
+struct MemoShard {
+    /// `before_call` outcomes keyed on the receiver+argument fingerprint.
+    before: HashMap<MemoKey, MemoEntry>,
+    /// `after_call` outcomes keyed on the return-value fingerprint.
+    after: HashMap<MemoKey, MemoEntry>,
 }
 
-/// Looks up an outcome in one memo table, evicting generation-stale entries
-/// (a promotion or weak update between calls must force re-evaluation, §4).
-fn memo_lookup(
-    table: &mut HashMap<(Span, u64), MemoEntry>,
-    stats: &mut CacheStats,
-    key: &(Span, u64),
-    generation: u64,
-) -> Option<Result<(), String>> {
-    match table.get(key) {
-        Some(entry) if entry.generation == generation => {
-            let outcome = entry.outcome.clone();
-            stats.hits += 1;
-            Some(outcome)
-        }
-        Some(_) => {
-            table.remove(key);
-            stats.invalidations += 1;
-            stats.misses += 1;
-            None
-        }
-        None => {
-            stats.misses += 1;
-            None
+/// Which callback's table a memo operation addresses.
+#[derive(Debug, Clone, Copy)]
+enum MemoTable {
+    Before,
+    After,
+}
+
+/// The concurrent run-time check memo shared by every [`CompRdlHook`]
+/// constructed over it (see the module docs for the key and invalidation
+/// design): N mutex-guarded shards selected by site hash, plus the global
+/// epoch counter that store mutations bump.
+///
+/// The per-shard counters aggregated by [`SharedMemo::stats`] cover every
+/// sharing hook; each hook additionally tracks its own
+/// [`CompRdlHook::memo_stats`].
+#[derive(Debug)]
+pub struct SharedMemo {
+    shards: Box<[Mutex<MemoShard>]>,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl SharedMemo {
+    /// Default shard count: enough that one thread per corpus app rarely
+    /// contends, small enough that shard occupancy stats stay readable.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A memo with [`SharedMemo::DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        SharedMemo::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// A memo with `shards` shards (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        SharedMemo {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
+
+    /// The current global epoch.  Entries recorded at an older epoch are
+    /// stale: some sharing hook's store has mutated since.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the global epoch, invalidating every recorded entry (they
+    /// are evicted lazily, on next lookup).  Called by the hooks whenever a
+    /// store mutation is observed; harnesses can also call it directly to
+    /// model an out-of-band type-level change.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entries currently recorded per shard (both tables), in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().unwrap_or_else(|e| e.into_inner());
+                shard.before.len() + shard.after.len()
+            })
+            .collect()
+    }
+
+    /// Total number of recorded entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shard_sizes().iter().sum()
+    }
+
+    /// True when no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate hit / miss / invalidation counters across every hook that
+    /// shares this memo.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_for(&self, key: &MemoKey) -> &Mutex<MemoShard> {
+        // Hash the full key — including the value fingerprint — so a hot
+        // call site's entries spread across shards instead of serializing
+        // all of its lock traffic on one mutex.
+        let (namespace, site, value_fp) = key;
+        let mut fp = Fingerprint::new();
+        fp.write_u64(*namespace);
+        fp.write_usize(site.start);
+        fp.write_usize(site.end);
+        fp.write_u64(u64::from(site.file));
+        fp.write_u64(*value_fp);
+        &self.shards[(fp.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up an outcome, evicting stamp-stale entries (a store mutation
+    /// between calls must force re-evaluation, §4).  Returns the recorded
+    /// outcome (if fresh) and whether a stale entry was evicted.
+    ///
+    /// The epoch comparison uses the memo's *current* epoch, re-read here
+    /// rather than taken from the caller's earlier stamp: a caller holding
+    /// a stale sample must not evict an entry a sibling hook just recorded
+    /// at the newest epoch.  (Accepting such an entry is sound — the hit is
+    /// still gated on the caller's own store generation.)
+    fn lookup(
+        &self,
+        table: MemoTable,
+        key: &MemoKey,
+        generation: u64,
+    ) -> (Option<Result<(), BlameDiagnostic>>, bool) {
+        let epoch = self.epoch();
+        let mut shard = self.shard_for(key).lock().unwrap_or_else(|e| e.into_inner());
+        let map = match table {
+            MemoTable::Before => &mut shard.before,
+            MemoTable::After => &mut shard.after,
+        };
+        match map.get(key) {
+            Some(entry) if entry.generation == generation && entry.epoch == epoch => {
+                let outcome = entry.outcome.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (Some(outcome), false)
+            }
+            Some(_) => {
+                map.remove(key);
+                drop(shard);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                (None, true)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                (None, false)
+            }
+        }
+    }
+
+    fn insert(&self, table: MemoTable, key: MemoKey, entry: MemoEntry) {
+        let mut shard = self.shard_for(&key).lock().unwrap_or_else(|e| e.into_inner());
+        let map = match table {
+            MemoTable::Before => &mut shard.before,
+            MemoTable::After => &mut shard.after,
+        };
+        map.insert(key, entry);
+    }
+}
+
+impl Default for SharedMemo {
+    fn default() -> Self {
+        SharedMemo::new()
+    }
+}
+
+/// Derives a stable memo namespace from a program / app name, so replays of
+/// the same program share entries while unrelated programs never do.
+pub fn memo_namespace(name: &str) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_str(name);
+    fp.finish()
 }
 
 /// The [`DynamicCheckHook`] implementation installed into the interpreter
@@ -373,24 +611,62 @@ fn memo_lookup(
 /// Checks are keyed by their full [`Span`] — including the source-file id —
 /// so multi-file programs whose byte offsets coincide across files can never
 /// fire a check at the wrong site.
+///
+/// The check memo lives in an [`Arc<SharedMemo>`]: by default a private one,
+/// but [`CompRdlHook::with_shared_memo`] lets many hooks — across threads
+/// and across warm re-runs — share a single table (see the module docs).
 pub struct CompRdlHook {
     checks: HashMap<Span, InsertedCheck>,
     store: RefCell<TypeStore>,
     classes: ClassTable,
     helpers: HelperRegistry,
     config: CheckConfig,
-    blames: RefCell<Vec<String>>,
-    memo: RefCell<RuntimeMemo>,
+    blames: RefCell<Vec<BlameDiagnostic>>,
+    memo: Arc<SharedMemo>,
+    namespace: u64,
+    /// Value-fingerprint → interned type.  Per-hook, *not* shared: the
+    /// interned [`Type`]s hold ids of this hook's own store, which mean
+    /// nothing to a sibling hook's store.
+    value_types: RefCell<HashMap<u64, InternedType>>,
+    /// This hook's own hit / miss / invalidation counters (the shared memo
+    /// additionally aggregates across hooks).
+    stats: Cell<CacheStats>,
 }
 
 impl CompRdlHook {
-    /// Builds a hook from the checks produced by the static checker.
+    /// Builds a hook from the checks produced by the static checker, with a
+    /// private memo.
     pub fn new(
         checks: Vec<InsertedCheck>,
         store: TypeStore,
         classes: ClassTable,
         helpers: HelperRegistry,
         config: CheckConfig,
+    ) -> Self {
+        Self::with_shared_memo(
+            checks,
+            store,
+            classes,
+            helpers,
+            config,
+            Arc::new(SharedMemo::new()),
+            0,
+        )
+    }
+
+    /// Builds a hook whose check memo is the given [`SharedMemo`], under the
+    /// given namespace.  Hooks evaluating the *same program* (warm re-runs,
+    /// or one run per harness thread) should share a namespace (see
+    /// [`memo_namespace`]); unrelated programs must not, since their spans
+    /// can collide.
+    pub fn with_shared_memo(
+        checks: Vec<InsertedCheck>,
+        store: TypeStore,
+        classes: ClassTable,
+        helpers: HelperRegistry,
+        config: CheckConfig,
+        memo: Arc<SharedMemo>,
+        namespace: u64,
     ) -> Self {
         let map = checks.into_iter().map(|c| (c.site, c)).collect();
         CompRdlHook {
@@ -400,7 +676,10 @@ impl CompRdlHook {
             helpers,
             config,
             blames: RefCell::new(Vec::new()),
-            memo: RefCell::new(RuntimeMemo::default()),
+            memo,
+            namespace,
+            value_types: RefCell::new(HashMap::new()),
+            stats: Cell::new(CacheStats::default()),
         }
     }
 
@@ -409,16 +688,48 @@ impl CompRdlHook {
         self.checks.len()
     }
 
-    /// Blame messages produced so far, in execution order (also raised as
-    /// errors at the call sites unless [`CheckConfig::raise_blame`] is off).
-    pub fn blames(&self) -> Vec<String> {
-        self.blames.borrow().clone()
+    /// The memo this hook records into.
+    pub fn shared_memo(&self) -> &Arc<SharedMemo> {
+        &self.memo
     }
 
-    /// Hit / miss / invalidation counters of the run-time check memo (all
-    /// zeros when [`CheckConfig::memoize`] is off).
+    /// The namespace this hook's memo entries are keyed under.
+    pub fn namespace(&self) -> u64 {
+        self.namespace
+    }
+
+    /// Borrows the blame diagnostics produced so far, in execution order
+    /// (also raised as errors at the call sites unless
+    /// [`CheckConfig::raise_blame`] is off).  A borrow, not a clone: the
+    /// overhead harness polls this per run per mode, and cloning the whole
+    /// vector each time was measurable on blame-heavy suites.
+    ///
+    /// Drop the returned [`Ref`] before driving any further checked calls:
+    /// delivering a blame needs the mutable side of the same `RefCell`, so
+    /// a borrow held across `before_call` / `after_call` panics.  Harnesses
+    /// that read the blames exactly once after a run should use
+    /// [`CompRdlHook::take_blames`] instead.
+    pub fn blames(&self) -> Ref<'_, [BlameDiagnostic]> {
+        Ref::map(self.blames.borrow(), |v| v.as_slice())
+    }
+
+    /// Number of blames recorded so far.
+    pub fn blame_count(&self) -> usize {
+        self.blames.borrow().len()
+    }
+
+    /// Takes ownership of the recorded blame diagnostics (leaving the hook's
+    /// list empty).  Harnesses that consume the blames exactly once should
+    /// prefer this over [`CompRdlHook::blames`] + clone.
+    pub fn take_blames(&self) -> Vec<BlameDiagnostic> {
+        std::mem::take(&mut *self.blames.borrow_mut())
+    }
+
+    /// Hit / miss / invalidation counters of *this hook's* memo lookups (all
+    /// zeros when [`CheckConfig::memoize`] is off).  [`SharedMemo::stats`]
+    /// aggregates across every sharing hook.
     pub fn memo_stats(&self) -> CacheStats {
-        self.memo.borrow().stats
+        self.stats.get()
     }
 
     /// Number of store-backed types currently interned in the hook's store.
@@ -430,23 +741,47 @@ impl CompRdlHook {
 
     /// Runs `f` against the hook's type store.  This models type-level state
     /// mutating *between* calls (§4 "Heap Mutation" — e.g. a migration
-    /// changing a table's schema mid-run) and is what the invalidation tests
-    /// and ablations use to bump the store generation.
+    /// changing a table's schema mid-run); if `f` mutates the store (its
+    /// generation moves), the shared memo's global epoch is bumped so no
+    /// sharing hook can replay a verdict recorded before the mutation.
     pub fn mutate_store<R>(&self, f: impl FnOnce(&mut TypeStore) -> R) -> R {
-        f(&mut self.store.borrow_mut())
+        let mut store = self.store.borrow_mut();
+        let before = store.generation();
+        let result = f(&mut store);
+        if store.generation() != before {
+            self.memo.bump_epoch();
+        }
+        result
+    }
+
+    fn note_hit(&self) {
+        let mut stats = self.stats.get();
+        stats.hits += 1;
+        self.stats.set(stats);
+    }
+
+    fn note_miss(&self, invalidated: bool) {
+        let mut stats = self.stats.get();
+        stats.misses += 1;
+        if invalidated {
+            stats.invalidations += 1;
+        }
+        self.stats.set(stats);
     }
 
     /// Records a blame and either raises it (the default λC behaviour) or
     /// swallows it so the run can continue collecting the full blame set.
-    fn deliver(&self, outcome: Result<(), String>) -> Result<(), String> {
+    /// Delivery happens at call time for replays and fresh evaluations
+    /// alike, so the recorded blame *sequence* is execution order in both.
+    fn deliver(&self, outcome: Result<(), BlameDiagnostic>) -> Result<(), String> {
         match outcome {
             Ok(()) => Ok(()),
-            Err(message) => {
-                self.blames.borrow_mut().push(message.clone());
-                if self.config.raise_blame {
-                    Err(message)
-                } else {
-                    Ok(())
+            Err(blame) => {
+                let raised = self.config.raise_blame.then(|| blame.message.clone());
+                self.blames.borrow_mut().push(blame);
+                match raised {
+                    Some(message) => Err(message),
+                    None => Ok(()),
                 }
             }
         }
@@ -455,38 +790,33 @@ impl CompRdlHook {
     /// [`type_of_value`] with generation-guarded interning: while the store
     /// is unmutated, structurally identical values map to the *same* store
     /// ids instead of freshly allocated ones.
-    fn type_of_value_interned(
-        memo: &mut RuntimeMemo,
-        store: &mut TypeStore,
-        value: &Value,
-    ) -> Type {
+    fn type_of_value_interned(&self, store: &mut TypeStore, value: &Value) -> Type {
         let fp = value_fingerprint(value);
-        if let Some(interned) = memo.value_types.get(&fp) {
+        let mut table = self.value_types.borrow_mut();
+        if let Some(interned) = table.get(&fp) {
             if interned.generation == store.generation() {
                 return interned.ty.clone();
             }
         }
         let ty = type_of_value(value, store);
-        memo.value_types
-            .insert(fp, InternedType { ty: ty.clone(), generation: store.generation() });
+        table.insert(fp, InternedType { ty: ty.clone(), generation: store.generation() });
         ty
     }
 
     /// Evaluates the §4 consistency check, returning `Err` with the blame
-    /// message (not yet recorded) on failure.
+    /// diagnostic (not yet recorded) on failure.
     fn eval_consistency(
         &self,
         check: &InsertedCheck,
         consistency: &ConsistencyCheck,
         recv: &Value,
         args: &[Value],
-    ) -> Result<(), String> {
+    ) -> Result<(), BlameDiagnostic> {
         let mut store = self.store.borrow_mut();
         let mut bindings: HashMap<String, TlcValue> = HashMap::new();
         {
-            let mut memo = self.memo.borrow_mut();
             let recv_ty = if self.config.memoize {
-                Self::type_of_value_interned(&mut memo, &mut store, recv)
+                self.type_of_value_interned(&mut store, recv)
             } else {
                 type_of_value(recv, &mut store)
             };
@@ -495,7 +825,7 @@ impl CompRdlHook {
                 if let Some(name) = binder {
                     let arg_ty = match args.get(i) {
                         Some(v) if self.config.memoize => {
-                            Self::type_of_value_interned(&mut memo, &mut store, v)
+                            self.type_of_value_interned(&mut store, v)
                         }
                         Some(v) => type_of_value(v, &mut store),
                         None => Type::nil(),
@@ -526,15 +856,24 @@ impl CompRdlHook {
                     // leaks store ids (`#fhash7`), which differ between
                     // memoized and unmemoized runs and mean nothing to the
                     // user.
-                    Err(format!(
-                        "{}: comp type evaluated to `{}` at run time but `{}` at type-check time",
-                        check.description,
-                        store.render(&t),
-                        store.render(&consistency.expected)
+                    Err(BlameDiagnostic::new(
+                        BLAME_CONSISTENCY,
+                        check.site,
+                        format!(
+                            "{}: comp type evaluated to `{}` at run time but `{}` at \
+                             type-check time",
+                            check.description,
+                            store.render(&t),
+                            store.render(&consistency.expected)
+                        ),
                     ))
                 }
             }
-            Err(e) => Err(format!("{}: comp type failed at run time: {}", check.description, e)),
+            Err(e) => Err(BlameDiagnostic::new(
+                BLAME_EVAL,
+                check.site,
+                format!("{}: comp type failed at run time: {}", check.description, e),
+            )),
         }
     }
 }
@@ -564,31 +903,44 @@ impl DynamicCheckHook for CompRdlHook {
             for a in args {
                 hash_value(&mut fp, a);
             }
-            (site, fp.finish())
+            (self.namespace, site, fp.finish())
         });
-        let generation = key.map(|_| self.store.borrow().generation());
-        if let (Some(key), Some(generation)) = (key, generation) {
-            let mut memo = self.memo.borrow_mut();
-            let memo = &mut *memo;
-            let cached = memo_lookup(&mut memo.before, &mut memo.stats, &key, generation);
-            if let Some(outcome) = cached {
-                return self.deliver(outcome);
+        let stamp = key.map(|_| (self.store.borrow().generation(), self.memo.epoch()));
+        if let (Some(key), Some((generation, _))) = (&key, stamp) {
+            let (cached, invalidated) = self.memo.lookup(MemoTable::Before, key, generation);
+            match cached {
+                Some(outcome) => {
+                    self.note_hit();
+                    return self.deliver(outcome);
+                }
+                None => self.note_miss(invalidated),
             }
         }
 
+        let generation_before = self.store.borrow().generation();
         let outcome = self.eval_consistency(check, consistency, recv, args);
-        if let (Some(key), Some(generation)) = (key, generation) {
-            // Stamp the entry with the generation read *before* evaluation:
-            // the evaluation itself may promote or weakly update store types
-            // (comp-type helpers hold `&mut TypeStore`), and a verdict
-            // computed against the pre-mutation store must not be replayed
-            // as valid for the mutated one.  If the generation moved, the
-            // entry is stale on arrival and the next call re-evaluates —
-            // exactly what the unmemoized baseline would do.
-            self.memo
-                .borrow_mut()
-                .before
-                .insert(key, MemoEntry { outcome: outcome.clone(), generation });
+        let mutated = self.store.borrow().generation() != generation_before;
+        if mutated {
+            // The evaluation itself mutated type-level state (comp-type
+            // helpers hold `&mut TypeStore` — e.g. an in-band schema
+            // migration).  Every sharing hook must re-validate.
+            self.memo.bump_epoch();
+        }
+        if let (false, Some(key), Some((generation, epoch))) = (mutated, key, stamp) {
+            // Record the verdict stamped with the generation/epoch read
+            // before evaluation.  A verdict whose evaluation *mutated* the
+            // store is never recorded at all: replaying it would skip the
+            // evaluation's side effect, and although its pre-mutation stamp
+            // makes it stale for this hook, a sibling hook that sampled the
+            // epoch in the window before the bump above could still match
+            // the stamp and replay it — so the only safe entry is no entry.
+            // The next call re-evaluates, exactly like the unmemoized
+            // baseline.
+            self.memo.insert(
+                MemoTable::Before,
+                key,
+                MemoEntry { outcome: outcome.clone(), generation, epoch },
+            );
         }
         self.deliver(outcome)
     }
@@ -599,14 +951,16 @@ impl DynamicCheckHook for CompRdlHook {
         }
         let Some(check) = self.checks.get(&site) else { return Ok(()) };
 
-        let key = self.config.memoize.then(|| (site, value_fingerprint(ret)));
-        if let Some(key) = key {
-            let generation = self.store.borrow().generation();
-            let mut memo = self.memo.borrow_mut();
-            let memo = &mut *memo;
-            let cached = memo_lookup(&mut memo.after, &mut memo.stats, &key, generation);
-            if let Some(outcome) = cached {
-                return self.deliver(outcome);
+        let key = self.config.memoize.then(|| (self.namespace, site, value_fingerprint(ret)));
+        let stamp = key.map(|_| (self.store.borrow().generation(), self.memo.epoch()));
+        if let (Some(key), Some((generation, _))) = (&key, stamp) {
+            let (cached, invalidated) = self.memo.lookup(MemoTable::After, key, generation);
+            match cached {
+                Some(outcome) => {
+                    self.note_hit();
+                    return self.deliver(outcome);
+                }
+                None => self.note_miss(invalidated),
             }
         }
 
@@ -614,27 +968,31 @@ impl DynamicCheckHook for CompRdlHook {
         let outcome = if value_matches(ret, &check.expected_return, &store, &self.classes) {
             Ok(())
         } else {
-            Err(format!(
-                "{}: returned {} which is not a {}",
-                check.description,
-                ret.inspect(),
-                store.render(&check.expected_return)
+            Err(BlameDiagnostic::new(
+                BLAME_RETURN,
+                check.site,
+                format!(
+                    "{}: returned {} which is not a {}",
+                    check.description,
+                    ret.inspect(),
+                    store.render(&check.expected_return)
+                ),
             ))
         };
-        let generation = store.generation();
         drop(store);
-        if let Some(key) = key {
-            self.memo
-                .borrow_mut()
-                .after
-                .insert(key, MemoEntry { outcome: outcome.clone(), generation });
+        if let (Some(key), Some((generation, epoch))) = (key, stamp) {
+            self.memo.insert(
+                MemoTable::After,
+                key,
+                MemoEntry { outcome: outcome.clone(), generation, epoch },
+            );
         }
         self.deliver(outcome)
     }
 }
 
 /// Convenience constructor: wraps checks in an [`Rc`] ready to hand to
-/// [`ruby_interp::Interpreter::set_hook`].
+/// [`ruby_interp::Interpreter::set_hook`], with a private memo.
 pub fn make_hook(
     checks: Vec<InsertedCheck>,
     store: TypeStore,
@@ -643,6 +1001,22 @@ pub fn make_hook(
     config: CheckConfig,
 ) -> Rc<CompRdlHook> {
     Rc::new(CompRdlHook::new(checks, store, classes, helpers, config))
+}
+
+/// Like [`make_hook`], but recording into the given [`SharedMemo`] under
+/// `namespace` (see [`memo_namespace`]).  This is what the corpus harnesses
+/// use so every per-app hook — across threads and across warm re-runs —
+/// shares one memo.
+pub fn make_hook_shared(
+    checks: Vec<InsertedCheck>,
+    store: TypeStore,
+    classes: ClassTable,
+    helpers: HelperRegistry,
+    config: CheckConfig,
+    memo: Arc<SharedMemo>,
+    namespace: u64,
+) -> Rc<CompRdlHook> {
+    Rc::new(CompRdlHook::with_shared_memo(checks, store, classes, helpers, config, memo, namespace))
 }
 
 #[cfg(test)]
@@ -911,11 +1285,27 @@ mod tests {
         }
         let blames = hook.blames();
         assert_eq!(blames.len(), 3, "every hit records a blame");
-        assert_eq!(blames[0], blames[1]);
+        assert_eq!(blames[0], blames[1], "replayed blame must equal the fresh one verbatim");
         assert_eq!(blames[1], blames[2]);
-        assert!(blames[0].contains("{ id: Integer }"), "structural rendering: {}", blames[0]);
-        assert!(!blames[0].contains("#fhash"), "no raw store ids: {}", blames[0]);
+        assert_eq!(blames[0].site, site, "blame carries the call-site span");
+        assert_eq!(blames[0].code, BLAME_RETURN);
+        assert!(
+            blames[0].message.contains("{ id: Integer }"),
+            "structural rendering: {}",
+            blames[0]
+        );
+        assert!(!blames[0].message.contains("#fhash"), "no raw store ids: {}", blames[0]);
+        // The Diagnostic conversion is identical for replayed and fresh
+        // blame — same code, message and primary span.
+        let diags: Vec<Diagnostic> = blames.iter().cloned().map(Diagnostic::from).collect();
+        assert_eq!(diags[0], diags[2]);
+        assert_eq!(diags[0].primary_span(), site);
+        assert_eq!(diags[0].code, BLAME_RETURN);
+        drop(blames);
         assert!(hook.memo_stats().hits >= 2);
+        assert_eq!(hook.blame_count(), 3);
+        assert_eq!(hook.take_blames().len(), 3, "take_blames hands ownership once");
+        assert_eq!(hook.blame_count(), 0, "...leaving the hook's list empty");
     }
 
     #[test]
@@ -938,11 +1328,15 @@ mod tests {
         };
         let memoized = mk(true);
         let unmemoized = mk(false);
+        // The schedule interleaves passing and failing values, with the
+        // failing ones repeating so the memoized hook *replays* blames: the
+        // recorded sequence (not just the set) must match the baseline's
+        // execution order byte for byte.
         for v in [Value::str("a"), Value::Int(1), Value::str("a"), Value::str("b")] {
             let _ = memoized.after_call(site, &v);
             let _ = unmemoized.after_call(site, &v);
         }
-        assert_eq!(memoized.blames(), unmemoized.blames());
+        assert_eq!(&*memoized.blames(), &*unmemoized.blames());
         assert_eq!(unmemoized.memo_stats(), CacheStats::default(), "memo off records nothing");
     }
 
@@ -999,7 +1393,8 @@ mod tests {
         });
         assert!(hook.before_call(site, &recv, &[]).is_ok(), "raise_blame off");
         assert_eq!(hook.blames().len(), 1, "stale Ok must not be replayed");
-        assert!(hook.blames()[0].contains("type-check time"), "{:?}", hook.blames());
+        assert!(hook.blames()[0].message.contains("type-check time"), "{:?}", hook.blames());
+        assert_eq!(hook.blames()[0].code, BLAME_CONSISTENCY);
         assert_eq!(hook.memo_stats().invalidations, 1);
     }
 
@@ -1050,5 +1445,106 @@ mod tests {
             },
         );
         assert!(hook.after_call(site, &Value::str("wrong type")).is_ok());
+    }
+
+    fn simple_check(site: Span) -> InsertedCheck {
+        InsertedCheck {
+            site,
+            description: "Array#map".to_string(),
+            expected_return: Type::array(Type::nominal("String")),
+            consistency: None,
+        }
+    }
+
+    fn hook_on(memo: &Arc<SharedMemo>, namespace: u64, site: Span) -> CompRdlHook {
+        CompRdlHook::with_shared_memo(
+            vec![simple_check(site)],
+            TypeStore::new(),
+            classes(),
+            HelperRegistry::new(),
+            CheckConfig { raise_blame: false, ..CheckConfig::default() },
+            memo.clone(),
+            namespace,
+        )
+    }
+
+    #[test]
+    fn warm_hooks_replay_from_the_shared_memo() {
+        // Two hooks over the same program (same namespace, identical fresh
+        // stores): the second is a warm re-run and must hit immediately,
+        // reproducing the identical blame diagnostic.
+        let memo = Arc::new(SharedMemo::new());
+        let site = Span::new(10, 20, 3);
+        let cold = hook_on(&memo, memo_namespace("app"), site);
+        let good = Value::array(vec![Value::str("a")]);
+        let bad = Value::Int(9);
+        assert!(cold.after_call(site, &good).is_ok());
+        assert!(cold.after_call(site, &bad).is_ok(), "raise_blame off records instead");
+        assert_eq!(cold.memo_stats(), CacheStats { hits: 0, misses: 2, invalidations: 0 });
+
+        let warm = hook_on(&memo, memo_namespace("app"), site);
+        assert!(warm.after_call(site, &good).is_ok());
+        assert!(warm.after_call(site, &bad).is_ok());
+        assert_eq!(
+            warm.memo_stats(),
+            CacheStats { hits: 2, misses: 0, invalidations: 0 },
+            "a warm re-run must be served entirely from the shared memo"
+        );
+        assert_eq!(&*warm.blames(), &*cold.blames(), "replayed blame is byte-identical");
+        assert_eq!(memo.stats().hits, 2);
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.shard_sizes().iter().sum::<usize>(), memo.len());
+    }
+
+    #[test]
+    fn namespaces_isolate_programs_with_colliding_spans() {
+        // Two *different* programs whose check sites collide byte-for-byte:
+        // sharing one memo must never exchange verdicts between them.
+        let memo = Arc::new(SharedMemo::new());
+        let site = Span::new(10, 20, 3);
+        let a = hook_on(&memo, memo_namespace("app-a"), site);
+        let value = Value::array(vec![Value::str("x")]);
+        assert!(a.after_call(site, &value).is_ok());
+
+        let b = hook_on(&memo, memo_namespace("app-b"), site);
+        assert!(b.after_call(site, &value).is_ok());
+        assert_eq!(
+            b.memo_stats(),
+            CacheStats { hits: 0, misses: 1, invalidations: 0 },
+            "a different namespace must not hit app-a's entry"
+        );
+        assert_eq!(memo.len(), 2, "one entry per namespace");
+    }
+
+    #[test]
+    fn one_hooks_mutation_invalidates_every_sharing_hook() {
+        // The global epoch: hook A's store mutation must keep hook B (same
+        // shared memo, any namespace) from replaying entries recorded before
+        // it — B re-validates against its own store instead.
+        let memo = Arc::new(SharedMemo::new());
+        let site = Span::new(1, 5, 1);
+        let a = hook_on(&memo, memo_namespace("app-a"), site);
+        let b = hook_on(&memo, memo_namespace("app-b"), site);
+        let value = Value::array(vec![Value::str("x")]);
+        assert!(a.after_call(site, &value).is_ok());
+        assert!(b.after_call(site, &value).is_ok());
+
+        a.mutate_store(|s| {
+            let t = s.new_tuple(vec![Type::nominal("Integer")]);
+            let Type::Tuple(id) = t else { unreachable!() };
+            s.promote_tuple(id);
+        });
+        assert_eq!(memo.epoch(), 1, "an observed store mutation bumps the epoch");
+
+        assert!(b.after_call(site, &value).is_ok());
+        assert_eq!(
+            b.memo_stats(),
+            CacheStats { hits: 0, misses: 2, invalidations: 1 },
+            "b's pre-mutation entry was evicted, not replayed"
+        );
+        // A no-op mutate_store (generation unchanged) must not thrash the
+        // epoch.
+        a.mutate_store(|s| s.generation());
+        assert_eq!(memo.epoch(), 1);
     }
 }

@@ -1,11 +1,13 @@
 //! The synthetic subject programs of the evaluation corpus: the six paper
-//! apps plus the call-site-dense Redmine analogue (see [`redmine`]).
+//! apps plus the call-site-dense Redmine analogue (see [`redmine`]) and the
+//! Sequel-DSL / mid-suite-migration subject (see [`sequel`]).
 
 pub mod codeorg;
 pub mod discourse;
 pub mod huginn;
 pub mod journey;
 pub mod redmine;
+pub mod sequel;
 pub mod twitter;
 pub mod wikipedia;
 
@@ -22,5 +24,6 @@ pub fn all() -> Vec<App> {
         codeorg::app(),
         journey::app(),
         redmine::app(),
+        sequel::app(),
     ]
 }

@@ -1,9 +1,12 @@
 //! The evaluation harness: reproduces Table 1 and Table 2 of the paper.
 
 use crate::app::App;
-use comprdl::{CheckConfig, CheckOptions, CompRdl, TypeChecker};
+use comprdl::{
+    memo_namespace, BlameDiagnostic, CheckConfig, CheckOptions, CompRdl, SharedMemo, TypeChecker,
+};
 use diagnostics::{Diagnostic, DiagnosticBag};
 use ruby_interp::Interpreter;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One row of Table 1 (library methods with comp type definitions).
@@ -45,6 +48,11 @@ pub struct Table2Row {
     /// Every error from the comp-type checking run as a [`Diagnostic`],
     /// aggregated per app through the shared diagnostics spine.
     pub diagnostics: DiagnosticBag,
+    /// Every runtime blame the checked test run recorded, as span-carrying
+    /// [`Diagnostic`]s, **in execution order** (never sorted: memoized and
+    /// unmemoized runs must agree on the sequence, not just the set).
+    /// Empty for apps whose suites never blame.
+    pub runtime_blames: DiagnosticBag,
 }
 
 impl Table2Row {
@@ -133,15 +141,36 @@ pub fn evaluate_app(app: &App) -> Result<Table2Row, HarnessError> {
 }
 
 /// Runs the full evaluation for one app, type checking its methods with
-/// `check_threads` worker threads (1 = sequential).  The diagnostics in the
-/// resulting row are sorted by span then code, so the row renders
-/// byte-identically regardless of how many threads checked it or in what
-/// order they finished.
+/// `check_threads` worker threads (1 = sequential) against a private
+/// runtime memo.  See [`evaluate_app_shared`].
 ///
 /// # Errors
 ///
 /// See [`evaluate_app`].
 pub fn evaluate_app_with(app: &App, check_threads: usize) -> Result<Table2Row, HarnessError> {
+    evaluate_app_shared(app, check_threads, &Arc::new(SharedMemo::new()))
+}
+
+/// Runs the full evaluation for one app, type checking its methods with
+/// `check_threads` worker threads (1 = sequential), with the checked test
+/// run recording into the given [`SharedMemo`] under the app's namespace.
+/// The diagnostics in the resulting row are sorted by span then code, so
+/// the row renders byte-identically regardless of how many threads checked
+/// it or in what order they finished; the runtime blames are kept in
+/// execution order (which is deterministic per app).
+///
+/// Blame is collected rather than raised (`CheckConfig::raise_blame` off)
+/// and lands in [`Table2Row::runtime_blames`] as span-carrying
+/// [`Diagnostic`]s, so a blaming suite still reports a complete row.
+///
+/// # Errors
+///
+/// See [`evaluate_app`].
+pub fn evaluate_app_shared(
+    app: &App,
+    check_threads: usize,
+    memo: &Arc<SharedMemo>,
+) -> Result<Table2Row, HarnessError> {
     let err = |message: String, diagnostic: Option<Box<Diagnostic>>| HarnessError {
         app: app.name.to_string(),
         message,
@@ -185,13 +214,17 @@ pub fn evaluate_app_with(app: &App, check_threads: usize) -> Result<Table2Row, H
     })?;
     let test_time_no_chk = started.elapsed();
 
-    // Run the test suite with the inserted dynamic checks.
-    let hook = comprdl::make_hook(
+    // Run the test suite with the inserted dynamic checks, collecting (not
+    // raising) blame so migrating suites like `apps::sequel` complete and
+    // report their full blame diagnostics.
+    let hook = comprdl::make_hook_shared(
         comp_result.checks(),
         comp_result.store.clone(),
         env.classes.clone(),
         env.helpers.clone(),
-        CheckConfig::default(),
+        CheckConfig { raise_blame: false, ..CheckConfig::default() },
+        memo.clone(),
+        memo_namespace(app.name),
     );
     let mut checked = Interpreter::new(program.clone());
     checked.set_hook(hook.clone());
@@ -200,6 +233,8 @@ pub fn evaluate_app_with(app: &App, check_threads: usize) -> Result<Table2Row, H
         err(format!("test suite failed with dynamic checks: {e}"), Some(Box::new(e.into())))
     })?;
     let test_time_with_chk = started.elapsed();
+    let runtime_blames: DiagnosticBag =
+        hook.take_blames().into_iter().map(Diagnostic::from).collect();
 
     // Canonical diagnostic order (span, then code): the checker already
     // returns methods in program order, but sorting here guarantees the
@@ -221,6 +256,7 @@ pub fn evaluate_app_with(app: &App, check_threads: usize) -> Result<Table2Row, H
         test_time_with_chk,
         dynamic_checks_run: checked.checks_performed(),
         diagnostics,
+        runtime_blames,
     })
 }
 
@@ -254,28 +290,45 @@ pub fn format_diagnostic_summary(per_app: &[(String, DiagnosticBag)]) -> String 
     out
 }
 
-/// Runs the evaluation for every app in the corpus, sequentially.
+/// Runs the evaluation for every app in the corpus, sequentially, against
+/// one shared runtime memo.
 ///
 /// # Errors
 ///
 /// Propagates the first [`HarnessError`] encountered.
 pub fn table2() -> Result<Vec<Table2Row>, HarnessError> {
-    crate::apps::all().iter().map(evaluate_app).collect()
+    let memo = Arc::new(SharedMemo::new());
+    crate::apps::all().iter().map(|app| evaluate_app_shared(app, 1, &memo)).collect()
 }
 
 /// Runs the evaluation for every app in the corpus concurrently: one scoped
 /// thread per app (the class table, annotations and helper registries are
 /// `Send + Sync`, so each thread assembles and uses its environment
 /// independently), with per-method work-stealing inside each app's checking
-/// run.  Rows come back in corpus order and each row's diagnostics are
-/// sorted canonically, so everything except the measured wall-clock timings
-/// is byte-identical to a [`table2`] run.
+/// run.  All per-app hooks record into **one** [`SharedMemo`]; a store
+/// mutation on any thread (e.g. the Sequel app's mid-suite migration) bumps
+/// the memo's global epoch, so no thread can replay a verdict recorded
+/// before it.  Rows come back in corpus order, each row's diagnostics are
+/// sorted canonically and its runtime blames are deterministic per app, so
+/// everything except the measured wall-clock timings is byte-identical to a
+/// [`table2`] run.
 ///
 /// # Errors
 ///
 /// Propagates the [`HarnessError`] of the first app (in corpus order) that
 /// failed.
 pub fn table2_parallel() -> Result<Vec<Table2Row>, HarnessError> {
+    table2_parallel_shared(&Arc::new(SharedMemo::new()))
+}
+
+/// [`table2_parallel`] against a caller-provided [`SharedMemo`], so
+/// harnesses and benches can inspect shard occupancy and hit rates after
+/// the run.
+///
+/// # Errors
+///
+/// See [`table2_parallel`].
+pub fn table2_parallel_shared(memo: &Arc<SharedMemo>) -> Result<Vec<Table2Row>, HarnessError> {
     let apps = crate::apps::all();
     let per_app_threads = std::thread::available_parallelism()
         .map(|n| n.get().div_ceil(apps.len().max(1)).max(2))
@@ -283,7 +336,7 @@ pub fn table2_parallel() -> Result<Vec<Table2Row>, HarnessError> {
     let results: Vec<Result<Table2Row, HarnessError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = apps
             .iter()
-            .map(|app| scope.spawn(move || evaluate_app_with(app, per_app_threads)))
+            .map(|app| scope.spawn(move || evaluate_app_shared(app, per_app_threads, memo)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("app evaluation thread panicked")).collect()
     });
@@ -291,10 +344,12 @@ pub fn table2_parallel() -> Result<Vec<Table2Row>, HarnessError> {
 }
 
 /// One row of the Table 2 **overhead** evaluation: the app's test-suite
-/// wall-clock under three configurations (no dynamic checks at all, the
-/// paper's pay-at-every-hit checks, and the memoized fast path), plus the
-/// correctness evidence that makes the timings comparable — identical check
-/// counts and byte-identical blame sets between the two checked runs.
+/// wall-clock under four configurations (no dynamic checks at all, the
+/// paper's pay-at-every-hit checks, the memoized fast path against a cold
+/// shared memo, and a **warm** re-run against the now-populated memo), plus
+/// the correctness evidence that makes the timings comparable — identical
+/// check counts and byte-identical blame *sequences* across every checked
+/// run.
 #[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Program name.
@@ -304,15 +359,21 @@ pub struct OverheadRow {
     /// Test-suite time with `CompRdlHook`, memoization off (the paper's
     /// baseline: every hit pays the full re-evaluation).
     pub unmemoized: Duration,
-    /// Test-suite time with `CompRdlHook`, memoization on.
+    /// Test-suite time with `CompRdlHook`, memoization on (cold memo).
     pub memoized: Duration,
-    /// Dynamic checks executed (identical across both checked runs).
+    /// Test-suite time of a second memoized run against the same shared
+    /// memo (warm: the run replays the first run's verdicts).
+    pub memoized_warm: Duration,
+    /// Dynamic checks executed (identical across all checked runs).
     pub checks_run: u64,
-    /// Blame messages produced (byte-identical across both checked runs; 0
-    /// for the healthy shipped corpus).
+    /// Blame diagnostics produced (byte-identical sequence across all
+    /// checked runs; 0 for every app whose suite does not migrate).
     pub blames: usize,
-    /// Memo counters from the memoized run.
+    /// Memo counters from the cold memoized run.
     pub memo_stats: comprdl::CacheStats,
+    /// Memo counters from the warm memoized run (mostly hits, unless a
+    /// mid-suite migration forces re-validation).
+    pub warm_memo_stats: comprdl::CacheStats,
     /// Store-backed types interned after the unmemoized run.
     pub store_unmemoized: usize,
     /// Store-backed types interned after the memoized run (bounded by the
@@ -332,6 +393,12 @@ impl OverheadRow {
     pub fn overhead_memoized(&self) -> f64 {
         overhead_fraction(self.no_hook, self.memoized)
     }
+
+    /// Dynamic-check overhead of the warm memoized run as a fraction of the
+    /// no-hook baseline.
+    pub fn overhead_memoized_warm(&self) -> f64 {
+        overhead_fraction(self.no_hook, self.memoized_warm)
+    }
 }
 
 fn overhead_fraction(base: Duration, with: Duration) -> f64 {
@@ -342,20 +409,39 @@ fn overhead_fraction(base: Duration, with: Duration) -> f64 {
     (with.as_secs_f64() - base) / base
 }
 
-/// Runs one app's test suite under the three Table 2 overhead
-/// configurations and gates the result on run-to-run agreement: the
-/// memoized and unmemoized hooks must execute the same number of checks and
-/// produce **byte-identical** blame sets, otherwise the memo changed
-/// observable behaviour and the row is an error, not a measurement.
-///
-/// Blame is collected rather than raised (`CheckConfig::raise_blame` off)
-/// so the comparison always sees the complete set.
+/// Runs one app's test suite under the Table 2 overhead configurations
+/// against a private shared memo.  See [`evaluate_overhead_shared`].
 ///
 /// # Errors
 ///
-/// Returns a [`HarnessError`] on parse/runtime failure or when the
-/// correctness gate fails.
+/// See [`evaluate_overhead_shared`].
 pub fn evaluate_overhead(app: &App) -> Result<OverheadRow, HarnessError> {
+    evaluate_overhead_shared(app, &Arc::new(SharedMemo::new()))
+}
+
+/// Runs one app's test suite under the four Table 2 overhead
+/// configurations — no hook, pay-at-every-hit, memoized against the given
+/// (cold for this app) [`SharedMemo`], and a **warm** memoized re-run
+/// against the same memo — and gates the result on run-to-run agreement:
+///
+/// * the memoized and unmemoized runs must execute the same number of
+///   checks and produce **byte-identical blame sequences** (not just sets:
+///   replay order is part of observable behaviour), and
+/// * the warm run must agree with the cold one on both — a divergence means
+///   the shared memo leaked a verdict across runs (cross-talk), and the row
+///   is an error, not a measurement.
+///
+/// Blame is collected rather than raised (`CheckConfig::raise_blame` off)
+/// so the comparison always sees the complete sequence.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] on parse/runtime failure or when a
+/// correctness gate fails.
+pub fn evaluate_overhead_shared(
+    app: &App,
+    memo: &Arc<SharedMemo>,
+) -> Result<OverheadRow, HarnessError> {
     let err = |message: String, diagnostic: Option<Box<Diagnostic>>| HarnessError {
         app: app.name.to_string(),
         message,
@@ -377,12 +463,14 @@ pub fn evaluate_overhead(app: &App) -> Result<OverheadRow, HarnessError> {
 
     // One checked run; returns (time, checks, blames, stats, store size).
     let checked_run = |memoize: bool| {
-        let hook = comprdl::make_hook(
+        let hook = comprdl::make_hook_shared(
             comp.checks(),
             comp.store.clone(),
             env.classes.clone(),
             env.helpers.clone(),
             CheckConfig { memoize, raise_blame: false, ..CheckConfig::default() },
+            memo.clone(),
+            memo_namespace(app.name),
         );
         let mut interp = Interpreter::new(program.clone());
         interp.set_hook(hook.clone());
@@ -394,7 +482,7 @@ pub fn evaluate_overhead(app: &App) -> Result<OverheadRow, HarnessError> {
         Ok((
             elapsed,
             interp.checks_performed(),
-            hook.blames(),
+            hook.take_blames(),
             hook.memo_stats(),
             hook.store_size(),
         ))
@@ -402,7 +490,8 @@ pub fn evaluate_overhead(app: &App) -> Result<OverheadRow, HarnessError> {
     let (unmemoized, checks_unmemo, blames_unmemo, _, store_unmemoized) = checked_run(false)?;
     let (memoized, checks_memo, blames_memo, memo_stats, store_memoized) = checked_run(true)?;
 
-    // The correctness gate.
+    // The correctness gate: memoization must not change observable
+    // behaviour.
     if checks_unmemo != checks_memo {
         return Err(err(
             format!(
@@ -413,9 +502,30 @@ pub fn evaluate_overhead(app: &App) -> Result<OverheadRow, HarnessError> {
     }
     if blames_unmemo != blames_memo {
         return Err(err(
+            blame_divergence("unmemoized", &blames_unmemo, "memoized", &blames_memo),
+            None,
+        ));
+    }
+
+    // The warm-run gate: a second memoized run against the now-populated
+    // shared memo must reproduce the cold run exactly.  A divergence here
+    // means a verdict leaked across runs or namespaces (shared-memo
+    // cross-talk) and fails loudly.
+    let (memoized_warm, checks_warm, blames_warm, warm_memo_stats, _) = checked_run(true)?;
+    if checks_warm != checks_memo {
+        return Err(err(
             format!(
-                "memoized and unmemoized blame sets diverged:\n  unmemoized: {blames_unmemo:?}\n  \
-                 memoized:   {blames_memo:?}"
+                "shared-memo cross-talk: warm run executed {checks_warm} dynamic checks, cold \
+                 run {checks_memo}"
+            ),
+            None,
+        ));
+    }
+    if blames_warm != blames_memo {
+        return Err(err(
+            format!(
+                "shared-memo cross-talk: {}",
+                blame_divergence("cold", &blames_memo, "warm", &blames_warm)
             ),
             None,
         ));
@@ -426,33 +536,92 @@ pub fn evaluate_overhead(app: &App) -> Result<OverheadRow, HarnessError> {
         no_hook,
         unmemoized,
         memoized,
+        memoized_warm,
         checks_run: checks_memo,
         blames: blames_memo.len(),
         memo_stats,
+        warm_memo_stats,
         store_unmemoized,
         store_memoized,
     })
 }
 
-/// Runs the Table 2 overhead evaluation (see [`evaluate_overhead`]) for
-/// every app in the corpus.
+/// Describes how two blame sequences differ — first index of divergence
+/// included, since order (not just membership) is gated.
+fn blame_divergence(
+    left_name: &str,
+    left: &[BlameDiagnostic],
+    right_name: &str,
+    right: &[BlameDiagnostic],
+) -> String {
+    let at = left
+        .iter()
+        .zip(right.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| left.len().min(right.len()));
+    format!(
+        "{left_name} and {right_name} blame sequences diverged at index {at} \
+         ({} vs {} blames):\n  {left_name}: {left:?}\n  {right_name}: {right:?}",
+        left.len(),
+        right.len()
+    )
+}
+
+/// Runs the Table 2 overhead evaluation for every app in the corpus against
+/// one shared memo (see [`evaluate_overhead_shared`]).
 ///
 /// # Errors
 ///
 /// Propagates the first [`HarnessError`] encountered — including a
 /// correctness-gate failure, which is what the CI smoke bench relies on.
 pub fn table2_overhead() -> Result<Vec<OverheadRow>, HarnessError> {
-    crate::apps::all().iter().map(evaluate_overhead).collect()
+    table2_overhead_shared(&Arc::new(SharedMemo::new()))
+}
+
+/// [`table2_overhead`] against a caller-provided [`SharedMemo`], so benches
+/// can report its shard hit/miss statistics after the run.
+///
+/// # Errors
+///
+/// See [`table2_overhead`].
+pub fn table2_overhead_shared(memo: &Arc<SharedMemo>) -> Result<Vec<OverheadRow>, HarnessError> {
+    crate::apps::all().iter().map(|app| evaluate_overhead_shared(app, memo)).collect()
+}
+
+/// Renders a [`SharedMemo`]'s aggregate statistics — hit / miss /
+/// invalidation counters, hit rate, and per-shard occupancy — as the
+/// one-line-per-fact block the CI smoke bench prints, so regressions in
+/// cross-thread hit rate are visible in CI logs.
+pub fn format_memo_stats(memo: &SharedMemo) -> String {
+    let stats = memo.stats();
+    let lookups = stats.hits + stats.misses;
+    let rate = if lookups == 0 { 0.0 } else { stats.hits as f64 / lookups as f64 * 100.0 };
+    // One pass over the shards: the headline total must agree with the
+    // per-shard list even if hooks are still recording concurrently.
+    let sizes = memo.shard_sizes();
+    let total: usize = sizes.iter().sum();
+    let rendered: Vec<String> = sizes.iter().map(usize::to_string).collect();
+    format!(
+        "SharedMemo: {total} entries across {} shards [{}]\n\
+         SharedMemo: {} hits / {} misses / {} invalidations ({rate:.1}% hit rate, epoch {})\n",
+        memo.shard_count(),
+        rendered.join(" "),
+        stats.hits,
+        stats.misses,
+        stats.invalidations,
+        memo.epoch(),
+    )
 }
 
 /// Renders the overhead rows in roughly the layout of the paper's Table 2
-/// overhead columns, extended with the memoized fast path and the memo's
-/// evidence (hit counts, store sizes).
+/// overhead columns, extended with the memoized fast path (cold and warm
+/// against the shared memo) and the memo's evidence (hit counts, store
+/// sizes).
 pub fn format_overhead(rows: &[OverheadRow]) -> String {
     let mut out = String::new();
     out.push_str("Table 2 (overhead). Test-suite time under dynamic checks.\n");
     out.push_str(&format!(
-        "{:<12} {:>7} {:>10} {:>11} {:>7} {:>11} {:>7} {:>9} {:>13} {:>6}\n",
+        "{:<12} {:>7} {:>10} {:>11} {:>7} {:>11} {:>7} {:>9} {:>7} {:>9} {:>13} {:>6}\n",
         "Program",
         "DynChk",
         "NoHook(ms)",
@@ -460,13 +629,16 @@ pub fn format_overhead(rows: &[OverheadRow]) -> String {
         "Ovh%",
         "Memo(ms)",
         "Ovh%",
-        "MemoHits",
+        "Warm(ms)",
+        "Ovh%",
+        "Hits(c/w)",
         "Store(un/me)",
         "Blames"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<12} {:>7} {:>10.3} {:>11.3} {:>7.1} {:>11.3} {:>7.1} {:>9} {:>6}/{:<6} {:>6}\n",
+            "{:<12} {:>7} {:>10.3} {:>11.3} {:>7.1} {:>11.3} {:>7.1} {:>9.3} {:>7.1} \
+             {:>4}/{:<4} {:>6}/{:<6} {:>6}\n",
             r.program,
             r.checks_run,
             r.no_hook.as_secs_f64() * 1000.0,
@@ -474,7 +646,10 @@ pub fn format_overhead(rows: &[OverheadRow]) -> String {
             r.overhead_unmemoized() * 100.0,
             r.memoized.as_secs_f64() * 1000.0,
             r.overhead_memoized() * 100.0,
+            r.memoized_warm.as_secs_f64() * 1000.0,
+            r.overhead_memoized_warm() * 100.0,
             r.memo_stats.hits,
+            r.warm_memo_stats.hits,
             r.store_unmemoized,
             r.store_memoized,
             r.blames
@@ -482,12 +657,14 @@ pub fn format_overhead(rows: &[OverheadRow]) -> String {
     }
     let total_un: f64 = rows.iter().map(|r| r.unmemoized.as_secs_f64()).sum();
     let total_memo: f64 = rows.iter().map(|r| r.memoized.as_secs_f64()).sum();
+    let total_warm: f64 = rows.iter().map(|r| r.memoized_warm.as_secs_f64()).sum();
     let total_base: f64 = rows.iter().map(|r| r.no_hook.as_secs_f64()).sum();
     if total_base > 0.0 {
         out.push_str(&format!(
-            "Overhead across the corpus: {:.1}% unmemoized, {:.1}% memoized\n",
+            "Overhead across the corpus: {:.1}% unmemoized, {:.1}% memoized, {:.1}% warm\n",
             (total_un - total_base) / total_base * 100.0,
-            (total_memo - total_base) / total_base * 100.0
+            (total_memo - total_base) / total_base * 100.0,
+            (total_warm - total_base) / total_base * 100.0
         ));
     }
     out
@@ -519,8 +696,36 @@ pub fn stable_report(rows: &[Table2Row]) -> String {
         for d in r.diagnostics.iter() {
             out.push_str(&format!("    {d}\n"));
         }
+        // Runtime blames in execution order: deterministic per app, so this
+        // stays byte-identical between sequential / parallel and memoized /
+        // unmemoized runs.
+        for d in r.runtime_blames.iter() {
+            out.push_str(&format!("    blame: {d}\n"));
+        }
     }
     out.push_str(&format_diagnostic_summary(&corpus_diagnostics(rows)));
+    out
+}
+
+/// Renders an app's runtime blame diagnostics as annotated source snippets
+/// through `diagnostics::render_in`, resolving each blame's call-site span
+/// against the app's two-file [`diagnostics::SourceSet`].  Returns the
+/// empty string for apps that never blamed.
+///
+/// # Panics
+///
+/// Panics if the app's sources fail to parse (they parsed when the row was
+/// produced, so this cannot happen for rows from this harness).
+pub fn render_runtime_blames(app: &App, row: &Table2Row) -> String {
+    if row.runtime_blames.is_empty() {
+        return String::new();
+    }
+    let (_, sources) = app.parse().expect("app sources parsed when the row was produced");
+    let mut out = String::new();
+    for d in row.runtime_blames.iter() {
+        out.push_str(&diagnostics::render_in(&sources, d));
+        out.push('\n');
+    }
     out
 }
 

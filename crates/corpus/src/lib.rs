@@ -4,10 +4,12 @@
 //! standing in for the paper's Wikipedia client, Twitter gem, Discourse,
 //! Huginn, Code.org and Journey (each with a schema, annotations, the three
 //! confirmed bugs seeded in the right places, and a small runnable test
-//! suite), plus the call-site-dense Redmine analogue that grows the corpus
-//! past the paper's six, and the harness that regenerates Table 1, Table 2
-//! and the Table 2 dynamic-check overhead comparison
-//! ([`harness::table2_overhead`]).
+//! suite), plus the grown corpus's additions — the call-site-dense Redmine
+//! analogue and the Sequel-DSL subject whose suite migrates its schema
+//! mid-run — and the harness that regenerates Table 1, Table 2 and the
+//! Table 2 dynamic-check overhead comparison
+//! ([`harness::table2_overhead`]), all checked runs sharing one concurrent
+//! runtime memo ([`comprdl::SharedMemo`]).
 //!
 //! Each app parses as a **two-file** program — source plus test suite, each
 //! with its own span file id (see [`App::parse`]) — so call-site identities
@@ -27,10 +29,11 @@ pub mod harness;
 
 pub use app::App;
 pub use harness::{
-    corpus_diagnostics, evaluate_app, evaluate_app_with, evaluate_overhead,
-    format_diagnostic_summary, format_overhead, format_table1, format_table2, stable_report,
-    table1, table2, table2_overhead, table2_parallel, HarnessError, OverheadRow, Table1Row,
-    Table2Row,
+    corpus_diagnostics, evaluate_app, evaluate_app_shared, evaluate_app_with, evaluate_overhead,
+    evaluate_overhead_shared, format_diagnostic_summary, format_memo_stats, format_overhead,
+    format_table1, format_table2, render_runtime_blames, stable_report, table1, table2,
+    table2_overhead, table2_overhead_shared, table2_parallel, table2_parallel_shared, HarnessError,
+    OverheadRow, Table1Row, Table2Row,
 };
 
 #[cfg(test)]
@@ -113,10 +116,16 @@ mod tests {
     #[test]
     fn overhead_rows_cover_the_whole_corpus_and_pass_the_gate() {
         let rows = table2_overhead().expect("overhead harness (includes the blame-set gate)");
-        assert_eq!(rows.len(), 7, "seven apps: the paper's six plus Redmine");
+        assert_eq!(rows.len(), 8, "eight apps: the paper's six plus Redmine and Sequel");
         for row in &rows {
             assert!(row.checks_run > 0, "{}: no dynamic checks executed", row.program);
-            assert_eq!(row.blames, 0, "{}: healthy corpus must not blame", row.program);
+            if row.program == "Sequel" {
+                // The migrating app blames by design — three post-migration
+                // hits of `amount_of`'s consistency check per run.
+                assert_eq!(row.blames, 3, "{}: migration blames expected", row.program);
+            } else {
+                assert_eq!(row.blames, 0, "{}: healthy app must not blame", row.program);
+            }
             assert!(
                 row.store_memoized <= row.store_unmemoized,
                 "{}: memoized interning grew the store past the baseline ({} > {})",
@@ -164,12 +173,14 @@ mod tests {
                 let result =
                     comprdl::TypeChecker::new(&env, program, comprdl::CheckOptions::default())
                         .check_labeled("app");
+                // Blame is collected, not raised: the Sequel app's suite
+                // blames by design after its mid-suite migration.
                 let hook = comprdl::make_hook(
                     result.checks(),
                     result.store.clone(),
                     env.classes.clone(),
                     env.helpers.clone(),
-                    comprdl::CheckConfig::default(),
+                    comprdl::CheckConfig { raise_blame: false, ..comprdl::CheckConfig::default() },
                 );
                 let mut interp = ruby_interp::Interpreter::new(program.clone());
                 interp.set_hook(hook);
@@ -183,6 +194,60 @@ mod tests {
                 app.name
             );
         }
+    }
+
+    #[test]
+    fn sequel_blames_render_as_snippets_byte_identical_across_runs() {
+        // The acceptance criterion: warm-run blame output renders as
+        // span-annotated snippets via `render_in`, byte-identical to the
+        // unmemoized sequential run.
+        let app = apps::sequel::app();
+
+        // Unmemoized sequential baseline, assembled by hand.
+        let env = app.build_env();
+        let (program, sources) = app.parse().expect("parses");
+        let comp = comprdl::TypeChecker::new(&env, &program, comprdl::CheckOptions::default())
+            .check_labeled("app");
+        let hook = comprdl::make_hook(
+            comp.checks(),
+            comp.store.clone(),
+            env.classes.clone(),
+            env.helpers.clone(),
+            comprdl::CheckConfig {
+                memoize: false,
+                raise_blame: false,
+                ..comprdl::CheckConfig::default()
+            },
+        );
+        let mut interp = ruby_interp::Interpreter::new(program.clone());
+        interp.set_hook(hook.clone());
+        interp.eval_program().expect("suite passes with blame collected");
+        let baseline: Vec<diagnostics::Diagnostic> =
+            hook.take_blames().into_iter().map(Into::into).collect();
+        assert_eq!(baseline.len(), 3, "three post-migration consistency blames");
+        let rendered_baseline: String =
+            baseline.iter().map(|d| diagnostics::render_in(&sources, d) + "\n").collect();
+        assert!(rendered_baseline.contains("--> sequel.rb:"), "{rendered_baseline}");
+        assert!(rendered_baseline.contains("^"), "carets annotate the call site");
+        assert!(
+            rendered_baseline.contains("blame raised at this checked call"),
+            "{rendered_baseline}"
+        );
+        assert!(rendered_baseline.contains("type-check time"), "{rendered_baseline}");
+
+        // A cold and then a warm memoized run against one shared memo must
+        // both reproduce the baseline's rendered output byte for byte.
+        let memo = std::sync::Arc::new(comprdl::SharedMemo::new());
+        let cold = evaluate_app_shared(&app, 1, &memo).expect("cold run");
+        let warm = evaluate_app_shared(&app, 1, &memo).expect("warm run");
+        for (label, row) in [("cold", &cold), ("warm", &warm)] {
+            assert_eq!(
+                render_runtime_blames(&app, row),
+                rendered_baseline,
+                "{label} memoized run's rendered blame diverged from the unmemoized baseline"
+            );
+        }
+        assert!(memo.stats().hits > 0, "the warm run must replay from the shared memo");
     }
 
     #[test]

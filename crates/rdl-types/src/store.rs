@@ -75,12 +75,18 @@ pub struct TypeStore {
     tuples: Vec<TupleData>,
     hashes: Vec<FiniteHashData>,
     strings: Vec<ConstStringData>,
+    /// Named type-level slots: mutable global state addressable by name,
+    /// the analogue of RDL's type-level globals (e.g. a schema version a
+    /// migration flips).  A first-write-ordered `Vec`, so two stores
+    /// compare equal exactly when they applied the same writes in the same
+    /// order — which deterministic replays of one program do.
+    named: Vec<(String, Type)>,
     /// Bumped on every mutation that can change what a store-backed type
-    /// *means* (promotion, weak update).  Caches keyed on store-backed types
-    /// compare this against the generation they captured at insert time and
-    /// treat any difference as an invalidation, so cached results can never
-    /// go stale (plain allocation does not bump it — a fresh id cannot alter
-    /// the meaning of an existing one).
+    /// *means* (promotion, weak update, named-slot update).  Caches keyed on
+    /// store-backed types compare this against the generation they captured
+    /// at insert time and treat any difference as an invalidation, so cached
+    /// results can never go stale (plain allocation does not bump it — a
+    /// fresh id cannot alter the meaning of an existing one).
     generation: u64,
 }
 
@@ -240,6 +246,31 @@ impl TypeStore {
         self.generation += 1;
     }
 
+    // ---- named slots -----------------------------------------------------
+
+    /// The type currently held in the named type-level slot `name`, if set.
+    pub fn named(&self, name: &str) -> Option<&Type> {
+        self.named.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Sets the named type-level slot `name` to `ty`.  Like a weak update,
+    /// this changes what type-level state *means*, so it bumps the
+    /// generation — unless the slot already holds an equal type, in which
+    /// case the write is a no-op (re-running an idempotent migration must
+    /// not invalidate every generation-guarded cache again).
+    pub fn set_named(&mut self, name: &str, ty: Type) {
+        match self.named.iter_mut().find(|(n, _)| n == name) {
+            Some((_, existing)) => {
+                if *existing == ty {
+                    return;
+                }
+                *existing = ty;
+            }
+            None => self.named.push((name.to_string(), ty)),
+        }
+        self.bump_generation();
+    }
+
     // ---- merging --------------------------------------------------------
 
     /// Appends every type from `other` into this store, returning the id
@@ -273,6 +304,21 @@ impl TypeStore {
                 promoted: s.promoted,
                 constraints: s.constraints.iter().map(|c| shift.apply_constraint(c)).collect(),
             });
+        }
+        for (name, ty) in other.named {
+            // Named slots are global type-level state.  Workers fork with
+            // *fresh* stores, so a slot in `other` is one the worker itself
+            // wrote; the first absorbed writer lands it and later writers
+            // are dropped.  That reproduces sequential checking only while
+            // at most one worker writes a given slot per merge — program-
+            // order overwrites cannot be reconstructed from absorb order —
+            // so helpers that write slots during *checking* must be
+            // single-writer (runtime-gated writes, like the corpus's
+            // singleton-gated migration helper, never reach this path).
+            if self.named(&name).is_none() {
+                let ty = shift.apply(&ty);
+                self.named.push((name, ty));
+            }
         }
         // Keep the counter monotonic across the merge so generation-guarded
         // caches built against either source remain conservative.
@@ -950,6 +996,46 @@ mod tests {
         let Type::Tuple(cid) = cyc else { panic!() };
         store.weak_update_tuple(cid, 0, cyc.clone());
         let _ = store.fingerprint(&cyc);
+    }
+
+    #[test]
+    fn named_slots_bump_generation_only_on_change() {
+        let mut store = TypeStore::new();
+        assert_eq!(store.named("schema.version"), None);
+        let g0 = store.generation();
+        store.set_named("schema.version", Type::int(1));
+        assert_eq!(store.named("schema.version"), Some(&Type::int(1)));
+        assert_eq!(store.generation(), g0 + 1, "first write is a mutation");
+        store.set_named("schema.version", Type::int(1));
+        assert_eq!(store.generation(), g0 + 1, "idempotent rewrite must not bump");
+        store.set_named("schema.version", Type::nominal("String"));
+        assert_eq!(store.named("schema.version"), Some(&Type::nominal("String")));
+        assert_eq!(store.generation(), g0 + 2, "a changed slot is a weak update");
+        store.set_named("other", Type::Bool);
+        assert_eq!(store.generation(), g0 + 3);
+        assert_eq!(store.named("schema.version"), Some(&Type::nominal("String")));
+    }
+
+    #[test]
+    fn absorb_carries_named_slots_with_shifted_ids() {
+        let mut base = TypeStore::new();
+        base.new_const_string("occupy-a-string-id");
+        base.set_named("shared", Type::int(1));
+
+        let mut other = TypeStore::new();
+        let s = other.new_const_string("v2");
+        other.set_named("schema", s.clone());
+        other.set_named("shared", Type::int(2));
+
+        let shift = base.absorb(other);
+        // The absorbed slot's store-backed type was shifted into the base
+        // store's id space.
+        let moved = base.named("schema").cloned().unwrap();
+        assert_eq!(moved, shift.apply(&s));
+        let Type::ConstString(id) = moved else { panic!() };
+        assert_eq!(base.const_string_value(id), Some("v2"));
+        // On collision the receiving store wins.
+        assert_eq!(base.named("shared"), Some(&Type::int(1)));
     }
 
     #[test]

@@ -1,26 +1,47 @@
 //! Reproduces the paper's evaluation tables using the threaded corpus
 //! harness: Table 1 (library comp-type definitions), Table 2 (per-app type
 //! checking results, one scoped thread per app with per-method work
-//! stealing inside each), the Table 2 dynamic-check **overhead** comparison
-//! (no hook / unmemoized hook / memoized hook, with its blame-set
-//! correctness gate), and the per-app diagnostic aggregation.
+//! stealing inside each, all dynamic-check hooks sharing one concurrent
+//! runtime memo), the Table 2 dynamic-check **overhead** comparison (no
+//! hook / unmemoized hook / memoized hook cold and warm, with its
+//! blame-sequence correctness gates), and the per-app diagnostic
+//! aggregation — including runtime blame rendered as annotated snippets.
 //!
 //! ```sh
 //! cargo run --example table2
 //! ```
 
+use std::sync::Arc;
+
 fn main() {
     let (rows, helpers) = corpus::table1();
     println!("{}", corpus::format_table1(&rows, helpers));
 
-    let rows = corpus::table2_parallel().unwrap_or_else(|e| panic!("harness failed: {e}"));
+    // One shared memo serves every app thread; its stats show the
+    // cross-thread hit rate and the epoch bumps from the Sequel app's
+    // mid-suite migration.
+    let memo = Arc::new(comprdl::SharedMemo::new());
+    let rows =
+        corpus::table2_parallel_shared(&memo).unwrap_or_else(|e| panic!("harness failed: {e}"));
     println!("{}", corpus::format_table2(&rows));
     println!("{}", corpus::format_diagnostic_summary(&corpus::corpus_diagnostics(&rows)));
+    println!("{}", corpus::format_memo_stats(&memo));
+
+    // Runtime blame flows through the same diagnostics spine as static
+    // errors: span-carrying diagnostics rendered as annotated snippets.
+    for app in corpus::apps::all() {
+        let row = rows.iter().find(|r| r.program == app.name).expect("row per app");
+        let rendered = corpus::render_runtime_blames(&app, row);
+        if !rendered.is_empty() {
+            println!("Runtime blame in {} (expected: its suite migrates mid-run):", app.name);
+            println!("{rendered}");
+        }
+    }
 
     // The run-time check overhead: each app's suite unchecked, checked the
-    // paper's way (pay at every hit), and checked through the memo.  The
-    // harness itself enforces that both checked runs execute the same
-    // checks and produce byte-identical blame sets.
+    // paper's way (pay at every hit), checked through a cold shared memo,
+    // and re-run warm.  The harness itself enforces that every checked run
+    // executes the same checks and produces byte-identical blame sequences.
     let overhead = corpus::table2_overhead().unwrap_or_else(|e| panic!("overhead gate: {e}"));
     println!("{}", corpus::format_overhead(&overhead));
 

@@ -128,9 +128,9 @@ fn memoized_blame_sets_are_byte_identical_on_randomized_workloads() {
             assert_eq!(after_m, after_u, "seed {seed:#x}: after_call verdicts diverged");
         }
         assert_eq!(
-            memoized.blames(),
-            unmemoized.blames(),
-            "seed {seed:#x}: blame sets must be byte-identical"
+            &*memoized.blames(),
+            &*unmemoized.blames(),
+            "seed {seed:#x}: blame sequences must be byte-identical"
         );
         assert!(!memoized.blames().is_empty(), "seed {seed:#x}: workload produced no blames");
         let stats = memoized.memo_stats();
@@ -208,8 +208,8 @@ fn schema_mutation_between_calls_invalidates_the_runtime_memo() {
         memoized.before_call(site, &recv, &[]).unwrap();
         unmemoized.before_call(site, &recv, &[]).unwrap();
         assert_eq!(
-            memoized.blames(),
-            unmemoized.blames(),
+            &*memoized.blames(),
+            &*unmemoized.blames(),
             "round {round}: memoized run replayed a stale verdict across a schema change"
         );
         // At a random point, "run a migration": widen the schema hash in
@@ -282,12 +282,24 @@ fn mutation_during_evaluation_is_not_replayed_as_valid() {
         memoized.before_call(site, &recv, &[]).unwrap();
         unmemoized.before_call(site, &recv, &[]).unwrap();
         assert_eq!(
-            memoized.blames(),
-            unmemoized.blames(),
+            &*memoized.blames(),
+            &*unmemoized.blames(),
             "round {round}: a verdict whose evaluation mutated the store was replayed"
         );
     }
     assert_eq!(memoized.blames().len(), 3, "calls 2..4 must blame");
+    // A verdict whose evaluation mutated the store must not be *recorded*
+    // at all (not merely recorded-as-stale): a pre-bump stale entry could
+    // match a sibling hook's earlier-sampled epoch stamp and replay,
+    // skipping the evaluation's side effect.  Call 1 therefore records
+    // nothing (miss, no entry), call 2 misses cleanly (no stale entry to
+    // evict) and records the settled verdict, calls 3..4 hit it.
+    let stats = memoized.memo_stats();
+    assert_eq!(
+        (stats.misses, stats.hits, stats.invalidations),
+        (2, 2, 0),
+        "a mutating evaluation must leave no memo entry behind: {stats:?}"
+    );
 }
 
 #[test]
@@ -306,6 +318,58 @@ fn value_fingerprints_agree_with_interpreter_values_across_files() {
     assert!(hook.after_call(in_file_0, &v).is_ok());
     assert!(hook.after_call(in_file_1, &v).is_ok(), "raise_blame off records instead");
     assert_eq!(hook.blames().len(), 1, "only the file-1 site blames: {:?}", hook.blames());
-    assert!(hook.blames()[0].contains("String#size"));
+    assert!(hook.blames()[0].message.contains("String#size"));
     assert_eq!(value_fingerprint(&v), value_fingerprint(&Value::array(vec![Value::Int(1)])));
+}
+
+#[test]
+fn replayed_blames_interleave_with_fresh_ones_in_execution_order() {
+    // Satellite regression: with `raise_blame` off, memoized replays must
+    // not just record the same blame *set* as the pay-at-every-hit baseline
+    // — the *sequence* must be byte-identical, even when replayed blames
+    // interleave with fresh evaluations and with passing calls.  (A memo
+    // that recorded blames at insert time instead of delivery time, or that
+    // batched replays, would pass a set comparison and fail this one.)
+    let (memoized, sites) = hook_with(true);
+    let (unmemoized, _) = hook_with(false);
+    let int_site = sites[2]; // String#size: expects Integer
+    let arr_site = sites[0]; // Array#map: expects Array<Integer>
+
+    let bad_a = Value::str("a"); // fails both sites
+    let bad_b = Value::str("b"); // fails both sites, different message
+    let good_int = Value::Int(3);
+    let good_arr = Value::array(vec![Value::Int(1)]);
+    // fresh A, fresh B, replay A, pass, fresh (arr) A, replay B, replay
+    // (arr) A, pass, replay A — a deliberate shuffle of fresh/replayed
+    // failures across two sites.
+    let schedule = [
+        (int_site, &bad_a),
+        (int_site, &bad_b),
+        (int_site, &bad_a),
+        (int_site, &good_int),
+        (arr_site, &bad_a),
+        (int_site, &bad_b),
+        (arr_site, &bad_a),
+        (arr_site, &good_arr),
+        (int_site, &bad_a),
+    ];
+    for (site, value) in schedule {
+        assert!(memoized.after_call(site, value).is_ok(), "raise_blame off");
+        assert!(unmemoized.after_call(site, value).is_ok(), "raise_blame off");
+    }
+    let memoized_blames = memoized.take_blames();
+    assert_eq!(
+        memoized_blames,
+        unmemoized.take_blames(),
+        "memoized blame sequence must equal the baseline's execution order, not just its set"
+    );
+    assert_eq!(memoized_blames.len(), 7);
+    // Spot-check the interleaving shape: messages alternate between the two
+    // sites exactly as scheduled.
+    let descs: Vec<&str> = memoized_blames
+        .iter()
+        .map(|b| if b.message.starts_with("String#size") { "int" } else { "arr" })
+        .collect();
+    assert_eq!(descs, ["int", "int", "int", "arr", "int", "arr", "int"]);
+    assert!(memoized.memo_stats().hits >= 4, "{:?}", memoized.memo_stats());
 }
