@@ -15,6 +15,7 @@
 //! divergence; the shared memo's shard hit/miss statistics are printed so
 //! regressions in cross-thread hit rate show up in CI logs.
 
+use bench::results::Scenario;
 use comprdl::{CheckConfig, SharedMemo};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
@@ -137,25 +138,31 @@ fn checked_vs_unchecked(c: &mut Criterion) {
     group.finish();
 
     // Aggregate wall-clock comparison on the dense app, the workload the
-    // memo exists for.
+    // memo exists for.  Per-run durations are kept so the persisted
+    // results carry medians (comparable across PRs) rather than totals.
     let (_, env, program, checked) =
         prepared.iter().find(|(name, ..)| *name == "Redmine").expect("redmine prepared");
     let runs = bench::sample_size(10);
     let timed = |config: Option<CheckConfig>| {
+        let mut samples = Vec::with_capacity(runs);
         let started = Instant::now();
         for _ in 0..runs {
+            let run_started = Instant::now();
             std::hint::black_box(bench::run_prepared_suite(env, program, checked, config));
+            samples.push(run_started.elapsed());
         }
-        started.elapsed()
+        (started.elapsed(), suite_median(samples))
     };
-    let no_hook: Duration = timed(None);
-    let unmemoized = timed(Some(unmemoized_config));
-    let memoized = timed(Some(collect_config));
+    let (no_hook, no_hook_median) = timed(None);
+    let (unmemoized, unmemoized_median) = timed(Some(unmemoized_config));
+    let (memoized, memoized_median) = timed(Some(collect_config));
     // The same runs against one warm shared memo.
     let shared = Arc::new(SharedMemo::new());
-    let namespace = comprdl::memo_namespace("Redmine");
+    let namespace = shared.register_namespace("Redmine");
+    let mut warm_samples = Vec::with_capacity(runs);
     let started = Instant::now();
     for _ in 0..runs {
+        let run_started = Instant::now();
         std::hint::black_box(bench::run_prepared_suite_shared(
             env,
             program,
@@ -164,8 +171,10 @@ fn checked_vs_unchecked(c: &mut Criterion) {
             &shared,
             namespace,
         ));
+        warm_samples.push(run_started.elapsed());
     }
     let memoized_warm = started.elapsed();
+    let warm_median = suite_median(warm_samples);
     let pct = |with: Duration| {
         (with.as_secs_f64() - no_hook.as_secs_f64()) / no_hook.as_secs_f64().max(f64::EPSILON)
             * 100.0
@@ -193,6 +202,40 @@ fn checked_vs_unchecked(c: &mut Criterion) {
              (memoized {memoized:?} vs unmemoized {unmemoized:?})"
         );
     }
+
+    // Persist the Redmine suite medians (the warm scenario also carries
+    // the shared memo's counters) so future PRs diff perf from
+    // BENCH_SHARED_MEMO.json instead of CI logs.
+    let warm_stats = shared.stats();
+    let scenarios = vec![
+        Scenario::from_stats(
+            "redmine_suite/no_hook",
+            no_hook_median,
+            comprdl::MemoStats::default(),
+        ),
+        Scenario::from_stats(
+            "redmine_suite/unmemoized",
+            unmemoized_median,
+            comprdl::MemoStats::default(),
+        ),
+        Scenario::from_stats(
+            "redmine_suite/memoized",
+            memoized_median,
+            comprdl::MemoStats::default(),
+        ),
+        Scenario::from_stats("redmine_suite/shared_warm", warm_median, warm_stats),
+        Scenario::from_stats("corpus/overhead_harness", 0, overhead_memo.stats()),
+        Scenario::from_stats("corpus/parallel_shared", 0, parallel_memo.stats()),
+    ];
+    let path =
+        bench::results::record("checked_vs_unchecked", &scenarios).expect("persist bench results");
+    println!("results written to {}", path.display());
+}
+
+/// Median of the given per-run durations, in nanoseconds (shared median
+/// definition: `bench::results::median_ns`).
+fn suite_median(samples: Vec<Duration>) -> u128 {
+    bench::results::median_ns(samples.into_iter().map(|d| d.as_nanos()).collect())
 }
 
 criterion_group!(benches, checked_vs_unchecked);

@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod results;
+
 use comprdl::{CheckConfig, CheckOptions, TypeChecker};
 use ruby_interp::Interpreter;
 

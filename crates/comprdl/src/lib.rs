@@ -46,6 +46,7 @@
 pub mod cache;
 pub mod checker;
 pub mod env;
+pub mod memo;
 pub mod runtime;
 pub mod stdlib;
 pub mod termination;
@@ -56,9 +57,10 @@ pub use checker::{
     CheckOptions, ErrorCategory, MethodCheckResult, ProgramCheckResult, TypeChecker, TypeErrorInfo,
 };
 pub use env::CompRdl;
+pub use memo::{memo_namespace, MemoKey, MemoStats, MemoTable, NamespaceStats, SharedMemo};
 pub use runtime::{
-    make_hook, make_hook_shared, memo_namespace, type_of_value, value_fingerprint, value_matches,
-    BlameDiagnostic, CheckConfig, CompRdlHook, ConsistencyCheck, InsertedCheck, SharedMemo,
+    make_hook, make_hook_shared, type_of_value, value_fingerprint, value_matches, BlameDiagnostic,
+    CheckConfig, CompRdlHook, ConsistencyCheck, InsertedCheck,
 };
 pub use termination::{EffectEnv, EffectViolation, TerminationChecker};
 pub use tlc::{eval_comp_type, HelperRegistry, MetaKind, TlcCtx, TlcError, TlcValue};

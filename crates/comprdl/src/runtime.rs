@@ -26,31 +26,32 @@
 //!
 //! ## Sharing the memo across hooks
 //!
-//! The memo itself lives in a [`SharedMemo`]: a sharded, `Send + Sync`
-//! table that any number of hooks — e.g. the per-app hooks of the parallel
-//! corpus harness, or the warm re-runs of the overhead harness — can share
-//! through an [`Arc`].  Entries are keyed on `(namespace, site, value
-//! fingerprint)`; hooks that must never exchange verdicts (different
-//! programs whose spans collide) use different namespaces, while replays of
-//! the *same* program reuse one namespace so a warm memo serves every run.
+//! The memo itself lives in a [`SharedMemo`]: a sharded, bounded,
+//! `Send + Sync` table — lock-free on the warm read path, see the
+//! [`crate::memo`] module docs — that any number of hooks (e.g. the
+//! per-app hooks of the parallel corpus harness, or the warm re-runs of
+//! the overhead harness) can share through an [`Arc`].  Entries are keyed
+//! on `(namespace, site, value fingerprint)`; hooks that must never
+//! exchange verdicts (different programs whose spans collide) use
+//! different namespaces, while replays of the *same* program reuse one
+//! namespace so a warm memo serves every run.
 //!
 //! Two stamps guard every shared entry:
 //!
 //! * the owning hook's [`TypeStore::generation`], exactly as before, and
-//! * a memo-global **epoch**, bumped whenever *any* sharing hook's store
-//!   mutates ([`CompRdlHook::mutate_store`] and comp-type evaluations that
-//!   mutate type-level state both bump it).
+//! * the **namespace's epoch**, bumped whenever any hook *of that
+//!   namespace* observes a store mutation ([`CompRdlHook::mutate_store`]
+//!   and comp-type evaluations that mutate type-level state both bump it).
 //!
 //! A lookup that finds either stamp stale evicts the entry and
-//! re-evaluates, so one app's mid-suite migration can never replay a stale
-//! verdict into another app's thread.  Within one namespace, sharing is
-//! sound because every hook of that namespace is a deterministic replay of
-//! the same program against the same starting store: equal generations then
-//! imply equal store states.  Under that invariant the generation stamp
-//! alone already rejects every stale entry; the global epoch is a
-//! deliberately coarse backstop that keeps the memo conservative even if a
-//! harness violates replay determinism, at the cost of lazily flushing
-//! every namespace's entries on any mutation.
+//! re-evaluates, so a mid-suite migration can never replay a stale
+//! verdict — and, because the epoch is per namespace, one app's migration
+//! no longer flushes any *other* app's warm entries.  That isolation is
+//! sound because namespaces never share keys: an entry is only ever
+//! replayed by hooks of the namespace that recorded it, and within one
+//! namespace every hook is a deterministic replay of the same program
+//! against the same starting store, whose mutations all bump the same
+//! counter (equal generations then imply equal store states).
 //!
 //! ## Blame as diagnostics
 //!
@@ -63,6 +64,7 @@
 //! its span, and is delivered in execution order.
 
 use crate::cache::CacheStats;
+use crate::memo::{MemoTable, NamespaceState, SharedMemo};
 use crate::tlc::{eval_comp_type, HelperRegistry, TlcValue};
 use diagnostics::Diagnostic;
 use rdl_types::{ClassTable, Fingerprint, HashKey, SingVal, Subtyper, Type, TypeStore};
@@ -71,8 +73,7 @@ use ruby_syntax::Span;
 use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Computes the (precise) RDL type of a runtime value.  Containers produce
 /// store-backed tuple / finite hash types; strings produce const strings.
@@ -397,212 +398,12 @@ impl From<BlameDiagnostic> for Diagnostic {
     }
 }
 
-/// One memoized check outcome: the exact result (including the blame
-/// diagnostic, so replays are byte-identical to re-evaluations) and the
-/// store generation / memo epoch it was computed at.
-#[derive(Debug, Clone)]
-struct MemoEntry {
-    outcome: Result<(), BlameDiagnostic>,
-    generation: u64,
-    epoch: u64,
-}
-
 /// An interned [`type_of_value`] result, reused while the store generation
 /// is unchanged so repeated hits stop allocating fresh store ids.
 #[derive(Debug, Clone)]
 struct InternedType {
     ty: Type,
     generation: u64,
-}
-
-/// Memo keys: `(namespace, call site, value fingerprint)`.  The namespace
-/// keeps programs whose spans collide (every corpus app starts at file 0,
-/// offset 0) from ever exchanging verdicts.
-type MemoKey = (u64, Span, u64);
-
-/// One lock-guarded shard of the shared memo.
-#[derive(Debug, Default)]
-struct MemoShard {
-    /// `before_call` outcomes keyed on the receiver+argument fingerprint.
-    before: HashMap<MemoKey, MemoEntry>,
-    /// `after_call` outcomes keyed on the return-value fingerprint.
-    after: HashMap<MemoKey, MemoEntry>,
-}
-
-/// Which callback's table a memo operation addresses.
-#[derive(Debug, Clone, Copy)]
-enum MemoTable {
-    Before,
-    After,
-}
-
-/// The concurrent run-time check memo shared by every [`CompRdlHook`]
-/// constructed over it (see the module docs for the key and invalidation
-/// design): N mutex-guarded shards selected by site hash, plus the global
-/// epoch counter that store mutations bump.
-///
-/// The per-shard counters aggregated by [`SharedMemo::stats`] cover every
-/// sharing hook; each hook additionally tracks its own
-/// [`CompRdlHook::memo_stats`].
-#[derive(Debug)]
-pub struct SharedMemo {
-    shards: Box<[Mutex<MemoShard>]>,
-    epoch: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
-}
-
-impl SharedMemo {
-    /// Default shard count: enough that one thread per corpus app rarely
-    /// contends, small enough that shard occupancy stats stay readable.
-    pub const DEFAULT_SHARDS: usize = 16;
-
-    /// A memo with [`SharedMemo::DEFAULT_SHARDS`] shards.
-    pub fn new() -> Self {
-        SharedMemo::with_shards(Self::DEFAULT_SHARDS)
-    }
-
-    /// A memo with `shards` shards (clamped to at least 1).
-    pub fn with_shards(shards: usize) -> Self {
-        SharedMemo {
-            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
-            epoch: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-        }
-    }
-
-    /// The current global epoch.  Entries recorded at an older epoch are
-    /// stale: some sharing hook's store has mutated since.
-    pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
-    }
-
-    /// Advances the global epoch, invalidating every recorded entry (they
-    /// are evicted lazily, on next lookup).  Called by the hooks whenever a
-    /// store mutation is observed; harnesses can also call it directly to
-    /// model an out-of-band type-level change.
-    pub fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
-    }
-
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Entries currently recorded per shard (both tables), in shard order.
-    pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| {
-                let shard = s.lock().unwrap_or_else(|e| e.into_inner());
-                shard.before.len() + shard.after.len()
-            })
-            .collect()
-    }
-
-    /// Total number of recorded entries across all shards.
-    pub fn len(&self) -> usize {
-        self.shard_sizes().iter().sum()
-    }
-
-    /// True when no entries are recorded.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Aggregate hit / miss / invalidation counters across every hook that
-    /// shares this memo.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-        }
-    }
-
-    fn shard_for(&self, key: &MemoKey) -> &Mutex<MemoShard> {
-        // Hash the full key — including the value fingerprint — so a hot
-        // call site's entries spread across shards instead of serializing
-        // all of its lock traffic on one mutex.
-        let (namespace, site, value_fp) = key;
-        let mut fp = Fingerprint::new();
-        fp.write_u64(*namespace);
-        fp.write_usize(site.start);
-        fp.write_usize(site.end);
-        fp.write_u64(u64::from(site.file));
-        fp.write_u64(*value_fp);
-        &self.shards[(fp.finish() % self.shards.len() as u64) as usize]
-    }
-
-    /// Looks up an outcome, evicting stamp-stale entries (a store mutation
-    /// between calls must force re-evaluation, §4).  Returns the recorded
-    /// outcome (if fresh) and whether a stale entry was evicted.
-    ///
-    /// The epoch comparison uses the memo's *current* epoch, re-read here
-    /// rather than taken from the caller's earlier stamp: a caller holding
-    /// a stale sample must not evict an entry a sibling hook just recorded
-    /// at the newest epoch.  (Accepting such an entry is sound — the hit is
-    /// still gated on the caller's own store generation.)
-    fn lookup(
-        &self,
-        table: MemoTable,
-        key: &MemoKey,
-        generation: u64,
-    ) -> (Option<Result<(), BlameDiagnostic>>, bool) {
-        let epoch = self.epoch();
-        let mut shard = self.shard_for(key).lock().unwrap_or_else(|e| e.into_inner());
-        let map = match table {
-            MemoTable::Before => &mut shard.before,
-            MemoTable::After => &mut shard.after,
-        };
-        match map.get(key) {
-            Some(entry) if entry.generation == generation && entry.epoch == epoch => {
-                let outcome = entry.outcome.clone();
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                (Some(outcome), false)
-            }
-            Some(_) => {
-                map.remove(key);
-                drop(shard);
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                (None, true)
-            }
-            None => {
-                drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                (None, false)
-            }
-        }
-    }
-
-    fn insert(&self, table: MemoTable, key: MemoKey, entry: MemoEntry) {
-        let mut shard = self.shard_for(&key).lock().unwrap_or_else(|e| e.into_inner());
-        let map = match table {
-            MemoTable::Before => &mut shard.before,
-            MemoTable::After => &mut shard.after,
-        };
-        map.insert(key, entry);
-    }
-}
-
-impl Default for SharedMemo {
-    fn default() -> Self {
-        SharedMemo::new()
-    }
-}
-
-/// Derives a stable memo namespace from a program / app name, so replays of
-/// the same program share entries while unrelated programs never do.
-pub fn memo_namespace(name: &str) -> u64 {
-    let mut fp = Fingerprint::new();
-    fp.write_str(name);
-    fp.finish()
 }
 
 /// The [`DynamicCheckHook`] implementation installed into the interpreter
@@ -624,6 +425,10 @@ pub struct CompRdlHook {
     blames: RefCell<Vec<BlameDiagnostic>>,
     memo: Arc<SharedMemo>,
     namespace: u64,
+    /// The memo-shared state of this hook's namespace — its epoch and its
+    /// aggregate counters — resolved once at construction so the per-call
+    /// paths never touch the memo's namespace registry.
+    ns: Arc<NamespaceState>,
     /// Value-fingerprint → interned type.  Per-hook, *not* shared: the
     /// interned [`Type`]s hold ids of this hook's own store, which mean
     /// nothing to a sibling hook's store.
@@ -657,7 +462,7 @@ impl CompRdlHook {
     /// Builds a hook whose check memo is the given [`SharedMemo`], under the
     /// given namespace.  Hooks evaluating the *same program* (warm re-runs,
     /// or one run per harness thread) should share a namespace (see
-    /// [`memo_namespace`]); unrelated programs must not, since their spans
+    /// [`crate::memo_namespace`]); unrelated programs must not, since their spans
     /// can collide.
     pub fn with_shared_memo(
         checks: Vec<InsertedCheck>,
@@ -669,6 +474,7 @@ impl CompRdlHook {
         namespace: u64,
     ) -> Self {
         let map = checks.into_iter().map(|c| (c.site, c)).collect();
+        let ns = memo.namespace_state(namespace);
         CompRdlHook {
             checks: map,
             store: RefCell::new(store),
@@ -678,6 +484,7 @@ impl CompRdlHook {
             blames: RefCell::new(Vec::new()),
             memo,
             namespace,
+            ns,
             value_types: RefCell::new(HashMap::new()),
             stats: Cell::new(CacheStats::default()),
         }
@@ -742,14 +549,16 @@ impl CompRdlHook {
     /// Runs `f` against the hook's type store.  This models type-level state
     /// mutating *between* calls (§4 "Heap Mutation" — e.g. a migration
     /// changing a table's schema mid-run); if `f` mutates the store (its
-    /// generation moves), the shared memo's global epoch is bumped so no
-    /// sharing hook can replay a verdict recorded before the mutation.
+    /// generation moves), the hook's **namespace epoch** is bumped so no
+    /// hook of this namespace can replay a verdict recorded before the
+    /// mutation.  Other namespaces' warm entries are untouched — they never
+    /// share keys with this one.
     pub fn mutate_store<R>(&self, f: impl FnOnce(&mut TypeStore) -> R) -> R {
         let mut store = self.store.borrow_mut();
         let before = store.generation();
         let result = f(&mut store);
         if store.generation() != before {
-            self.memo.bump_epoch();
+            self.ns.bump_epoch();
         }
         result
     }
@@ -905,9 +714,10 @@ impl DynamicCheckHook for CompRdlHook {
             }
             (self.namespace, site, fp.finish())
         });
-        let stamp = key.map(|_| (self.store.borrow().generation(), self.memo.epoch()));
+        let stamp = key.map(|_| (self.store.borrow().generation(), self.ns.epoch()));
         if let (Some(key), Some((generation, _))) = (&key, stamp) {
-            let (cached, invalidated) = self.memo.lookup(MemoTable::Before, key, generation);
+            let (cached, invalidated) =
+                self.memo.lookup(MemoTable::Before, key, generation, &self.ns);
             match cached {
                 Some(outcome) => {
                     self.note_hit();
@@ -923,8 +733,8 @@ impl DynamicCheckHook for CompRdlHook {
         if mutated {
             // The evaluation itself mutated type-level state (comp-type
             // helpers hold `&mut TypeStore` — e.g. an in-band schema
-            // migration).  Every sharing hook must re-validate.
-            self.memo.bump_epoch();
+            // migration).  Every hook of this namespace must re-validate.
+            self.ns.bump_epoch();
         }
         if let (false, Some(key), Some((generation, epoch))) = (mutated, key, stamp) {
             // Record the verdict stamped with the generation/epoch read
@@ -936,11 +746,7 @@ impl DynamicCheckHook for CompRdlHook {
             // the stamp and replay it — so the only safe entry is no entry.
             // The next call re-evaluates, exactly like the unmemoized
             // baseline.
-            self.memo.insert(
-                MemoTable::Before,
-                key,
-                MemoEntry { outcome: outcome.clone(), generation, epoch },
-            );
+            self.memo.insert(MemoTable::Before, &key, generation, epoch, &outcome);
         }
         self.deliver(outcome)
     }
@@ -952,9 +758,10 @@ impl DynamicCheckHook for CompRdlHook {
         let Some(check) = self.checks.get(&site) else { return Ok(()) };
 
         let key = self.config.memoize.then(|| (self.namespace, site, value_fingerprint(ret)));
-        let stamp = key.map(|_| (self.store.borrow().generation(), self.memo.epoch()));
+        let stamp = key.map(|_| (self.store.borrow().generation(), self.ns.epoch()));
         if let (Some(key), Some((generation, _))) = (&key, stamp) {
-            let (cached, invalidated) = self.memo.lookup(MemoTable::After, key, generation);
+            let (cached, invalidated) =
+                self.memo.lookup(MemoTable::After, key, generation, &self.ns);
             match cached {
                 Some(outcome) => {
                     self.note_hit();
@@ -981,11 +788,7 @@ impl DynamicCheckHook for CompRdlHook {
         };
         drop(store);
         if let (Some(key), Some((generation, epoch))) = (key, stamp) {
-            self.memo.insert(
-                MemoTable::After,
-                key,
-                MemoEntry { outcome: outcome.clone(), generation, epoch },
-            );
+            self.memo.insert(MemoTable::After, &key, generation, epoch, &outcome);
         }
         self.deliver(outcome)
     }
@@ -1004,7 +807,7 @@ pub fn make_hook(
 }
 
 /// Like [`make_hook`], but recording into the given [`SharedMemo`] under
-/// `namespace` (see [`memo_namespace`]).  This is what the corpus harnesses
+/// `namespace` (see [`crate::memo_namespace`]).  This is what the corpus harnesses
 /// use so every per-app hook — across threads and across warm re-runs —
 /// shares one memo.
 pub fn make_hook_shared(
@@ -1022,6 +825,7 @@ pub fn make_hook_shared(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memo::memo_namespace;
 
     fn classes() -> ClassTable {
         let mut ct = ClassTable::with_builtins();
@@ -1517,10 +1321,44 @@ mod tests {
     }
 
     #[test]
-    fn one_hooks_mutation_invalidates_every_sharing_hook() {
-        // The global epoch: hook A's store mutation must keep hook B (same
-        // shared memo, any namespace) from replaying entries recorded before
-        // it — B re-validates against its own store instead.
+    fn one_hooks_mutation_invalidates_its_own_namespace() {
+        // The namespace epoch: hook A's store mutation must keep hook B —
+        // same shared memo, *same namespace* — from replaying entries
+        // recorded before it; B re-validates against its own store instead.
+        let memo = Arc::new(SharedMemo::new());
+        let site = Span::new(1, 5, 1);
+        let ns = memo_namespace("app");
+        let a = hook_on(&memo, ns, site);
+        let b = hook_on(&memo, ns, site);
+        let value = Value::array(vec![Value::str("x")]);
+        assert!(a.after_call(site, &value).is_ok());
+        assert!(b.after_call(site, &value).is_ok());
+        assert_eq!(b.memo_stats(), CacheStats { hits: 1, misses: 0, invalidations: 0 });
+
+        a.mutate_store(|s| {
+            let t = s.new_tuple(vec![Type::nominal("Integer")]);
+            let Type::Tuple(id) = t else { unreachable!() };
+            s.promote_tuple(id);
+        });
+        assert_eq!(memo.namespace_epoch(ns), 1, "an observed store mutation bumps the epoch");
+
+        assert!(b.after_call(site, &value).is_ok());
+        assert_eq!(
+            b.memo_stats(),
+            CacheStats { hits: 1, misses: 1, invalidations: 1 },
+            "b's pre-mutation entry was evicted, not replayed"
+        );
+        // A no-op mutate_store (generation unchanged) must not thrash the
+        // epoch.
+        a.mutate_store(|s| s.generation());
+        assert_eq!(memo.namespace_epoch(ns), 1);
+    }
+
+    #[test]
+    fn one_hooks_mutation_leaves_other_namespaces_warm() {
+        // Per-namespace epochs: app A's migration must not flush app B's
+        // warm entries — B keeps replaying its own verdicts at full hit
+        // rate (namespaces never share keys, so this is sound).
         let memo = Arc::new(SharedMemo::new());
         let site = Span::new(1, 5, 1);
         let a = hook_on(&memo, memo_namespace("app-a"), site);
@@ -1534,17 +1372,73 @@ mod tests {
             let Type::Tuple(id) = t else { unreachable!() };
             s.promote_tuple(id);
         });
-        assert_eq!(memo.epoch(), 1, "an observed store mutation bumps the epoch");
+        assert_eq!(memo.namespace_epoch(memo_namespace("app-a")), 1);
+        assert_eq!(memo.namespace_epoch(memo_namespace("app-b")), 0, "b's epoch is untouched");
 
         assert!(b.after_call(site, &value).is_ok());
         assert_eq!(
             b.memo_stats(),
-            CacheStats { hits: 0, misses: 2, invalidations: 1 },
-            "b's pre-mutation entry was evicted, not replayed"
+            CacheStats { hits: 1, misses: 1, invalidations: 0 },
+            "b's warm entry must survive a's migration"
         );
-        // A no-op mutate_store (generation unchanged) must not thrash the
-        // epoch.
-        a.mutate_store(|s| s.generation());
-        assert_eq!(memo.epoch(), 1);
+        // A's own entry is gone, exactly as before.
+        assert!(a.after_call(site, &value).is_ok());
+        assert_eq!(a.memo_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn entry_recorded_just_before_a_concurrent_bump_is_rejected() {
+        // The stale-epoch acceptance window: a hook samples its namespace
+        // epoch *before* evaluating, and the entry it records carries that
+        // sample.  If the epoch is bumped concurrently (here: out-of-band
+        // through the memo, mid-evaluation), the recorded entry is already
+        // stale at insert time — the next lookup must re-read the (bumped)
+        // namespace epoch and reject it rather than replay it.
+        let memo = Arc::new(SharedMemo::new());
+        let ns = memo_namespace("app");
+        let memo_for_helper = memo.clone();
+        let fired = std::sync::atomic::AtomicBool::new(false);
+        let mut helpers = HelperRegistry::new();
+        helpers.register_native("bump_once", move |_ctx, _args| {
+            if !fired.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                memo_for_helper.bump_namespace_epoch(ns);
+            }
+            Ok(crate::tlc::TlcValue::Type(Type::nominal("Integer")))
+        });
+        let site = Span::new(1, 2, 1);
+        let check = InsertedCheck {
+            site,
+            description: "Table#where".to_string(),
+            expected_return: Type::object(),
+            consistency: Some(ConsistencyCheck {
+                ret_expr: ruby_syntax::parse_expr("bump_once()").unwrap(),
+                binders: vec![],
+                expected: Type::nominal("Integer"),
+            }),
+        };
+        let hook = CompRdlHook::with_shared_memo(
+            vec![check],
+            TypeStore::new(),
+            classes(),
+            helpers,
+            CheckConfig { raise_blame: false, ..CheckConfig::default() },
+            memo.clone(),
+            ns,
+        );
+        let recv = Value::Class("User".into());
+        // First call: miss, evaluates; the helper bumps the namespace epoch
+        // mid-evaluation, so the entry is recorded with a pre-bump stamp.
+        assert!(hook.before_call(site, &recv, &[]).is_ok());
+        // Second call: the pre-bump entry must be rejected (invalidation),
+        // not replayed, and a fresh entry recorded at the new epoch.
+        assert!(hook.before_call(site, &recv, &[]).is_ok());
+        // Third call: the fresh entry replays.
+        assert!(hook.before_call(site, &recv, &[]).is_ok());
+        assert_eq!(
+            hook.memo_stats(),
+            CacheStats { hits: 1, misses: 2, invalidations: 1 },
+            "the entry recorded just before the concurrent bump must be rejected"
+        );
+        assert_eq!(hook.blames().len(), 0, "the verdicts themselves are consistent");
     }
 }

@@ -1,9 +1,7 @@
 //! The evaluation harness: reproduces Table 1 and Table 2 of the paper.
 
 use crate::app::App;
-use comprdl::{
-    memo_namespace, BlameDiagnostic, CheckConfig, CheckOptions, CompRdl, SharedMemo, TypeChecker,
-};
+use comprdl::{BlameDiagnostic, CheckConfig, CheckOptions, CompRdl, SharedMemo, TypeChecker};
 use diagnostics::{Diagnostic, DiagnosticBag};
 use ruby_interp::Interpreter;
 use std::sync::Arc;
@@ -216,7 +214,8 @@ pub fn evaluate_app_shared(
 
     // Run the test suite with the inserted dynamic checks, collecting (not
     // raising) blame so migrating suites like `apps::sequel` complete and
-    // report their full blame diagnostics.
+    // report their full blame diagnostics.  Registering (rather than just
+    // deriving) the namespace labels the app's row in `format_memo_stats`.
     let hook = comprdl::make_hook_shared(
         comp_result.checks(),
         comp_result.store.clone(),
@@ -224,7 +223,7 @@ pub fn evaluate_app_shared(
         env.helpers.clone(),
         CheckConfig { raise_blame: false, ..CheckConfig::default() },
         memo.clone(),
-        memo_namespace(app.name),
+        memo.register_namespace(app.name),
     );
     let mut checked = Interpreter::new(program.clone());
     checked.set_hook(hook.clone());
@@ -470,7 +469,7 @@ pub fn evaluate_overhead_shared(
             env.helpers.clone(),
             CheckConfig { memoize, raise_blame: false, ..CheckConfig::default() },
             memo.clone(),
-            memo_namespace(app.name),
+            memo.register_namespace(app.name),
         );
         let mut interp = Interpreter::new(program.clone());
         interp.set_hook(hook.clone());
@@ -588,29 +587,52 @@ pub fn table2_overhead_shared(memo: &Arc<SharedMemo>) -> Result<Vec<OverheadRow>
     crate::apps::all().iter().map(|app| evaluate_overhead_shared(app, memo)).collect()
 }
 
-/// Renders a [`SharedMemo`]'s aggregate statistics — hit / miss /
-/// invalidation counters, hit rate, and per-shard occupancy — as the
-/// one-line-per-fact block the CI smoke bench prints, so regressions in
-/// cross-thread hit rate are visible in CI logs.
+/// Renders a [`SharedMemo`]'s statistics — aggregate hit / miss /
+/// invalidation / eviction counters, hit rate, per-shard occupancy, and one
+/// row per registered namespace (epoch and counters per app) — as the
+/// block the CI smoke benches print, so regressions in cross-thread hit
+/// rate or in namespace isolation are visible in CI logs.
 pub fn format_memo_stats(memo: &SharedMemo) -> String {
     let stats = memo.stats();
-    let lookups = stats.hits + stats.misses;
-    let rate = if lookups == 0 { 0.0 } else { stats.hits as f64 / lookups as f64 * 100.0 };
     // One pass over the shards: the headline total must agree with the
     // per-shard list even if hooks are still recording concurrently.
     let sizes = memo.shard_sizes();
     let total: usize = sizes.iter().sum();
     let rendered: Vec<String> = sizes.iter().map(usize::to_string).collect();
-    format!(
-        "SharedMemo: {total} entries across {} shards [{}]\n\
-         SharedMemo: {} hits / {} misses / {} invalidations ({rate:.1}% hit rate, epoch {})\n",
+    let mut out = format!(
+        "SharedMemo: {total} entries across {} shards (capacity {}) [{}]\n\
+         SharedMemo: {} hits / {} misses / {} invalidations / {} evictions \
+         ({:.1}% hit rate)\n",
         memo.shard_count(),
+        memo.capacity(),
         rendered.join(" "),
         stats.hits,
         stats.misses,
         stats.invalidations,
-        memo.epoch(),
-    )
+        stats.evictions,
+        stats.hit_rate() * 100.0,
+    );
+    // Per-namespace rows: each app's epoch (how many migrations its hooks
+    // observed) and its own counters, so one app's churn is attributable
+    // instead of being smeared across the aggregate line.
+    for ns in memo.namespace_stats() {
+        let label = if ns.label.is_empty() {
+            format!("ns#{:016x}", ns.namespace)
+        } else {
+            ns.label.clone()
+        };
+        out.push_str(&format!(
+            "  {label:<12} epoch {:>3}  {:>6} hits / {:>6} misses / {:>4} inval / {:>4} evict \
+             ({:.1}% hit rate)\n",
+            ns.epoch,
+            ns.stats.hits,
+            ns.stats.misses,
+            ns.stats.invalidations,
+            ns.stats.evictions,
+            ns.stats.hit_rate() * 100.0,
+        ));
+    }
+    out
 }
 
 /// Renders the overhead rows in roughly the layout of the paper's Table 2

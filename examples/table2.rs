@@ -18,8 +18,10 @@ fn main() {
     println!("{}", corpus::format_table1(&rows, helpers));
 
     // One shared memo serves every app thread; its stats show the
-    // cross-thread hit rate and the epoch bumps from the Sequel app's
-    // mid-suite migration.
+    // cross-thread hit rate, per-shard occupancy against the bounded
+    // capacity, and one row per app — whose epoch column shows the Sequel
+    // app's mid-suite migration bumping *its own* namespace epoch while
+    // every other app's stays at zero (per-namespace isolation).
     let memo = Arc::new(comprdl::SharedMemo::new());
     let rows =
         corpus::table2_parallel_shared(&memo).unwrap_or_else(|e| panic!("harness failed: {e}"));
