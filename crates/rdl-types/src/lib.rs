@@ -26,6 +26,7 @@
 
 pub mod class;
 pub mod fingerprint;
+pub mod intern;
 pub mod parse;
 pub mod sig;
 pub mod store;
@@ -34,12 +35,13 @@ pub mod ty;
 
 pub use class::{ClassInfo, ClassTable};
 pub use fingerprint::Fingerprint;
+pub use intern::{intern, InternStats, TypeId};
 pub use parse::{parse_method_sig, parse_type_expr, SigParseError};
 pub use sig::{
     AnnotationTable, CompSpec, MethodKind, MethodSig, ParamSig, PurityEffect, TermEffect, TypeExpr,
 };
 pub use store::{ConstStringData, Constraint, FiniteHashData, StoreShift, TupleData, TypeStore};
-pub use subtype::Subtyper;
+pub use subtype::{verdict_cache, Subtyper};
 pub use ty::{ConstStringId, FiniteHashId, HashKey, SingVal, TupleId, Type};
 
 // Deterministic property tests. The container has no crates.io access, so
@@ -152,6 +154,35 @@ mod proptests {
             let u2 = Type::union([c, a, b]);
             assert_eq!(u1, u2);
             assert_eq!(Type::union([u1.clone()]), u1);
+        }
+    }
+
+    /// The interned fast paths (id short-circuit + verdict cache for
+    /// subtyping, precomputed digests, cached renders) are observationally
+    /// identical to the structural-walk oracles on random store-free types.
+    #[test]
+    fn interned_paths_match_structural_oracles() {
+        let classes = ClassTable::with_builtins();
+        let store = TypeStore::new();
+        let sub = Subtyper::new(&classes);
+        let mut rng = Rng::new(0x1D0C0DE);
+        for _ in 0..CASES {
+            let a = arb_type(&mut rng, 3);
+            let b = arb_type(&mut rng, 3);
+            assert_eq!(
+                sub.is_subtype(&store, &a, &b),
+                sub.is_subtype_uncached(&store, &a, &b),
+                "cached subtype verdict diverged for {a} <= {b}"
+            );
+            assert_eq!(
+                store.fingerprint(&a),
+                store.fingerprint_uncached(&a),
+                "interned digest diverged for {a}"
+            );
+            assert_eq!(store.render(&a), store.render_uncached(&a), "render diverged for {a}");
+            assert_eq!(store.render(&a), a.to_string(), "store-free render must equal Display");
+            // Interning agrees with structural equality in both directions.
+            assert_eq!(intern(&a) == intern(&b), a == b, "id equality diverged for {a} / {b}");
         }
     }
 

@@ -1,8 +1,231 @@
 //! Subtyping, least upper bounds, and constraint replay.
+//!
+//! Subtyping is the innermost loop of every check this system performs, so
+//! [`Subtyper::is_subtype`] layers two fast paths over the structural
+//! rules:
+//!
+//! 1. **Id short-circuit.**  Store-free operands are interned
+//!    ([`crate::intern`]); hash-consing makes structural equality id
+//!    equality, so `sub == sup` costs two integer compares instead of a
+//!    tree walk.
+//! 2. **Verdict cache.**  Non-equal store-free pairs consult a global,
+//!    fixed-size seqlock slot table (the same lock-free read discipline as
+//!    comprdl's runtime memo) keyed `(sub_id, sup_id, class-table stamp)`.
+//!    The stamp ([`ClassTable::stamp`]) is globally unique and re-allocated
+//!    on every hierarchy mutation, so stale verdicts die with their stamp
+//!    and no invalidation traffic is needed.
+//!
+//! Store-backed operands (tuples, finite hashes, const strings — mutable,
+//! per-store ids) always take the structural path: their meaning can change
+//! under the cache's feet, and their ids alias across stores.
+//! [`Subtyper::is_subtype_uncached`] bypasses both layers and is the oracle
+//! the cached path is property-tested against (see `verdict_cache`'s
+//! [`set_enabled`](verdict_cache::set_enabled) for the corpus-level
+//! byte-identical gate).
 
 use crate::class::ClassTable;
+use crate::intern::{self, Node, TypeId};
 use crate::store::{Constraint, TypeStore};
 use crate::ty::{HashKey, SingVal, Type};
+
+/// The global subtype-verdict cache: a fixed-size, sharded seqlock slot
+/// table.  Readers are lock-free (a bounded seqlock retry per probed
+/// slot); writers serialize per shard and evict with a rotating hand.
+/// Entries are keyed on interned type ids plus the class-table stamp, so
+/// a verdict can never outlive the exact hierarchy it was computed under.
+pub mod verdict_cache {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    const SHARDS: usize = 16;
+    /// Slots per shard (power of two): 32k verdicts total, ~1.5 MB.
+    const SLOTS: usize = 2048;
+    /// Linear-probe window, mirroring the runtime memo's slot arrays.
+    const PROBE: usize = 8;
+    /// Bounded seqlock retries before a reader gives up on a slot mid-write
+    /// and treats it as a miss (a cache may always miss).
+    const SPIN: usize = 32;
+
+    struct Slot {
+        /// Seqlock word: odd while a writer is mid-update.
+        seq: AtomicU64,
+        /// `sub_id << 32 | sup_id`.
+        key: AtomicU64,
+        /// Class-table stamp; `0` marks an empty slot (real stamps start
+        /// at 1).
+        stamp: AtomicU64,
+        verdict: AtomicU64,
+    }
+
+    struct Shard {
+        slots: Box<[Slot]>,
+        /// Serializes writers; holds the rotating eviction hand.
+        write: Mutex<usize>,
+    }
+
+    struct Table {
+        shards: Vec<Shard>,
+    }
+
+    fn table() -> &'static Table {
+        static TABLE: OnceLock<Table> = OnceLock::new();
+        TABLE.get_or_init(|| Table {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    slots: (0..SLOTS)
+                        .map(|_| Slot {
+                            seq: AtomicU64::new(0),
+                            key: AtomicU64::new(0),
+                            stamp: AtomicU64::new(0),
+                            verdict: AtomicU64::new(0),
+                        })
+                        .collect(),
+                    write: Mutex::new(0),
+                })
+                .collect(),
+        })
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+    static INSERTS: AtomicU64 = AtomicU64::new(0);
+    static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// Cache counters (cumulative for the process; read deltas to measure
+    /// a workload).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct VerdictCacheStats {
+        /// Queries answered from a slot.
+        pub hits: u64,
+        /// Queries that fell through to the structural rules.
+        pub misses: u64,
+        /// Verdicts written.
+        pub inserts: u64,
+        /// Occupied slots overwritten by an unrelated key.
+        pub evictions: u64,
+    }
+
+    /// Current cumulative counters.
+    pub fn stats() -> VerdictCacheStats {
+        VerdictCacheStats {
+            hits: HITS.load(Ordering::Relaxed),
+            misses: MISSES.load(Ordering::Relaxed),
+            inserts: INSERTS.load(Ordering::Relaxed),
+            evictions: EVICTIONS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Globally enables / disables the cache (and the id fast path that
+    /// feeds it), returning the previous setting.  Verdicts are identical
+    /// either way — disabling exists so tests and benches can compare the
+    /// cached pipeline against the structural walk byte-for-byte, and it
+    /// is safe to flip while other threads are mid-query (each query
+    /// reads the flag once).
+    pub fn set_enabled(enabled: bool) -> bool {
+        ENABLED.swap(enabled, Ordering::Relaxed)
+    }
+
+    /// Whether the cache is currently consulted.
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    fn place(key: u64, stamp: u64) -> (usize, usize) {
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.write_u64(key);
+        fp.write_u64(stamp);
+        let h = fp.finish();
+        ((h >> 56) as usize % SHARDS, h as usize % SLOTS)
+    }
+
+    pub(super) fn pack(a: super::TypeId, b: super::TypeId) -> u64 {
+        (u64::from(a.index()) << 32) | u64::from(b.index())
+    }
+
+    /// Lock-free lookup; `None` on absence or reader give-up.
+    pub(super) fn get(key: u64, stamp: u64) -> Option<bool> {
+        let (si, start) = place(key, stamp);
+        let shard = &table().shards[si];
+        for i in 0..PROBE {
+            let slot = &shard.slots[(start + i) % SLOTS];
+            let mut spins = 0;
+            loop {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 & 1 == 1 {
+                    spins += 1;
+                    if spins > SPIN {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let k = slot.key.load(Ordering::Acquire);
+                let st = slot.stamp.load(Ordering::Acquire);
+                let v = slot.verdict.load(Ordering::Acquire);
+                if slot.seq.load(Ordering::Acquire) != s1 {
+                    // Torn read: a writer raced us.  Retry (bounded).
+                    spins += 1;
+                    if spins > SPIN {
+                        break;
+                    }
+                    continue;
+                }
+                if st == stamp && k == key {
+                    return Some(v == 1);
+                }
+                break;
+            }
+        }
+        None
+    }
+
+    pub(super) fn put(key: u64, stamp: u64, verdict: bool) {
+        let (si, start) = place(key, stamp);
+        let shard = &table().shards[si];
+        let mut hand = shard.write.lock().unwrap_or_else(|e| e.into_inner());
+        // Prefer the slot already holding this key, then an empty slot,
+        // then the rotating victim.
+        let mut victim = None;
+        let mut empty = None;
+        for i in 0..PROBE {
+            let idx = (start + i) % SLOTS;
+            let slot = &shard.slots[idx];
+            let st = slot.stamp.load(Ordering::Relaxed);
+            if st == stamp && slot.key.load(Ordering::Relaxed) == key {
+                victim = Some((idx, false));
+                break;
+            }
+            if st == 0 && empty.is_none() {
+                empty = Some(idx);
+            }
+        }
+        let (idx, evicts) = victim.or(empty.map(|i| (i, false))).unwrap_or_else(|| {
+            let i = (start + *hand % PROBE) % SLOTS;
+            *hand = hand.wrapping_add(1);
+            (i, true)
+        });
+        if evicts {
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = &shard.slots[idx];
+        // Seqlock write: odd seq while the fields are inconsistent.
+        slot.seq.fetch_add(1, Ordering::AcqRel);
+        slot.key.store(key, Ordering::Release);
+        slot.stamp.store(stamp, Ordering::Release);
+        slot.verdict.store(u64::from(verdict), Ordering::Release);
+        slot.seq.fetch_add(1, Ordering::Release);
+        INSERTS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn note_hit() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn note_miss() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Answers subtyping queries relative to a class table.
 #[derive(Debug, Clone, Copy)]
@@ -25,10 +248,108 @@ impl<'a> Subtyper<'a> {
     ///
     /// Store-backed types are *not* promoted by this query, but already
     /// performed promotions are honoured via [`TypeStore::resolve`].
+    ///
+    /// Store-free operands take the interned fast path (id short-circuit
+    /// plus the global [`verdict_cache`]); store-backed operands take the
+    /// structural rules.  Both return exactly what
+    /// [`Subtyper::is_subtype_uncached`] returns.
     pub fn is_subtype(&self, store: &TypeStore, sub: &Type, sup: &Type) -> bool {
+        // Store-free operands resolve to themselves, so the fast path skips
+        // the two deep clones [`TypeStore::resolve`] would make.  (A
+        // store-backed operand that a promotion would resolve store-free
+        // simply takes the structural path below.)
+        if verdict_cache::is_enabled()
+            && !sub.contains_store_backed()
+            && !sup.contains_store_backed()
+        {
+            let a = intern::intern(sub);
+            let b = intern::intern(sup);
+            return self.is_subtype_ids(a, b, self.classes.stamp());
+        }
         let sub = store.resolve(sub);
         let sup = store.resolve(sup);
         self.is_subtype_resolved(store, &sub, &sup)
+    }
+
+    /// [`Subtyper::is_subtype`] with the interner and verdict cache
+    /// bypassed: the plain structural walk, kept public as the oracle the
+    /// cached path is property-tested against and as the baseline the
+    /// `type_core` bench measures.
+    pub fn is_subtype_uncached(&self, store: &TypeStore, sub: &Type, sup: &Type) -> bool {
+        let sub = store.resolve(sub);
+        let sup = store.resolve(sup);
+        self.is_subtype_resolved(store, &sub, &sup)
+    }
+
+    /// The subtype rules over interned ids, for store-free operands only.
+    /// Mirrors `is_subtype_resolved` arm for arm (minus the store-backed
+    /// arms, which cannot be reached: store-backedness propagates to every
+    /// parent node, so the entry check above filters whole trees).
+    fn is_subtype_ids(&self, a: TypeId, b: TypeId, stamp: u64) -> bool {
+        // Hash-consing makes id equality structural equality — the `sub ==
+        // sup` rule for free.
+        if a == b {
+            return true;
+        }
+        let key = verdict_cache::pack(a, b);
+        if let Some(verdict) = verdict_cache::get(key, stamp) {
+            verdict_cache::note_hit();
+            return verdict;
+        }
+        verdict_cache::note_miss();
+        let verdict = self.compute_ids(a, b, stamp);
+        verdict_cache::put(key, stamp, verdict);
+        verdict
+    }
+
+    fn compute_ids(&self, a: TypeId, b: TypeId, stamp: u64) -> bool {
+        use Node::*;
+        let na = intern::info(a).node();
+        let nb = intern::info(b).node();
+        match (na, nb) {
+            // Dynamic is compatible in both directions; Bot/Top as usual.
+            (Dynamic, _) | (_, Dynamic) => true,
+            (Bot, _) => true,
+            (_, Top) => true,
+            (Top, _) => false,
+            // `nil` is allowed wherever any object is expected.
+            (Singleton(SingVal::Nil), _) => true,
+            // Optional / vararg wrappers are transparent for subtyping.
+            (Optional(t), _) => self.is_subtype_ids(*t, b, stamp),
+            (_, Optional(t)) => self.is_subtype_ids(a, *t, stamp),
+            (Vararg(t), _) => self.is_subtype_ids(*t, b, stamp),
+            (_, Vararg(t)) => self.is_subtype_ids(a, *t, stamp),
+            // Unions.
+            (Union(ts), _) => ts.iter().all(|t| self.is_subtype_ids(*t, b, stamp)),
+            (_, Union(ts)) => ts.iter().any(|t| self.is_subtype_ids(a, *t, stamp)),
+            // Booleans.
+            (Singleton(SingVal::True), Bool) | (Singleton(SingVal::False), Bool) => true,
+            (Nominal(n), Bool) => &**n == "TrueClass" || &**n == "FalseClass" || &**n == "Boolean",
+            (Bool, Nominal(n)) => self.classes.is_subclass("Boolean", n),
+            (Bool, _) => false,
+            // Singletons are subtypes of their class.
+            (Singleton(v), Nominal(n)) => self.classes.is_subclass(v.class_of(), n),
+            (Singleton(SingVal::Class(_)), Generic { base, .. }) => &**base == "Class",
+            // Nominal subtyping follows the class hierarchy.
+            (Nominal(x), Nominal(y)) => self.classes.is_subclass(x, y),
+            // Generic types: base must be a subclass, arguments covariant.
+            (Generic { base: b1, args: a1 }, Generic { base: b2, args: a2 }) => {
+                self.classes.is_subclass(b1, b2)
+                    && a1.len() == a2.len()
+                    && a1.iter().zip(a2.iter()).all(|(x, y)| self.is_subtype_ids(*x, *y, stamp))
+            }
+            (Generic { base, .. }, Nominal(n)) => self.classes.is_subclass(base, n),
+            (Nominal(_), Generic { .. }) => false,
+            // Type variables are only compatible with themselves (equal
+            // names interned to equal ids above).
+            (Var(x), Var(y)) => x == y,
+            (Var(_), _) | (_, Var(_)) => false,
+            (Tuple(_) | FiniteHash(_) | ConstString(_), _)
+            | (_, Tuple(_) | FiniteHash(_) | ConstString(_)) => {
+                unreachable!("store-backed nodes never reach the id path")
+            }
+            _ => false,
+        }
     }
 
     fn is_subtype_resolved(&self, store: &TypeStore, sub: &Type, sup: &Type) -> bool {
@@ -362,5 +683,88 @@ mod tests {
         let sub = Subtyper::new(&ct);
         assert!(sub.is_subtype(&store, &Type::Dynamic, &Type::nominal("String")));
         assert!(sub.is_subtype(&store, &Type::nominal("String"), &Type::Dynamic));
+    }
+
+    #[test]
+    fn cached_path_matches_structural_oracle() {
+        let (ct, store) = setup();
+        let sub = Subtyper::new(&ct);
+        let samples = [
+            Type::Top,
+            Type::Bot,
+            Type::Bool,
+            Type::Dynamic,
+            Type::nil(),
+            Type::nominal("Integer"),
+            Type::nominal("Numeric"),
+            Type::nominal("String"),
+            Type::sym("emails"),
+            Type::int(3),
+            Type::class_of("User"),
+            Type::Singleton(SingVal::True),
+            Type::Var("t".into()),
+            Type::Var("u".into()),
+            Type::Optional(Box::new(Type::nominal("Integer"))),
+            Type::Vararg(Box::new(Type::nominal("String"))),
+            Type::union([Type::nominal("Integer"), Type::nominal("String")]),
+            Type::array(Type::nominal("Integer")),
+            Type::array(Type::nominal("Numeric")),
+            Type::hash(Type::nominal("Symbol"), Type::object()),
+            Type::Generic { base: "Class".into(), args: vec![Type::nominal("User")] },
+        ];
+        // Twice, so the second pass reads a warm verdict cache.
+        for round in 0..2 {
+            for a in &samples {
+                for b in &samples {
+                    assert_eq!(
+                        sub.is_subtype(&store, a, b),
+                        sub.is_subtype_uncached(&store, a, b),
+                        "cached verdict diverged for {a} <= {b} (round {round})"
+                    );
+                }
+            }
+        }
+        // The warm pass must actually have hit the cache.
+        let warm = verdict_cache::stats();
+        assert!(warm.hits > 0, "expected verdict-cache hits, got {warm:?}");
+    }
+
+    #[test]
+    fn verdict_cache_invalidates_on_class_mutation() {
+        let mut ct = ClassTable::with_builtins();
+        ct.add_class("Staff", Some("Object"));
+        let store = TypeStore::new();
+        let staff = Type::nominal("Staff");
+        let admin = Type::nominal("Admin");
+        {
+            let sub = Subtyper::new(&ct);
+            // Prime the cache: Admin is unknown, so it is not below Staff.
+            assert!(!sub.is_subtype(&store, &admin, &staff));
+            assert!(!sub.is_subtype(&store, &admin, &staff));
+        }
+        // Mutating the hierarchy restamps the table; the cached negative
+        // verdict is keyed to the dead stamp and cannot be returned.
+        ct.add_class("Admin", Some("Staff"));
+        let sub = Subtyper::new(&ct);
+        assert!(sub.is_subtype(&store, &admin, &staff));
+        assert!(sub.is_subtype(&store, &admin, &staff), "warm re-query agrees");
+    }
+
+    #[test]
+    fn disabling_the_cache_changes_no_verdicts() {
+        let (ct, store) = setup();
+        let sub = Subtyper::new(&ct);
+        let pairs = [
+            (Type::int(3), Type::nominal("Numeric")),
+            (Type::array(Type::nominal("Integer")), Type::array(Type::nominal("Numeric"))),
+            (Type::nominal("String"), Type::nominal("Integer")),
+        ];
+        let was = verdict_cache::set_enabled(false);
+        let off: Vec<bool> = pairs.iter().map(|(a, b)| sub.is_subtype(&store, a, b)).collect();
+        verdict_cache::set_enabled(true);
+        let on: Vec<bool> = pairs.iter().map(|(a, b)| sub.is_subtype(&store, a, b)).collect();
+        verdict_cache::set_enabled(was);
+        assert_eq!(off, on);
+        assert_eq!(on, vec![true, true, false]);
     }
 }
