@@ -1,0 +1,291 @@
+//! Incremental re-checking latency: a cold from-scratch corpus check
+//! against a warm run that replays every verdict from the on-disk
+//! [`comprdl::CheckCache`], plus the single-method-edit case in between.
+//!
+//! Each sample covers **both** checking passes (comp types on, plain RDL)
+//! for all eight corpus apps — the same work `corpus::table2_incremental`
+//! does, minus the test suites, so the cold/warm gap measures the checker,
+//! not the interpreter.  The warm sample re-loads the cache file from disk
+//! every time: a fresh process pays deserialization, so the bench does too.
+//!
+//! Besides timing, this bench is a correctness gate (smoke mode included):
+//!
+//! * the warm run must replay **every** verdict (zero re-checks), and every
+//!   replayed verdict must agree with the cold run on error count, casts
+//!   and inserted checks;
+//! * the single-method edit must invalidate *some but not all* methods of
+//!   the edited app and leave every other app fully replayed;
+//! * in full mode the warm median must beat the cold median.
+//!
+//! Scenario medians land in `BENCH_SHARED_MEMO.json` under
+//! `recheck_latency` (`hits` = verdicts replayed, `misses` = verdicts
+//! re-checked), where CI's parse gate asserts their presence.
+
+use bench::results::Scenario;
+use comprdl::persist::content_hash;
+use comprdl::semdep::{env_hash, DepGraph};
+use comprdl::{CheckCache, CheckOptions, CompRdl, MethodCheckResult, TypeChecker};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdl_types::TypeStore;
+use ruby_syntax::Program;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One corpus app, parsed and hashed once so the timed loops measure
+/// checking and replay, not environment assembly.
+struct AppCtx {
+    name: String,
+    plain_key: String,
+    env: CompRdl,
+    program: Program,
+    files: Vec<u64>,
+    graph: DepGraph,
+    env_h: u64,
+}
+
+fn contexts() -> Vec<AppCtx> {
+    corpus::apps::all()
+        .iter()
+        .map(|app| {
+            let env = app.build_env();
+            let (program, _sources) = app.parse().expect("app parses");
+            let graph = DepGraph::build(&env, &program);
+            let env_h = env_hash(&env);
+            AppCtx {
+                name: app.name.to_string(),
+                plain_key: format!("{}::plain", app.name),
+                env,
+                program,
+                files: vec![content_hash(app.source), content_hash(app.test_suite)],
+                graph,
+                env_h,
+            }
+        })
+        .collect()
+}
+
+fn plain_options() -> CheckOptions {
+    CheckOptions { use_comp_types: false, ..CheckOptions::default() }
+}
+
+/// The observable shape of one method's verdict, for the replay-fidelity
+/// gate (the corpus tests assert full byte-identity; here the cheap
+/// summary keeps the gate inside the timed bench's budget).
+fn verdict_shape(m: &MethodCheckResult) -> (usize, usize, usize, usize) {
+    (m.errors.len(), m.explicit_casts, m.implicit_casts, m.checks.len())
+}
+
+/// One incremental checking pass over one app: replay what the cache
+/// validates, re-check the rest.  Returns `(verdicts, replayed, checked)`.
+fn check_pass(
+    ctx: &AppCtx,
+    cache_key: &str,
+    options: CheckOptions,
+    cache: &CheckCache,
+) -> (Vec<MethodCheckResult>, usize, usize) {
+    let selected = TypeChecker::labeled_methods(&ctx.env, &ctx.program, "app");
+    let mut store = TypeStore::new();
+    let mut out: Vec<Option<MethodCheckResult>> = Vec::with_capacity(selected.len());
+    let mut misses = Vec::new();
+    for (idx, (owner, def)) in selected.iter().enumerate() {
+        let replayed = ctx.graph.merkle(owner, &def.name, def.singleton).and_then(|merkle| {
+            cache.replay(cache_key, &ctx.env, ctx.env_h, &ctx.files, owner, def, merkle, &mut store)
+        });
+        match replayed {
+            Some(result) => out.push(Some(result)),
+            None => {
+                out.push(None);
+                misses.push((idx, (owner.clone(), *def)));
+            }
+        }
+    }
+    let replayed = selected.len() - misses.len();
+    let checked = misses.len();
+    if !misses.is_empty() {
+        let subset: Vec<_> = misses.iter().map(|(_, pair)| pair.clone()).collect();
+        let fresh = TypeChecker::new(&ctx.env, &ctx.program, options).check_methods(&subset);
+        for ((idx, _), result) in misses.into_iter().zip(fresh.methods) {
+            out[idx] = Some(result);
+        }
+    }
+    (out.into_iter().flatten().collect(), replayed, checked)
+}
+
+/// Runs both checking passes over every app against `cache`, returning the
+/// per-app comp verdicts plus total (replayed, checked) counters.
+fn run_corpus(ctxs: &[AppCtx], cache: &CheckCache) -> (Vec<Vec<MethodCheckResult>>, u64, u64) {
+    let mut verdicts = Vec::with_capacity(ctxs.len());
+    let (mut replayed, mut checked) = (0u64, 0u64);
+    for ctx in ctxs {
+        let (comp, r1, c1) = check_pass(ctx, &ctx.name, CheckOptions::default(), cache);
+        let (_, r2, c2) = check_pass(ctx, &ctx.plain_key, plain_options(), cache);
+        replayed += (r1 + r2) as u64;
+        checked += (c1 + c2) as u64;
+        verdicts.push(comp);
+    }
+    (verdicts, replayed, checked)
+}
+
+/// Records one app's two passes into `cache` (what the harness does after
+/// checking), so the warm scenarios have something to replay.
+fn populate(ctxs: &[AppCtx], cache: &mut CheckCache) {
+    for ctx in ctxs {
+        let selected = TypeChecker::labeled_methods(&ctx.env, &ctx.program, "app");
+        for (key, options) in
+            [(&ctx.name, CheckOptions::default()), (&ctx.plain_key, plain_options())]
+        {
+            let result = TypeChecker::new(&ctx.env, &ctx.program, options).check_labeled("app");
+            let frozen: Vec<_> = selected
+                .iter()
+                .zip(&result.methods)
+                .map(|((owner, def), verdict)| {
+                    let merkle = ctx.graph.merkle(owner, &def.name, def.singleton).unwrap_or(0);
+                    (owner.clone(), *def, merkle, verdict)
+                })
+                .collect();
+            cache.record_app(key, ctx.env_h, ctx.files.clone(), &frozen, &result.store);
+        }
+    }
+}
+
+fn recheck_latency(_c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let ctxs = contexts();
+    let empty = CheckCache::new();
+
+    // Cold: every verdict checked from scratch (the empty cache misses).
+    let samples = bench::sample_size(10);
+    let mut cold_timings = Vec::with_capacity(samples);
+    let mut cold_verdicts = Vec::new();
+    let mut cold_misses = 0u64;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let (verdicts, replayed, checked) = run_corpus(&ctxs, &empty);
+        cold_timings.push(started.elapsed().as_nanos());
+        assert_eq!(replayed, 0, "an empty cache must replay nothing");
+        cold_verdicts = verdicts;
+        cold_misses = checked;
+    }
+    let cold_ns = bench::results::median_ns(cold_timings);
+
+    // Persist the verdicts the way the harness does, through the disk.
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("recheck-latency-{}.bin", std::process::id()));
+    let mut cache = CheckCache::new();
+    populate(&ctxs, &mut cache);
+    cache.save(&path).expect("save check cache");
+
+    // Warm: everything replays; a fresh load from disk every sample.
+    let mut warm_timings = Vec::with_capacity(samples);
+    let mut warm_hits = 0u64;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let cache = CheckCache::load(&path);
+        let (verdicts, replayed, checked) = run_corpus(&ctxs, &cache);
+        warm_timings.push(started.elapsed().as_nanos());
+        assert_eq!(checked, 0, "the warm run must replay every verdict");
+        warm_hits = replayed;
+        for (cold_app, warm_app) in cold_verdicts.iter().zip(&verdicts) {
+            for (cold_m, warm_m) in cold_app.iter().zip(warm_app) {
+                assert_eq!(
+                    verdict_shape(cold_m),
+                    verdict_shape(warm_m),
+                    "a replayed verdict diverged from the from-scratch check"
+                );
+            }
+        }
+    }
+    let warm_ns = bench::results::median_ns(warm_timings);
+
+    // Edit one method of one app: its merkle (and its dependents') moves,
+    // everything else replays.  The edited app is re-parsed; the others
+    // reuse their contexts untouched.
+    let apps = corpus::apps::all();
+    let edited_app = &apps[0];
+    let edited_name = {
+        let ctx = &ctxs[0];
+        TypeChecker::labeled_methods(&ctx.env, &ctx.program, "app")[0].1.name.clone()
+    };
+    let edited_src = corpus::with_method_edit(edited_app.source, &edited_name)
+        .expect("labeled method has a def line");
+    let edited_ctx = {
+        let env = edited_app.build_env();
+        let (program, _sources) =
+            edited_app.parse_with_source(&edited_src).expect("edited app parses");
+        let graph = DepGraph::build(&env, &program);
+        let env_h = env_hash(&env);
+        AppCtx {
+            name: edited_app.name.to_string(),
+            plain_key: format!("{}::plain", edited_app.name),
+            env,
+            program,
+            files: vec![content_hash(&edited_src), content_hash(edited_app.test_suite)],
+            graph,
+            env_h,
+        }
+    };
+    let mut edit_ctxs = ctxs;
+    edit_ctxs[0] = edited_ctx;
+    let mut edit_timings = Vec::with_capacity(samples);
+    let (mut edit_hits, mut edit_misses) = (0u64, 0u64);
+    for _ in 0..samples {
+        let started = Instant::now();
+        let cache = CheckCache::load(&path);
+        let (_, replayed, checked) = run_corpus(&edit_ctxs, &cache);
+        edit_timings.push(started.elapsed().as_nanos());
+        assert!(checked >= 2, "the edit must invalidate the method in both passes");
+        assert!(
+            checked < cold_misses,
+            "a one-method edit must not invalidate the whole corpus ({checked} re-checked)"
+        );
+        edit_hits = replayed;
+        edit_misses = checked;
+    }
+    let edit_ns = bench::results::median_ns(edit_timings);
+    let _ = std::fs::remove_file(&path);
+
+    println!(
+        "recheck latency (both passes, 8 apps): cold {cold_ns} ns, warm {warm_ns} ns \
+         ({:.2}x), one edit {edit_ns} ns ({edit_misses} verdicts re-checked)",
+        cold_ns as f64 / warm_ns.max(1) as f64
+    );
+    if !smoke {
+        assert!(
+            warm_ns < cold_ns,
+            "replaying from the cache must beat re-checking (warm {warm_ns} ns vs cold \
+             {cold_ns} ns)"
+        );
+    }
+
+    let scenarios = vec![
+        Scenario {
+            name: "recheck/cold".to_string(),
+            median_ns: cold_ns,
+            hits: 0,
+            misses: cold_misses,
+            invalidations: 0,
+            evictions: 0,
+        },
+        Scenario {
+            name: "recheck/warm".to_string(),
+            median_ns: warm_ns,
+            hits: warm_hits,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+        },
+        Scenario {
+            name: "recheck/edit_one".to_string(),
+            median_ns: edit_ns,
+            hits: edit_hits,
+            misses: edit_misses,
+            invalidations: 0,
+            evictions: 0,
+        },
+    ];
+    let path = bench::results::record("recheck_latency", &scenarios).expect("persist results");
+    println!("results written to {}", path.display());
+}
+
+criterion_group!(benches, recheck_latency);
+criterion_main!(benches);

@@ -19,8 +19,10 @@ use std::path::{Path, PathBuf};
 /// from a current one instead of guessing from the field set.
 ///
 /// History: 1 = the original `smoke` + `scenarios` layout; 2 = sections
-/// carry `schema_version` and the `type_core` scenarios exist.
-pub const SCHEMA_VERSION: u32 = 2;
+/// carry `schema_version` and the `type_core` scenarios exist; 3 = the
+/// `recheck_latency` section (incremental re-checking cold/warm medians)
+/// exists and the file is written atomically (temp + rename).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One measured scenario: a stable name, the median wall-clock per
 /// operation, and the memo counters the run ended with.
@@ -383,7 +385,9 @@ pub fn record_at(path: &Path, bench: &str, scenarios: &[Scenario]) -> std::io::R
     section.insert("smoke".to_string(), Json::Bool(std::env::var_os("BENCH_SMOKE").is_some()));
     section.insert("scenarios".to_string(), Json::Arr(rows));
     root.insert(bench.to_string(), Json::Obj(section));
-    std::fs::write(path, serialize(&Json::Obj(root)))
+    // Atomic replace: a crash mid-write must never leave a truncated file
+    // that the next run's read-modify-write would then refuse to touch.
+    comprdl::persist::atomic_write(path, serialize(&Json::Obj(root)).as_bytes())
 }
 
 /// [`record_at`] against the canonical [`results_path`].  Returns the path

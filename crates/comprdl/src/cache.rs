@@ -11,9 +11,15 @@
 //! An evaluation is identified by `(owner class, method name, position)` —
 //! position being a parameter index or the return slot, which pins down the
 //! comp-type *expression* — plus the **resolved** binding environment the
-//! expression runs under (`tself` and each binder, in sorted name order).
-//! Two call sites with the same key run the same expression over the same
-//! inputs and must produce the same result.
+//! expression runs under (`tself` and each binder, in sorted name order),
+//! plus the **semantic hash** of the comp expression and its transitive
+//! helper closure ([`crate::semdep::comp_semantic_hash`]).  Two call sites
+//! with the same key run the same expression — *the same text, backed by
+//! the same helper bodies* — over the same inputs and must produce the same
+//! result.  Keying on the semantic hash instead of a process-lifetime
+//! counter is what lets these entries round-trip through the on-disk cache
+//! ([`crate::persist`]): an entry survives a restart exactly as long as
+//! nothing it depends on was edited.
 //!
 //! Store-backed bindings are keyed by a *structural* digest (via
 //! [`TypeStore::fingerprint`] — cheaper than building the
@@ -69,6 +75,11 @@ pub struct CacheKey {
     owner: String,
     method: String,
     position: CompPosition,
+    /// Semantic hash of the comp expression plus its transitive helper
+    /// closure ([`crate::semdep::comp_semantic_hash`]).  An edit to the
+    /// expression or any helper it can reach changes this value, so stale
+    /// entries simply stop matching instead of needing eager eviction.
+    semantic: u64,
     /// `(name, keyed type)` bindings in sorted name order.
     bindings: Vec<(String, KeyType)>,
     /// Whether any binding mentioned a store-backed type (used for
@@ -85,6 +96,7 @@ impl CacheKey {
         owner: &str,
         method: &str,
         position: CompPosition,
+        semantic: u64,
         bindings: &HashMap<String, TlcValue>,
         store: &TypeStore,
     ) -> Option<CacheKey> {
@@ -109,6 +121,7 @@ impl CacheKey {
             owner: owner.to_string(),
             method: method.to_string(),
             position,
+            semantic,
             bindings: resolved,
             store_backed_inputs,
         })
@@ -241,9 +254,14 @@ mod tests {
     use rdl_types::HashKey;
 
     fn key_for(store: &TypeStore, tself: &Type) -> CacheKey {
+        key_for_sem(store, tself, 0xfeed)
+    }
+
+    fn key_for_sem(store: &TypeStore, tself: &Type, semantic: u64) -> CacheKey {
         let mut bindings = HashMap::new();
         bindings.insert("tself".to_string(), TlcValue::Type(tself.clone()));
-        CacheKey::build("Table", "where", CompPosition::Param(0), &bindings, store).unwrap()
+        CacheKey::build("Table", "where", CompPosition::Param(0), semantic, &bindings, store)
+            .unwrap()
     }
 
     #[test]
@@ -262,7 +280,20 @@ mod tests {
         let store = TypeStore::new();
         let mut bindings = HashMap::new();
         bindings.insert("tself".to_string(), TlcValue::Sym("x".to_string()));
-        assert!(CacheKey::build("Hash", "[]", CompPosition::Ret, &bindings, &store).is_none());
+        assert!(CacheKey::build("Hash", "[]", CompPosition::Ret, 0, &bindings, &store).is_none());
+    }
+
+    #[test]
+    fn semantic_hash_partitions_the_key_space() {
+        // The same slot and bindings under an edited comp expression (or
+        // helper closure) must not hit entries recorded for the old one.
+        let store = TypeStore::new();
+        let mut cache = CompTypeCache::new();
+        let old = key_for_sem(&store, &Type::class_of("User"), 1);
+        cache.insert(old.clone(), Ok(Type::nominal("String")), &store);
+        let new = key_for_sem(&store, &Type::class_of("User"), 2);
+        assert!(cache.lookup(&new, &store).is_none());
+        assert!(cache.lookup(&old, &store).is_some());
     }
 
     #[test]

@@ -229,6 +229,10 @@ pub struct TypeChecker<'a> {
     store: TypeStore,
     termination: TerminationChecker,
     cache: CompTypeCache,
+    /// Memoized [`crate::semdep::comp_semantic_hash`] per comp-type slot.
+    /// The expression and helper registry are immutable for the lifetime of
+    /// a run, so the hash is computed once per slot, not once per call site.
+    slot_semantics: HashMap<(String, String, CompPosition), u64>,
 }
 
 struct MethodCtx {
@@ -266,7 +270,24 @@ impl<'a> TypeChecker<'a> {
             store: TypeStore::new(),
             termination,
             cache: CompTypeCache::new(),
+            slot_semantics: HashMap::new(),
         }
+    }
+
+    fn slot_semantic_hash(
+        &mut self,
+        owner: &str,
+        method: &str,
+        position: CompPosition,
+        expr: &Expr,
+    ) -> u64 {
+        let key = (owner.to_string(), method.to_string(), position);
+        if let Some(&h) = self.slot_semantics.get(&key) {
+            return h;
+        }
+        let h = crate::semdep::comp_semantic_hash(expr, &self.env.helpers);
+        self.slot_semantics.insert(key, h);
+        h
     }
 
     /// The methods `check_labeled` selects, in program order.
@@ -286,6 +307,32 @@ impl<'a> TypeChecker<'a> {
                     .unwrap_or(false)
             })
             .collect()
+    }
+
+    /// The methods a `check_labeled(label)` run would select, in program
+    /// order.  Exposed so incremental drivers (see `corpus::incremental`)
+    /// can partition the work list into replayable and must-check subsets
+    /// before deciding what to hand to [`TypeChecker::check_methods`].
+    pub fn labeled_methods<'p>(
+        env: &CompRdl,
+        program: &'p Program,
+        label: &str,
+    ) -> Vec<(String, &'p MethodDef)> {
+        Self::select_labeled(env, program, label)
+    }
+
+    /// Checks exactly the given `(owner, def)` methods, in the given order.
+    ///
+    /// This is the incremental entry point: a driver that replays cached
+    /// verdicts for unchanged methods calls this with only the methods whose
+    /// Merkle hash moved.  Each method is checked exactly as
+    /// [`TypeChecker::check_labeled`] would have checked it.
+    pub fn check_methods(mut self, selected: &[(String, &MethodDef)]) -> ProgramCheckResult {
+        let mut methods = Vec::new();
+        for (owner, def) in selected {
+            methods.push(self.check_method_def(owner, def));
+        }
+        ProgramCheckResult { methods, store: self.store, cache_stats: self.cache.stats() }
     }
 
     /// Checks every method in the program that carries a `typecheck:` label
@@ -1062,7 +1109,8 @@ impl<'a> TypeChecker<'a> {
                 expr,
             );
         }
-        let key = CacheKey::build(owner, method, position, bindings, &self.store);
+        let semantic = self.slot_semantic_hash(owner, method, position, expr);
+        let key = CacheKey::build(owner, method, position, semantic, bindings, &self.store);
         if let Some(key) = &key {
             if let Some(cached) = self.cache.lookup(key, &self.store) {
                 // Store-backed parts of a cached result are re-interned into

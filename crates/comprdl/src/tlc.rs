@@ -312,6 +312,27 @@ impl HelperRegistry {
     pub fn contains(&self, name: &str) -> bool {
         self.native.contains_key(name) || self.ruby.contains_key(name)
     }
+
+    /// The Ruby-subset helper definitions, sorted by name.
+    ///
+    /// Used by `semdep` to hash helper bodies structurally and chase
+    /// helper-to-helper calls when building the dependency graph.
+    pub fn ruby_defs(&self) -> Vec<(&str, &MethodDef)> {
+        let mut out: Vec<(&str, &MethodDef)> =
+            self.ruby.iter().map(|(n, m)| (n.as_str(), &**m)).collect();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// The names of the native (Rust) helpers, sorted.
+    ///
+    /// Native helpers have no AST to hash; `semdep` identifies them by name
+    /// plus the crate-level native helper revision tag.
+    pub fn native_names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.native.keys().map(String::as_str).collect();
+        out.sort();
+        out
+    }
 }
 
 /// Evaluation context handed to native helpers and used internally by the

@@ -72,10 +72,25 @@ impl App {
     pub fn parse(
         &self,
     ) -> Result<(ruby_syntax::Program, diagnostics::SourceSet), ruby_syntax::ParseError> {
+        self.parse_with_source(self.source)
+    }
+
+    /// Like [`App::parse`], but with the app's source text replaced by
+    /// `source` (the test suite is kept as-is).  This is the entry point for
+    /// incremental re-checking experiments: the driver injects an edited
+    /// variant of the app and compares which methods need re-checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ruby_syntax::ParseError`] from either file.
+    pub fn parse_with_source(
+        &self,
+        source: &str,
+    ) -> Result<(ruby_syntax::Program, diagnostics::SourceSet), ruby_syntax::ParseError> {
         let mut sources = diagnostics::SourceSet::new();
-        let app_file = sources.add(self.source_file_name(), self.source);
+        let app_file = sources.add(self.source_file_name(), source);
         let test_file = sources.add(self.test_file_name(), self.test_suite);
-        let app = ruby_syntax::parse_program_in_file(self.source, app_file)?;
+        let app = ruby_syntax::parse_program_in_file(source, app_file)?;
         let tests = ruby_syntax::parse_program_in_file(self.test_suite, test_file)?;
         Ok((app.merge(tests), sources))
     }

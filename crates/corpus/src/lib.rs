@@ -26,6 +26,7 @@
 pub mod app;
 pub mod apps;
 pub mod harness;
+pub mod incremental;
 
 pub use app::App;
 pub use harness::{
@@ -34,6 +35,10 @@ pub use harness::{
     format_table1, format_table2, render_runtime_blames, stable_report, table1, table2,
     table2_overhead, table2_overhead_shared, table2_parallel, table2_parallel_shared, HarnessError,
     OverheadRow, Table1Row, Table2Row,
+};
+pub use incremental::{
+    evaluate_app_incremental, table2_incremental, with_layout_noise, with_method_edit, AppRecheck,
+    RecheckStats,
 };
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod semhash;
 pub mod span;
 pub mod token;
 
@@ -38,6 +39,7 @@ pub use ast::{
 pub use lexer::{lex, lex_in_file, LexError, Lexer};
 pub use parser::{parse_expr, parse_program, parse_program_in_file, parse_stmts, ParseError};
 pub use printer::{print_expr, print_program};
+pub use semhash::{expr_hash, method_hash, method_span_nodes, MethodHash, SemHasher};
 pub use span::Span;
 pub use token::{Kw, Token, TokenKind};
 
