@@ -1,0 +1,310 @@
+//! Per-method control-flow graphs over the Ruby subset AST.
+//!
+//! A [`Cfg`] lowers one method body into basic blocks at *statement*
+//! granularity: each block holds references to the straight-line
+//! expressions executed in order, and edges model the statement-position
+//! control flow of the subset — `if`/`elsif`/`else` and `case` chains,
+//! `while` loops (with `break`/`next`), early exits (`return` and bare
+//! `raise`), and short-circuit boolean operators in statement position
+//! (`found || raise("...")`, `cond and return`).
+//!
+//! Control flow *inside* an expression (a block argument, a nested
+//! `&&` in a condition) is not split further; dataflow transfer functions
+//! walk those sub-trees themselves (see [`crate::lints`]).  Statements
+//! that syntactically follow an early exit land in a fresh block with no
+//! incoming edge, which is how [`Cfg::reachable`] exposes unreachable
+//! code to the lint pass.
+
+use ruby_syntax::{CondArm, Expr, ExprKind};
+
+/// Index of a basic block within its [`Cfg`].
+pub type BlockId = usize;
+
+/// One straight-line run of statements plus its CFG edges.
+#[derive(Debug, Default)]
+pub struct BasicBlock<'a> {
+    /// Statements executed in order.  These borrow the method body; a
+    /// "statement" may be a sub-expression of a source statement (e.g. an
+    /// `if` condition is a statement of its test block).
+    pub stmts: Vec<&'a Expr>,
+    /// Blocks that can flow into this one.
+    pub preds: Vec<BlockId>,
+    /// Blocks this one can flow into.
+    pub succs: Vec<BlockId>,
+}
+
+/// A per-method control-flow graph.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    /// All blocks; [`Cfg::entry`] and [`Cfg::exit`] index into this.
+    pub blocks: Vec<BasicBlock<'a>>,
+    /// The entry block (holds the first statements of the body).
+    pub entry: BlockId,
+    /// The exit block (always empty; every `return` edges here).
+    pub exit: BlockId,
+}
+
+const ENTRY: BlockId = 0;
+const EXIT: BlockId = 1;
+
+impl<'a> Cfg<'a> {
+    /// Lowers a method body into a CFG.
+    pub fn build(body: &'a [Expr]) -> Cfg<'a> {
+        let mut b = Builder {
+            blocks: vec![BasicBlock::default(), BasicBlock::default()],
+            loops: Vec::new(),
+        };
+        let end = b.lower_body(ENTRY, body);
+        b.edge(end, EXIT);
+        Cfg { blocks: b.blocks, entry: ENTRY, exit: EXIT }
+    }
+
+    /// Which blocks are reachable from the entry block.
+    ///
+    /// Statements lowered after an unconditional `return`/`raise`/`break`/
+    /// `next` live in blocks with no reachable predecessor; the lint pass
+    /// reports the head of each such region as `LINT0104`.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+struct LoopCtx {
+    head: BlockId,
+    join: BlockId,
+}
+
+struct Builder<'a> {
+    blocks: Vec<BasicBlock<'a>>,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+            self.blocks[to].preds.push(from);
+        }
+    }
+
+    fn lower_body(&mut self, mut cur: BlockId, body: &'a [Expr]) -> BlockId {
+        for stmt in body {
+            cur = self.lower_stmt(cur, stmt);
+        }
+        cur
+    }
+
+    /// Lowers one statement, returning the block where control continues.
+    fn lower_stmt(&mut self, cur: BlockId, stmt: &'a Expr) -> BlockId {
+        match &stmt.kind {
+            ExprKind::If { arms, else_body } => self.lower_arms(cur, arms, else_body),
+            ExprKind::Case { subject, arms, else_body } => {
+                // The scrutinee is evaluated once, then the arm tests run in
+                // order exactly like an `if`/`elsif` chain.
+                self.blocks[cur].stmts.push(subject);
+                self.lower_arms(cur, arms, else_body)
+            }
+            ExprKind::While { cond, body } => {
+                let head = self.new_block();
+                self.edge(cur, head);
+                self.blocks[head].stmts.push(cond);
+                let body_entry = self.new_block();
+                self.edge(head, body_entry);
+                let join = self.new_block();
+                self.edge(head, join);
+                self.loops.push(LoopCtx { head, join });
+                let body_end = self.lower_body(body_entry, body);
+                self.loops.pop();
+                self.edge(body_end, head);
+                join
+            }
+            ExprKind::Return(_) => {
+                self.blocks[cur].stmts.push(stmt);
+                self.edge(cur, EXIT);
+                self.new_block()
+            }
+            // A bare `raise` aborts the method just like `return` for the
+            // purposes of intraprocedural flow.
+            ExprKind::Call { recv: None, name, .. } if name == "raise" => {
+                self.blocks[cur].stmts.push(stmt);
+                self.edge(cur, EXIT);
+                self.new_block()
+            }
+            ExprKind::Break => {
+                self.blocks[cur].stmts.push(stmt);
+                let to = self.loops.last().map_or(EXIT, |l| l.join);
+                self.edge(cur, to);
+                self.new_block()
+            }
+            ExprKind::Next => {
+                self.blocks[cur].stmts.push(stmt);
+                let to = self.loops.last().map_or(EXIT, |l| l.head);
+                self.edge(cur, to);
+                self.new_block()
+            }
+            // Statement-position short circuit: the right-hand side may not
+            // execute (and may itself be a `return`/`raise`).
+            ExprKind::BoolOp { lhs, rhs, .. } => {
+                let after_lhs = self.lower_stmt(cur, lhs);
+                let rhs_entry = self.new_block();
+                self.edge(after_lhs, rhs_entry);
+                let rhs_end = self.lower_stmt(rhs_entry, rhs);
+                let join = self.new_block();
+                self.edge(after_lhs, join);
+                self.edge(rhs_end, join);
+                join
+            }
+            _ => {
+                self.blocks[cur].stmts.push(stmt);
+                cur
+            }
+        }
+    }
+
+    /// Lowers an `if`/`elsif`/`case` arm chain; each arm condition becomes
+    /// a statement of its test block so dataflow sees its uses.
+    fn lower_arms(&mut self, cur: BlockId, arms: &'a [CondArm], else_body: &'a [Expr]) -> BlockId {
+        let Some((first, rest)) = arms.split_first() else {
+            return self.lower_body(cur, else_body);
+        };
+        self.blocks[cur].stmts.push(&first.cond);
+        let then_entry = self.new_block();
+        self.edge(cur, then_entry);
+        let then_end = self.lower_body(then_entry, &first.body);
+        let else_entry = self.new_block();
+        self.edge(cur, else_entry);
+        let else_end = self.lower_arms(else_entry, rest, else_body);
+        let join = self.new_block();
+        self.edge(then_end, join);
+        self.edge(else_end, join);
+        join
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_syntax::parse_program;
+
+    fn body_of(src: &str) -> Vec<Expr> {
+        let p = parse_program(src).expect("parse");
+        p.methods()[0].1.body.clone()
+    }
+
+    fn stmt_count(cfg: &Cfg<'_>) -> usize {
+        cfg.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let body = body_of("def m(x)\n  a = 1\n  b = a\n  b\nend\n");
+        let cfg = Cfg::build(&body);
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 3);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let body = body_of("def m(c)\n  if c\n    x = 1\n  else\n    x = 2\n  end\n  x\nend\n");
+        let cfg = Cfg::build(&body);
+        // entry (cond) branches to the then and else blocks, which join.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+        assert_eq!(stmt_count(&cfg), 4, "cond + two assigns + tail read");
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn while_loops_back_to_head() {
+        let body = body_of("def m(n)\n  i = 0\n  while i < n\n    i = i + 1\n  end\n  i\nend\n");
+        let cfg = Cfg::build(&body);
+        let head =
+            (0..cfg.blocks.len()).find(|&b| cfg.blocks[b].succs.len() == 2).expect("loop head");
+        assert!(
+            cfg.blocks[head].preds.len() >= 2,
+            "head has the entry edge and the back edge: {:?}",
+            cfg.blocks[head].preds
+        );
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let body = body_of("def m()\n  return 1\n  x = 2\n  x\nend\n");
+        let cfg = Cfg::build(&body);
+        let reach = cfg.reachable();
+        let dead: Vec<_> = (0..cfg.blocks.len())
+            .filter(|&b| !reach[b] && !cfg.blocks[b].stmts.is_empty())
+            .collect();
+        assert_eq!(dead.len(), 1, "both trailing statements share one dead block");
+        assert_eq!(cfg.blocks[dead[0]].stmts.len(), 2);
+    }
+
+    #[test]
+    fn raise_terminates_like_return() {
+        let body = body_of("def m()\n  raise('boom')\n  1\nend\n");
+        let cfg = Cfg::build(&body);
+        let reach = cfg.reachable();
+        assert!(
+            (0..cfg.blocks.len()).any(|b| !reach[b] && !cfg.blocks[b].stmts.is_empty()),
+            "the trailing literal is unreachable"
+        );
+    }
+
+    #[test]
+    fn break_exits_the_loop_not_the_method() {
+        let body = body_of("def m(n)\n  while true\n    break\n  end\n  n\nend\n");
+        let cfg = Cfg::build(&body);
+        // Every non-empty block stays reachable: `break` jumps to the loop
+        // join, where the tail read of `n` lives.
+        let reach = cfg.reachable();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !block.stmts.is_empty() {
+                assert!(reach[b], "block {b} with {} stmts unreachable", block.stmts.len());
+            }
+        }
+    }
+
+    #[test]
+    fn statement_boolop_splits_the_rhs() {
+        let body = body_of("def m(c)\n  c || raise('no')\n  1\nend\n");
+        let cfg = Cfg::build(&body);
+        // The raise must sit in its own conditionally-executed block, so the
+        // trailing `1` stays reachable.
+        let reach = cfg.reachable();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !block.stmts.is_empty() {
+                assert!(reach[b], "block {b} should be reachable");
+            }
+        }
+        assert!(stmt_count(&cfg) >= 3, "lhs, raise and tail are all statements");
+    }
+
+    #[test]
+    fn elsif_chain_joins_all_arms() {
+        let body = body_of(
+            "def m(c)\n  if c == 1\n    x = 1\n  elsif c == 2\n    x = 2\n  end\n  x\nend\n",
+        );
+        let cfg = Cfg::build(&body);
+        assert!(cfg.reachable().iter().all(|&r| r));
+        // Two conditions, two assigns, one tail read.
+        assert_eq!(stmt_count(&cfg), 5);
+    }
+}

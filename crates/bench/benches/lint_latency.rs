@@ -1,0 +1,189 @@
+//! Lint-suite latency: a cold from-scratch lint pass over the whole corpus
+//! against a warm run that replays every verdict from the on-disk
+//! [`comprdl::CheckCache`] (semhash-keyed, see
+//! `CheckCache::replay_lints`).
+//!
+//! Each sample lints **every** method of all eight corpus apps — the same
+//! work the Table 2 harness does per row.  The warm sample re-loads the
+//! cache file from disk every time, so it pays deserialization like a
+//! fresh process would.
+//!
+//! Besides timing, this bench is a correctness gate (smoke mode included):
+//!
+//! * the warm run must replay **every** lint verdict (zero re-lints), and
+//! * the warm run's rendered warnings must be **byte-identical** to the
+//!   cold run's (replayed records render through the same code-derived
+//!   notes as fresh findings);
+//! * in full mode the warm median must beat the cold median.
+//!
+//! Scenario medians land in `BENCH_SHARED_MEMO.json` under `lint_latency`
+//! (`hits` = verdicts replayed, `misses` = methods linted for real), where
+//! CI's parse gate asserts their presence.
+
+use bench::results::Scenario;
+use comprdl::persist::content_hash;
+use comprdl::CheckCache;
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnostics::DiagnosticBag;
+use ruby_syntax::Program;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One corpus app, parsed once so the timed loops measure linting and
+/// replay, not parsing.
+struct AppCtx {
+    name: String,
+    program: Program,
+    files: Vec<u64>,
+}
+
+fn contexts() -> Vec<AppCtx> {
+    corpus::apps::all()
+        .iter()
+        .map(|app| {
+            let (program, _sources) = app.parse().expect("app parses");
+            AppCtx {
+                name: app.name.to_string(),
+                program,
+                files: vec![content_hash(app.source), content_hash(app.test_suite)],
+            }
+        })
+        .collect()
+}
+
+fn render(bag: &DiagnosticBag) -> String {
+    bag.iter().map(|d| format!("{d}\n")).collect()
+}
+
+/// Lints every app from scratch; returns the per-app rendered warnings and
+/// the number of methods linted.
+fn lint_cold(ctxs: &[AppCtx]) -> (Vec<String>, u64) {
+    let mut rendered = Vec::with_capacity(ctxs.len());
+    let mut linted = 0u64;
+    for ctx in ctxs {
+        let methods = corpus::lint_pass(&ctx.program, 1);
+        linted += methods.len() as u64;
+        rendered.push(render(&corpus::lint_bag(&methods)));
+    }
+    (rendered, linted)
+}
+
+/// Replays every app's lint verdicts from `cache`; returns the per-app
+/// rendered warnings and the `(replayed, missed)` counters.
+fn lint_warm(ctxs: &[AppCtx], cache: &CheckCache) -> (Vec<String>, u64, u64) {
+    let mut rendered = Vec::with_capacity(ctxs.len());
+    let (mut replayed, mut missed) = (0u64, 0u64);
+    for ctx in ctxs {
+        let mut bag = DiagnosticBag::new();
+        for (owner, def) in &ctx.program.methods() {
+            let semhash = ruby_syntax::method_hash(def);
+            match cache.replay_lints(&ctx.name, &ctx.files, owner, def, semhash) {
+                Some(records) => {
+                    replayed += 1;
+                    bag.extend(records.iter().map(corpus::record_to_diagnostic));
+                }
+                None => {
+                    missed += 1;
+                    let fresh = analysis::lint_method(owner, def);
+                    bag.extend(fresh.findings.iter().map(diagnostics::Diagnostic::from));
+                }
+            }
+        }
+        bag.sort_by_span_then_code();
+        rendered.push(render(&bag));
+    }
+    (rendered, replayed, missed)
+}
+
+fn lint_latency(_c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let ctxs = contexts();
+
+    // Cold: every method linted from scratch.
+    let samples = bench::sample_size(10);
+    let mut cold_timings = Vec::with_capacity(samples);
+    let mut cold_rendered = Vec::new();
+    let mut cold_linted = 0u64;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let (rendered, linted) = lint_cold(&ctxs);
+        cold_timings.push(started.elapsed().as_nanos());
+        cold_rendered = rendered;
+        cold_linted = linted;
+    }
+    let cold_ns = bench::results::median_ns(cold_timings);
+    assert!(cold_linted > 0, "the corpus must have methods to lint");
+
+    // Persist the verdicts the way the harness does, through the disk.
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("lint-latency-{}.bin", std::process::id()));
+    let mut cache = CheckCache::new();
+    for ctx in &ctxs {
+        let records: Vec<_> = ctx
+            .program
+            .methods()
+            .iter()
+            .map(|(owner, def)| {
+                let fresh = analysis::lint_method(owner, def);
+                (owner.clone(), *def, fresh.semhash, corpus::findings_to_records(&fresh))
+            })
+            .collect();
+        cache.record_lints(&ctx.name, ctx.files.clone(), &records);
+    }
+    cache.save(&path).expect("save lint cache");
+
+    // Warm: everything replays; a fresh load from disk every sample.
+    let mut warm_timings = Vec::with_capacity(samples);
+    let mut warm_hits = 0u64;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let cache = CheckCache::load(&path);
+        let (rendered, replayed, missed) = lint_warm(&ctxs, &cache);
+        warm_timings.push(started.elapsed().as_nanos());
+        assert_eq!(missed, 0, "the warm run must re-lint zero methods");
+        warm_hits = replayed;
+        assert_eq!(
+            rendered, cold_rendered,
+            "replayed lint warnings must render byte-identically to the cold run"
+        );
+    }
+    let warm_ns = bench::results::median_ns(warm_timings);
+    let _ = std::fs::remove_file(&path);
+
+    println!(
+        "lint latency (8 apps, {cold_linted} methods): cold {cold_ns} ns, warm {warm_ns} ns \
+         ({:.2}x)",
+        cold_ns as f64 / warm_ns.max(1) as f64
+    );
+    if !smoke {
+        assert!(
+            warm_ns < cold_ns,
+            "replaying lint verdicts must beat re-linting (warm {warm_ns} ns vs cold {cold_ns} \
+             ns)"
+        );
+    }
+
+    let scenarios = vec![
+        Scenario {
+            name: "lint/cold".to_string(),
+            median_ns: cold_ns,
+            hits: 0,
+            misses: cold_linted,
+            invalidations: 0,
+            evictions: 0,
+        },
+        Scenario {
+            name: "lint/warm".to_string(),
+            median_ns: warm_ns,
+            hits: warm_hits,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+        },
+    ];
+    let path = bench::results::record("lint_latency", &scenarios).expect("persist results");
+    println!("results written to {}", path.display());
+}
+
+criterion_group!(benches, lint_latency);
+criterion_main!(benches);

@@ -21,8 +21,9 @@ use std::path::{Path, PathBuf};
 /// History: 1 = the original `smoke` + `scenarios` layout; 2 = sections
 /// carry `schema_version` and the `type_core` scenarios exist; 3 = the
 /// `recheck_latency` section (incremental re-checking cold/warm medians)
-/// exists and the file is written atomically (temp + rename).
-pub const SCHEMA_VERSION: u32 = 3;
+/// exists and the file is written atomically (temp + rename); 4 = the
+/// `lint_latency` section (dataflow lint suite cold/warm medians) exists.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One measured scenario: a stable name, the median wall-clock per
 /// operation, and the memo counters the run ended with.

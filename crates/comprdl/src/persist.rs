@@ -51,7 +51,11 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Bump on any change to the binary layout; older files load as empty.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 stored only type-check verdicts; v2 added the per-app lint
+/// section (`LINT01xx` findings keyed by plain semantic hash, replayed by
+/// [`CheckCache::replay_lints`]).
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"CRDLCHK\x01";
 
@@ -137,12 +141,50 @@ struct MethodEntry {
     checks: Vec<CheckEntry>,
 }
 
+/// One lint finding as frozen / replayed by the cache: plain data, so the
+/// lint layer (`crates/analysis`) and this crate need no dependency on one
+/// another — the corpus harness converts at the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintRecord {
+    /// Stable `LINT01xx` code.
+    pub code: String,
+    /// Headline message.
+    pub message: String,
+    /// Primary label text.
+    pub label: String,
+    /// Primary label span (resolved against the current parse on replay).
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct LintFindingEntry {
+    code: String,
+    message: String,
+    label: String,
+    span: SpanRef,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct LintMethodEntry {
+    owner: String,
+    name: String,
+    singleton: bool,
+    /// Plain [`ruby_syntax::method_hash`] — lints are intraprocedural and
+    /// environment-free, so unlike check verdicts they key on the method's
+    /// own structure, not its Merkle hash.
+    semhash: u64,
+    findings: Vec<LintFindingEntry>,
+}
+
 #[derive(Debug, Clone, Default, PartialEq)]
 struct AppEntry {
     env_hash: u64,
     /// Source content hashes in `Span.file` id order at save time.
     files: Vec<u64>,
     methods: Vec<MethodEntry>,
+    /// Lint verdicts, including methods with zero findings (so a warm run
+    /// can replay "nothing to report" without re-linting).
+    lints: Vec<LintMethodEntry>,
 }
 
 /// The persistent check cache: per-app method verdicts keyed by Merkle
@@ -203,13 +245,110 @@ impl CheckCache {
         methods: &[(String, &MethodDef, u64, &MethodCheckResult)],
         store: &TypeStore,
     ) {
-        let mut entry = AppEntry { env_hash, files: file_hashes, methods: Vec::new() };
+        // Lint verdicts recorded earlier in the run (or a previous run over
+        // identical sources) survive; a different file table means the lint
+        // spans were encoded against other content, so they are dropped.
+        let lints = match self.apps.get(app) {
+            Some(prev) if prev.files == file_hashes => prev.lints.clone(),
+            _ => Vec::new(),
+        };
+        let mut entry = AppEntry { env_hash, files: file_hashes, methods: Vec::new(), lints };
         for (owner, def, merkle, result) in methods {
             if let Some(m) = freeze_method(owner, def, *merkle, result, store, &entry.files) {
                 entry.methods.push(m);
             }
         }
         self.apps.insert(app.to_string(), entry);
+    }
+
+    /// Records (replacing any previous lint section) one app's lint
+    /// verdicts, keyed by each method's plain semantic hash.
+    ///
+    /// Every method is recorded — including those with zero findings — so
+    /// that a warm run replays the empty verdict instead of re-linting.
+    /// A method whose finding spans cannot be encoded against its node
+    /// table is skipped (it will simply be re-linted next run).  If
+    /// `file_hashes` differs from the table the app's check verdicts were
+    /// recorded against, those verdicts are dropped: both sections must
+    /// describe the same sources.
+    pub fn record_lints(
+        &mut self,
+        app: &str,
+        file_hashes: Vec<u64>,
+        methods: &[(String, &MethodDef, u64, Vec<LintRecord>)],
+    ) {
+        let entry = self.apps.entry(app.to_string()).or_default();
+        if entry.files != file_hashes {
+            entry.methods.clear();
+            entry.files = file_hashes;
+        }
+        entry.lints.clear();
+        for (owner, def, semhash, records) in methods {
+            let nodes = method_span_nodes(def);
+            let findings: Option<Vec<LintFindingEntry>> = records
+                .iter()
+                .map(|f| {
+                    Some(LintFindingEntry {
+                        code: f.code.clone(),
+                        message: f.message.clone(),
+                        label: f.label.clone(),
+                        span: span_ref(f.span, &nodes, &entry.files)?,
+                    })
+                })
+                .collect();
+            if let Some(findings) = findings {
+                entry.lints.push(LintMethodEntry {
+                    owner: owner.clone(),
+                    name: def.name.clone(),
+                    singleton: def.singleton,
+                    semhash: *semhash,
+                    findings,
+                });
+            }
+        }
+    }
+
+    /// Replays the stored lint verdict for one method, with every finding
+    /// span re-anchored against the current parse, or `None` when the
+    /// method is unknown or its semantic hash moved.
+    pub fn replay_lints(
+        &self,
+        app: &str,
+        current_files: &[u64],
+        owner: &str,
+        def: &MethodDef,
+        semhash: u64,
+    ) -> Option<Vec<LintRecord>> {
+        let entry = self.apps.get(app)?;
+        let m = entry
+            .lints
+            .iter()
+            .find(|m| m.owner == owner && m.name == def.name && m.singleton == def.singleton)?;
+        if m.semhash != semhash {
+            return None;
+        }
+        let remap: Vec<Option<u32>> = entry
+            .files
+            .iter()
+            .map(|h| current_files.iter().position(|c| c == h).map(|i| i as u32))
+            .collect();
+        let nodes = method_span_nodes(def);
+        m.findings
+            .iter()
+            .map(|f| {
+                Some(LintRecord {
+                    code: f.code.clone(),
+                    message: f.message.clone(),
+                    label: f.label.clone(),
+                    span: resolve_span(&f.span, &nodes, &remap)?,
+                })
+            })
+            .collect()
+    }
+
+    /// The number of stored lint verdicts (methods, not findings) for `app`.
+    pub fn lint_method_count(&self, app: &str) -> usize {
+        self.apps.get(app).map(|a| a.lints.len()).unwrap_or(0)
     }
 
     /// Replays the stored verdict for one method, or `None` when anything
@@ -337,6 +476,20 @@ impl CheckCache {
                     }
                 }
             }
+            w.put_u32(app.lints.len() as u32);
+            for l in &app.lints {
+                w.put_str(&l.owner);
+                w.put_str(&l.name);
+                w.put_u8(u8::from(l.singleton));
+                w.put_u64(l.semhash);
+                w.put_u32(l.findings.len() as u32);
+                for f in &l.findings {
+                    w.put_str(&f.code);
+                    w.put_str(&f.message);
+                    w.put_str(&f.label);
+                    put_span(&mut w, &f.span);
+                }
+            }
         }
         w.bytes
     }
@@ -406,7 +559,26 @@ impl CheckCache {
                     checks,
                 });
             }
-            apps.insert(name, AppEntry { env_hash, files, methods });
+            let lint_count = r.get_u32()?;
+            let mut lints = Vec::with_capacity(lint_count.min(1024) as usize);
+            for _ in 0..lint_count {
+                let owner = r.get_str()?;
+                let lname = r.get_str()?;
+                let singleton = r.get_u8()? != 0;
+                let semhash = r.get_u64()?;
+                let finding_count = r.get_u32()?;
+                let mut findings = Vec::with_capacity(finding_count.min(1024) as usize);
+                for _ in 0..finding_count {
+                    findings.push(LintFindingEntry {
+                        code: r.get_str()?,
+                        message: r.get_str()?,
+                        label: r.get_str()?,
+                        span: get_span(&mut r)?,
+                    });
+                }
+                lints.push(LintMethodEntry { owner, name: lname, singleton, semhash, findings });
+            }
+            apps.insert(name, AppEntry { env_hash, files, methods, lints });
         }
         // Trailing garbage means the file is not ours.
         if r.pos != bytes.len() {
@@ -1119,6 +1291,146 @@ mod tests {
         assert!(CheckCache::load(&path).is_empty(), "wrong version");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn lint_records_for(src: &str) -> Vec<(String, ruby_syntax::Program, u64, Vec<LintRecord>)> {
+        // A hand-rolled "lint" result: one finding anchored at the span of
+        // the method's first body statement (a node-table span) and one at a
+        // sub-span inside it (derived).
+        let program = ruby_syntax::parse_program(src).unwrap();
+        let (owner, def) = &program.methods()[0];
+        let first = def.body.first().expect("body");
+        let sub =
+            Span::in_file(first.span.file, first.span.start, first.span.start + 2, first.span.line);
+        let records = vec![
+            LintRecord {
+                code: "LINT0102".into(),
+                message: "local variable `x` is never used".into(),
+                label: "assigned here but never read".into(),
+                span: first.span,
+            },
+            LintRecord {
+                code: "LINT0101".into(),
+                message: "`x` may be used before it is assigned".into(),
+                label: "used here".into(),
+                span: sub,
+            },
+        ];
+        vec![(owner.clone(), program.clone(), ruby_syntax::method_hash(def), records)]
+    }
+
+    #[test]
+    fn lint_round_trip_replays_byte_identically_through_disk() {
+        let src = "def m()\n  x = 1\n  2\nend\n";
+        let mut cache = CheckCache::new();
+        let recs = lint_records_for(src);
+        let (owner, program, semhash, records) = &recs[0];
+        let def = program.methods()[0].1;
+        let files = vec![content_hash(src)];
+        cache.record_lints(
+            "unit",
+            files.clone(),
+            &[(owner.clone(), def, *semhash, records.clone())],
+        );
+        assert_eq!(cache.lint_method_count("unit"), 1);
+
+        let dir = std::env::temp_dir().join(format!("comprdl-persist-l-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        cache.save(&path).unwrap();
+        let loaded = CheckCache::load(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded, cache, "binary round trip must be lossless");
+
+        let replayed = loaded.replay_lints("unit", &files, owner, def, *semhash).expect("replays");
+        assert_eq!(&replayed, records, "same parse: spans replay verbatim");
+    }
+
+    #[test]
+    fn lint_replay_reanchors_spans_after_layout_edit() {
+        let src = "def m()\n  x = 1\n  2\nend\n";
+        let mut cache = CheckCache::new();
+        let recs = lint_records_for(src);
+        let (owner, program, semhash, records) = &recs[0];
+        let def = program.methods()[0].1;
+        cache.record_lints(
+            "unit",
+            vec![content_hash(src)],
+            &[(owner.clone(), def, *semhash, records.clone())],
+        );
+
+        let shifted_src = format!("# header comment\n\n{src}");
+        let shifted = ruby_syntax::parse_program(&shifted_src).unwrap();
+        let sdef = shifted.methods()[0].1;
+        assert_eq!(ruby_syntax::method_hash(sdef), *semhash, "layout edit keeps the hash");
+        let replayed = cache
+            .replay_lints("unit", &[content_hash(&shifted_src)], owner, sdef, *semhash)
+            .expect("layout edit must not invalidate lints");
+        let new_first = sdef.body.first().unwrap().span;
+        assert_eq!(replayed[0].span, new_first, "node span re-anchors to the new parse");
+        assert_eq!(replayed[1].span.start, new_first.start, "derived span follows its node");
+        assert_eq!(replayed[1].span.end, new_first.start + 2);
+        assert_eq!(replayed[0].code, records[0].code);
+        assert_eq!(replayed[0].message, records[0].message);
+    }
+
+    #[test]
+    fn lint_replay_refuses_on_semantic_edit() {
+        let src = "def m()\n  x = 1\n  2\nend\n";
+        let mut cache = CheckCache::new();
+        let recs = lint_records_for(src);
+        let (owner, program, semhash, records) = &recs[0];
+        let def = program.methods()[0].1;
+        cache.record_lints(
+            "unit",
+            vec![content_hash(src)],
+            &[(owner.clone(), def, *semhash, records.clone())],
+        );
+        let edited_src = "def m()\n  x = 9\n  2\nend\n";
+        let edited = ruby_syntax::parse_program(edited_src).unwrap();
+        let edef = edited.methods()[0].1;
+        let new_hash = ruby_syntax::method_hash(edef);
+        assert_ne!(new_hash, *semhash);
+        assert!(cache
+            .replay_lints("unit", &[content_hash(edited_src)], owner, edef, new_hash)
+            .is_none());
+    }
+
+    #[test]
+    fn record_app_preserves_lints_recorded_against_the_same_sources() {
+        let env = env();
+        let mut cache = CheckCache::new();
+        // Lints first (the parallel harness can finish either pass first)...
+        let recs = lint_records_for(SRC);
+        let (owner, program, semhash, records) = &recs[0];
+        let def = program.methods()[0].1;
+        cache.record_lints(
+            "unit",
+            vec![content_hash(SRC)],
+            &[(owner.clone(), def, *semhash, records.clone())],
+        );
+        // ...then the check verdicts for the same sources.
+        let env_h = record(&mut cache, &env, SRC);
+        assert_eq!(cache.lint_method_count("unit"), 1, "record_app must keep the lint section");
+        assert!(cache.replay_lints("unit", &[content_hash(SRC)], owner, def, *semhash).is_some());
+        // Check replay still works too.
+        assert!(replay_all(&cache, &env, env_h, SRC)[0].is_some());
+    }
+
+    #[test]
+    fn empty_lint_verdicts_replay_as_empty_not_none() {
+        let src = "def m()\n  1\nend\n";
+        let program = ruby_syntax::parse_program(src).unwrap();
+        let (owner, def) = &program.methods()[0];
+        let semhash = ruby_syntax::method_hash(def);
+        let mut cache = CheckCache::new();
+        cache.record_lints(
+            "unit",
+            vec![content_hash(src)],
+            &[(owner.clone(), *def, semhash, Vec::new())],
+        );
+        let replayed = cache.replay_lints("unit", &[content_hash(src)], owner, def, semhash);
+        assert_eq!(replayed, Some(Vec::new()), "clean methods replay without re-linting");
     }
 
     #[test]

@@ -16,9 +16,35 @@ use ruby_syntax::{Expr, ExprKind, MethodDef, Span};
 use std::collections::HashMap;
 use std::fmt;
 
+/// What kind of effect restriction a violation breaks; each kind has its
+/// own stable diagnostic code so tooling can filter and count them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A looping construct (`while`) in type-level code → `TERM0001`.
+    Loop,
+    /// A call to a method not known to terminate → `TERM0002`.
+    NonTerminatingCall,
+    /// An impure write or impure call where purity is required (including
+    /// inside a `:blockdep` iterator's block) → `TERM0003`.
+    Impure,
+}
+
+impl ViolationKind {
+    /// The stable diagnostic code for this violation kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            ViolationKind::Loop => "TERM0001",
+            ViolationKind::NonTerminatingCall => "TERM0002",
+            ViolationKind::Impure => "TERM0003",
+        }
+    }
+}
+
 /// A termination / purity violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EffectViolation {
+    /// Which restriction was broken (determines the diagnostic code).
+    pub kind: ViolationKind,
     /// Description of what went wrong.
     pub message: String,
     /// Where the offending expression is.
@@ -40,7 +66,7 @@ impl fmt::Display for EffectViolation {
 
 impl From<EffectViolation> for diagnostics::Diagnostic {
     fn from(v: EffectViolation) -> Self {
-        diagnostics::Diagnostic::error("TERM0001", v.message.clone())
+        diagnostics::Diagnostic::error(v.kind.code(), v.message.clone())
             .with_label(v.span, "in type-level code")
             .with_note(
                 "type-level computations must provably terminate and be pure (paper \u{a7}4)",
@@ -242,12 +268,14 @@ impl TerminationChecker {
     fn walk_termination(&self, expr: &Expr, out: &mut Vec<EffectViolation>) {
         expr.walk(&mut |e| match &e.kind {
             ExprKind::While { .. } => out.push(EffectViolation {
+                kind: ViolationKind::Loop,
                 message: "type-level code may not use looping constructs".to_string(),
                 span: e.span,
             }),
             ExprKind::Call { name, block, .. } => match self.env.termination(name) {
                 TermEffect::Terminates => {}
                 TermEffect::MayDiverge => out.push(EffectViolation {
+                    kind: ViolationKind::NonTerminatingCall,
                     message: format!(
                         "call to `{name}`, which is not known to terminate (`terminates: :-`)"
                     ),
@@ -258,6 +286,7 @@ impl TerminationChecker {
                         let impurities = self.check_block_purity(&block.body);
                         for v in impurities {
                             out.push(EffectViolation {
+                                kind: ViolationKind::Impure,
                                 message: format!(
                                     "iterator `{name}` requires a pure block: {}",
                                     v.message
@@ -277,19 +306,23 @@ impl TerminationChecker {
         expr.walk(&mut |e| match &e.kind {
             ExprKind::Assign { target, .. } | ExprKind::OpAssign { target, .. } => match target {
                 ruby_syntax::LValue::IVar(name) => out.push(EffectViolation {
+                    kind: ViolationKind::Impure,
                     message: format!("writes instance variable @{name}"),
                     span: e.span,
                 }),
                 ruby_syntax::LValue::GVar(name) => out.push(EffectViolation {
+                    kind: ViolationKind::Impure,
                     message: format!("writes global variable ${name}"),
                     span: e.span,
                 }),
                 ruby_syntax::LValue::Const(name) => out.push(EffectViolation {
+                    kind: ViolationKind::Impure,
                     message: format!("writes constant {name}"),
                     span: e.span,
                 }),
                 ruby_syntax::LValue::Index { .. } | ruby_syntax::LValue::Attr { .. } => {
                     out.push(EffectViolation {
+                        kind: ViolationKind::Impure,
                         message: "mutates the receiver of an index/attribute assignment"
                             .to_string(),
                         span: e.span,
@@ -299,6 +332,7 @@ impl TerminationChecker {
             },
             ExprKind::Call { name, .. } if self.env.purity(name) == PurityEffect::Impure => {
                 out.push(EffectViolation {
+                    kind: ViolationKind::Impure,
                     message: format!("calls impure method `{name}`"),
                     span: e.span,
                 });
@@ -393,5 +427,41 @@ mod tests {
         assert_eq!(env.termination("map"), TermEffect::BlockDep);
         assert_eq!(env.purity("push"), PurityEffect::Impure);
         assert!(!env.is_empty());
+    }
+
+    /// Each violation kind has its own stable diagnostic code; pin the
+    /// code/message pairs so downstream tooling can rely on them.
+    #[test]
+    fn violation_kinds_map_to_distinct_codes() {
+        let c = checker();
+
+        // Loop → TERM0001.
+        let vs = c.check_expr(&parse_expr("while x\n m1()\nend").unwrap());
+        let v = vs.iter().find(|v| v.kind == ViolationKind::Loop).expect("loop violation");
+        assert_eq!(v.message, "type-level code may not use looping constructs");
+        let d = diagnostics::Diagnostic::from(v.clone());
+        assert_eq!(d.code, "TERM0001");
+
+        // Non-terminating call → TERM0002.
+        let vs = c.check_expr(&parse_expr("m3()").unwrap());
+        let v = vs
+            .iter()
+            .find(|v| v.kind == ViolationKind::NonTerminatingCall)
+            .expect("diverging-call violation");
+        assert_eq!(v.message, "call to `m3`, which is not known to terminate (`terminates: :-`)");
+        assert_eq!(diagnostics::Diagnostic::from(v.clone()).code, "TERM0002");
+
+        // Impure write → TERM0003, both directly and wrapped by an iterator.
+        let program = parse_program("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
+        let (_, def) = &program.methods()[0];
+        let vs = c.check_helper(def, true);
+        let v = vs.iter().find(|v| v.kind == ViolationKind::Impure).expect("impure violation");
+        assert_eq!(v.message, "writes instance variable @cache");
+        assert_eq!(diagnostics::Diagnostic::from(v.clone()).code, "TERM0003");
+
+        let vs = c.check_expr(&parse_expr("array.map { |val| array.push(4) }").unwrap());
+        let v = vs.iter().find(|v| v.kind == ViolationKind::Impure).expect("blockdep violation");
+        assert_eq!(v.message, "iterator `map` requires a pure block: calls impure method `push`");
+        assert_eq!(diagnostics::Diagnostic::from(v.clone()).code, "TERM0003");
     }
 }

@@ -32,19 +32,26 @@ fn main() {
 
     let mut checked = 0usize;
     let mut total = 0usize;
+    let mut linted = 0usize;
+    let mut lint_total = 0usize;
     for s in &stats {
         checked += s.comp.checked() + s.plain.checked();
         total += s.comp.total + s.plain.total;
+        linted += s.lint.checked();
+        lint_total += s.lint.total;
         println!(
-            "{:12} comp: re-checked {}/{}  plain-RDL: re-checked {}/{}",
+            "{:12} comp: re-checked {}/{}  plain-RDL: re-checked {}/{}  lints: re-linted {}/{}",
             s.app,
             s.comp.checked(),
             s.comp.total,
             s.plain.checked(),
             s.plain.total,
+            s.lint.checked(),
+            s.lint.total,
         );
     }
     println!("re-checked {checked}/{total} method verdicts across the corpus");
+    println!("re-linted {linted}/{lint_total} lint verdicts across the corpus");
 
     // The observable soundness gate: an incremental run must be
     // indistinguishable from a from-scratch run on every deterministic

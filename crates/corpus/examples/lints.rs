@@ -1,0 +1,50 @@
+//! The corpus-wide lint report, asserted against a checked-in snapshot.
+//!
+//! Runs the dataflow lint suite over every app (sequentially and in
+//! parallel — the two reports must be byte-identical), prints each app's
+//! `LINT01xx` warnings, and compares the output against
+//! `crates/corpus/examples/lints.expected`.  A diff means either a lint
+//! regressed or a deliberate change forgot to regenerate the snapshot
+//! (rerun with `UPDATE_LINTS=1` to rewrite it).  CI runs this example, so
+//! the snapshot is load-bearing.
+
+use std::path::PathBuf;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/lints.expected")
+}
+
+fn lint_report(threads: usize) -> String {
+    let mut out = String::new();
+    for app in corpus::apps::all() {
+        let (program, _sources) = app.parse().expect("corpus app parses");
+        let bag = corpus::lint_bag(&corpus::lint_pass(&program, threads));
+        out.push_str(&format!("{}: {} lint warnings\n", app.name, bag.warning_count()));
+        for d in bag.iter() {
+            out.push_str(&format!("    {d}\n"));
+        }
+    }
+    out
+}
+
+fn main() {
+    let sequential = lint_report(1);
+    let parallel = lint_report(4);
+    assert_eq!(sequential, parallel, "parallel lint report diverged from sequential");
+    print!("{sequential}");
+
+    let path = snapshot_path();
+    if std::env::var("UPDATE_LINTS").is_ok() {
+        std::fs::write(&path, &sequential).expect("write snapshot");
+        println!("snapshot updated: {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run with UPDATE_LINTS=1)", path.display()));
+    assert_eq!(
+        sequential, expected,
+        "lint report diverged from the checked-in snapshot; rerun with UPDATE_LINTS=1 if the \
+         change is intentional"
+    );
+    println!("lint report matches the checked-in snapshot");
+}

@@ -96,6 +96,13 @@ class Topic < ActiveRecord::Base
   def self.titled?(title)
     Topic.exists?({ title: title })
   end
+
+  # Lint bait (LINT0105): concatenates a caller-supplied value into the raw
+  # SQL condition instead of binding it as a `?` placeholder.  Unlabeled and
+  # never called, so it changes no Table 2 column except the lint count.
+  def self.titled_like(title)
+    Topic.where('title = ' + title).count()
+  end
 end
 "#;
 

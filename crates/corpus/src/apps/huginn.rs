@@ -44,6 +44,16 @@ class Agent < ActiveRecord::Base
   def self.scheduled?(schedule)
     Agent.exists?({ schedule: schedule, disabled: false })
   end
+
+  # Lint bait (LINT0101): `label` is only assigned when the agent is
+  # scheduled, but read on every path.  Unlabeled and never called, so it
+  # changes no Table 2 column except the lint count.
+  def self.describe_schedule(schedule)
+    if Agent.scheduled?(schedule)
+      label = 'scheduled'
+    end
+    label
+  end
 end
 "#;
 

@@ -64,6 +64,16 @@ class Question < ActiveRecord::Base
   def self.build_redirect()
     Question.redirect_params({ :action => prompt(), :id => 1 })
   end
+
+  # Lint bait (LINT0102 + LINT0103): `draft` is written but never read, and
+  # the first value of `total` is overwritten before any read.  Unlabeled
+  # and never called, so it changes no Table 2 column except the lint count.
+  def self.tally_scratch()
+    draft = Question.count()
+    total = 0
+    total = Question.count()
+    total
+  end
 end
 "#;
 

@@ -51,12 +51,26 @@ pub struct Table2Row {
     /// unmemoized runs must agree on the sequence, not just the set).
     /// Empty for apps whose suites never blame.
     pub runtime_blames: DiagnosticBag,
+    /// `LINT01xx` warnings from the dataflow lint suite over the app's
+    /// parsed program, sorted canonically (span, then code).  Warnings, not
+    /// errors: they never count toward [`Table2Row::errors`].
+    pub lints: DiagnosticBag,
 }
 
 impl Table2Row {
-    /// Errors found by type checking (the size of [`Table2Row::diagnostics`]).
+    /// Errors found by type checking.  Counts only
+    /// [`diagnostics::Severity::Error`] entries of
+    /// [`Table2Row::diagnostics`], so lint warnings (or any other
+    /// warning-severity diagnostic an aggregator folds in) can never
+    /// inflate the paper's "Errs" column.
     pub fn errors(&self) -> usize {
-        self.diagnostics.len()
+        self.diagnostics.error_count()
+    }
+
+    /// Lint warnings found by the dataflow lint suite (the size of
+    /// [`Table2Row::lints`]).
+    pub fn lint_warnings(&self) -> usize {
+        self.lints.warning_count()
     }
 
     /// The dynamic-check overhead as a fraction (e.g. `0.016` for 1.6%).
@@ -196,6 +210,11 @@ pub fn evaluate_app_shared(
     };
     let check_time = started.elapsed();
 
+    // The dataflow lint pass over the same parse, split across the same
+    // worker budget as the checking run.  The split is output-invisible:
+    // results merge back into method order and sort canonically.
+    let lints = crate::lints::lint_bag(&crate::lints::lint_pass(&program, check_threads));
+
     // Static checking in plain-RDL mode (comp types disabled).
     let rdl_result = TypeChecker::new(
         &env,
@@ -256,6 +275,7 @@ pub fn evaluate_app_shared(
         dynamic_checks_run: checked.checks_performed(),
         diagnostics,
         runtime_blames,
+        lints,
     })
 }
 
@@ -700,12 +720,12 @@ pub fn format_overhead(rows: &[OverheadRow]) -> String {
 pub fn stable_report(rows: &[Table2Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>7} {:>5}\n",
-        "Program", "Meths", "LoC", "Annots", "Casts", "Casts(RDL)", "DynChk", "Errs"
+        "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>7} {:>5} {:>5}\n",
+        "Program", "Meths", "LoC", "Annots", "Casts", "Casts(RDL)", "DynChk", "Errs", "Lints"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>7} {:>5}\n",
+            "{:<12} {:>6} {:>6} {:>7} {:>6} {:>10} {:>7} {:>5} {:>5}\n",
             r.program,
             r.methods,
             r.loc,
@@ -713,7 +733,8 @@ pub fn stable_report(rows: &[Table2Row]) -> String {
             r.casts,
             r.casts_rdl,
             r.dynamic_checks_run,
-            r.errors()
+            r.errors(),
+            r.lint_warnings()
         ));
         for d in r.diagnostics.iter() {
             out.push_str(&format!("    {d}\n"));
@@ -723,6 +744,10 @@ pub fn stable_report(rows: &[Table2Row]) -> String {
         // unmemoized runs.
         for d in r.runtime_blames.iter() {
             out.push_str(&format!("    blame: {d}\n"));
+        }
+        // Lint warnings in canonical order (sorted when the row was built).
+        for d in r.lints.iter() {
+            out.push_str(&format!("    {d}\n"));
         }
     }
     out.push_str(&format_diagnostic_summary(&corpus_diagnostics(rows)));

@@ -82,12 +82,17 @@ pub struct AppRecheck {
     /// The plain-RDL comparison pass (comp types disabled), cached under
     /// `"<app>::plain"`.
     pub plain: RecheckStats,
+    /// The dataflow lint pass.  Keyed by each method's layout-invariant
+    /// semantic hash alone (lints are intraprocedural and
+    /// environment-free), so layout-only edits replay every finding.
+    pub lint: RecheckStats,
 }
 
 impl AppRecheck {
-    /// True when both passes replayed every verdict.
+    /// True when both checking passes and the lint pass replayed every
+    /// verdict.
     pub fn all_replayed(&self) -> bool {
-        self.comp.all_replayed() && self.plain.all_replayed()
+        self.comp.all_replayed() && self.plain.all_replayed() && self.lint.all_replayed()
     }
 }
 
@@ -213,6 +218,44 @@ pub fn evaluate_app_incremental(
     );
     let check_time = started.elapsed();
 
+    // The lint pass, incrementally: replay any method whose semantic hash
+    // matches the cached verdict (lints are intraprocedural and
+    // environment-free, so the plain semhash — not the Merkle hash — is the
+    // right staleness key), and lint the rest for real.  This reads the
+    // cache *before* `record_app` below rebuilds the app entry against the
+    // current file table.  Replayed records render through the same
+    // code-derived notes as fresh findings, so the bag is byte-identical
+    // either way.
+    let all_methods = program.methods();
+    let mut lint_stats =
+        RecheckStats { total: all_methods.len(), replayed: 0, checked_methods: Vec::new() };
+    let mut lint_bag = DiagnosticBag::new();
+    let mut lint_records: Vec<(String, &MethodDef, u64, Vec<comprdl::LintRecord>)> =
+        Vec::with_capacity(all_methods.len());
+    for (owner, def) in &all_methods {
+        let semhash = ruby_syntax::method_hash(def);
+        match cache.replay_lints(app.name, &files, owner, def, semhash) {
+            Some(records) => {
+                lint_stats.replayed += 1;
+                lint_bag.extend(records.iter().map(crate::lints::record_to_diagnostic));
+                lint_records.push((owner.clone(), *def, semhash, records));
+            }
+            None => {
+                lint_stats.checked_methods.push((owner.clone(), def.name.clone(), def.singleton));
+                let fresh = analysis::lint_method(owner, def);
+                lint_bag.extend(fresh.findings.iter().map(diagnostics::Diagnostic::from));
+                lint_records.push((
+                    owner.clone(),
+                    *def,
+                    semhash,
+                    crate::lints::findings_to_records(&fresh),
+                ));
+            }
+        }
+    }
+    lint_bag.sort_by_span_then_code();
+    let lint_files = files.clone();
+
     // Static checking in plain-RDL mode, incrementally under its own key
     // (same Merkle hashes: the dependency graph is options-independent).
     let (rdl_result, plain_stats) = check_incremental(
@@ -257,6 +300,11 @@ pub fn evaluate_app_incremental(
         &freeze_list(&selected, &graph, &rdl_result),
         &rdl_result.store,
     );
+
+    // Record the (possibly refreshed) lint section.  This must come after
+    // `record_app`, which rebuilds the app entry against the current file
+    // table (dropping any stale lint section along the way).
+    cache.record_lints(app.name, lint_files, &lint_records);
 
     // From here on the recipe is exactly `evaluate_app_shared`.
     let plain = Interpreter::new(program.clone());
@@ -303,8 +351,14 @@ pub fn evaluate_app_incremental(
         dynamic_checks_run: checked.checks_performed(),
         diagnostics,
         runtime_blames,
+        lints: lint_bag,
     };
-    let stats = AppRecheck { app: app.name.to_string(), comp: comp_stats, plain: plain_stats };
+    let stats = AppRecheck {
+        app: app.name.to_string(),
+        comp: comp_stats,
+        plain: plain_stats,
+        lint: lint_stats,
+    };
     Ok((row, stats))
 }
 

@@ -27,6 +27,7 @@ pub mod app;
 pub mod apps;
 pub mod harness;
 pub mod incremental;
+pub mod lints;
 
 pub use app::App;
 pub use harness::{
@@ -40,6 +41,7 @@ pub use incremental::{
     evaluate_app_incremental, table2_incremental, with_layout_noise, with_method_edit, AppRecheck,
     RecheckStats,
 };
+pub use lints::{findings_to_records, lint_bag, lint_pass, record_to_diagnostic};
 
 #[cfg(test)]
 mod tests {

@@ -132,6 +132,57 @@ mod tests {
     }
 
     #[test]
+    fn mixed_severity_counts_never_cross_contaminate() {
+        use crate::span::Span;
+        let mut bag = DiagnosticBag::new();
+        bag.push(Diagnostic::error("TYP0001", "bad call").with_label(Span::new(10, 12, 2), ""));
+        bag.push(
+            Diagnostic::warning("LINT0102", "unused variable").with_label(Span::new(4, 6, 1), ""),
+        );
+        bag.push(
+            Diagnostic::warning("LINT0104", "unreachable").with_label(Span::new(20, 22, 3), ""),
+        );
+        // `len` counts everything; the per-severity counts partition it, so
+        // harness columns derived from `error_count` can never be inflated
+        // by lint warnings (and vice versa).
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag.error_count(), 1);
+        assert_eq!(bag.warning_count(), 2);
+        assert_eq!(bag.error_count() + bag.warning_count(), bag.len());
+        assert_eq!(bag.count_of(Severity::Error), 1);
+        assert_eq!(bag.count_of(Severity::Warning), 2);
+    }
+
+    #[test]
+    fn sort_is_stable_across_insertion_orders_for_mixed_severities() {
+        use crate::span::Span;
+        // Same span and code on an error and a warning: the message
+        // tie-breaks, and any insertion order converges to one rendering.
+        let diags = [
+            Diagnostic::error("TYP0001", "z first by span").with_label(Span::new(1, 2, 1), ""),
+            Diagnostic::warning("LINT0101", "a warning").with_label(Span::new(5, 6, 2), ""),
+            Diagnostic::error("LINT0101", "b error same span").with_label(Span::new(5, 6, 2), ""),
+            Diagnostic::warning("LINT0103", "late span").with_label(Span::new(9, 10, 3), ""),
+        ];
+        let render =
+            |bag: &DiagnosticBag| bag.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n");
+        let mut forward = DiagnosticBag::new();
+        diags.iter().cloned().for_each(|d| forward.push(d));
+        forward.sort_by_span_then_code();
+        let mut reversed = DiagnosticBag::new();
+        diags.iter().rev().cloned().for_each(|d| reversed.push(d));
+        reversed.sort_by_span_then_code();
+        assert_eq!(render(&forward), render(&reversed));
+        let codes: Vec<_> = forward.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, ["TYP0001", "LINT0101", "LINT0101", "LINT0103"]);
+        let messages: Vec<_> = forward.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(
+            messages[1], "a warning",
+            "equal span+code falls through to message order, not severity"
+        );
+    }
+
+    #[test]
     fn counts_by_severity_and_code() {
         let mut bag = DiagnosticBag::new();
         bag.push(Diagnostic::error("TYP0001", "a"));

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub use analysis;
 pub use comprdl;
 pub use corpus;
 pub use db_types;
