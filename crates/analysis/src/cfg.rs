@@ -297,6 +297,90 @@ mod tests {
         assert!(stmt_count(&cfg) >= 3, "lhs, raise and tail are all statements");
     }
 
+    /// `break` as the short-circuited rhs of `&&` inside a loop: the break
+    /// must edge to the *loop join*, not the method exit, and every
+    /// non-empty block stays reachable.
+    #[test]
+    fn break_inside_short_circuit_condition_targets_the_loop_join() {
+        let body =
+            body_of("def m(n)\n  while n > 0\n    done && break\n    n = n - 1\n  end\n  n\nend\n");
+        let cfg = Cfg::build(&body);
+        let head = (0..cfg.blocks.len())
+            .find(|&b| cfg.blocks[b].succs.len() == 2 && cfg.blocks[b].preds.len() >= 2)
+            .expect("loop head has the entry edge and a back edge");
+        let join = cfg.blocks[head].succs[1];
+        let brk = cfg
+            .blocks
+            .iter()
+            .position(|b| b.stmts.iter().any(|s| matches!(s.kind, ExprKind::Break)))
+            .expect("a block holds the break");
+        assert!(
+            cfg.blocks[brk].succs.contains(&join),
+            "break edges to the loop join {join}, got {:?}",
+            cfg.blocks[brk].succs
+        );
+        assert!(!cfg.blocks[brk].succs.contains(&head), "break must not re-enter the loop");
+        let reach = cfg.reachable();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !block.stmts.is_empty() {
+                assert!(reach[b], "block {b} unreachable");
+            }
+        }
+    }
+
+    /// `next` as the short-circuited rhs of `||` inside a loop: the next
+    /// must edge back to the *loop head*, and the decrement after it stays
+    /// reachable via the short-circuit skip edge.
+    #[test]
+    fn next_inside_short_circuit_condition_targets_the_loop_head() {
+        let body =
+            body_of("def m(n)\n  while n > 0\n    skip || next\n    n = n - 1\n  end\n  n\nend\n");
+        let cfg = Cfg::build(&body);
+        let head = (0..cfg.blocks.len())
+            .find(|&b| cfg.blocks[b].succs.len() == 2 && cfg.blocks[b].preds.len() >= 2)
+            .expect("loop head");
+        let nxt = cfg
+            .blocks
+            .iter()
+            .position(|b| b.stmts.iter().any(|s| matches!(s.kind, ExprKind::Next)))
+            .expect("a block holds the next");
+        assert!(
+            cfg.blocks[nxt].succs.contains(&head),
+            "next edges back to the head {head}, got {:?}",
+            cfg.blocks[nxt].succs
+        );
+        let reach = cfg.reachable();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !block.stmts.is_empty() {
+                assert!(reach[b], "block {b} unreachable (the decrement must survive)");
+            }
+        }
+    }
+
+    /// `return` from an `elsif` arm: that arm edges straight to the exit,
+    /// the other arms still join, and the tail read stays reachable.
+    #[test]
+    fn return_from_an_elsif_arm_edges_to_exit_only() {
+        let body = body_of(
+            "def m(c)\n  if c == 1\n    x = 1\n  elsif c == 2\n    return 9\n  else\n    x = 3\n  end\n  x\nend\n",
+        );
+        let cfg = Cfg::build(&body);
+        let ret = cfg
+            .blocks
+            .iter()
+            .position(|b| b.stmts.iter().any(|s| matches!(s.kind, ExprKind::Return(_))))
+            .expect("a block holds the return");
+        assert_eq!(cfg.blocks[ret].succs, vec![cfg.exit], "return flows to exit only");
+        let reach = cfg.reachable();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !block.stmts.is_empty() {
+                assert!(reach[b], "block {b} unreachable (both assigns and the tail read live)");
+            }
+        }
+        // Shape: two conditions, two assigns, one return, one tail read.
+        assert_eq!(stmt_count(&cfg), 6);
+    }
+
     #[test]
     fn elsif_chain_joins_all_arms() {
         let body = body_of(

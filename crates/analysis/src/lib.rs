@@ -30,10 +30,15 @@
 pub mod cfg;
 pub mod dataflow;
 pub mod lints;
+pub mod summaries;
 
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use dataflow::{solve, DataflowProblem, Direction, Solution};
 pub use lints::{
-    lint_method, lint_program, lint_program_parallel, note_for, LintFinding, MethodLints,
-    DEAD_ASSIGNMENT, SQL_TAINT, UNREACHABLE_CODE, UNUSED_VARIABLE, USE_BEFORE_DEF,
+    lint_method, lint_method_with_summaries, lint_program, lint_program_parallel,
+    lint_program_parallel_with_summaries, lint_program_with_summaries, note_for, LintFinding,
+    MethodLints, DEAD_ASSIGNMENT, SQL_TAINT, UNREACHABLE_CODE, UNUSED_VARIABLE, USE_BEFORE_DEF,
+};
+pub use summaries::{
+    render_blame, MethodSummary, ProgramSummaries, Purity, SeedEffect, SeedMap, TaintSummary, Term,
 };

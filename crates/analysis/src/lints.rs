@@ -15,9 +15,23 @@
 //! carry the method's [`semhash`](ruby_syntax::method_hash) so the corpus
 //! pipeline can freeze them into the on-disk check cache and replay them
 //! without re-linting (see `comprdl::persist`).
+//!
+//! `LINT0105` is optionally *interprocedural*: given the program's
+//! [effect summaries](crate::summaries::ProgramSummaries), a call to a
+//! method whose summary says "parameter *i* flows into a SQL sink" is
+//! itself treated as a sink for argument *i*, and a call's result is
+//! tainted exactly when the summary's return transfer says so (instead of
+//! the conservative any-argument rule used for unknown callees).  Because
+//! findings then depend on *callee* bodies, the corpus pipeline keys
+//! persisted lint verdicts on the dependency-closure Merkle hash rather
+//! than the intra-method `semhash`.
+//!
+//! Locals spelled with a leading underscore (`_tmp`) are the conventional
+//! "intentionally unused" form and are exempt from `LINT0102`/`LINT0103`.
 
 use crate::cfg::Cfg;
 use crate::dataflow::{solve, DataflowProblem, Direction};
+use crate::summaries::ProgramSummaries;
 use diagnostics::{Diagnostic, Span};
 use ruby_syntax::{method_hash, Expr, ExprKind, LValue, MethodDef, Program};
 use std::collections::{BTreeMap, BTreeSet};
@@ -37,8 +51,9 @@ pub const UNREACHABLE_CODE: &str = "LINT0104";
 pub const SQL_TAINT: &str = "LINT0105";
 
 /// Method names treated as SQL sinks for `LINT0105` (their first argument
-/// is parsed as a SQL condition fragment).
-const SQL_SINKS: &[&str] = &["where", "find_by_sql", "having", "filter", "exclude"];
+/// is parsed as a SQL condition fragment) — shared with the summary
+/// inference so both ends agree on what a sink is.
+use crate::summaries::SQL_SINKS;
 
 /// One lint finding within a method, prior to diagnostic rendering.
 ///
@@ -332,11 +347,12 @@ impl<'a> DataflowProblem<'a> for Liveness {
 // LINT0105: SQL interpolation taint (forward may-analysis)
 // ---------------------------------------------------------------------------
 
-struct TaintWithParams {
+struct TaintWithParams<'s> {
     params: Names,
+    summaries: Option<&'s ProgramSummaries>,
 }
 
-impl<'a> DataflowProblem<'a> for TaintWithParams {
+impl<'a> DataflowProblem<'a> for TaintWithParams<'_> {
     type Fact = Names;
     fn direction(&self) -> Direction {
         Direction::Forward
@@ -351,48 +367,51 @@ impl<'a> DataflowProblem<'a> for TaintWithParams {
         into.extend(from.iter().cloned());
     }
     fn transfer(&self, stmt: &'a Expr, fact: &mut Names) {
-        taint_eval(stmt, fact, &mut Vec::new(), &mut |_, _| {});
+        taint_eval(stmt, fact, &mut Vec::new(), self.summaries, &mut |_, _, _| {});
     }
 }
 
 /// Evaluates `e` for taint: returns whether its value is derived from a
-/// tainted name, updates `fact` across assignments, and invokes `on_sink`
-/// on every SQL-sink call (with the fact state at that point).
+/// tainted name, updates `fact` across assignments, and invokes
+/// `on_sink(call, arg_index, fact)` on every sink argument — the first
+/// argument of a literal SQL-sink call, plus (when `summaries` are
+/// supplied) every argument a callee's summary routes into a sink.
 fn taint_eval(
     e: &Expr,
     fact: &mut Names,
     shadow: &mut Vec<Vec<String>>,
-    on_sink: &mut dyn FnMut(&Expr, &Names),
+    summaries: Option<&ProgramSummaries>,
+    on_sink: &mut dyn FnMut(&Expr, usize, &Names),
 ) -> bool {
     match &e.kind {
         ExprKind::Ident(n) => !shadowed(shadow, n) && fact.contains(n),
         ExprKind::Array(items) => {
             let mut t = false;
             for item in items {
-                t |= taint_eval(item, fact, shadow, on_sink);
+                t |= taint_eval(item, fact, shadow, summaries, on_sink);
             }
             t
         }
         ExprKind::Hash(pairs) => {
             let mut t = false;
             for (k, v) in pairs {
-                t |= taint_eval(k, fact, shadow, on_sink);
-                t |= taint_eval(v, fact, shadow, on_sink);
+                t |= taint_eval(k, fact, shadow, summaries, on_sink);
+                t |= taint_eval(v, fact, shadow, summaries, on_sink);
             }
             t
         }
         ExprKind::Assign { target, value } => {
             match target {
                 LValue::Index { recv, index } => {
-                    taint_eval(recv, fact, shadow, on_sink);
-                    taint_eval(index, fact, shadow, on_sink);
+                    taint_eval(recv, fact, shadow, summaries, on_sink);
+                    taint_eval(index, fact, shadow, summaries, on_sink);
                 }
                 LValue::Attr { recv, .. } => {
-                    taint_eval(recv, fact, shadow, on_sink);
+                    taint_eval(recv, fact, shadow, summaries, on_sink);
                 }
                 _ => {}
             }
-            let t = taint_eval(value, fact, shadow, on_sink);
+            let t = taint_eval(value, fact, shadow, summaries, on_sink);
             if let LValue::Local(n) = target {
                 if !shadowed(shadow, n) {
                     if t {
@@ -405,7 +424,7 @@ fn taint_eval(
             t
         }
         ExprKind::OpAssign { target, value, .. } => {
-            let mut t = taint_eval(value, fact, shadow, on_sink);
+            let mut t = taint_eval(value, fact, shadow, summaries, on_sink);
             if let LValue::Local(n) = target {
                 if !shadowed(shadow, n) {
                     t |= fact.contains(n);
@@ -417,81 +436,101 @@ fn taint_eval(
             t
         }
         ExprKind::Call { recv, name, args, block } => {
-            let mut t = false;
-            if let Some(r) = recv {
-                t |= taint_eval(r, fact, shadow, on_sink);
-            }
-            for arg in args {
-                t |= taint_eval(arg, fact, shadow, on_sink);
-            }
+            let recv_t =
+                recv.as_ref().is_some_and(|r| taint_eval(r, fact, shadow, summaries, on_sink));
+            let arg_t: Vec<bool> =
+                args.iter().map(|a| taint_eval(a, fact, shadow, summaries, on_sink)).collect();
             if let Some(b) = block {
                 shadow.push(b.params.clone());
                 for stmt in &b.body {
-                    taint_eval(stmt, fact, shadow, on_sink);
+                    taint_eval(stmt, fact, shadow, summaries, on_sink);
                 }
                 shadow.pop();
             }
+            // Sink positions: argument 0 of a literal SQL sink, plus every
+            // argument the callee's taint summary routes into a sink.
+            let mut sink_args = BTreeSet::new();
             if SQL_SINKS.contains(&name.as_str()) && !args.is_empty() {
-                on_sink(e, fact);
+                sink_args.insert(0usize);
             }
-            t
+            let summary = summaries.and_then(|s| s.taint_for_name(name));
+            if let Some(ts) = &summary {
+                for &i in &ts.params_to_sink {
+                    if i < args.len() {
+                        sink_args.insert(i);
+                    }
+                }
+            }
+            for &i in &sink_args {
+                on_sink(e, i, fact);
+            }
+            match &summary {
+                // A summarized callee: taint flows to the result exactly
+                // along the inferred return transfer.
+                Some(ts) => {
+                    ts.params_to_return.iter().any(|&i| arg_t.get(i).copied().unwrap_or(false))
+                        || (ts.self_to_return && recv_t)
+                }
+                // Unknown callee: conservatively derive from every input.
+                None => recv_t || arg_t.iter().any(|&t| t),
+            }
         }
         ExprKind::BoolOp { lhs, rhs, .. } => {
-            let l = taint_eval(lhs, fact, shadow, on_sink);
-            let r = taint_eval(rhs, fact, shadow, on_sink);
+            let l = taint_eval(lhs, fact, shadow, summaries, on_sink);
+            let r = taint_eval(rhs, fact, shadow, summaries, on_sink);
             l || r
         }
         ExprKind::Not(inner) | ExprKind::TypeCast { expr: inner, .. } => {
-            taint_eval(inner, fact, shadow, on_sink)
+            taint_eval(inner, fact, shadow, summaries, on_sink)
         }
         ExprKind::If { arms, else_body } => {
             let mut t = false;
             for arm in arms {
-                taint_eval(&arm.cond, fact, shadow, on_sink);
+                taint_eval(&arm.cond, fact, shadow, summaries, on_sink);
                 for stmt in &arm.body {
-                    t |= taint_eval(stmt, fact, shadow, on_sink);
+                    t |= taint_eval(stmt, fact, shadow, summaries, on_sink);
                 }
             }
             for stmt in else_body {
-                t |= taint_eval(stmt, fact, shadow, on_sink);
+                t |= taint_eval(stmt, fact, shadow, summaries, on_sink);
             }
             t
         }
         ExprKind::Case { subject, arms, else_body } => {
-            taint_eval(subject, fact, shadow, on_sink);
+            taint_eval(subject, fact, shadow, summaries, on_sink);
             let mut t = false;
             for arm in arms {
-                taint_eval(&arm.cond, fact, shadow, on_sink);
+                taint_eval(&arm.cond, fact, shadow, summaries, on_sink);
                 for stmt in &arm.body {
-                    t |= taint_eval(stmt, fact, shadow, on_sink);
+                    t |= taint_eval(stmt, fact, shadow, summaries, on_sink);
                 }
             }
             for stmt in else_body {
-                t |= taint_eval(stmt, fact, shadow, on_sink);
+                t |= taint_eval(stmt, fact, shadow, summaries, on_sink);
             }
             t
         }
         ExprKind::While { cond, body } => {
-            taint_eval(cond, fact, shadow, on_sink);
+            taint_eval(cond, fact, shadow, summaries, on_sink);
             for stmt in body {
-                taint_eval(stmt, fact, shadow, on_sink);
+                taint_eval(stmt, fact, shadow, summaries, on_sink);
             }
             false
         }
         ExprKind::Return(Some(v)) => {
-            taint_eval(v, fact, shadow, on_sink);
+            taint_eval(v, fact, shadow, summaries, on_sink);
             false
         }
         ExprKind::Yield(args) => {
             for arg in args {
-                taint_eval(arg, fact, shadow, on_sink);
+                taint_eval(arg, fact, shadow, summaries, on_sink);
             }
             false
         }
         ExprKind::Lambda(b) => {
             shadow.push(b.params.clone());
             for stmt in &b.body {
-                taint_eval(stmt, fact, shadow, on_sink);
+                taint_eval(stmt, fact, shadow, summaries, on_sink);
             }
             shadow.pop();
             false
@@ -512,28 +551,26 @@ fn concat_parts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
     out.push(e);
 }
 
-/// Whether `e` reads any tainted name (no fact mutation).
-fn reads_tainted(e: &Expr, fact: &Names) -> bool {
-    struct Scan<'f> {
-        fact: &'f Names,
-        hit: bool,
-    }
-    impl NameSink for Scan<'_> {
-        fn on_use(&mut self, _e: &Expr, name: &str) {
-            self.hit |= self.fact.contains(name);
-        }
-    }
-    let mut scan = Scan { fact, hit: false };
-    walk_names(e, &mut Vec::new(), &mut scan);
-    scan.hit
+/// Whether `e`'s value derives from a tainted name — evaluated with the
+/// same summary-aware rules as the taint facts themselves, against a
+/// scratch copy of `fact` so sink callbacks and assignments don't reenter.
+fn reads_tainted(e: &Expr, fact: &Names, summaries: Option<&ProgramSummaries>) -> bool {
+    let mut scratch = fact.clone();
+    taint_eval(e, &mut scratch, &mut Vec::new(), summaries, &mut |_, _, _| {})
 }
 
-/// Inspects one sink call's first argument and pushes a `LINT0105` finding
-/// if a tainted non-literal part is concatenated with SQL text that
-/// `sql_tc` can parse as a condition.
-fn check_sql_sink(call: &Expr, fact: &Names, findings: &mut Vec<LintFinding>) {
+/// Inspects one sink argument and pushes a `LINT0105` finding if a tainted
+/// non-literal part is concatenated with SQL text that `sql_tc` can parse
+/// as a condition.
+fn check_sql_sink(
+    call: &Expr,
+    arg: usize,
+    fact: &Names,
+    summaries: Option<&ProgramSummaries>,
+    findings: &mut Vec<LintFinding>,
+) {
     let ExprKind::Call { args, .. } = &call.kind else { return };
-    let frag_arg = &args[0];
+    let Some(frag_arg) = args.get(arg) else { return };
     let mut parts = Vec::new();
     concat_parts(frag_arg, &mut parts);
     if parts.len() < 2 {
@@ -549,7 +586,7 @@ fn check_sql_sink(call: &Expr, fact: &Names, findings: &mut Vec<LintFinding>) {
                 fragment.push_str(s);
             }
             _ => {
-                has_tainted |= reads_tainted(part, fact);
+                has_tainted |= reads_tainted(part, fact, summaries);
                 fragment.push('?');
             }
         }
@@ -583,8 +620,20 @@ fn sort_findings(findings: &mut [LintFinding]) {
     });
 }
 
-/// Runs every lint over one method.
+/// Runs every lint over one method, intraprocedurally (calls to unknown
+/// methods propagate taint conservatively; no summary-driven sinks).
 pub fn lint_method(owner: &str, def: &MethodDef) -> MethodLints {
+    lint_method_with_summaries(owner, def, None)
+}
+
+/// Runs every lint over one method; when `summaries` are supplied,
+/// `LINT0105` propagates taint through calls using the inferred transfer
+/// functions (see [`crate::summaries`]).
+pub fn lint_method_with_summaries(
+    owner: &str,
+    def: &MethodDef,
+    summaries: Option<&ProgramSummaries>,
+) -> MethodLints {
     let cfg = Cfg::build(&def.body);
     let reachable = cfg.reachable();
     let mut findings = Vec::new();
@@ -593,9 +642,10 @@ pub fn lint_method(owner: &str, def: &MethodDef) -> MethodLints {
     let assigned = assigned_locals(&def.body);
     let used = used_locals(&def.body);
 
-    // LINT0102: assigned but never read.
+    // LINT0102: assigned but never read.  A leading underscore is the
+    // conventional "intentionally unused" spelling and stays quiet.
     for (name, span) in &assigned {
-        if !used.contains(name) && !params.contains(name) {
+        if !used.contains(name) && !params.contains(name) && !name.starts_with('_') {
             findings.push(LintFinding {
                 code: UNUSED_VARIABLE.to_string(),
                 message: format!("local variable `{name}` is never used"),
@@ -671,7 +721,11 @@ pub fn lint_method(owner: &str, def: &MethodDef) -> MethodLints {
             let mut live = sol.block_out[b].clone();
             for stmt in block.stmts.iter().rev() {
                 if let ExprKind::Assign { target: LValue::Local(n), value } = &stmt.kind {
-                    if used.contains(n) && !live.contains(n) && Some(*stmt as *const Expr) != tail {
+                    if used.contains(n)
+                        && !live.contains(n)
+                        && !n.starts_with('_')
+                        && Some(*stmt as *const Expr) != tail
+                    {
                         findings.push(LintFinding {
                             code: DEAD_ASSIGNMENT.to_string(),
                             message: format!("value assigned to `{n}` is never read"),
@@ -710,7 +764,7 @@ pub fn lint_method(owner: &str, def: &MethodDef) -> MethodLints {
     let taint_seed: Names =
         def.params.iter().filter(|p| !p.block).map(|p| p.name.clone()).collect();
     if !taint_seed.is_empty() {
-        let sol = solve(&cfg, &TaintWithParams { params: taint_seed });
+        let sol = solve(&cfg, &TaintWithParams { params: taint_seed, summaries });
         let mut sink_findings = Vec::new();
         for (b, block) in cfg.blocks.iter().enumerate() {
             if !reachable[b] {
@@ -718,8 +772,8 @@ pub fn lint_method(owner: &str, def: &MethodDef) -> MethodLints {
             }
             let mut fact = sol.block_in[b].clone();
             for stmt in &block.stmts {
-                taint_eval(stmt, &mut fact, &mut Vec::new(), &mut |call, fact| {
-                    check_sql_sink(call, fact, &mut sink_findings);
+                taint_eval(stmt, &mut fact, &mut Vec::new(), summaries, &mut |call, arg, fact| {
+                    check_sql_sink(call, arg, fact, summaries, &mut sink_findings);
                 });
             }
         }
@@ -738,7 +792,20 @@ pub fn lint_method(owner: &str, def: &MethodDef) -> MethodLints {
 
 /// Lints every method of a program sequentially, in source order.
 pub fn lint_program(program: &Program) -> Vec<MethodLints> {
-    program.methods().into_iter().map(|(owner, def)| lint_method(&owner, def)).collect()
+    lint_program_with_summaries(program, None)
+}
+
+/// Lints every method sequentially, threading the program's effect
+/// summaries into `LINT0105` (see [`lint_method_with_summaries`]).
+pub fn lint_program_with_summaries(
+    program: &Program,
+    summaries: Option<&ProgramSummaries>,
+) -> Vec<MethodLints> {
+    program
+        .methods()
+        .into_iter()
+        .map(|(owner, def)| lint_method_with_summaries(&owner, def, summaries))
+        .collect()
 }
 
 /// Lints every method of a program across `threads` worker threads.
@@ -748,9 +815,19 @@ pub fn lint_program(program: &Program) -> Vec<MethodLints> {
 /// back in method-index order, so the output is byte-identical to
 /// [`lint_program`] regardless of scheduling.
 pub fn lint_program_parallel(program: &Program, threads: usize) -> Vec<MethodLints> {
+    lint_program_parallel_with_summaries(program, None, threads)
+}
+
+/// Parallel variant of [`lint_program_with_summaries`]; byte-identical to
+/// the sequential run regardless of scheduling.
+pub fn lint_program_parallel_with_summaries(
+    program: &Program,
+    summaries: Option<&ProgramSummaries>,
+    threads: usize,
+) -> Vec<MethodLints> {
     let methods = program.methods();
     if threads <= 1 || methods.len() <= 1 {
-        return lint_program(program);
+        return lint_program_with_summaries(program, summaries);
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<MethodLints>> = methods.iter().map(|_| None).collect();
@@ -762,7 +839,7 @@ pub fn lint_program_parallel(program: &Program, threads: usize) -> Vec<MethodLin
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some((owner, def)) = methods.get(i) else { break };
-                        out.push((i, lint_method(owner, def)));
+                        out.push((i, lint_method_with_summaries(owner, def, summaries)));
                     }
                     out
                 })
@@ -829,6 +906,25 @@ mod tests {
     fn parameters_are_not_unused_variables() {
         let f = lint_src("def m(unused)\n  1\nend\n");
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    /// Pin: a leading underscore is the conventional "intentionally
+    /// unused" spelling — `_tmp` is exempt from LINT0102/LINT0103 while
+    /// plain `tmp` still warns.
+    #[test]
+    fn underscore_prefixed_locals_are_exempt_but_plain_ones_warn() {
+        // LINT0102: assigned, never read.
+        let f = lint_src("def m(x)\n  _tmp = x + 1\n  x\nend\n");
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint_src("def m(x)\n  tmp = x + 1\n  x\nend\n");
+        assert_eq!(codes(&f), vec![UNUSED_VARIABLE], "{f:?}");
+        assert!(f[0].message.contains("`tmp`"));
+
+        // LINT0103: dead store before a later read.
+        let f = lint_src("def m(x)\n  _y = x + 1\n  _y = 2\n  _y\nend\n");
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint_src("def m(x)\n  y = x + 1\n  y = 2\n  y\nend\n");
+        assert_eq!(codes(&f), vec![DEAD_ASSIGNMENT], "{f:?}");
     }
 
     #[test]
@@ -918,6 +1014,57 @@ mod tests {
         let seq = lint_program(&p);
         for threads in [2, 4, 7] {
             assert_eq!(seq, lint_program_parallel(&p, threads), "threads={threads}");
+        }
+        assert!(seq.iter().any(|m| !m.findings.is_empty()));
+    }
+
+    /// With summaries, the sink and the interpolation can live in
+    /// different methods: the callee's summary routes the caller's
+    /// argument into the sink, so the finding fires at the call site.
+    #[test]
+    fn sql_taint_crosses_calls_with_summaries() {
+        let src = "def self.apply_filter(frag)\n  Topic.where(frag)\nend\ndef self.search(q)\n  apply_filter('title = ' + q)\nend\n";
+        let p = parse_program(src).expect("parse");
+
+        // Blind without summaries: the callee sees a lone variable at the
+        // sink, the caller sees no sink at all.
+        let blind = lint_program(&p);
+        assert!(blind.iter().all(|m| m.findings.is_empty()), "{blind:?}");
+
+        let seed = crate::summaries::SeedMap::new();
+        let sums = ProgramSummaries::infer(&p, &seed);
+        let seen = lint_program_with_summaries(&p, Some(&sums));
+        let search = seen.iter().find(|m| m.name == "search").unwrap();
+        assert_eq!(codes(&search.findings), vec![SQL_TAINT], "{seen:?}");
+        assert!(search.findings[0].label.contains("title = ?"), "{}", search.findings[0].label);
+    }
+
+    /// The summary return transfer is *more precise* than the conservative
+    /// any-argument rule: a callee that provably drops its parameter
+    /// un-taints the result.
+    #[test]
+    fn summary_return_transfer_untaints_sanitized_values() {
+        let src = "def self.quote(q)\n  'quoted'\nend\ndef self.search(q)\n  Topic.where('title = ' + quote(q))\nend\n";
+        let p = parse_program(src).expect("parse");
+        let blind = lint_program(&p);
+        assert!(
+            blind.iter().any(|m| codes(&m.findings) == vec![SQL_TAINT]),
+            "conservatively tainted without summaries: {blind:?}"
+        );
+        let sums = ProgramSummaries::infer(&p, &crate::summaries::SeedMap::new());
+        let seen = lint_program_with_summaries(&p, Some(&sums));
+        assert!(seen.iter().all(|m| m.findings.is_empty()), "{seen:?}");
+    }
+
+    #[test]
+    fn parallel_lint_with_summaries_is_byte_identical() {
+        let src = "def self.apply_filter(frag)\n  Topic.where(frag)\nend\ndef self.search(q)\n  apply_filter('title = ' + q)\nend\ndef m(c)\n  if c\n    x = 1\n  end\n  x\nend\n";
+        let p = parse_program(src).expect("parse");
+        let sums = ProgramSummaries::infer(&p, &crate::summaries::SeedMap::new());
+        let seq = lint_program_with_summaries(&p, Some(&sums));
+        for threads in [2, 4, 8] {
+            let par = lint_program_parallel_with_summaries(&p, Some(&sums), threads);
+            assert_eq!(seq, par, "threads={threads}");
         }
         assert!(seq.iter().any(|m| !m.findings.is_empty()));
     }

@@ -1,0 +1,1393 @@
+//! Interprocedural effect summaries over the name-resolved call graph.
+//!
+//! The lint suite and the CompRDL termination checker both consult an
+//! *effect environment* — which methods terminate, which are pure, and
+//! (for `LINT0105`) how taint moves through a call.  Before this module
+//! that environment was a hand-maintained annotation table where every
+//! unknown method defaulted to impure/non-terminating.  [`infer`] replaces
+//! the default with a bottom-up, summary-based analysis:
+//!
+//! 1. build the name-resolved call graph of the program (a call edge to
+//!    every same-named method, mirroring `comprdl::semdep::DepGraph`),
+//! 2. condense it into strongly connected components (Tarjan), and
+//! 3. walk the SCCs in emission order (callees before callers) computing a
+//!    [`MethodSummary`] per method:
+//!
+//!    * **termination** — loop-free and every callee terminates;
+//!      `:blockdep` iterators are conditional on their block (which is part
+//!      of the caller's own body, so its loops and calls are already
+//!      covered); a body that `yield`s is itself `:blockdep`; any recursion
+//!      cycle is pessimistically non-terminating,
+//!    * **purity** — no instance/class/global/receiver writes and only
+//!      pure callees, resolved per-SCC: the component starts pessimistic
+//!      and is refined to pure only when *no* member carries a write and
+//!      every extra-component callee is pure,
+//!    * **taint** — which parameters (or the receiver) may flow into a SQL
+//!      sink or into the return value, iterated to a least fixpoint inside
+//!      each SCC starting from the empty transfer.
+//!
+//! Every non-`Terminates`/non-`Pure` verdict carries a *blame chain*: the
+//! call path from the method to the root cause, rendered as
+//! `a → b → @x=` by [`render_blame`].  All containers are `BTree`-ordered
+//! and SCCs are processed in Tarjan emission order, so two runs (or a
+//! sequential and a parallel run) produce byte-identical [`render`]
+//! output.
+//!
+//! [`infer`]: ProgramSummaries::infer
+//! [`render`]: ProgramSummaries::render
+
+use ruby_syntax::{Expr, ExprKind, LValue, MethodDef, Program};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inferred termination effect (the analysis-side mirror of the paper's
+/// `terminates:` labels; `analysis` does not depend on `rdl-types`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// `:+` — provably terminates.
+    Terminates,
+    /// `:blockdep` — terminates iff the block it yields to does.
+    BlockDep,
+    /// `:-` — may diverge.
+    MayDiverge,
+}
+
+/// Inferred purity effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Purity {
+    /// No writes to non-local state, only pure callees.
+    Pure,
+    /// May mutate state.
+    Impure,
+}
+
+/// A trusted base effect for a method the program does not define (core
+/// library methods, annotated externals).  Seeds are supplied by the
+/// caller; see `comprdl::EffectEnv::with_builtins` for the canonical set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedEffect {
+    /// Termination effect to trust.
+    pub term: Term,
+    /// Whether the method is pure.
+    pub pure: bool,
+}
+
+/// Trusted base effects, keyed by bare method name.
+pub type SeedMap = BTreeMap<String, SeedEffect>;
+
+/// Method names treated as SQL sinks (their first argument is a SQL
+/// condition fragment) — kept in sync with the `LINT0105` sink list.
+pub const SQL_SINKS: &[&str] = &["where", "find_by_sql", "having", "filter", "exclude"];
+
+/// How values move through one method: which inputs may reach a SQL sink
+/// or the return value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintSummary {
+    /// Parameter indices that may flow into the return value.
+    pub params_to_return: BTreeSet<usize>,
+    /// Parameter indices that may flow into a SQL sink (directly or via a
+    /// callee whose summary says so).
+    pub params_to_sink: BTreeSet<usize>,
+    /// The receiver (`self`, including instance state) may flow into the
+    /// return value.
+    pub self_to_return: bool,
+    /// The receiver may flow into a SQL sink.
+    pub self_to_sink: bool,
+}
+
+impl TaintSummary {
+    fn join(&mut self, other: &TaintSummary) {
+        self.params_to_return.extend(&other.params_to_return);
+        self.params_to_sink.extend(&other.params_to_sink);
+        self.self_to_return |= other.self_to_return;
+        self.self_to_sink |= other.self_to_sink;
+    }
+}
+
+/// The inferred effects of one method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSummary {
+    /// Enclosing class (`"Object"` for top-level methods).
+    pub owner: String,
+    /// Method name.
+    pub name: String,
+    /// Whether it is a `def self.` method.
+    pub singleton: bool,
+    /// Inferred termination effect.
+    pub term: Term,
+    /// Inferred purity effect.
+    pub purity: Purity,
+    /// Call path to the divergence root cause (empty iff not `MayDiverge`).
+    pub term_blame: Vec<String>,
+    /// Call path to the impurity root cause (empty iff `Pure`).
+    pub purity_blame: Vec<String>,
+    /// Taint transfer function.
+    pub taint: TaintSummary,
+    /// The method's SCC id in Tarjan emission order (callees first).
+    pub scc: usize,
+}
+
+/// Renders a blame chain the way diagnostics quote it: `a → b → @x=`.
+pub fn render_blame(chain: &[String]) -> String {
+    chain.join(" \u{2192} ")
+}
+
+// ---------------------------------------------------------------------------
+// Per-method local facts (the parallel-extractable part)
+// ---------------------------------------------------------------------------
+
+/// One observed call site: the bare callee name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LocalFacts {
+    /// `while` anywhere in the body (including nested blocks).
+    has_while: bool,
+    /// `yield` anywhere in the body — makes the method `:blockdep`.
+    has_yield: bool,
+    /// Called names in first-occurrence walk order (calls, operator
+    /// assignments and bare identifiers that are not locals).
+    calls: Vec<String>,
+    /// Non-local writes in walk order, as blame tokens (`@x=`, `$g=`, …).
+    writes: Vec<String>,
+}
+
+fn shadowed(shadow: &[Vec<String>], name: &str) -> bool {
+    shadow.iter().any(|frame| frame.iter().any(|p| p == name))
+}
+
+/// Every local assigned anywhere in the body (ignoring shadowing — the
+/// same optimistic rule the lint suite uses to tell locals from calls).
+fn assigned_locals(body: &[Expr]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for stmt in body {
+        stmt.walk(&mut |e| {
+            if let ExprKind::Assign { target, .. } | ExprKind::OpAssign { target, .. } = &e.kind {
+                if let LValue::Local(n) = target {
+                    out.insert(n.clone());
+                }
+            }
+        });
+    }
+    out
+}
+
+fn collect_facts(def: &MethodDef) -> LocalFacts {
+    let mut facts =
+        LocalFacts { has_while: false, has_yield: false, calls: Vec::new(), writes: Vec::new() };
+    let locals = assigned_locals(&def.body);
+    let params: BTreeSet<String> = def.params.iter().map(|p| p.name.clone()).collect();
+    let mut shadow: Vec<Vec<String>> = Vec::new();
+    let mut seen_calls = BTreeSet::new();
+    for stmt in &def.body {
+        walk_facts(stmt, &locals, &params, &mut shadow, &mut seen_calls, &mut facts);
+    }
+    facts
+}
+
+fn walk_facts(
+    e: &Expr,
+    locals: &BTreeSet<String>,
+    params: &BTreeSet<String>,
+    shadow: &mut Vec<Vec<String>>,
+    seen: &mut BTreeSet<String>,
+    facts: &mut LocalFacts,
+) {
+    let walk_all = |exprs: &[Expr],
+                    shadow: &mut Vec<Vec<String>>,
+                    seen: &mut BTreeSet<String>,
+                    facts: &mut LocalFacts| {
+        for e in exprs {
+            walk_facts(e, locals, params, shadow, seen, facts);
+        }
+    };
+    let call = |name: &str, seen: &mut BTreeSet<String>, facts: &mut LocalFacts| {
+        if seen.insert(name.to_string()) {
+            facts.calls.push(name.to_string());
+        }
+    };
+    let write = |token: String, facts: &mut LocalFacts| {
+        facts.writes.push(token);
+    };
+    match &e.kind {
+        // A bare identifier that is neither a local nor a parameter is a
+        // call on `self` in this subset.
+        ExprKind::Ident(n)
+            if !locals.contains(n) && !params.contains(n) && !shadowed(shadow, n) =>
+        {
+            call(n, seen, facts);
+        }
+        ExprKind::Assign { target, value } | ExprKind::OpAssign { target, value, .. } => {
+            if let ExprKind::OpAssign { op, .. } = &e.kind {
+                // `x += 1` desugars to a call to `+`; `||=`/`&&=` are
+                // control flow, not method calls.
+                if op != "||" && op != "&&" {
+                    call(op, seen, facts);
+                }
+            }
+            match target {
+                LValue::Local(_) => {}
+                LValue::IVar(n) => write(format!("@{n}="), facts),
+                LValue::GVar(n) => write(format!("${n}="), facts),
+                LValue::Const(n) => write(format!("{n}="), facts),
+                LValue::Index { recv, index } => {
+                    write("[]=".to_string(), facts);
+                    walk_facts(recv, locals, params, shadow, seen, facts);
+                    walk_facts(index, locals, params, shadow, seen, facts);
+                }
+                LValue::Attr { recv, name } => {
+                    write(format!(".{name}="), facts);
+                    walk_facts(recv, locals, params, shadow, seen, facts);
+                }
+            }
+            walk_facts(value, locals, params, shadow, seen, facts);
+        }
+        ExprKind::Call { recv, name, args, block } => {
+            call(name, seen, facts);
+            if let Some(r) = recv {
+                walk_facts(r, locals, params, shadow, seen, facts);
+            }
+            walk_all(args, shadow, seen, facts);
+            if let Some(b) = block {
+                shadow.push(b.params.clone());
+                walk_all(&b.body, shadow, seen, facts);
+                shadow.pop();
+            }
+        }
+        ExprKind::Lambda(b) => {
+            shadow.push(b.params.clone());
+            walk_all(&b.body, shadow, seen, facts);
+            shadow.pop();
+        }
+        ExprKind::While { cond, body } => {
+            facts.has_while = true;
+            walk_facts(cond, locals, params, shadow, seen, facts);
+            walk_all(body, shadow, seen, facts);
+        }
+        ExprKind::Yield(args) => {
+            facts.has_yield = true;
+            walk_all(args, shadow, seen, facts);
+        }
+        ExprKind::Array(items) => walk_all(items, shadow, seen, facts),
+        ExprKind::Hash(pairs) => {
+            for (k, v) in pairs {
+                walk_facts(k, locals, params, shadow, seen, facts);
+                walk_facts(v, locals, params, shadow, seen, facts);
+            }
+        }
+        ExprKind::BoolOp { lhs, rhs, .. } => {
+            walk_facts(lhs, locals, params, shadow, seen, facts);
+            walk_facts(rhs, locals, params, shadow, seen, facts);
+        }
+        ExprKind::Not(inner) | ExprKind::TypeCast { expr: inner, .. } => {
+            walk_facts(inner, locals, params, shadow, seen, facts);
+        }
+        ExprKind::If { arms, else_body } => {
+            for arm in arms {
+                walk_facts(&arm.cond, locals, params, shadow, seen, facts);
+                walk_all(&arm.body, shadow, seen, facts);
+            }
+            walk_all(else_body, shadow, seen, facts);
+        }
+        ExprKind::Case { subject, arms, else_body } => {
+            walk_facts(subject, locals, params, shadow, seen, facts);
+            for arm in arms {
+                walk_facts(&arm.cond, locals, params, shadow, seen, facts);
+                walk_all(&arm.body, shadow, seen, facts);
+            }
+            walk_all(else_body, shadow, seen, facts);
+        }
+        ExprKind::Return(Some(v)) => walk_facts(v, locals, params, shadow, seen, facts),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tarjan SCC condensation (iterative)
+// ---------------------------------------------------------------------------
+
+/// Computes SCCs of `edges` (adjacency lists over `0..n`), returned in
+/// emission order: every edge leaving a component points into an
+/// earlier-emitted component, so walking the result front to back visits
+/// callees before callers.
+fn tarjan_sccs(n: usize, edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next-edge cursor).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if let Some(&w) = edges[v].get(*cursor) {
+                *cursor += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+// ---------------------------------------------------------------------------
+// ProgramSummaries
+// ---------------------------------------------------------------------------
+
+/// How a called name resolves during inference: program methods shadow
+/// seeds, seeds shadow nothing, and everything else is unknown.
+#[derive(Debug, Clone)]
+enum Resolved {
+    /// Program methods with that bare name (indices into the method list).
+    Methods(Vec<usize>),
+    /// A trusted seed effect.
+    Seed(SeedEffect),
+    /// Neither defined nor seeded — assumed diverging and impure.
+    Unknown,
+}
+
+/// Method identity as shared with the dependency graph:
+/// `(owner, name, singleton)`.
+pub type MethodId = (String, String, bool);
+
+/// Inferred summaries for every method of one program.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramSummaries {
+    /// Summaries in `Program::methods()` order.
+    methods: Vec<MethodSummary>,
+    /// `(owner, name, singleton)` → index into `methods`.
+    index: BTreeMap<MethodId, usize>,
+    /// Bare name → indices of every method with that name.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Number of SCCs in the condensed call graph.
+    scc_count: usize,
+    /// Name-resolved method→method call edges, deduplicated and sorted by
+    /// `(owner, name, singleton)` id pairs (self-edges included).
+    call_edges: Vec<(MethodId, MethodId)>,
+}
+
+impl ProgramSummaries {
+    /// Infers summaries for every method of `program`, trusting `seed` for
+    /// names the program does not define.
+    pub fn infer(program: &Program, seed: &SeedMap) -> ProgramSummaries {
+        Self::solve(program, seed, &collect_all_facts(program, 1), &BTreeMap::new()).0
+    }
+
+    /// Like [`infer`](Self::infer) but extracts per-method local facts on
+    /// `threads` worker threads (atomic work claiming, results merged in
+    /// method-index order) — byte-identical to the sequential run.
+    pub fn infer_parallel(program: &Program, seed: &SeedMap, threads: usize) -> ProgramSummaries {
+        Self::solve(program, seed, &collect_all_facts(program, threads), &BTreeMap::new()).0
+    }
+
+    /// Incremental inference: summaries in `fixed` (keyed by
+    /// `(owner, name, singleton)`) are installed verbatim instead of being
+    /// recomputed; everything else is inferred against them.  Returns the
+    /// summaries and how many methods were actually (re-)summarized.
+    ///
+    /// Soundness: a caller may only fix a summary whose method's
+    /// *transitive* dependency closure is unchanged (the corpus keys
+    /// records on `semdep` Merkle hashes, which hash exactly that
+    /// closure), so a fixed method can never depend on a recomputed one.
+    /// SCC ids are always recomputed from the current program, so a warm
+    /// run renders byte-identically to a cold run.
+    pub fn infer_with_baseline(
+        program: &Program,
+        seed: &SeedMap,
+        fixed: &BTreeMap<(String, String, bool), MethodSummary>,
+    ) -> (ProgramSummaries, usize) {
+        Self::solve(program, seed, &collect_all_facts(program, 1), fixed)
+    }
+
+    fn solve(
+        program: &Program,
+        seed: &SeedMap,
+        facts: &[LocalFacts],
+        fixed: &BTreeMap<(String, String, bool), MethodSummary>,
+    ) -> (ProgramSummaries, usize) {
+        let methods = program.methods();
+        let n = methods.len();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, (_, def)) in methods.iter().enumerate() {
+            by_name.entry(def.name.clone()).or_default().push(i);
+        }
+        // Name-resolved call edges: one edge per same-named program method
+        // (self-edges kept — they are real recursion).
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in facts.iter().enumerate() {
+            let mut out = BTreeSet::new();
+            for name in &f.calls {
+                if let Some(targets) = by_name.get(name) {
+                    out.extend(targets.iter().copied());
+                }
+            }
+            edges[i] = out.into_iter().collect();
+        }
+        let sccs = tarjan_sccs(n, &edges);
+
+        let mut scc_of = vec![0usize; n];
+        for (s, members) in sccs.iter().enumerate() {
+            for &m in members {
+                scc_of[m] = s;
+            }
+        }
+
+        // Pre-resolve every called name once, deterministically.
+        let mut resolved: BTreeMap<String, Resolved> = BTreeMap::new();
+        for f in facts {
+            for name in &f.calls {
+                if resolved.contains_key(name) {
+                    continue;
+                }
+                let r = match by_name.get(name) {
+                    Some(targets) => Resolved::Methods(targets.clone()),
+                    None => match seed.get(name) {
+                        Some(&s) => Resolved::Seed(s),
+                        None => Resolved::Unknown,
+                    },
+                };
+                resolved.insert(name.clone(), r);
+            }
+        }
+
+        let mut out: Vec<Option<MethodSummary>> = (0..n).map(|_| None).collect();
+        let mut summarized = 0usize;
+        for (s, members) in sccs.iter().enumerate() {
+            // Replay: a whole component is installed from `fixed` only when
+            // every member is covered (a partial hit could hide a changed
+            // cycle peer — impossible under Merkle keying, but cheap to
+            // enforce).
+            let all_fixed = members.iter().all(|&m| {
+                let (owner, def) = &methods[m];
+                fixed.contains_key(&(owner.clone(), def.name.clone(), def.singleton))
+            });
+            if all_fixed {
+                for &m in members {
+                    let (owner, def) = &methods[m];
+                    let mut sum = fixed[&(owner.clone(), def.name.clone(), def.singleton)].clone();
+                    sum.scc = s;
+                    out[m] = Some(sum);
+                }
+                continue;
+            }
+            summarized += members.len();
+            let cyclic = members.len() > 1 || edges[members[0]].contains(&members[0]);
+
+            // Termination + purity, component at a time.
+            Self::solve_term_purity(
+                &methods, facts, &edges, &scc_of, s, members, cyclic, &resolved, &mut out,
+            );
+            // Taint: least fixpoint from the empty transfer inside the SCC.
+            Self::solve_taint(&methods, members, &by_name, &mut out);
+        }
+
+        let mut index = BTreeMap::new();
+        for (i, (owner, def)) in methods.iter().enumerate() {
+            index.insert((owner.clone(), def.name.clone(), def.singleton), i);
+        }
+        let id_of = |i: usize| {
+            let (owner, def) = &methods[i];
+            (owner.clone(), def.name.clone(), def.singleton)
+        };
+        let call_edges: BTreeSet<_> = edges
+            .iter()
+            .enumerate()
+            .flat_map(|(from, tos)| tos.iter().map(move |&to| (from, to)))
+            .map(|(from, to)| (id_of(from), id_of(to)))
+            .collect();
+        let methods: Vec<MethodSummary> =
+            out.into_iter().map(|m| m.expect("every method summarized")).collect();
+        (
+            ProgramSummaries {
+                methods,
+                index,
+                by_name,
+                scc_count: sccs.len(),
+                call_edges: call_edges.into_iter().collect(),
+            },
+            summarized,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_term_purity(
+        methods: &[(String, &MethodDef)],
+        facts: &[LocalFacts],
+        edges: &[Vec<usize>],
+        scc_of: &[usize],
+        s: usize,
+        members: &[usize],
+        cyclic: bool,
+        resolved: &BTreeMap<String, Resolved>,
+        out: &mut [Option<MethodSummary>],
+    ) {
+        // --- termination -------------------------------------------------
+        // A cycle is pessimistically non-terminating: without a size-change
+        // argument recursion cannot be proven to bottom out.
+        let mut terms: BTreeMap<usize, (Term, Vec<String>)> = BTreeMap::new();
+        for &m in members {
+            let (_, def) = &methods[m];
+            let f = &facts[m];
+            let verdict = if f.has_while {
+                (Term::MayDiverge, vec![def.name.clone(), "while loop".to_string()])
+            } else if cyclic {
+                let peer = edges[m]
+                    .iter()
+                    .copied()
+                    .find(|&w| scc_of[w] == s)
+                    .map(|w| methods[w].1.name.clone())
+                    .unwrap_or_else(|| def.name.clone());
+                (Term::MayDiverge, vec![def.name.clone(), format!("recursive cycle via `{peer}`")])
+            } else {
+                let mut verdict =
+                    (if f.has_yield { Term::BlockDep } else { Term::Terminates }, Vec::new());
+                'calls: for name in &f.calls {
+                    match &resolved[name.as_str()] {
+                        Resolved::Methods(targets) => {
+                            for &t in targets {
+                                let callee = out[t].as_ref().expect("callee SCC emitted first");
+                                if callee.term == Term::MayDiverge {
+                                    let mut blame = vec![def.name.clone()];
+                                    blame.extend(callee.term_blame.iter().cloned());
+                                    verdict = (Term::MayDiverge, blame);
+                                    break 'calls;
+                                }
+                            }
+                        }
+                        // A `:blockdep` iterator's block is part of this
+                        // body, so its loops and calls are already walked.
+                        Resolved::Seed(se) if se.term != Term::MayDiverge => {}
+                        Resolved::Seed(_) => {
+                            verdict = (
+                                Term::MayDiverge,
+                                vec![
+                                    def.name.clone(),
+                                    format!("`{name}` (annotated non-terminating)"),
+                                ],
+                            );
+                            break 'calls;
+                        }
+                        Resolved::Unknown => {
+                            verdict = (
+                                Term::MayDiverge,
+                                vec![def.name.clone(), format!("`{name}` (unknown)")],
+                            );
+                            break 'calls;
+                        }
+                    }
+                }
+                verdict
+            };
+            terms.insert(m, verdict);
+        }
+
+        // --- purity ------------------------------------------------------
+        // Pessimistically-then-refined: assume the component impure, then
+        // clear it only if no member writes and no extra-component callee
+        // is impure.  The first cause in member order becomes the blame.
+        let mut cause: Option<(usize, Vec<String>)> = None; // (member, tail)
+        'scan: for &m in members {
+            let (_, def) = &methods[m];
+            let f = &facts[m];
+            if let Some(token) = f.writes.first() {
+                cause = Some((m, vec![def.name.clone(), token.clone()]));
+                break 'scan;
+            }
+            for name in &f.calls {
+                match &resolved[name.as_str()] {
+                    Resolved::Methods(targets) => {
+                        for &t in targets {
+                            if scc_of[t] == s {
+                                continue; // intra-component: refined away
+                            }
+                            let callee = out[t].as_ref().expect("callee SCC emitted first");
+                            if callee.purity == Purity::Impure {
+                                let mut blame = vec![def.name.clone()];
+                                blame.extend(callee.purity_blame.iter().cloned());
+                                cause = Some((m, blame));
+                                break 'scan;
+                            }
+                        }
+                    }
+                    Resolved::Seed(se) if se.pure => {}
+                    Resolved::Seed(_) => {
+                        cause = Some((
+                            m,
+                            vec![def.name.clone(), format!("`{name}` (annotated impure)")],
+                        ));
+                        break 'scan;
+                    }
+                    Resolved::Unknown => {
+                        cause = Some((m, vec![def.name.clone(), format!("`{name}` (unknown)")]));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+
+        for &m in members {
+            let (owner, def) = &methods[m];
+            let (term, term_blame) = terms.remove(&m).expect("termination computed");
+            let (purity, purity_blame) = match &cause {
+                None => (Purity::Pure, Vec::new()),
+                Some((c, tail)) if *c == m => (Purity::Impure, tail.clone()),
+                Some((_, tail)) => {
+                    // Another member carries the cause: route through it.
+                    let mut blame = vec![def.name.clone()];
+                    blame.extend(tail.iter().cloned());
+                    (Purity::Impure, blame)
+                }
+            };
+            out[m] = Some(MethodSummary {
+                owner: owner.clone(),
+                name: def.name.clone(),
+                singleton: def.singleton,
+                term,
+                purity,
+                term_blame,
+                purity_blame,
+                taint: TaintSummary::default(),
+                scc: s,
+            });
+        }
+    }
+
+    fn solve_taint(
+        methods: &[(String, &MethodDef)],
+        members: &[usize],
+        by_name: &BTreeMap<String, Vec<usize>>,
+        out: &mut [Option<MethodSummary>],
+    ) {
+        // Iterate the component to a least fixpoint: member summaries start
+        // empty (set above) and only grow, so this converges.
+        loop {
+            let mut changed = false;
+            for &m in members {
+                let (_, def) = &methods[m];
+                let lookup = |name: &str| -> Option<TaintSummary> {
+                    let targets = by_name.get(name)?;
+                    let mut joined = TaintSummary::default();
+                    for &t in targets {
+                        joined.join(&out[t].as_ref().expect("summary present").taint);
+                    }
+                    Some(joined)
+                };
+                let fresh = method_taint(def, &lookup);
+                let slot = &mut out[m].as_mut().expect("summary present").taint;
+                if *slot != fresh {
+                    *slot = fresh;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// The summary for one method, if the program defines it.
+    pub fn get(&self, owner: &str, name: &str, singleton: bool) -> Option<&MethodSummary> {
+        let key = (owner.to_string(), name.to_string(), singleton);
+        self.index.get(&key).map(|&i| &self.methods[i])
+    }
+
+    /// All summaries, in `Program::methods()` order.
+    pub fn iter(&self) -> impl Iterator<Item = &MethodSummary> {
+        self.methods.iter()
+    }
+
+    /// Number of summarized methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// True when the program has no methods.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+
+    /// Number of SCCs in the condensed call graph.
+    pub fn scc_count(&self) -> usize {
+        self.scc_count
+    }
+
+    /// The name-resolved method→method call edges inference propagated
+    /// along, as deduplicated sorted `(caller, callee)` id pairs
+    /// (`(owner, name, singleton)` each; self-edges included).  Exposed so
+    /// callers can cross-check this call graph against an independently
+    /// built dependency graph (e.g. `comprdl::semdep::DepGraph`).
+    pub fn call_edges(&self) -> &[(MethodId, MethodId)] {
+        &self.call_edges
+    }
+
+    /// The joined taint transfer for a bare name (the union over every
+    /// same-named method — calls are name-resolved), or `None` when the
+    /// program does not define the name.
+    pub fn taint_for_name(&self, name: &str) -> Option<TaintSummary> {
+        let targets = self.by_name.get(name)?;
+        let mut joined = TaintSummary::default();
+        for &t in targets {
+            joined.join(&self.methods[t].taint);
+        }
+        Some(joined)
+    }
+
+    /// The joined (worst-case) termination/purity verdict for a bare name,
+    /// with the blame of the first worst candidate, or `None` when the
+    /// program does not define the name.
+    pub fn effect_for_name(&self, name: &str) -> Option<(Term, Purity, Vec<String>, Vec<String>)> {
+        let targets = self.by_name.get(name)?;
+        let mut term = Term::Terminates;
+        let mut purity = Purity::Pure;
+        let mut term_blame = Vec::new();
+        let mut purity_blame = Vec::new();
+        for &t in targets {
+            let m = &self.methods[t];
+            if m.term > term {
+                term = m.term;
+                term_blame = m.term_blame.clone();
+            }
+            if m.purity > purity {
+                purity = m.purity;
+                purity_blame = m.purity_blame.clone();
+            }
+        }
+        Some((term, purity, term_blame, purity_blame))
+    }
+
+    /// A stable, human-readable rendering of every summary — the
+    /// byte-identity surface for the sequential-vs-parallel and
+    /// cold-vs-warm gates.
+    pub fn render(&self) -> String {
+        let mut lines = Vec::with_capacity(self.methods.len());
+        let mut ordered: Vec<&MethodSummary> = self.methods.iter().collect();
+        ordered.sort_by(|a, b| {
+            (&a.owner, &a.name, a.singleton).cmp(&(&b.owner, &b.name, b.singleton))
+        });
+        for m in ordered {
+            let sep = if m.singleton { "." } else { "#" };
+            let term = match m.term {
+                Term::Terminates => "+",
+                Term::BlockDep => "blockdep",
+                Term::MayDiverge => "-",
+            };
+            let purity = match m.purity {
+                Purity::Pure => "+",
+                Purity::Impure => "-",
+            };
+            let set =
+                |s: &BTreeSet<usize>| s.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+            let mut line = format!(
+                "{}{}{}: term={} pure={} ret={{{}}} sink={{{}}}",
+                m.owner,
+                sep,
+                m.name,
+                term,
+                purity,
+                set(&m.taint.params_to_return),
+                set(&m.taint.params_to_sink),
+            );
+            if m.taint.self_to_return {
+                line.push_str(" self>ret");
+            }
+            if m.taint.self_to_sink {
+                line.push_str(" self>sink");
+            }
+            line.push_str(&format!(" scc={}", m.scc));
+            if !m.term_blame.is_empty() {
+                line.push_str(&format!("\n  diverges via {}", render_blame(&m.term_blame)));
+            }
+            if !m.purity_blame.is_empty() {
+                line.push_str(&format!("\n  impure via {}", render_blame(&m.purity_blame)));
+            }
+            lines.push(line);
+        }
+        lines.join("\n")
+    }
+}
+
+fn collect_all_facts(program: &Program, threads: usize) -> Vec<LocalFacts> {
+    let methods = program.methods();
+    if threads <= 1 || methods.len() <= 1 {
+        return methods.iter().map(|(_, def)| collect_facts(def)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<LocalFacts>> = methods.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(methods.len()))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, def)) = methods.get(i) else { break };
+                        out.push((i, collect_facts(def)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, facts) in worker.join().expect("facts worker panicked") {
+                slots[i] = Some(facts);
+            }
+        }
+    });
+    slots.into_iter().map(|f| f.expect("every method visited")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Per-method taint transfer
+// ---------------------------------------------------------------------------
+
+/// A taint origin within one method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Origin {
+    /// The i-th parameter.
+    Param(usize),
+    /// The receiver / instance state (`self`, `@ivar`).
+    Recv,
+}
+
+type Origins = BTreeSet<Origin>;
+
+struct TaintCtx<'c> {
+    params: BTreeMap<String, usize>,
+    locals: BTreeMap<String, Origins>,
+    sink: Origins,
+    ret: Origins,
+    lookup: &'c dyn Fn(&str) -> Option<TaintSummary>,
+}
+
+/// Computes the taint transfer of one method body given `lookup` for the
+/// (current) summaries of called program methods.  Flow-insensitive: the
+/// body is re-walked until the local origin sets stop growing, which makes
+/// the result a may-over-approximation on loops and branches.
+fn method_taint(def: &MethodDef, lookup: &dyn Fn(&str) -> Option<TaintSummary>) -> TaintSummary {
+    let params: BTreeMap<String, usize> = def
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.block)
+        .map(|(i, p)| (p.name.clone(), i))
+        .collect();
+    let mut ctx = TaintCtx {
+        params,
+        locals: BTreeMap::new(),
+        sink: Origins::new(),
+        ret: Origins::new(),
+        lookup,
+    };
+    loop {
+        let before = (ctx.locals.clone(), ctx.sink.clone(), ctx.ret.clone());
+        let mut shadow: Vec<Vec<String>> = Vec::new();
+        for (i, stmt) in def.body.iter().enumerate() {
+            let o = taint_origins(stmt, &mut ctx, &mut shadow);
+            if i + 1 == def.body.len() {
+                // The tail statement is the implicit return value.
+                ctx.ret.extend(o);
+            }
+        }
+        if (ctx.locals.clone(), ctx.sink.clone(), ctx.ret.clone()) == before {
+            break;
+        }
+    }
+    TaintSummary {
+        params_to_return: ctx
+            .ret
+            .iter()
+            .filter_map(|o| if let Origin::Param(i) = o { Some(*i) } else { None })
+            .collect(),
+        params_to_sink: ctx
+            .sink
+            .iter()
+            .filter_map(|o| if let Origin::Param(i) = o { Some(*i) } else { None })
+            .collect(),
+        self_to_return: ctx.ret.contains(&Origin::Recv),
+        self_to_sink: ctx.sink.contains(&Origin::Recv),
+    }
+}
+
+fn taint_origins(e: &Expr, ctx: &mut TaintCtx<'_>, shadow: &mut Vec<Vec<String>>) -> Origins {
+    match &e.kind {
+        ExprKind::Ident(n) => {
+            if shadowed(shadow, n) {
+                Origins::new()
+            } else if let Some(&i) = ctx.params.get(n) {
+                [Origin::Param(i)].into()
+            } else if let Some(o) = ctx.locals.get(n) {
+                o.clone()
+            } else {
+                // A bare call on `self`.
+                call_result(None, n, &[], ctx)
+            }
+        }
+        ExprKind::SelfExpr | ExprKind::IVar(_) => [Origin::Recv].into(),
+        ExprKind::Array(items) => {
+            let mut o = Origins::new();
+            for item in items {
+                o.extend(taint_origins(item, ctx, shadow));
+            }
+            o
+        }
+        ExprKind::Hash(pairs) => {
+            let mut o = Origins::new();
+            for (k, v) in pairs {
+                o.extend(taint_origins(k, ctx, shadow));
+                o.extend(taint_origins(v, ctx, shadow));
+            }
+            o
+        }
+        ExprKind::Assign { target, value } => {
+            let o = taint_origins(value, ctx, shadow);
+            assign_target(target, &o, ctx, shadow);
+            o
+        }
+        ExprKind::OpAssign { target, value, .. } => {
+            let mut o = taint_origins(value, ctx, shadow);
+            if let LValue::Local(n) = target {
+                if !shadowed(shadow, n) {
+                    if let Some(prev) = ctx.locals.get(n) {
+                        o.extend(prev.iter().copied());
+                    }
+                    if let Some(&i) = ctx.params.get(n) {
+                        o.insert(Origin::Param(i));
+                    }
+                }
+            }
+            assign_target(target, &o, ctx, shadow);
+            o
+        }
+        ExprKind::Call { recv, name, args, block } => {
+            let recv_o = recv.as_ref().map(|r| taint_origins(r, ctx, shadow));
+            let arg_o: Vec<Origins> = args.iter().map(|a| taint_origins(a, ctx, shadow)).collect();
+            if let Some(b) = block {
+                shadow.push(b.params.clone());
+                for stmt in &b.body {
+                    taint_origins(stmt, ctx, shadow);
+                }
+                shadow.pop();
+            }
+            if SQL_SINKS.contains(&name.as_str()) {
+                if let Some(first) = arg_o.first() {
+                    ctx.sink.extend(first.iter().copied());
+                }
+            }
+            call_result(recv_o, name, &arg_o, ctx)
+        }
+        ExprKind::BoolOp { lhs, rhs, .. } => {
+            let mut o = taint_origins(lhs, ctx, shadow);
+            o.extend(taint_origins(rhs, ctx, shadow));
+            o
+        }
+        ExprKind::Not(inner) | ExprKind::TypeCast { expr: inner, .. } => {
+            taint_origins(inner, ctx, shadow)
+        }
+        ExprKind::If { arms, else_body } | ExprKind::Case { subject: _, arms, else_body } => {
+            if let ExprKind::Case { subject, .. } = &e.kind {
+                taint_origins(subject, ctx, shadow);
+            }
+            let mut o = Origins::new();
+            for arm in arms {
+                taint_origins(&arm.cond, ctx, shadow);
+                for (i, stmt) in arm.body.iter().enumerate() {
+                    let so = taint_origins(stmt, ctx, shadow);
+                    if i + 1 == arm.body.len() {
+                        o.extend(so);
+                    }
+                }
+            }
+            for (i, stmt) in else_body.iter().enumerate() {
+                let so = taint_origins(stmt, ctx, shadow);
+                if i + 1 == else_body.len() {
+                    o.extend(so);
+                }
+            }
+            o
+        }
+        ExprKind::While { cond, body } => {
+            taint_origins(cond, ctx, shadow);
+            for stmt in body {
+                taint_origins(stmt, ctx, shadow);
+            }
+            Origins::new()
+        }
+        ExprKind::Return(Some(v)) => {
+            let o = taint_origins(v, ctx, shadow);
+            ctx.ret.extend(o);
+            Origins::new()
+        }
+        ExprKind::Yield(args) => {
+            for arg in args {
+                taint_origins(arg, ctx, shadow);
+            }
+            Origins::new()
+        }
+        ExprKind::Lambda(b) => {
+            shadow.push(b.params.clone());
+            for stmt in &b.body {
+                taint_origins(stmt, ctx, shadow);
+            }
+            shadow.pop();
+            Origins::new()
+        }
+        _ => Origins::new(),
+    }
+}
+
+fn assign_target(
+    target: &LValue,
+    origins: &Origins,
+    ctx: &mut TaintCtx<'_>,
+    shadow: &[Vec<String>],
+) {
+    if let LValue::Local(n) = target {
+        if !shadowed(shadow, n) {
+            ctx.locals.entry(n.clone()).or_default().extend(origins.iter().copied());
+        }
+    }
+}
+
+/// The origins of a call's result, plus its summary-driven sink flows.
+fn call_result(
+    recv: Option<Origins>,
+    name: &str,
+    args: &[Origins],
+    ctx: &mut TaintCtx<'_>,
+) -> Origins {
+    match (ctx.lookup)(name) {
+        Some(sum) => {
+            // A call without an explicit receiver targets `self`, so the
+            // callee's receiver flows are this method's receiver flows.
+            for &i in &sum.params_to_sink {
+                if let Some(a) = args.get(i) {
+                    ctx.sink.extend(a.iter().copied());
+                }
+            }
+            if sum.self_to_sink {
+                match &recv {
+                    Some(r) => ctx.sink.extend(r.iter().copied()),
+                    None => {
+                        ctx.sink.insert(Origin::Recv);
+                    }
+                }
+            }
+            let mut o = Origins::new();
+            for &i in &sum.params_to_return {
+                if let Some(a) = args.get(i) {
+                    o.extend(a.iter().copied());
+                }
+            }
+            if sum.self_to_return {
+                match &recv {
+                    Some(r) => o.extend(r.iter().copied()),
+                    None => {
+                        o.insert(Origin::Recv);
+                    }
+                }
+            }
+            o
+        }
+        None => {
+            // Unknown (or core-library) callee: taint flows through
+            // conservatively — the result is derived from every input.
+            let mut o = Origins::new();
+            if let Some(r) = recv {
+                o.extend(r);
+            }
+            for a in args {
+                o.extend(a.iter().copied());
+            }
+            o
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_syntax::parse_program;
+
+    fn seed() -> SeedMap {
+        let mut s = SeedMap::new();
+        for name in ["+", "-", "*", "==", ">", "<", "length", "map", "first"] {
+            let term = if name == "map" { Term::BlockDep } else { Term::Terminates };
+            s.insert(name.to_string(), SeedEffect { term, pure: true });
+        }
+        s.insert("push".to_string(), SeedEffect { term: Term::Terminates, pure: false });
+        s
+    }
+
+    fn infer_src(src: &str) -> ProgramSummaries {
+        let p = parse_program(src).expect("parse");
+        ProgramSummaries::infer(&p, &seed())
+    }
+
+    #[test]
+    fn straight_line_pure_method_terminates() {
+        let s = infer_src("def m(x)\n  y = x + 1\n  y * 2\nend\n");
+        let m = s.get("Object", "m", false).unwrap();
+        assert_eq!(m.term, Term::Terminates);
+        assert_eq!(m.purity, Purity::Pure);
+        assert!(m.term_blame.is_empty() && m.purity_blame.is_empty());
+    }
+
+    #[test]
+    fn while_loop_blames_itself() {
+        let s = infer_src("def spin(n)\n  while n > 0\n    n = n - 1\n  end\n  n\nend\n");
+        let m = s.get("Object", "spin", false).unwrap();
+        assert_eq!(m.term, Term::MayDiverge);
+        assert_eq!(render_blame(&m.term_blame), "spin \u{2192} while loop");
+        assert_eq!(m.purity, Purity::Pure, "looping is not impurity");
+    }
+
+    #[test]
+    fn divergence_propagates_through_calls_with_blame() {
+        let s = infer_src(
+            "def a(x)\n  b(x)\nend\ndef b(x)\n  c(x)\nend\ndef c(x)\n  while x\n    x = x\n  end\nend\n",
+        );
+        let a = s.get("Object", "a", false).unwrap();
+        assert_eq!(a.term, Term::MayDiverge);
+        assert_eq!(render_blame(&a.term_blame), "a \u{2192} b \u{2192} c \u{2192} while loop");
+    }
+
+    #[test]
+    fn impurity_propagates_with_blame_path() {
+        let s = infer_src("def a(x)\n  b(x)\nend\ndef b(x)\n  @x = x\n  x\nend\n");
+        let a = s.get("Object", "a", false).unwrap();
+        assert_eq!(a.purity, Purity::Impure);
+        assert_eq!(render_blame(&a.purity_blame), "a \u{2192} b \u{2192} @x=");
+        let b = s.get("Object", "b", false).unwrap();
+        assert_eq!(render_blame(&b.purity_blame), "b \u{2192} @x=");
+    }
+
+    #[test]
+    fn mutual_recursion_converges_to_a_pessimistic_cycle() {
+        // The acceptance-criteria fixpoint test: a ↔ b must converge and
+        // both land in one SCC with a cycle blame.
+        let s = infer_src(
+            "def even(n)\n  if n == 0\n    true\n  else\n    odd(n - 1)\n  end\nend\ndef odd(n)\n  if n == 0\n    false\n  else\n    even(n - 1)\n  end\nend\n",
+        );
+        let even = s.get("Object", "even", false).unwrap();
+        let odd = s.get("Object", "odd", false).unwrap();
+        assert_eq!(even.scc, odd.scc, "mutual recursion is one component");
+        assert_eq!(even.term, Term::MayDiverge);
+        assert_eq!(odd.term, Term::MayDiverge);
+        assert!(
+            render_blame(&even.term_blame).contains("recursive cycle"),
+            "{:?}",
+            even.term_blame
+        );
+        // No writes anywhere: the pessimistic purity start refines to pure.
+        assert_eq!(even.purity, Purity::Pure);
+        assert_eq!(odd.purity, Purity::Pure);
+    }
+
+    #[test]
+    fn self_recursion_is_a_cycle_too() {
+        let s = infer_src("def down(n)\n  down(n - 1)\nend\n");
+        let m = s.get("Object", "down", false).unwrap();
+        assert_eq!(m.term, Term::MayDiverge);
+        assert!(render_blame(&m.term_blame).contains("recursive cycle via `down`"));
+    }
+
+    #[test]
+    fn cycle_purity_refines_but_member_write_poisons_the_component() {
+        let s = infer_src("def a(x)\n  b(x)\nend\ndef b(x)\n  @log = x\n  a(x)\nend\n");
+        let a = s.get("Object", "a", false).unwrap();
+        let b = s.get("Object", "b", false).unwrap();
+        assert_eq!(a.scc, b.scc);
+        assert_eq!(a.purity, Purity::Impure);
+        assert_eq!(b.purity, Purity::Impure);
+        assert_eq!(render_blame(&b.purity_blame), "b \u{2192} @log=");
+        // `a` routes through the member that carries the write.
+        assert_eq!(render_blame(&a.purity_blame), "a \u{2192} b \u{2192} @log=");
+    }
+
+    #[test]
+    fn unknown_callee_is_pessimistic() {
+        let s = infer_src("def m(x)\n  mystery(x)\nend\n");
+        let m = s.get("Object", "m", false).unwrap();
+        assert_eq!(m.term, Term::MayDiverge);
+        assert_eq!(m.purity, Purity::Impure);
+        assert!(render_blame(&m.term_blame).contains("`mystery` (unknown)"));
+    }
+
+    #[test]
+    fn seeded_impure_callee_blames_the_annotation() {
+        let s = infer_src("def m(xs, x)\n  xs.push(x)\nend\n");
+        let m = s.get("Object", "m", false).unwrap();
+        assert_eq!(m.purity, Purity::Impure);
+        assert_eq!(render_blame(&m.purity_blame), "m \u{2192} `push` (annotated impure)");
+        assert_eq!(m.term, Term::Terminates, "push terminates");
+    }
+
+    #[test]
+    fn yielding_method_is_blockdep() {
+        let s = infer_src("def each_twice(x)\n  yield(x)\n  yield(x)\nend\n");
+        let m = s.get("Object", "each_twice", false).unwrap();
+        assert_eq!(m.term, Term::BlockDep);
+    }
+
+    #[test]
+    fn blockdep_iterator_with_loop_free_block_terminates() {
+        let s = infer_src("def m(xs)\n  xs.map { |v| v + 1 }\nend\n");
+        let m = s.get("Object", "m", false).unwrap();
+        assert_eq!(m.term, Term::Terminates);
+        let s = infer_src("def m(xs, n)\n  xs.map { |v| spin(n) }\nend\ndef spin(n)\n  while n\n    n = n\n  end\nend\n");
+        let m = s.get("Object", "m", false).unwrap();
+        assert_eq!(m.term, Term::MayDiverge, "the block's calls are part of the body");
+    }
+
+    #[test]
+    fn taint_param_to_return_through_concat() {
+        let s = infer_src("def build(q)\n  'title = ' + q\nend\n");
+        let m = s.get("Object", "build", false).unwrap();
+        assert!(m.taint.params_to_return.contains(&0), "{:?}", m.taint);
+        assert!(m.taint.params_to_sink.is_empty());
+    }
+
+    #[test]
+    fn taint_param_to_sink_directly_and_transitively() {
+        let s = infer_src(
+            "def self.apply(frag)\n  Topic.where(frag)\nend\ndef self.search(q)\n  apply('title = ' + q)\nend\n",
+        );
+        let apply = s.get("Object", "apply", true).unwrap();
+        assert!(apply.taint.params_to_sink.contains(&0), "{:?}", apply.taint);
+        let search = s.get("Object", "search", true).unwrap();
+        assert!(
+            search.taint.params_to_sink.contains(&0),
+            "the sink transfer must propagate through the call: {:?}",
+            search.taint
+        );
+    }
+
+    #[test]
+    fn taint_return_transfer_is_precise_for_known_callees() {
+        // `constant` ignores its parameter, so q does not reach the return
+        // of `m` — the summary is *more* precise than the conservative
+        // any-arg rule.
+        let s = infer_src("def constant(q)\n  42\nend\ndef m(q)\n  constant(q)\nend\n");
+        let m = s.get("Object", "m", false).unwrap();
+        assert!(m.taint.params_to_return.is_empty(), "{:?}", m.taint);
+    }
+
+    #[test]
+    fn taint_through_locals_and_branches() {
+        let s = infer_src(
+            "def pick(a, b, c)\n  if c\n    v = a\n  else\n    v = 'x'\n  end\n  v\nend\n",
+        );
+        let m = s.get("Object", "pick", false).unwrap();
+        assert_eq!(m.taint.params_to_return, [0usize].into_iter().collect());
+    }
+
+    #[test]
+    fn receiver_flows_are_tracked() {
+        let s = infer_src("def frag()\n  @prefix + 'x'\nend\ndef m()\n  where(frag())\nend\n");
+        let f = s.get("Object", "frag", false).unwrap();
+        assert!(f.taint.self_to_return);
+        let m = s.get("Object", "m", false).unwrap();
+        assert!(m.taint.self_to_sink, "{:?}", m.taint);
+    }
+
+    #[test]
+    fn recursive_taint_reaches_a_fixpoint() {
+        let s = infer_src(
+            "def a(q, n)\n  if n == 0\n    q\n  else\n    b(q, n - 1)\n  end\nend\ndef b(q, n)\n  a(q, n)\nend\n",
+        );
+        let a = s.get("Object", "a", false).unwrap();
+        let b = s.get("Object", "b", false).unwrap();
+        assert!(a.taint.params_to_return.contains(&0), "{:?}", a.taint);
+        assert!(b.taint.params_to_return.contains(&0), "{:?}", b.taint);
+    }
+
+    #[test]
+    fn parallel_inference_is_byte_identical() {
+        let src = "def a(x)\n  b(x)\nend\ndef b(x)\n  c(x)\nend\ndef c(x)\n  while x\n    x = x\n  end\nend\ndef self.search(q)\n  Topic.where('t = ' + q)\nend\ndef even(n)\n  odd(n)\nend\ndef odd(n)\n  even(n)\nend\n";
+        let p = parse_program(src).expect("parse");
+        let seq = ProgramSummaries::infer(&p, &seed());
+        for threads in [2, 4, 8] {
+            let par = ProgramSummaries::infer_parallel(&p, &seed(), threads);
+            assert_eq!(seq.render(), par.render(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn baseline_replay_skips_fixed_methods_and_renders_identically() {
+        let src = "def a(x)\n  b(x)\nend\ndef b(x)\n  @x = x\nend\ndef lone(y)\n  y + 1\nend\n";
+        let p = parse_program(src).expect("parse");
+        let cold = ProgramSummaries::infer(&p, &seed());
+        // Freeze everything, replay everything: 0 re-summarized.
+        let fixed: BTreeMap<_, _> = cold
+            .iter()
+            .map(|m| ((m.owner.clone(), m.name.clone(), m.singleton), m.clone()))
+            .collect();
+        let (warm, n) = ProgramSummaries::infer_with_baseline(&p, &seed(), &fixed);
+        assert_eq!(n, 0, "warm run must re-summarize nothing");
+        assert_eq!(cold.render(), warm.render());
+        // Drop one method from the baseline: exactly it is re-summarized
+        // (its dependents were not dropped here; the corpus driver drops
+        // them via Merkle invalidation).
+        let mut partial = fixed.clone();
+        partial.remove(&("Object".to_string(), "lone".to_string(), false));
+        let (warm, n) = ProgramSummaries::infer_with_baseline(&p, &seed(), &partial);
+        assert_eq!(n, 1);
+        assert_eq!(cold.render(), warm.render());
+    }
+
+    #[test]
+    fn effect_and_taint_name_lookups_join_candidates() {
+        let src = "class A\n  def go(x)\n    x\n  end\nend\nclass B\n  def go(x)\n    @x = x\n    where('t = ' + x)\n  end\nend\n";
+        let s = infer_src(src);
+        let (term, purity, _, blame) = s.effect_for_name("go").unwrap();
+        assert_eq!(term, Term::MayDiverge, "worst candidate wins (B#go calls unknown `where`)");
+        assert_eq!(purity, Purity::Impure, "worst candidate wins");
+        assert!(!blame.is_empty());
+        let t = s.taint_for_name("go").unwrap();
+        assert!(t.params_to_sink.contains(&0));
+        assert!(s.effect_for_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn render_is_stable_and_mentions_blames() {
+        let s = infer_src("def a(x)\n  b(x)\nend\ndef b(x)\n  @x = x\nend\n");
+        let r = s.render();
+        assert_eq!(r, s.render());
+        assert!(r.contains("impure via a \u{2192} b \u{2192} @x="), "{r}");
+    }
+}

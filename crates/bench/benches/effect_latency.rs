@@ -1,0 +1,169 @@
+//! Effect-inference latency: a cold interprocedural inference pass
+//! (termination / purity / taint, bottom-up over the condensed call
+//! graph) over the whole corpus against a warm run that replays every
+//! summary from the on-disk [`comprdl::CheckCache`] (Merkle-keyed, see
+//! `CheckCache::replay_effects`).
+//!
+//! Each sample summarizes **every** method of all eight corpus apps — the
+//! same work the Table 2 harness does per row.  The warm sample re-loads
+//! the cache file from disk every time, so it pays deserialization like a
+//! fresh process would.
+//!
+//! Besides timing, this bench is a correctness gate (smoke mode included):
+//!
+//! * the warm run must replay **every** summary (zero re-summarizes), and
+//! * the warm summaries must **render byte-identically** to the cold ones
+//!   (SCC ids are recomputed from the current program either way);
+//! * in full mode the warm median must beat the cold median.
+//!
+//! Scenario medians land in `BENCH_SHARED_MEMO.json` under
+//! `effect_latency` (`hits` = summaries replayed, `misses` = methods
+//! summarized for real), where CI's parse gate asserts their presence.
+
+use analysis::ProgramSummaries;
+use bench::results::Scenario;
+use comprdl::semdep::DepGraph;
+use comprdl::{CheckCache, CompRdl};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruby_syntax::Program;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One corpus app, parsed once so the timed loops measure inference and
+/// replay, not parsing or graph building.
+struct AppCtx {
+    name: String,
+    program: Program,
+    seed: analysis::SeedMap,
+    graph: DepGraph,
+}
+
+fn contexts() -> Vec<AppCtx> {
+    corpus::apps::all()
+        .iter()
+        .map(|app| {
+            let env: CompRdl = app.build_env();
+            let (program, _sources) = app.parse().expect("app parses");
+            let graph = DepGraph::build(&env, &program);
+            AppCtx { name: app.name.to_string(), seed: corpus::seed_map(&env), program, graph }
+        })
+        .collect()
+}
+
+/// Infers every app's summaries from scratch; returns the per-app rendered
+/// summaries and the number of methods summarized.
+fn effects_cold(ctxs: &[AppCtx]) -> (Vec<String>, u64) {
+    let mut rendered = Vec::with_capacity(ctxs.len());
+    let mut summarized = 0u64;
+    for ctx in ctxs {
+        let sums = ProgramSummaries::infer(&ctx.program, &ctx.seed);
+        summarized += sums.len() as u64;
+        rendered.push(sums.render());
+    }
+    (rendered, summarized)
+}
+
+/// Replays every app's summaries from `cache` as the baseline for
+/// incremental inference; returns the per-app rendered summaries and the
+/// `(replayed, resummarized)` counters.
+fn effects_warm(ctxs: &[AppCtx], cache: &CheckCache) -> (Vec<String>, u64, u64) {
+    let mut rendered = Vec::with_capacity(ctxs.len());
+    let (mut replayed, mut resummarized) = (0u64, 0u64);
+    for ctx in ctxs {
+        let fixed = corpus::replay_baseline(cache, &ctx.name, &ctx.program, &ctx.graph);
+        replayed += fixed.len() as u64;
+        let (sums, miss) = ProgramSummaries::infer_with_baseline(&ctx.program, &ctx.seed, &fixed);
+        resummarized += miss as u64;
+        rendered.push(sums.render());
+    }
+    (rendered, replayed, resummarized)
+}
+
+fn effect_latency(_c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let ctxs = contexts();
+
+    // Cold: every method summarized from scratch.  One untimed warm-up
+    // iteration first, so neither median pays allocator or page-cache
+    // cold-start (the margin between the two paths is small enough for
+    // first-iteration noise to matter).
+    let samples = bench::sample_size(10);
+    let _ = effects_cold(&ctxs);
+    let mut cold_timings = Vec::with_capacity(samples);
+    let mut cold_rendered = Vec::new();
+    let mut cold_summarized = 0u64;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let (rendered, summarized) = effects_cold(&ctxs);
+        cold_timings.push(started.elapsed().as_nanos());
+        cold_rendered = rendered;
+        cold_summarized = summarized;
+    }
+    let cold_ns = bench::results::median_ns(cold_timings);
+    assert!(cold_summarized > 0, "the corpus must have methods to summarize");
+
+    // Persist the summaries the way the incremental harness does.
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("effect-latency-{}.bin", std::process::id()));
+    let mut cache = CheckCache::new();
+    for ctx in &ctxs {
+        let sums = ProgramSummaries::infer(&ctx.program, &ctx.seed);
+        cache.record_effects(&ctx.name, corpus::summaries_to_records(&sums, &ctx.graph));
+    }
+    cache.save(&path).expect("save effect cache");
+
+    // Warm: everything replays; a fresh load from disk every sample.
+    let _ = effects_warm(&ctxs, &CheckCache::load(&path));
+    let mut warm_timings = Vec::with_capacity(samples);
+    let mut warm_hits = 0u64;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let cache = CheckCache::load(&path);
+        let (rendered, replayed, resummarized) = effects_warm(&ctxs, &cache);
+        warm_timings.push(started.elapsed().as_nanos());
+        assert_eq!(resummarized, 0, "the warm run must re-summarize zero methods");
+        warm_hits = replayed;
+        assert_eq!(
+            rendered, cold_rendered,
+            "replayed summaries must render byte-identically to the cold run"
+        );
+    }
+    let warm_ns = bench::results::median_ns(warm_timings);
+    let _ = std::fs::remove_file(&path);
+
+    println!(
+        "effect latency (8 apps, {cold_summarized} methods): cold {cold_ns} ns, warm {warm_ns} \
+         ns ({:.2}x)",
+        cold_ns as f64 / warm_ns.max(1) as f64
+    );
+    if !smoke {
+        assert!(
+            warm_ns < cold_ns,
+            "replaying summaries must beat re-inferring (warm {warm_ns} ns vs cold {cold_ns} ns)"
+        );
+    }
+
+    let scenarios = vec![
+        Scenario {
+            name: "effects/cold".to_string(),
+            median_ns: cold_ns,
+            hits: 0,
+            misses: cold_summarized,
+            invalidations: 0,
+            evictions: 0,
+        },
+        Scenario {
+            name: "effects/warm".to_string(),
+            median_ns: warm_ns,
+            hits: warm_hits,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+        },
+    ];
+    let path = bench::results::record("effect_latency", &scenarios).expect("persist results");
+    println!("results written to {}", path.display());
+}
+
+criterion_group!(benches, effect_latency);
+criterion_main!(benches);

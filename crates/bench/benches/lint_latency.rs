@@ -1,7 +1,8 @@
 //! Lint-suite latency: a cold from-scratch lint pass over the whole corpus
 //! against a warm run that replays every verdict from the on-disk
-//! [`comprdl::CheckCache`] (semhash-keyed, see
-//! `CheckCache::replay_lints`).
+//! [`comprdl::CheckCache`] (Merkle-keyed, see `CheckCache::replay_lints` —
+//! `LINT0105` follows taint through calls, so a verdict depends on the
+//! method's transitive callees).
 //!
 //! Each sample lints **every** method of all eight corpus apps — the same
 //! work the Table 2 harness does per row.  The warm sample re-loads the
@@ -22,6 +23,7 @@
 
 use bench::results::Scenario;
 use comprdl::persist::content_hash;
+use comprdl::semdep::DepGraph;
 use comprdl::CheckCache;
 use criterion::{criterion_group, criterion_main, Criterion};
 use diagnostics::DiagnosticBag;
@@ -29,23 +31,31 @@ use ruby_syntax::Program;
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// One corpus app, parsed once so the timed loops measure linting and
-/// replay, not parsing.
+/// One corpus app, parsed once (with its dependency graph and effect
+/// summaries prebuilt) so the timed loops measure linting and replay, not
+/// parsing or inference.
 struct AppCtx {
     name: String,
     program: Program,
     files: Vec<u64>,
+    graph: DepGraph,
+    summaries: analysis::ProgramSummaries,
 }
 
 fn contexts() -> Vec<AppCtx> {
     corpus::apps::all()
         .iter()
         .map(|app| {
+            let env = app.build_env();
             let (program, _sources) = app.parse().expect("app parses");
+            let graph = DepGraph::build(&env, &program);
+            let summaries = corpus::effects_pass(&program, &corpus::seed_map(&env), 1);
             AppCtx {
                 name: app.name.to_string(),
                 program,
                 files: vec![content_hash(app.source), content_hash(app.test_suite)],
+                graph,
+                summaries,
             }
         })
         .collect()
@@ -55,36 +65,43 @@ fn render(bag: &DiagnosticBag) -> String {
     bag.iter().map(|d| format!("{d}\n")).collect()
 }
 
-/// Lints every app from scratch; returns the per-app rendered warnings and
-/// the number of methods linted.
+fn merkle_of(ctx: &AppCtx, owner: &str, def: &ruby_syntax::ast::MethodDef) -> u64 {
+    ctx.graph
+        .merkle(owner, &def.name, def.singleton)
+        .unwrap_or_else(|| ruby_syntax::method_hash(def))
+}
+
+/// Lints every app from scratch (summaries-aware, like the harness);
+/// returns the per-app rendered warnings and the number of methods linted.
 fn lint_cold(ctxs: &[AppCtx]) -> (Vec<String>, u64) {
     let mut rendered = Vec::with_capacity(ctxs.len());
     let mut linted = 0u64;
     for ctx in ctxs {
-        let methods = corpus::lint_pass(&ctx.program, 1);
+        let methods = corpus::lint_pass_with_summaries(&ctx.program, Some(&ctx.summaries), 1);
         linted += methods.len() as u64;
         rendered.push(render(&corpus::lint_bag(&methods)));
     }
     (rendered, linted)
 }
 
-/// Replays every app's lint verdicts from `cache`; returns the per-app
-/// rendered warnings and the `(replayed, missed)` counters.
+/// Replays every app's lint verdicts from `cache` (Merkle-keyed); returns
+/// the per-app rendered warnings and the `(replayed, missed)` counters.
 fn lint_warm(ctxs: &[AppCtx], cache: &CheckCache) -> (Vec<String>, u64, u64) {
     let mut rendered = Vec::with_capacity(ctxs.len());
     let (mut replayed, mut missed) = (0u64, 0u64);
     for ctx in ctxs {
         let mut bag = DiagnosticBag::new();
         for (owner, def) in &ctx.program.methods() {
-            let semhash = ruby_syntax::method_hash(def);
-            match cache.replay_lints(&ctx.name, &ctx.files, owner, def, semhash) {
+            let merkle = merkle_of(ctx, owner, def);
+            match cache.replay_lints(&ctx.name, &ctx.files, owner, def, merkle) {
                 Some(records) => {
                     replayed += 1;
                     bag.extend(records.iter().map(corpus::record_to_diagnostic));
                 }
                 None => {
                     missed += 1;
-                    let fresh = analysis::lint_method(owner, def);
+                    let fresh =
+                        analysis::lint_method_with_summaries(owner, def, Some(&ctx.summaries));
                     bag.extend(fresh.findings.iter().map(diagnostics::Diagnostic::from));
                 }
             }
@@ -124,8 +141,13 @@ fn lint_latency(_c: &mut Criterion) {
             .methods()
             .iter()
             .map(|(owner, def)| {
-                let fresh = analysis::lint_method(owner, def);
-                (owner.clone(), *def, fresh.semhash, corpus::findings_to_records(&fresh))
+                let fresh = analysis::lint_method_with_summaries(owner, def, Some(&ctx.summaries));
+                (
+                    owner.clone(),
+                    *def,
+                    merkle_of(ctx, owner, def),
+                    corpus::findings_to_records(&fresh),
+                )
             })
             .collect();
         cache.record_lints(&ctx.name, ctx.files.clone(), &records);

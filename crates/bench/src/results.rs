@@ -22,8 +22,11 @@ use std::path::{Path, PathBuf};
 /// carry `schema_version` and the `type_core` scenarios exist; 3 = the
 /// `recheck_latency` section (incremental re-checking cold/warm medians)
 /// exists and the file is written atomically (temp + rename); 4 = the
-/// `lint_latency` section (dataflow lint suite cold/warm medians) exists.
-pub const SCHEMA_VERSION: u32 = 4;
+/// `lint_latency` section (dataflow lint suite cold/warm medians) exists;
+/// 5 = the `effect_latency` section (interprocedural effect inference
+/// cold/warm medians) exists and `lint_latency` is Merkle-keyed and
+/// summaries-aware.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One measured scenario: a stable name, the median wall-clock per
 /// operation, and the memo counters the run ended with.

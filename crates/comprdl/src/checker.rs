@@ -19,7 +19,7 @@
 use crate::cache::{CacheKey, CacheStats, CompPosition, CompTypeCache};
 use crate::env::CompRdl;
 use crate::runtime::{ConsistencyCheck, InsertedCheck};
-use crate::termination::TerminationChecker;
+use crate::termination::{EffectViolation, InferredEffect, TerminationChecker};
 use crate::tlc::{eval_comp_type, TlcError, TlcValue};
 use rdl_types::{
     HashKey, MethodKind, MethodSig, ParamSig, SingVal, Subtyper, Type, TypeExpr, TypeStore,
@@ -274,6 +274,57 @@ impl<'a> TypeChecker<'a> {
         }
     }
 
+    /// Installs interprocedural effect summaries (see
+    /// `termination::InferredEffect`) below the explicit layer of this
+    /// checker's effect environment: annotations, builtins and registered
+    /// helpers still win, but un-annotated methods with a summary become
+    /// callable from type-level code, and violations on summarized-bad
+    /// methods render the inferred blame chain.
+    pub fn install_inferred_effects(&mut self, effects: &[InferredEffect]) {
+        self.termination.env_mut().install_inferred(effects.iter().cloned());
+    }
+
+    /// Compares every explicit `terminates:`/`pure:` annotation in `env`
+    /// against the inferred summaries and returns the `TERM0004`
+    /// annotation-conflict warnings (annotated strictly stronger than
+    /// inferred), each anchored at the annotated method's definition span.
+    /// Output is sorted by (class, method) so it is deterministic
+    /// regardless of annotation-table iteration order.
+    ///
+    /// Only annotations whose `(class, kind, name)` the program *defines*
+    /// are compared: a core-library annotation (say, a pure `where`) must
+    /// not conflict with an unrelated same-named method an app defines on
+    /// its own class.  The summary lookup itself stays name-keyed — the
+    /// same pessimistic-join approximation the effect environment uses
+    /// everywhere else — so a conflict means "some program method by this
+    /// name is inferred weaker than this annotation claims".
+    pub fn effect_conflicts(
+        env: &CompRdl,
+        program: &Program,
+        effects: &[InferredEffect],
+    ) -> Vec<EffectViolation> {
+        let mut inferred = crate::termination::EffectEnv::new();
+        inferred.install_inferred(effects.iter().cloned());
+        let mut annotated: Vec<_> = env.annotations.iter().collect();
+        annotated.sort_by_key(|((class, kind, name), _)| {
+            (class.clone(), name.clone(), *kind == MethodKind::Singleton)
+        });
+        let mut out = Vec::new();
+        for ((class, kind, name), sig) in annotated {
+            let singleton = *kind == MethodKind::Singleton;
+            let Some((_, def)) = program.methods().into_iter().find(|(owner, def)| {
+                def.name == *name && def.singleton == singleton && owner == class
+            }) else {
+                continue;
+            };
+            let Some(inf) = inferred.inferred(name) else { continue };
+            out.extend(crate::termination::annotation_conflicts(
+                name, sig.term, sig.purity, inf, def.span,
+            ));
+        }
+        out
+    }
+
     fn slot_semantic_hash(
         &mut self,
         owner: &str,
@@ -362,10 +413,28 @@ impl<'a> TypeChecker<'a> {
         label: &str,
         threads: usize,
     ) -> ProgramCheckResult {
+        Self::check_labeled_parallel_with_effects(env, program, options, label, threads, &[])
+    }
+
+    /// Like [`TypeChecker::check_labeled_parallel`], but installs the given
+    /// inferred effect summaries into every worker's effect environment
+    /// (below the explicit layer) before checking.  `CheckOptions` is a
+    /// `Copy` bag of flags, so the summaries travel as a separate argument
+    /// shared by reference across the worker threads.
+    pub fn check_labeled_parallel_with_effects(
+        env: &CompRdl,
+        program: &Program,
+        options: CheckOptions,
+        label: &str,
+        threads: usize,
+        effects: &[InferredEffect],
+    ) -> ProgramCheckResult {
         let selected = Self::select_labeled(env, program, label);
         let workers = threads.clamp(1, selected.len().max(1));
         if workers <= 1 {
-            return TypeChecker::new(env, program, options).check_labeled(label);
+            let mut checker = TypeChecker::new(env, program, options);
+            checker.install_inferred_effects(effects);
+            return checker.check_labeled(label);
         }
 
         // One worker's output: indexed method results, its private store,
@@ -379,6 +448,7 @@ impl<'a> TypeChecker<'a> {
                     let next = &next;
                     scope.spawn(move || {
                         let mut checker = TypeChecker::new(env, program, options);
+                        checker.install_inferred_effects(effects);
                         let mut out = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -1490,6 +1560,49 @@ mod tests {
             CheckOptions::default(),
         );
         assert!(res.errors().iter().any(|e| e.category == ErrorCategory::UndefinedConstant));
+    }
+
+    #[test]
+    fn annotation_conflicts_are_found_and_anchored_at_the_definition() {
+        use rdl_types::{PurityEffect, TermEffect};
+        let mut env = env_with_stdlib();
+        env.type_sig_with_effects(
+            "Object",
+            "fast",
+            "() -> Integer",
+            TermEffect::Terminates,
+            PurityEffect::Pure,
+        );
+        // `fast` actually loops and writes an ivar; inference disagrees
+        // with the annotation on both effects.
+        let program =
+            ruby_syntax::parse_program("def fast()\n  while true\n    @n = 1\n  end\n  0\nend\n")
+                .expect("parse");
+        let effects = [InferredEffect {
+            name: "fast".into(),
+            term: rdl_types::TermEffect::MayDiverge,
+            purity: rdl_types::PurityEffect::Impure,
+            term_blame: vec!["fast".into(), "while loop".into()],
+            purity_blame: vec!["fast".into(), "@n=".into()],
+        }];
+        let conflicts = TypeChecker::effect_conflicts(&env, &program, &effects);
+        assert_eq!(conflicts.len(), 2, "{conflicts:?}");
+        assert!(conflicts.iter().all(|v| v.kind == crate::ViolationKind::AnnotationConflict));
+        let def_span = program.methods()[0].1.span;
+        assert!(conflicts.iter().all(|v| v.span == def_span), "anchored at the definition");
+        assert!(conflicts[0].message.contains("inferred non-terminating via fast \u{2192} while"));
+
+        // Annotations whose claims inference agrees with stay silent, as do
+        // annotated methods with no summary at all.
+        let agreeing = [InferredEffect {
+            name: "fast".into(),
+            term: rdl_types::TermEffect::Terminates,
+            purity: rdl_types::PurityEffect::Pure,
+            term_blame: Vec::new(),
+            purity_blame: Vec::new(),
+        }];
+        assert!(TypeChecker::effect_conflicts(&env, &program, &agreeing).is_empty());
+        assert!(TypeChecker::effect_conflicts(&env, &program, &[]).is_empty());
     }
 
     #[test]

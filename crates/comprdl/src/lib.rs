@@ -60,11 +60,14 @@ pub use checker::{
 };
 pub use env::CompRdl;
 pub use memo::{memo_namespace, MemoKey, MemoStats, MemoTable, NamespaceStats, SharedMemo};
-pub use persist::{CheckCache, LintRecord};
+pub use persist::{CheckCache, EffectRecord, LintRecord};
 pub use runtime::{
     make_hook, make_hook_shared, type_of_value, value_fingerprint, value_matches, BlameDiagnostic,
     CheckConfig, CompRdlHook, ConsistencyCheck, InsertedCheck,
 };
 pub use semdep::{comp_semantic_hash, env_hash, DepGraph};
-pub use termination::{EffectEnv, EffectViolation, TerminationChecker, ViolationKind};
+pub use termination::{
+    annotation_conflicts, EffectEnv, EffectSource, EffectViolation, InferredEffect,
+    TerminationChecker, ViolationKind,
+};
 pub use tlc::{eval_comp_type, HelperRegistry, MetaKind, TlcCtx, TlcError, TlcValue};

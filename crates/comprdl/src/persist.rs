@@ -54,8 +54,12 @@ use std::path::Path;
 ///
 /// History: v1 stored only type-check verdicts; v2 added the per-app lint
 /// section (`LINT01xx` findings keyed by plain semantic hash, replayed by
-/// [`CheckCache::replay_lints`]).
-pub const FORMAT_VERSION: u32 = 2;
+/// [`CheckCache::replay_lints`]); v3 added the per-app effect-summary
+/// section (interprocedural termination/purity/taint summaries keyed by
+/// Merkle hash, replayed by [`CheckCache::replay_effects`]) and re-keyed
+/// lints from plain semantic hash to Merkle hash (lints became
+/// interprocedural through taint summaries).
+pub const FORMAT_VERSION: u32 = 3;
 
 const MAGIC: &[u8; 8] = b"CRDLCHK\x01";
 
@@ -169,11 +173,50 @@ struct LintMethodEntry {
     owner: String,
     name: String,
     singleton: bool,
-    /// Plain [`ruby_syntax::method_hash`] — lints are intraprocedural and
-    /// environment-free, so unlike check verdicts they key on the method's
-    /// own structure, not its Merkle hash.
+    /// The caller's semantic key for the verdict.  Since the SQL-taint lint
+    /// became interprocedural (it consults effect summaries of callees),
+    /// the corpus harness keys lints on the method's **Merkle** hash —
+    /// unchanged key ⇔ unchanged transitive call closure; purely
+    /// intraprocedural callers may still key on plain
+    /// [`ruby_syntax::method_hash`].
     semhash: u64,
     findings: Vec<LintFindingEntry>,
+}
+
+/// One interprocedural effect summary as frozen / replayed by the cache —
+/// plain data (like [`LintRecord`]) so the inference layer
+/// (`crates/analysis`) and this crate stay mutually independent; the corpus
+/// harness converts at the boundary.  Effects carry no spans, so unlike
+/// check and lint verdicts they need no re-anchoring: the blame chains are
+/// stable strings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EffectRecord {
+    /// Owner class of the summarized method.
+    pub owner: String,
+    /// Method name.
+    pub name: String,
+    /// Class-level (`def self.`) method?
+    pub singleton: bool,
+    /// The method's Merkle hash at summary time; unchanged hash ⇔ unchanged
+    /// transitive dependency closure ⇔ the summary is replayable.
+    pub merkle: u64,
+    /// Termination verdict: 0 = terminates, 1 = block-dependent,
+    /// 2 = may diverge.
+    pub term: u8,
+    /// Purity verdict: 0 = pure, 1 = impure.
+    pub purity: u8,
+    /// Call chain to the divergence root cause (empty when `term != 2`).
+    pub term_blame: Vec<String>,
+    /// Call chain to the impurity root cause (empty when `purity == 0`).
+    pub purity_blame: Vec<String>,
+    /// Parameter indices that flow into the return value.
+    pub taint_return: Vec<u32>,
+    /// Parameter indices that flow into a SQL sink inside the method.
+    pub taint_sink: Vec<u32>,
+    /// Receiver state flows into the return value.
+    pub self_to_return: bool,
+    /// Receiver state flows into a SQL sink.
+    pub self_to_sink: bool,
 }
 
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -185,6 +228,9 @@ struct AppEntry {
     /// Lint verdicts, including methods with zero findings (so a warm run
     /// can replay "nothing to report" without re-linting).
     lints: Vec<LintMethodEntry>,
+    /// Effect summaries, keyed per record by Merkle hash (span-free, so
+    /// they survive any layout edit unchanged).
+    effects: Vec<EffectRecord>,
 }
 
 /// The persistent check cache: per-app method verdicts keyed by Merkle
@@ -252,7 +298,11 @@ impl CheckCache {
             Some(prev) if prev.files == file_hashes => prev.lints.clone(),
             _ => Vec::new(),
         };
-        let mut entry = AppEntry { env_hash, files: file_hashes, methods: Vec::new(), lints };
+        // Effect summaries are span-free and guarded per record by their
+        // Merkle hash, so they survive regardless of the file table.
+        let effects = self.apps.get(app).map(|p| p.effects.clone()).unwrap_or_default();
+        let mut entry =
+            AppEntry { env_hash, files: file_hashes, methods: Vec::new(), lints, effects };
         for (owner, def, merkle, result) in methods {
             if let Some(m) = freeze_method(owner, def, *merkle, result, store, &entry.files) {
                 entry.methods.push(m);
@@ -349,6 +399,41 @@ impl CheckCache {
     /// The number of stored lint verdicts (methods, not findings) for `app`.
     pub fn lint_method_count(&self, app: &str) -> usize {
         self.apps.get(app).map(|a| a.lints.len()).unwrap_or(0)
+    }
+
+    /// Records (replacing any previous effect section) one app's inferred
+    /// effect summaries.  Every summarized method is recorded — including
+    /// the all-clear ones — so a warm run replays "terminates, pure, no
+    /// taint" without re-summarizing.
+    pub fn record_effects(&mut self, app: &str, records: Vec<EffectRecord>) {
+        self.apps.entry(app.to_string()).or_default().effects = records;
+    }
+
+    /// Replays the stored effect summary for one method, or `None` when the
+    /// method is unknown or its Merkle hash moved (its body, a transitive
+    /// callee, a signature or a comp-type helper changed — exactly the
+    /// conditions under which the interprocedural summary could differ).
+    pub fn replay_effects(
+        &self,
+        app: &str,
+        owner: &str,
+        name: &str,
+        singleton: bool,
+        merkle: u64,
+    ) -> Option<EffectRecord> {
+        let entry = self.apps.get(app)?;
+        entry
+            .effects
+            .iter()
+            .find(|e| {
+                e.owner == owner && e.name == name && e.singleton == singleton && e.merkle == merkle
+            })
+            .cloned()
+    }
+
+    /// The number of stored effect summaries for `app`.
+    pub fn effect_method_count(&self, app: &str) -> usize {
+        self.apps.get(app).map(|a| a.effects.len()).unwrap_or(0)
     }
 
     /// Replays the stored verdict for one method, or `None` when anything
@@ -490,6 +575,21 @@ impl CheckCache {
                     put_span(&mut w, &f.span);
                 }
             }
+            w.put_u32(app.effects.len() as u32);
+            for e in &app.effects {
+                w.put_str(&e.owner);
+                w.put_str(&e.name);
+                w.put_u8(u8::from(e.singleton));
+                w.put_u64(e.merkle);
+                w.put_u8(e.term);
+                w.put_u8(e.purity);
+                put_str_list(&mut w, &e.term_blame);
+                put_str_list(&mut w, &e.purity_blame);
+                put_u32_list(&mut w, &e.taint_return);
+                put_u32_list(&mut w, &e.taint_sink);
+                w.put_u8(u8::from(e.self_to_return));
+                w.put_u8(u8::from(e.self_to_sink));
+            }
         }
         w.bytes
     }
@@ -578,7 +678,34 @@ impl CheckCache {
                 }
                 lints.push(LintMethodEntry { owner, name: lname, singleton, semhash, findings });
             }
-            apps.insert(name, AppEntry { env_hash, files, methods, lints });
+            let effect_count = r.get_u32()?;
+            let mut effects = Vec::with_capacity(effect_count.min(1024) as usize);
+            for _ in 0..effect_count {
+                let owner = r.get_str()?;
+                let ename = r.get_str()?;
+                let singleton = r.get_u8()? != 0;
+                let merkle = r.get_u64()?;
+                let term = r.get_u8()?;
+                let purity = r.get_u8()?;
+                if term > 2 || purity > 1 {
+                    return None;
+                }
+                effects.push(EffectRecord {
+                    owner,
+                    name: ename,
+                    singleton,
+                    merkle,
+                    term,
+                    purity,
+                    term_blame: get_str_list(&mut r)?,
+                    purity_blame: get_str_list(&mut r)?,
+                    taint_return: get_u32_list(&mut r)?,
+                    taint_sink: get_u32_list(&mut r)?,
+                    self_to_return: r.get_u8()? != 0,
+                    self_to_sink: r.get_u8()? != 0,
+                });
+            }
+            apps.insert(name, AppEntry { env_hash, files, methods, lints, effects });
         }
         // Trailing garbage means the file is not ours.
         if r.pos != bytes.len() {
@@ -906,6 +1033,38 @@ impl<'a> Reader<'a> {
         let len = self.get_u32()? as usize;
         String::from_utf8(self.take(len)?.to_vec()).ok()
     }
+}
+
+fn put_str_list(w: &mut Writer, list: &[String]) {
+    w.put_u32(list.len() as u32);
+    for s in list {
+        w.put_str(s);
+    }
+}
+
+fn get_str_list(r: &mut Reader<'_>) -> Option<Vec<String>> {
+    let n = r.get_u32()?;
+    let mut out = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        out.push(r.get_str()?);
+    }
+    Some(out)
+}
+
+fn put_u32_list(w: &mut Writer, list: &[u32]) {
+    w.put_u32(list.len() as u32);
+    for v in list {
+        w.put_u32(*v);
+    }
+}
+
+fn get_u32_list(r: &mut Reader<'_>) -> Option<Vec<u32>> {
+    let n = r.get_u32()?;
+    let mut out = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        out.push(r.get_u32()?);
+    }
+    Some(out)
 }
 
 fn put_span(w: &mut Writer, s: &SpanRef) {
@@ -1431,6 +1590,66 @@ mod tests {
         );
         let replayed = cache.replay_lints("unit", &[content_hash(src)], owner, def, semhash);
         assert_eq!(replayed, Some(Vec::new()), "clean methods replay without re-linting");
+    }
+
+    fn sample_effects() -> Vec<EffectRecord> {
+        vec![
+            EffectRecord {
+                owner: "Object".into(),
+                name: "helper".into(),
+                singleton: false,
+                merkle: 0xdead_beef,
+                term: 0,
+                purity: 0,
+                ..EffectRecord::default()
+            },
+            EffectRecord {
+                owner: "Talk".into(),
+                name: "spin".into(),
+                singleton: true,
+                merkle: 42,
+                term: 2,
+                purity: 1,
+                term_blame: vec!["spin".into(), "while loop".into()],
+                purity_blame: vec!["spin".into(), "inner".into(), "@x=".into()],
+                taint_return: vec![0, 2],
+                taint_sink: vec![1],
+                self_to_return: true,
+                self_to_sink: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn effect_summaries_round_trip_and_replay_by_merkle() {
+        let mut cache = CheckCache::new();
+        cache.record_effects("unit", sample_effects());
+        assert_eq!(cache.effect_method_count("unit"), 2);
+
+        let dir = std::env::temp_dir().join(format!("comprdl-persist-e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        cache.save(&path).unwrap();
+        let loaded = CheckCache::load(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded, cache, "binary round trip must be lossless");
+
+        let r = loaded.replay_effects("unit", "Talk", "spin", true, 42).expect("replays");
+        assert_eq!(r, sample_effects()[1]);
+        // A moved Merkle hash (any transitive dependency change) misses.
+        assert!(loaded.replay_effects("unit", "Talk", "spin", true, 43).is_none());
+        // Wrong kind misses.
+        assert!(loaded.replay_effects("unit", "Talk", "spin", false, 42).is_none());
+    }
+
+    #[test]
+    fn record_app_preserves_the_effect_section() {
+        let env = env();
+        let mut cache = CheckCache::new();
+        cache.record_effects("unit", sample_effects());
+        let _ = record(&mut cache, &env, SRC);
+        assert_eq!(cache.effect_method_count("unit"), 2, "record_app must keep the effect section");
+        assert!(cache.replay_effects("unit", "Object", "helper", false, 0xdead_beef).is_some());
     }
 
     #[test]

@@ -185,6 +185,25 @@ impl DepGraph {
         self.methods.iter().map(|(id, &i)| (id.clone(), self.merkles[i])).collect()
     }
 
+    /// The name-resolved method→method call edges of the program, as
+    /// deduplicated `(caller, callee)` id pairs in sorted order.  These are
+    /// the same edges the `analysis` crate's effect-summary inference
+    /// resolves independently over the AST; exposing them lets the corpus
+    /// harness cross-check that the two call graphs agree.
+    pub fn method_call_edges(&self) -> Vec<(MethodId, MethodId)> {
+        let by_idx: BTreeMap<usize, &MethodId> =
+            self.methods.iter().map(|(id, &i)| (i, id)).collect();
+        let mut out = BTreeSet::new();
+        for (id, &from) in &self.methods {
+            for &to in &self.nodes[from].deps {
+                if let Some(&callee) = by_idx.get(&to) {
+                    out.insert((id.clone(), callee.clone()));
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
     /// The program methods whose check verdicts depend (transitively) on the
     /// named helper — exactly the set a helper edit invalidates.
     pub fn helper_dependents(&self, helper: &str) -> Vec<MethodId> {
@@ -249,6 +268,19 @@ impl Builder {
             }
             None => h.write_u8(0),
         }
+        // The declared effects are *not* part of `sig.source`, but effect
+        // summaries (and verdicts built on them) are seeded from the
+        // claims, so an effect-only annotation change must move every
+        // dependent Merkle hash.
+        h.write_u8(match sig.term {
+            rdl_types::TermEffect::Terminates => 0,
+            rdl_types::TermEffect::BlockDep => 1,
+            rdl_types::TermEffect::MayDiverge => 2,
+        });
+        h.write_u8(match sig.purity {
+            rdl_types::PurityEffect::Pure => 0,
+            rdl_types::PurityEffect::Impure => 1,
+        });
         let idx = self.nodes.len();
         self.nodes.push(Node { base: h.finish(), deps: Vec::new() });
         self.annotations.insert(ann_key(key), idx);
@@ -429,6 +461,16 @@ pub fn env_hash(env: &CompRdl) -> u64 {
             }
             None => h.write_u8(0),
         }
+        // Declared effects live outside `sig.source`; see `add_annotation`.
+        h.write_u8(match sig.term {
+            rdl_types::TermEffect::Terminates => 0,
+            rdl_types::TermEffect::BlockDep => 1,
+            rdl_types::TermEffect::MayDiverge => 2,
+        });
+        h.write_u8(match sig.purity {
+            rdl_types::PurityEffect::Pure => 0,
+            rdl_types::PurityEffect::Impure => 1,
+        });
     }
     // Ivar/gvar annotations are keyed per class; probe the classes we know.
     // (The table offers no global iterator; classes() covers every declared

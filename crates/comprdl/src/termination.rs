@@ -10,6 +10,18 @@
 //!   only call other pure methods,
 //! * recursion in type-level code is assumed absent (and cut off at run time
 //!   by the evaluator's depth bound).
+//!
+//! The effect environment has two layers: *explicit* effects (builtins,
+//! `terminates:`/`pure:` annotations and registered helpers) and *inferred*
+//! effects ([`InferredEffect`] summaries computed interprocedurally by the
+//! `analysis` crate and installed via
+//! [`EffectEnv::install_inferred`]).  Explicit entries always win; inferred
+//! entries fill in for un-annotated methods; names present in neither layer
+//! stay pessimistic (`:-` / impure), and their violations say so
+//! ("no summary and no annotation for …") instead of reading like a proven
+//! divergence.  When an explicit annotation claims a *stronger* effect than
+//! the inferred summary, [`annotation_conflicts`] reports a `TERM0004`
+//! warning rendering the inferred blame chain.
 
 use rdl_types::{PurityEffect, TermEffect};
 use ruby_syntax::{Expr, ExprKind, MethodDef, Span};
@@ -27,6 +39,12 @@ pub enum ViolationKind {
     /// An impure write or impure call where purity is required (including
     /// inside a `:blockdep` iterator's block) → `TERM0003`.
     Impure,
+    /// An explicit `terminates:`/`pure:` annotation claims a strictly
+    /// stronger effect than the interprocedural summary inferred for the
+    /// same method → `TERM0004` (rendered as a warning: the annotation is
+    /// trusted, but the disagreement is surfaced with the inferred blame
+    /// chain).
+    AnnotationConflict,
 }
 
 impl ViolationKind {
@@ -36,6 +54,7 @@ impl ViolationKind {
             ViolationKind::Loop => "TERM0001",
             ViolationKind::NonTerminatingCall => "TERM0002",
             ViolationKind::Impure => "TERM0003",
+            ViolationKind::AnnotationConflict => "TERM0004",
         }
     }
 }
@@ -66,21 +85,71 @@ impl fmt::Display for EffectViolation {
 
 impl From<EffectViolation> for diagnostics::Diagnostic {
     fn from(v: EffectViolation) -> Self {
-        diagnostics::Diagnostic::error(v.kind.code(), v.message.clone())
-            .with_label(v.span, "in type-level code")
-            .with_note(
-                "type-level computations must provably terminate and be pure (paper \u{a7}4)",
-            )
+        let d = if v.kind == ViolationKind::AnnotationConflict {
+            diagnostics::Diagnostic::warning(v.kind.code(), v.message.clone())
+                .with_label(v.span, "annotation disagrees with the inferred summary")
+                .with_note(
+                    "the explicit annotation wins; re-check it or drop it to use the \
+                     inferred effect",
+                )
+        } else {
+            diagnostics::Diagnostic::error(v.kind.code(), v.message.clone())
+                .with_label(v.span, "in type-level code")
+        };
+        d.with_note("type-level computations must provably terminate and be pure (paper \u{a7}4)")
     }
+}
+
+/// An interprocedurally inferred effect summary for one method name, as
+/// produced by the `analysis` crate's call-graph fixpoint and handed to
+/// [`EffectEnv::install_inferred`].
+///
+/// The blame chains start with the method itself and end with the
+/// root-cause token (e.g. `["a", "b", "@x="]` renders as
+/// `a → b → @x=`); they are empty when the corresponding effect is the
+/// good verdict (terminates / pure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferredEffect {
+    /// Bare method name the summary applies to (worst-case joined over all
+    /// same-named definitions, matching how effects are looked up).
+    pub name: String,
+    /// Inferred termination effect.
+    pub term: TermEffect,
+    /// Inferred purity effect.
+    pub purity: PurityEffect,
+    /// Call chain to the divergence root cause (empty when `term` is not
+    /// [`TermEffect::MayDiverge`]).
+    pub term_blame: Vec<String>,
+    /// Call chain to the impurity root cause (empty when `purity` is
+    /// [`PurityEffect::Pure`]).
+    pub purity_blame: Vec<String>,
+}
+
+/// Renders a blame chain as `a → b → @x=`.
+fn render_chain(chain: &[String]) -> String {
+    chain.join(" \u{2192} ")
+}
+
+/// Where an effect verdict for a name came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectSource {
+    /// An explicit entry: builtin, annotation, or registered helper.
+    Explicit,
+    /// An installed interprocedural summary.
+    Inferred,
+    /// Neither layer knows the name; the pessimistic default applies.
+    Unknown,
 }
 
 /// The effect environment: method name → (termination, purity).
 ///
 /// Effects are looked up by bare method name, mirroring how the paper's
-/// annotations attach `terminates:` / `pure:` labels to methods.
+/// annotations attach `terminates:` / `pure:` labels to methods.  Lookup
+/// precedence is explicit → inferred → pessimistic default.
 #[derive(Debug, Clone, Default)]
 pub struct EffectEnv {
     effects: HashMap<String, (TermEffect, PurityEffect)>,
+    inferred: HashMap<String, InferredEffect>,
 }
 
 impl EffectEnv {
@@ -183,31 +252,147 @@ impl EffectEnv {
         env
     }
 
-    /// Sets the effects for a method name.
+    /// Sets the explicit effects for a method name.
     pub fn set(&mut self, method: &str, term: TermEffect, purity: PurityEffect) {
         self.effects.insert(method.to_string(), (term, purity));
     }
 
-    /// The termination effect for a method (unknown methods default to
-    /// `:-`, may diverge).
+    /// Installs interprocedural effect summaries below the explicit layer.
+    /// A duplicate name is joined pessimistically (worse termination /
+    /// purity wins, keeping the blame of the entry that forced it).
+    pub fn install_inferred(&mut self, effects: impl IntoIterator<Item = InferredEffect>) {
+        for e in effects {
+            match self.inferred.entry(e.name.clone()) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(e);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let cur = o.get_mut();
+                    if term_rank(e.term) > term_rank(cur.term) {
+                        cur.term = e.term;
+                        cur.term_blame = e.term_blame;
+                    }
+                    if cur.purity == PurityEffect::Pure && e.purity == PurityEffect::Impure {
+                        cur.purity = PurityEffect::Impure;
+                        cur.purity_blame = e.purity_blame;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The termination effect for a method (explicit wins over inferred;
+    /// unknown methods default to `:-`, may diverge).
     pub fn termination(&self, method: &str) -> TermEffect {
-        self.effects.get(method).map(|(t, _)| *t).unwrap_or(TermEffect::MayDiverge)
+        self.effects
+            .get(method)
+            .map(|(t, _)| *t)
+            .or_else(|| self.inferred.get(method).map(|e| e.term))
+            .unwrap_or(TermEffect::MayDiverge)
     }
 
-    /// The purity effect for a method (unknown methods default to impure).
+    /// The purity effect for a method (explicit wins over inferred;
+    /// unknown methods default to impure).
     pub fn purity(&self, method: &str) -> PurityEffect {
-        self.effects.get(method).map(|(_, p)| *p).unwrap_or(PurityEffect::Impure)
+        self.effects
+            .get(method)
+            .map(|(_, p)| *p)
+            .or_else(|| self.inferred.get(method).map(|e| e.purity))
+            .unwrap_or(PurityEffect::Impure)
     }
 
-    /// Number of annotated methods.
+    /// Where the verdict for `method` comes from.
+    pub fn source(&self, method: &str) -> EffectSource {
+        if self.effects.contains_key(method) {
+            EffectSource::Explicit
+        } else if self.inferred.contains_key(method) {
+            EffectSource::Inferred
+        } else {
+            EffectSource::Unknown
+        }
+    }
+
+    /// True if either layer has an entry for `method` (a violation on an
+    /// unknown name is worded differently — see module docs).
+    pub fn knows(&self, method: &str) -> bool {
+        self.source(method) != EffectSource::Unknown
+    }
+
+    /// The installed inferred summary for `method`, if any (the explicit
+    /// layer may still shadow it for lookups).
+    pub fn inferred(&self, method: &str) -> Option<&InferredEffect> {
+        self.inferred.get(method)
+    }
+
+    /// Iterates the explicit entries (builtins, annotations, helpers) —
+    /// used to seed the `analysis` crate's summary inference so both sides
+    /// agree on the base environment.
+    pub fn explicit_effects(&self) -> impl Iterator<Item = (&str, TermEffect, PurityEffect)> {
+        self.effects.iter().map(|(n, (t, p))| (n.as_str(), *t, *p))
+    }
+
+    /// Number of explicitly annotated methods.
     pub fn len(&self) -> usize {
         self.effects.len()
     }
 
-    /// True if no effects are registered.
+    /// Number of installed inferred summaries.
+    pub fn inferred_len(&self) -> usize {
+        self.inferred.len()
+    }
+
+    /// True if no explicit effects are registered.
     pub fn is_empty(&self) -> bool {
         self.effects.is_empty()
     }
+}
+
+/// Pessimism order for the join in [`EffectEnv::install_inferred`].
+fn term_rank(t: TermEffect) -> u8 {
+    match t {
+        TermEffect::Terminates => 0,
+        TermEffect::BlockDep => 1,
+        TermEffect::MayDiverge => 2,
+    }
+}
+
+/// Compares an explicit `terminates:`/`pure:` annotation against the
+/// inferred summary for the same method and returns `TERM0004` violations
+/// when the annotation claims a strictly stronger effect than inference
+/// could establish (annotated `:+` but inferred `:-` / annotated pure but
+/// inferred impure).  The messages render the inferred blame chain, e.g.
+/// `inferred impure via a → b → @x=`.
+pub fn annotation_conflicts(
+    name: &str,
+    claimed_term: TermEffect,
+    claimed_purity: PurityEffect,
+    inferred: &InferredEffect,
+    span: Span,
+) -> Vec<EffectViolation> {
+    let mut out = Vec::new();
+    if claimed_term != TermEffect::MayDiverge && inferred.term == TermEffect::MayDiverge {
+        let claim = if claimed_term == TermEffect::Terminates { ":+" } else { ":blockdep" };
+        out.push(EffectViolation {
+            kind: ViolationKind::AnnotationConflict,
+            message: format!(
+                "`{name}` is annotated `terminates: {claim}` but inferred non-terminating \
+                 via {}",
+                render_chain(&inferred.term_blame)
+            ),
+            span,
+        });
+    }
+    if claimed_purity == PurityEffect::Pure && inferred.purity == PurityEffect::Impure {
+        out.push(EffectViolation {
+            kind: ViolationKind::AnnotationConflict,
+            message: format!(
+                "`{name}` is annotated `pure: :+` but inferred impure via {}",
+                render_chain(&inferred.purity_blame)
+            ),
+            span,
+        });
+    }
+    out
 }
 
 /// The termination / purity checker.
@@ -274,13 +459,30 @@ impl TerminationChecker {
             }),
             ExprKind::Call { name, block, .. } => match self.env.termination(name) {
                 TermEffect::Terminates => {}
-                TermEffect::MayDiverge => out.push(EffectViolation {
-                    kind: ViolationKind::NonTerminatingCall,
-                    message: format!(
-                        "call to `{name}`, which is not known to terminate (`terminates: :-`)"
-                    ),
-                    span: e.span,
-                }),
+                TermEffect::MayDiverge => {
+                    let message = match self.env.source(name) {
+                        EffectSource::Unknown => format!(
+                            "no summary and no annotation for `{name}`; the call is assumed \
+                             non-terminating"
+                        ),
+                        EffectSource::Inferred => {
+                            let chain = self
+                                .env
+                                .inferred(name)
+                                .map(|i| render_chain(&i.term_blame))
+                                .unwrap_or_default();
+                            format!("call to `{name}`, inferred non-terminating via {chain}")
+                        }
+                        EffectSource::Explicit => format!(
+                            "call to `{name}`, which is not known to terminate (`terminates: :-`)"
+                        ),
+                    };
+                    out.push(EffectViolation {
+                        kind: ViolationKind::NonTerminatingCall,
+                        message,
+                        span: e.span,
+                    })
+                }
                 TermEffect::BlockDep => {
                     if let Some(block) = block {
                         let impurities = self.check_block_purity(&block.body);
@@ -331,11 +533,21 @@ impl TerminationChecker {
                 ruby_syntax::LValue::Local(_) => {}
             },
             ExprKind::Call { name, .. } if self.env.purity(name) == PurityEffect::Impure => {
-                out.push(EffectViolation {
-                    kind: ViolationKind::Impure,
-                    message: format!("calls impure method `{name}`"),
-                    span: e.span,
-                });
+                let message = match self.env.source(name) {
+                    EffectSource::Unknown => format!(
+                        "no summary and no annotation for `{name}`; the call is assumed impure"
+                    ),
+                    EffectSource::Inferred => {
+                        let chain = self
+                            .env
+                            .inferred(name)
+                            .map(|i| render_chain(&i.purity_blame))
+                            .unwrap_or_default();
+                        format!("calls `{name}`, inferred impure via {chain}")
+                    }
+                    EffectSource::Explicit => format!("calls impure method `{name}`"),
+                };
+                out.push(EffectViolation { kind: ViolationKind::Impure, message, span: e.span });
             }
             _ => {}
         });
@@ -463,5 +675,175 @@ mod tests {
         let v = vs.iter().find(|v| v.kind == ViolationKind::Impure).expect("blockdep violation");
         assert_eq!(v.message, "iterator `map` requires a pure block: calls impure method `push`");
         assert_eq!(diagnostics::Diagnostic::from(v.clone()).code, "TERM0003");
+    }
+
+    /// Satellite: a violation on a name *neither* annotated nor summarized
+    /// must say so, instead of reading identically to a proven violation.
+    #[test]
+    fn unknown_callees_say_there_is_no_summary_or_annotation() {
+        let c = checker();
+
+        let vs = c.check_expr(&parse_expr("mystery()").unwrap());
+        assert_eq!(vs.len(), 1);
+        assert_eq!(
+            vs[0].message,
+            "no summary and no annotation for `mystery`; the call is assumed non-terminating"
+        );
+        assert_eq!(vs[0].kind, ViolationKind::NonTerminatingCall);
+
+        let vs = c.check_block_purity(&[parse_expr("mystery()").unwrap()]);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(
+            vs[0].message,
+            "no summary and no annotation for `mystery`; the call is assumed impure"
+        );
+        assert_eq!(vs[0].kind, ViolationKind::Impure);
+
+        // An explicitly annotated non-terminating method keeps the original
+        // wording — the split is only for unknown names.
+        let vs = c.check_expr(&parse_expr("m3()").unwrap());
+        assert_eq!(
+            vs[0].message,
+            "call to `m3`, which is not known to terminate (`terminates: :-`)"
+        );
+    }
+
+    /// Inferred summaries fill in below explicit annotations: a summarized
+    /// helper becomes callable without an annotation, a bad summary renders
+    /// its blame chain, and an explicit entry still shadows the summary.
+    #[test]
+    fn inferred_effects_fill_in_below_explicit_annotations() {
+        let mut c = checker();
+        c.env_mut().install_inferred([
+            InferredEffect {
+                name: "summed_helper".into(),
+                term: TermEffect::Terminates,
+                purity: PurityEffect::Pure,
+                term_blame: Vec::new(),
+                purity_blame: Vec::new(),
+            },
+            InferredEffect {
+                name: "writer".into(),
+                term: TermEffect::Terminates,
+                purity: PurityEffect::Impure,
+                term_blame: Vec::new(),
+                purity_blame: vec!["writer".into(), "@x=".into()],
+            },
+            InferredEffect {
+                name: "spinner".into(),
+                term: TermEffect::MayDiverge,
+                purity: PurityEffect::Pure,
+                term_blame: vec!["spinner".into(), "while loop".into()],
+                purity_blame: Vec::new(),
+            },
+            // The explicit layer says m3 diverges; this optimistic summary
+            // must NOT override it.
+            InferredEffect {
+                name: "m3".into(),
+                term: TermEffect::Terminates,
+                purity: PurityEffect::Pure,
+                term_blame: Vec::new(),
+                purity_blame: Vec::new(),
+            },
+        ]);
+
+        assert!(c.check_expr(&parse_expr("summed_helper()").unwrap()).is_empty());
+        assert_eq!(c.env_mut().source("summed_helper"), EffectSource::Inferred);
+
+        let vs = c.check_expr(&parse_expr("spinner()").unwrap());
+        assert_eq!(
+            vs[0].message,
+            "call to `spinner`, inferred non-terminating via spinner \u{2192} while loop"
+        );
+
+        let vs = c.check_block_purity(&[parse_expr("writer()").unwrap()]);
+        assert_eq!(vs[0].message, "calls `writer`, inferred impure via writer \u{2192} @x=");
+
+        // Explicit wins: m3 still diverges despite the optimistic summary.
+        let vs = c.check_expr(&parse_expr("m3()").unwrap());
+        assert_eq!(vs.len(), 1);
+        assert_eq!(
+            vs[0].message,
+            "call to `m3`, which is not known to terminate (`terminates: :-`)"
+        );
+    }
+
+    /// Duplicate installs join pessimistically, keeping the forcing blame.
+    #[test]
+    fn duplicate_inferred_installs_join_worst_case() {
+        let mut env = EffectEnv::new();
+        env.install_inferred([
+            InferredEffect {
+                name: "h".into(),
+                term: TermEffect::Terminates,
+                purity: PurityEffect::Pure,
+                term_blame: Vec::new(),
+                purity_blame: Vec::new(),
+            },
+            InferredEffect {
+                name: "h".into(),
+                term: TermEffect::MayDiverge,
+                purity: PurityEffect::Impure,
+                term_blame: vec!["h".into(), "while loop".into()],
+                purity_blame: vec!["h".into(), "$g=".into()],
+            },
+        ]);
+        assert_eq!(env.termination("h"), TermEffect::MayDiverge);
+        assert_eq!(env.purity("h"), PurityEffect::Impure);
+        let i = env.inferred("h").unwrap();
+        assert_eq!(i.term_blame, vec!["h".to_string(), "while loop".to_string()]);
+        assert_eq!(i.purity_blame, vec!["h".to_string(), "$g=".to_string()]);
+        assert_eq!(env.inferred_len(), 1);
+    }
+
+    /// TERM0004: an annotation claiming a strictly stronger effect than the
+    /// inferred summary is surfaced as a *warning* with the inferred chain.
+    #[test]
+    fn annotation_conflicts_render_the_inferred_chain_as_term0004_warnings() {
+        let inferred = InferredEffect {
+            name: "a".into(),
+            term: TermEffect::MayDiverge,
+            purity: PurityEffect::Impure,
+            term_blame: vec!["a".into(), "b".into(), "while loop".into()],
+            purity_blame: vec!["a".into(), "b".into(), "@x=".into()],
+        };
+        let span = Span::new(0, 1, 1);
+        let vs =
+            annotation_conflicts("a", TermEffect::Terminates, PurityEffect::Pure, &inferred, span);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(
+            vs[0].message,
+            "`a` is annotated `terminates: :+` but inferred non-terminating via a \u{2192} b \
+             \u{2192} while loop"
+        );
+        assert_eq!(
+            vs[1].message,
+            "`a` is annotated `pure: :+` but inferred impure via a \u{2192} b \u{2192} @x="
+        );
+        for v in &vs {
+            assert_eq!(v.kind, ViolationKind::AnnotationConflict);
+            let d = diagnostics::Diagnostic::from(v.clone());
+            assert_eq!(d.code, "TERM0004");
+            assert_eq!(d.severity, diagnostics::Severity::Warning);
+        }
+
+        // Agreement (or an annotation weaker than inference) is silent.
+        let good = InferredEffect {
+            name: "a".into(),
+            term: TermEffect::Terminates,
+            purity: PurityEffect::Pure,
+            term_blame: Vec::new(),
+            purity_blame: Vec::new(),
+        };
+        assert!(annotation_conflicts("a", TermEffect::Terminates, PurityEffect::Pure, &good, span)
+            .is_empty());
+        assert!(annotation_conflicts(
+            "a",
+            TermEffect::MayDiverge,
+            PurityEffect::Impure,
+            &inferred,
+            span
+        )
+        .is_empty());
     }
 }

@@ -1,0 +1,59 @@
+//! The corpus-wide effect-summary report, asserted against a checked-in
+//! snapshot.
+//!
+//! Runs interprocedural effect inference (termination / purity / taint,
+//! bottom-up over the condensed call graph) over every app — sequentially
+//! and in parallel, which must render byte-identically — prints each app's
+//! summaries, and compares the output against
+//! `crates/corpus/examples/effects.expected`.  A diff means either the
+//! inference regressed or a deliberate change forgot to regenerate the
+//! snapshot (rerun with `UPDATE_EFFECTS=1` to rewrite it).  CI runs this
+//! example, so the snapshot is load-bearing.
+
+use std::path::PathBuf;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/effects.expected")
+}
+
+fn effect_report(threads: usize) -> String {
+    let mut out = String::new();
+    for app in corpus::apps::all() {
+        let env = app.build_env();
+        let (program, _sources) = app.parse().expect("corpus app parses");
+        let seed = corpus::seed_map(&env);
+        let summaries = corpus::effects_pass(&program, &seed, threads);
+        out.push_str(&format!(
+            "{}: {} methods in {} SCCs\n",
+            app.name,
+            summaries.len(),
+            summaries.scc_count()
+        ));
+        for line in summaries.render().lines() {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    out
+}
+
+fn main() {
+    let sequential = effect_report(1);
+    let parallel = effect_report(4);
+    assert_eq!(sequential, parallel, "parallel effect report diverged from sequential");
+    print!("{sequential}");
+
+    let path = snapshot_path();
+    if std::env::var("UPDATE_EFFECTS").is_ok() {
+        std::fs::write(&path, &sequential).expect("write snapshot");
+        println!("snapshot updated: {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run with UPDATE_EFFECTS=1)", path.display()));
+    assert_eq!(
+        sequential, expected,
+        "effect report diverged from the checked-in snapshot; rerun with UPDATE_EFFECTS=1 if \
+         the change is intentional"
+    );
+    println!("effect report matches the checked-in snapshot");
+}

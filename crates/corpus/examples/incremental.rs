@@ -9,8 +9,10 @@
 //!
 //! Run it twice from fresh processes: the first (cold) run checks
 //! everything and writes the cache; the second (warm) run replays
-//! everything and prints `re-checked 0/N method verdicts`.  CI does exactly
-//! that and greps for the `re-checked 0/` line.
+//! everything and prints `re-checked 0/N method verdicts`,
+//! `re-linted 0/N` and `re-summarized 0/N`.  CI does exactly that and
+//! greps for the `re-checked 0/`, `re-linted 0/` and `re-summarized 0/`
+//! lines.
 
 use comprdl::CheckCache;
 use std::path::PathBuf;
@@ -34,13 +36,18 @@ fn main() {
     let mut total = 0usize;
     let mut linted = 0usize;
     let mut lint_total = 0usize;
+    let mut summarized = 0usize;
+    let mut summary_total = 0usize;
     for s in &stats {
         checked += s.comp.checked() + s.plain.checked();
         total += s.comp.total + s.plain.total;
         linted += s.lint.checked();
         lint_total += s.lint.total;
+        summarized += s.effects.checked();
+        summary_total += s.effects.total;
         println!(
-            "{:12} comp: re-checked {}/{}  plain-RDL: re-checked {}/{}  lints: re-linted {}/{}",
+            "{:12} comp: re-checked {}/{}  plain-RDL: re-checked {}/{}  lints: re-linted {}/{}  \
+             effects: re-summarized {}/{}",
             s.app,
             s.comp.checked(),
             s.comp.total,
@@ -48,10 +55,13 @@ fn main() {
             s.plain.total,
             s.lint.checked(),
             s.lint.total,
+            s.effects.checked(),
+            s.effects.total,
         );
     }
     println!("re-checked {checked}/{total} method verdicts across the corpus");
     println!("re-linted {linted}/{lint_total} lint verdicts across the corpus");
+    println!("re-summarized {summarized}/{summary_total} effect summaries across the corpus");
 
     // The observable soundness gate: an incremental run must be
     // indistinguishable from a from-scratch run on every deterministic

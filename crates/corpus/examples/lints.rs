@@ -17,8 +17,17 @@ fn snapshot_path() -> PathBuf {
 fn lint_report(threads: usize) -> String {
     let mut out = String::new();
     for app in corpus::apps::all() {
+        let env = app.build_env();
         let (program, _sources) = app.parse().expect("corpus app parses");
-        let bag = corpus::lint_bag(&corpus::lint_pass(&program, threads));
+        // Effect summaries make `LINT0105` interprocedural: taint follows
+        // calls through each callee's summary (same pass the harness runs).
+        let seed = corpus::seed_map(&env);
+        let summaries = corpus::effects_pass(&program, &seed, threads);
+        let bag = corpus::lint_bag(&corpus::lints::lint_pass_with_summaries(
+            &program,
+            Some(&summaries),
+            threads,
+        ));
         out.push_str(&format!("{}: {} lint warnings\n", app.name, bag.warning_count()));
         for d in bag.iter() {
             out.push_str(&format!("    {d}\n"));

@@ -103,6 +103,20 @@ class Topic < ActiveRecord::Base
   def self.titled_like(title)
     Topic.where('title = ' + title).count()
   end
+
+  # Interprocedural lint bait (LINT0105 through a call): `find_titled`
+  # forwards its parameter straight into the raw `where` condition, so its
+  # effect summary routes taint from parameter 0 to a SQL sink.  Neither
+  # method is flagged on its own — the callee sees only a lone variable at
+  # the sink, the caller sees no sink at all — but with summaries installed
+  # the concatenation in `search_titled` is flagged at the call site.
+  def self.find_titled(cond)
+    Topic.where(cond).count()
+  end
+
+  def self.search_titled(title)
+    Topic.find_titled('title = ' + title)
+  end
 end
 "#;
 

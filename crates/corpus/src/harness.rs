@@ -195,25 +195,43 @@ pub fn evaluate_app_shared(
     let (program, _sources) =
         app.parse().map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
 
-    // Static checking with comp types (timed).
+    // Interprocedural effect summaries: inferred bottom-up over the call
+    // graph on the same worker budget, seeded from the environment the
+    // checker itself trusts.  They feed three consumers below — the
+    // checker's inferred effect layer, the taint-aware lint pass, and the
+    // TERM0004 annotation-conflict warnings.
+    let seed = crate::effects::seed_map(&env);
+    let summaries = crate::effects::effects_pass(&program, &seed, check_threads);
+    let inferred = crate::effects::summaries_to_inferred(&summaries);
+
+    // Static checking with comp types (timed), with the inferred
+    // summaries installed below the explicit annotation layer.
     let started = Instant::now();
     let comp_result = if check_threads > 1 {
-        TypeChecker::check_labeled_parallel(
+        TypeChecker::check_labeled_parallel_with_effects(
             &env,
             &program,
             CheckOptions::default(),
             "app",
             check_threads,
+            &inferred,
         )
     } else {
-        TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app")
+        let mut checker = TypeChecker::new(&env, &program, CheckOptions::default());
+        checker.install_inferred_effects(&inferred);
+        checker.check_labeled("app")
     };
     let check_time = started.elapsed();
 
     // The dataflow lint pass over the same parse, split across the same
     // worker budget as the checking run.  The split is output-invisible:
-    // results merge back into method order and sort canonically.
-    let lints = crate::lints::lint_bag(&crate::lints::lint_pass(&program, check_threads));
+    // results merge back into method order and sort canonically.  The
+    // summaries make `LINT0105` interprocedural.
+    let lints = crate::lints::lint_bag(&crate::lints::lint_pass_with_summaries(
+        &program,
+        Some(&summaries),
+        check_threads,
+    ));
 
     // Static checking in plain-RDL mode (comp types disabled).
     let rdl_result = TypeChecker::new(
@@ -257,8 +275,14 @@ pub fn evaluate_app_shared(
     // Canonical diagnostic order (span, then code): the checker already
     // returns methods in program order, but sorting here guarantees the
     // rendered output is stable even for aggregators that interleave.
+    // TERM0004 annotation-conflict warnings (annotated stronger than
+    // inferred) join the bag; they are warnings, so `Table2Row::errors`
+    // and the seeded-bug pins are unaffected.
     let mut diagnostics: DiagnosticBag =
         comp_result.errors().into_iter().cloned().map(Diagnostic::from).collect();
+    diagnostics.extend(
+        TypeChecker::effect_conflicts(&env, &program, &inferred).into_iter().map(Diagnostic::from),
+    );
     diagnostics.sort_by_span_then_code();
 
     Ok(Table2Row {

@@ -82,17 +82,26 @@ pub struct AppRecheck {
     /// The plain-RDL comparison pass (comp types disabled), cached under
     /// `"<app>::plain"`.
     pub plain: RecheckStats,
-    /// The dataflow lint pass.  Keyed by each method's layout-invariant
-    /// semantic hash alone (lints are intraprocedural and
-    /// environment-free), so layout-only edits replay every finding.
+    /// The dataflow lint pass.  Keyed by each method's **Merkle**
+    /// dependency hash — `LINT0105` follows taint through calls, so a lint
+    /// verdict depends on the method's transitive callees, exactly what
+    /// the Merkle hash covers.  Layout-only edits still replay every
+    /// finding (the hash is layout-invariant).
     pub lint: RecheckStats,
+    /// The effect-summary inference pass (termination / purity / taint),
+    /// Merkle-keyed like the lints.  Replay is per-SCC: a component is
+    /// replayed only when every member's cached record matches.
+    pub effects: RecheckStats,
 }
 
 impl AppRecheck {
-    /// True when both checking passes and the lint pass replayed every
-    /// verdict.
+    /// True when both checking passes, the lint pass and the effect
+    /// inference replayed every verdict.
     pub fn all_replayed(&self) -> bool {
-        self.comp.all_replayed() && self.plain.all_replayed() && self.lint.all_replayed()
+        self.comp.all_replayed()
+            && self.plain.all_replayed()
+            && self.lint.all_replayed()
+            && self.effects.all_replayed()
     }
 }
 
@@ -109,6 +118,7 @@ fn check_incremental(
     env_h: u64,
     files: &[u64],
     graph: &DepGraph,
+    effects: &[comprdl::InferredEffect],
 ) -> (ProgramCheckResult, RecheckStats) {
     let selected = TypeChecker::labeled_methods(env, program, "app");
     let total = selected.len();
@@ -142,7 +152,14 @@ fn check_incremental(
     if !to_check.is_empty() {
         let subset: Vec<(String, &MethodDef)> =
             to_check.iter().map(|(_, pair)| pair.clone()).collect();
-        let fresh = TypeChecker::new(env, program, options).check_methods(&subset);
+        // Install the same inferred effect layer the from-scratch harness
+        // uses, so a re-checked method gets the same verdict it would get
+        // cold.  (Replayed verdicts already saw it: a summary can only
+        // change if some transitive callee changed, which moves the
+        // caller's Merkle hash and forces a re-check.)
+        let mut checker = TypeChecker::new(env, program, options);
+        checker.install_inferred_effects(effects);
+        let fresh = checker.check_methods(&subset);
         cache_stats = fresh.cache_stats;
         let shift = store.absorb(fresh.store);
         for ((idx, _), mut result) in to_check.into_iter().zip(fresh.methods) {
@@ -204,6 +221,44 @@ pub fn evaluate_app_incremental(
     let env_h = env_hash(&env);
     let graph = DepGraph::build(&env, &program);
 
+    // Interprocedural effect summaries, incrementally: every cached record
+    // whose Merkle hash still matches replays verbatim; the rest are
+    // inferred against that baseline (whole SCCs at a time — a component
+    // replays only when every member hits).  The summaries feed the same
+    // three consumers as in `evaluate_app_shared`: the checker's inferred
+    // effect layer, the taint-aware lint pass, and the TERM0004 warnings.
+    let seed = crate::effects::seed_map(&env);
+    let fixed = crate::effects::replay_baseline(cache, app.name, &program, &graph);
+    let (summaries, _) = analysis::ProgramSummaries::infer_with_baseline(&program, &seed, &fixed);
+    let all_methods = program.methods();
+    let resummarized_sccs: std::collections::BTreeSet<usize> = {
+        let mut members: std::collections::BTreeMap<usize, Vec<(String, String, bool)>> =
+            std::collections::BTreeMap::new();
+        for s in summaries.iter() {
+            members.entry(s.scc).or_default().push((s.owner.clone(), s.name.clone(), s.singleton));
+        }
+        members
+            .into_iter()
+            .filter(|(_, ids)| !ids.iter().all(|id| fixed.contains_key(id)))
+            .map(|(scc, _)| scc)
+            .collect()
+    };
+    let effect_checked: Vec<(String, String, bool)> = all_methods
+        .iter()
+        .filter(|(owner, def)| {
+            summaries
+                .get(owner, &def.name, def.singleton)
+                .is_some_and(|s| resummarized_sccs.contains(&s.scc))
+        })
+        .map(|(owner, def)| (owner.clone(), def.name.clone(), def.singleton))
+        .collect();
+    let effect_stats = RecheckStats {
+        total: all_methods.len(),
+        replayed: all_methods.len() - effect_checked.len(),
+        checked_methods: effect_checked,
+    };
+    let inferred = crate::effects::summaries_to_inferred(&summaries);
+
     // Static checking with comp types (timed; replay + re-check).
     let started = Instant::now();
     let (comp_result, comp_stats) = check_incremental(
@@ -215,39 +270,42 @@ pub fn evaluate_app_incremental(
         env_h,
         &files,
         &graph,
+        &inferred,
     );
     let check_time = started.elapsed();
 
-    // The lint pass, incrementally: replay any method whose semantic hash
-    // matches the cached verdict (lints are intraprocedural and
-    // environment-free, so the plain semhash — not the Merkle hash — is the
-    // right staleness key), and lint the rest for real.  This reads the
-    // cache *before* `record_app` below rebuilds the app entry against the
-    // current file table.  Replayed records render through the same
-    // code-derived notes as fresh findings, so the bag is byte-identical
-    // either way.
-    let all_methods = program.methods();
+    // The lint pass, incrementally: replay any method whose **Merkle**
+    // hash matches the cached verdict (`LINT0105` follows taint through
+    // calls, so a lint verdict depends on the method's transitive callees
+    // — the semhash alone would replay stale findings after a callee
+    // edit), and lint the rest for real against the current summaries.
+    // This reads the cache *before* `record_app` below rebuilds the app
+    // entry against the current file table.  Replayed records render
+    // through the same code-derived notes as fresh findings, so the bag is
+    // byte-identical either way.
     let mut lint_stats =
         RecheckStats { total: all_methods.len(), replayed: 0, checked_methods: Vec::new() };
     let mut lint_bag = DiagnosticBag::new();
     let mut lint_records: Vec<(String, &MethodDef, u64, Vec<comprdl::LintRecord>)> =
         Vec::with_capacity(all_methods.len());
     for (owner, def) in &all_methods {
-        let semhash = ruby_syntax::method_hash(def);
-        match cache.replay_lints(app.name, &files, owner, def, semhash) {
+        let merkle = graph
+            .merkle(owner, &def.name, def.singleton)
+            .unwrap_or_else(|| ruby_syntax::method_hash(def));
+        match cache.replay_lints(app.name, &files, owner, def, merkle) {
             Some(records) => {
                 lint_stats.replayed += 1;
                 lint_bag.extend(records.iter().map(crate::lints::record_to_diagnostic));
-                lint_records.push((owner.clone(), *def, semhash, records));
+                lint_records.push((owner.clone(), *def, merkle, records));
             }
             None => {
                 lint_stats.checked_methods.push((owner.clone(), def.name.clone(), def.singleton));
-                let fresh = analysis::lint_method(owner, def);
+                let fresh = analysis::lint_method_with_summaries(owner, def, Some(&summaries));
                 lint_bag.extend(fresh.findings.iter().map(diagnostics::Diagnostic::from));
                 lint_records.push((
                     owner.clone(),
                     *def,
-                    semhash,
+                    merkle,
                     crate::lints::findings_to_records(&fresh),
                 ));
             }
@@ -267,6 +325,7 @@ pub fn evaluate_app_incremental(
         env_h,
         &files,
         &graph,
+        &inferred,
     );
 
     // Record both passes back into the cache (replacing the app's entries)
@@ -301,10 +360,12 @@ pub fn evaluate_app_incremental(
         &rdl_result.store,
     );
 
-    // Record the (possibly refreshed) lint section.  This must come after
-    // `record_app`, which rebuilds the app entry against the current file
-    // table (dropping any stale lint section along the way).
+    // Record the (possibly refreshed) lint and effect sections.  These
+    // must come after `record_app`, which rebuilds the app entry against
+    // the current file table (dropping any stale lint section along the
+    // way; the span-free effect section is preserved and replaced here).
     cache.record_lints(app.name, lint_files, &lint_records);
+    cache.record_effects(app.name, crate::effects::summaries_to_records(&summaries, &graph));
 
     // From here on the recipe is exactly `evaluate_app_shared`.
     let plain = Interpreter::new(program.clone());
@@ -335,6 +396,9 @@ pub fn evaluate_app_incremental(
 
     let mut diagnostics: DiagnosticBag =
         comp_result.errors().into_iter().cloned().map(Diagnostic::from).collect();
+    diagnostics.extend(
+        TypeChecker::effect_conflicts(&env, &program, &inferred).into_iter().map(Diagnostic::from),
+    );
     diagnostics.sort_by_span_then_code();
 
     let row = Table2Row {
@@ -358,6 +422,7 @@ pub fn evaluate_app_incremental(
         comp: comp_stats,
         plain: plain_stats,
         lint: lint_stats,
+        effects: effect_stats,
     };
     Ok((row, stats))
 }

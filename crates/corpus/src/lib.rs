@@ -25,11 +25,16 @@
 
 pub mod app;
 pub mod apps;
+pub mod effects;
 pub mod harness;
 pub mod incremental;
 pub mod lints;
 
 pub use app::App;
+pub use effects::{
+    effects_pass, record_to_summary, replay_baseline, seed_map, summaries_to_inferred,
+    summaries_to_records, summary_to_record,
+};
 pub use harness::{
     corpus_diagnostics, evaluate_app, evaluate_app_shared, evaluate_app_with, evaluate_overhead,
     evaluate_overhead_shared, format_diagnostic_summary, format_memo_stats, format_overhead,
@@ -41,7 +46,9 @@ pub use incremental::{
     evaluate_app_incremental, table2_incremental, with_layout_noise, with_method_edit, AppRecheck,
     RecheckStats,
 };
-pub use lints::{findings_to_records, lint_bag, lint_pass, record_to_diagnostic};
+pub use lints::{
+    findings_to_records, lint_bag, lint_pass, lint_pass_with_summaries, record_to_diagnostic,
+};
 
 #[cfg(test)]
 mod tests {

@@ -60,10 +60,22 @@ pub fn lint_bag(methods: &[MethodLints]) -> DiagnosticBag {
 /// splitting is output-invisible: [`analysis::lint_program_parallel`]
 /// merges worker results back into method-index order.
 pub fn lint_pass(program: &Program, threads: usize) -> Vec<MethodLints> {
+    lint_pass_with_summaries(program, None, threads)
+}
+
+/// Like [`lint_pass`], but threads interprocedural effect summaries into
+/// the suite so `LINT0105` follows taint through calls (a caller that
+/// concatenates user input and passes it to a callee whose summary says
+/// the parameter reaches a SQL sink is flagged at the call site).
+pub fn lint_pass_with_summaries(
+    program: &Program,
+    summaries: Option<&analysis::ProgramSummaries>,
+    threads: usize,
+) -> Vec<MethodLints> {
     if threads > 1 {
-        analysis::lint_program_parallel(program, threads)
+        analysis::lint_program_parallel_with_summaries(program, summaries, threads)
     } else {
-        analysis::lint_program(program)
+        analysis::lint_program_with_summaries(program, summaries)
     }
 }
 

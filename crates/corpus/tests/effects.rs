@@ -1,0 +1,187 @@
+//! Property and end-to-end tests for interprocedural effect summaries over
+//! the corpus: the analysis-side call graph must be covered by the
+//! `semdep` dependency graph (the soundness condition for Merkle-keyed
+//! replay), warm runs must re-summarize nothing and render byte-identical
+//! summaries, and a method edit must re-summarize exactly the methods
+//! whose Merkle hash moved.
+
+use comprdl::semdep::DepGraph;
+use comprdl::CheckCache;
+use corpus::{
+    effects_pass, evaluate_app_incremental, replay_baseline, seed_map, stable_report,
+    summaries_to_records, with_method_edit,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("effects-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Every call edge the effect inference propagates along must appear in
+/// the `semdep` dependency graph.  That containment is what makes
+/// Merkle-keyed effect replay sound: if a summary can depend on a callee
+/// the graph does not know about, an edit to that callee would replay a
+/// stale summary.  (The graph is allowed to over-approximate — it also
+/// tracks annotations and treats every identifier as a potential call —
+/// so equality is not expected, only coverage.)
+#[test]
+fn analysis_call_graph_is_covered_by_the_dependency_graph() {
+    let mut covered_edges = 0usize;
+    for app in corpus::apps::all() {
+        let env = app.build_env();
+        let (program, _) = app.parse().expect("app parses");
+        let summaries = effects_pass(&program, &seed_map(&env), 1);
+        let graph = DepGraph::build(&env, &program);
+        let graph_edges: BTreeSet<_> = graph.method_call_edges().into_iter().collect();
+        for (caller, callee) in summaries.call_edges() {
+            if caller == callee {
+                continue; // semdep drops self-edges; recursion is still
+                          // invalidated via the method's own base hash.
+            }
+            assert!(
+                graph_edges.contains(&(caller.clone(), callee.clone())),
+                "{}: inference edge {caller:?} -> {callee:?} is not in the dependency graph",
+                app.name
+            );
+            covered_edges += 1;
+        }
+    }
+    assert!(covered_edges > 20, "the corpus must exercise real call edges: {covered_edges}");
+}
+
+/// Parallel fact extraction must be output-invisible: the sequential and
+/// parallel inferences render byte-identical summaries for every app.
+#[test]
+fn parallel_inference_renders_byte_identical_to_sequential() {
+    for app in corpus::apps::all() {
+        let env = app.build_env();
+        let (program, _) = app.parse().expect("app parses");
+        let seed = seed_map(&env);
+        let baseline = effects_pass(&program, &seed, 1).render();
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                baseline,
+                effects_pass(&program, &seed, threads).render(),
+                "{} with {threads} workers: parallel summaries diverged",
+                app.name
+            );
+        }
+    }
+}
+
+/// Warm replay through a real cache file: a cold run records every
+/// summary; a fresh-process load then replays **all** of them (zero
+/// misses), and summaries reconstituted from the baseline render
+/// byte-identically to a cold inference.
+#[test]
+fn warm_replay_resummarizes_nothing_and_renders_byte_identically() {
+    let dir = temp_dir("warm");
+    for app in corpus::apps::all() {
+        let env = app.build_env();
+        let (program, _) = app.parse().expect("app parses");
+        let seed = seed_map(&env);
+        let graph = DepGraph::build(&env, &program);
+        let cold = effects_pass(&program, &seed, 1);
+
+        let mut cache = CheckCache::new();
+        cache.record_effects(app.name, summaries_to_records(&cold, &graph));
+        let path = dir.join(format!("{}.bin", app.name.replace(['.', '/'], "_")));
+        cache.save(&path).expect("save cache");
+
+        let loaded = CheckCache::load(&path);
+        assert_eq!(
+            loaded.effect_method_count(app.name),
+            program.methods().len(),
+            "{}: every method's summary must persist",
+            app.name
+        );
+        let fixed = replay_baseline(&loaded, app.name, &program, &graph);
+        assert_eq!(fixed.len(), program.methods().len(), "{}: full replay expected", app.name);
+        let (warm, resummarized) =
+            analysis::ProgramSummaries::infer_with_baseline(&program, &seed, &fixed);
+        assert_eq!(resummarized, 0, "{}: warm run must re-summarize nothing", app.name);
+        assert_eq!(
+            cold.render(),
+            warm.render(),
+            "{}: replayed summaries diverged from cold inference",
+            app.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A semantic edit to one method re-summarizes exactly the methods whose
+/// Merkle hash moved — the edited method, its SCC peers and its transitive
+/// callers — while everything else replays, and the incremental Table 2
+/// row still matches a from-scratch run of the edited source byte for
+/// byte.
+#[test]
+fn method_edit_resummarizes_exactly_the_merkle_diff() {
+    let dir = temp_dir("edit");
+    let path = dir.join("check-cache.bin");
+
+    let apps = corpus::apps::all();
+    let app = apps.iter().find(|a| a.name == "Discourse").expect("Discourse app");
+    // Edit the taint-bait callee: its caller (`search_titled`) must be
+    // re-summarized too, or the interprocedural LINT0105 could go stale.
+    let edited_src = with_method_edit(app.source, "find_titled").expect("find_titled has a def");
+
+    // Record a cold incremental run of the original source.
+    let memo = Arc::new(comprdl::SharedMemo::new());
+    let mut cache = CheckCache::load(&path);
+    let (_, cold_stats) = evaluate_app_incremental(app, None, &mut cache, &memo).expect("cold run");
+    assert_eq!(cold_stats.effects.checked(), cold_stats.effects.total, "cold summarizes all");
+    cache.save(&path).expect("save");
+
+    // The expected re-summarize set is the Merkle diff across the edit.
+    let env = app.build_env();
+    let (program, _) = app.parse().expect("app parses");
+    let (edited_program, _) = app.parse_with_source(&edited_src).expect("edited app parses");
+    let before: BTreeMap<_, _> =
+        DepGraph::build(&env, &program).method_merkles().into_iter().collect();
+    let after: BTreeMap<_, _> =
+        DepGraph::build(&env, &edited_program).method_merkles().into_iter().collect();
+    let expected: BTreeSet<_> = after
+        .iter()
+        .filter(|(id, merkle)| before.get(*id) != Some(merkle))
+        .map(|(id, _)| id.clone())
+        .collect();
+    let moved_names: BTreeSet<&str> = expected.iter().map(|(_, name, _)| name.as_str()).collect();
+    assert!(moved_names.contains("find_titled"), "the edited method moves: {expected:?}");
+    assert!(
+        moved_names.contains("search_titled"),
+        "the caller of the edited method moves: {expected:?}"
+    );
+    assert!(expected.len() < before.len(), "a one-method edit must not move every hash");
+
+    // Warm incremental run of the edited source: the effects pass
+    // re-summarizes exactly the moved set.
+    let mut warm = CheckCache::load(&path);
+    let (edited_row, stats) = evaluate_app_incremental(app, Some(&edited_src), &mut warm, &memo)
+        .expect("edited incremental run");
+    let resummarized: BTreeSet<_> = stats.effects.checked_methods.iter().cloned().collect();
+    assert_eq!(
+        resummarized, expected,
+        "re-summarized set must be exactly the methods whose Merkle hash moved"
+    );
+    assert_eq!(stats.effects.replayed, stats.effects.total - expected.len());
+
+    // Byte-identity gate against a from-scratch run of the edited source.
+    let (scratch_row, _) = evaluate_app_incremental(
+        app,
+        Some(&edited_src),
+        &mut CheckCache::new(),
+        &Arc::new(comprdl::SharedMemo::new()),
+    )
+    .expect("from-scratch run of the edited app");
+    assert_eq!(
+        stable_report(std::slice::from_ref(&edited_row)),
+        stable_report(std::slice::from_ref(&scratch_row)),
+        "edited incremental row diverged from the edited from-scratch row"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
