@@ -201,10 +201,10 @@ impl<'a> Builder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruby_syntax::parse_program;
+    use ruby_syntax::parse_program_strict;
 
     fn body_of(src: &str) -> Vec<Expr> {
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         p.methods()[0].1.body.clone()
     }
 

@@ -117,7 +117,7 @@ pub fn solve<'a, P: DataflowProblem<'a>>(cfg: &Cfg<'a>, problem: &P) -> Solution
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruby_syntax::{parse_program, ExprKind, LValue};
+    use ruby_syntax::{parse_program_strict, ExprKind, LValue};
     use std::collections::BTreeSet;
 
     /// A toy definite-assignment problem: a name is "defined" after any
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn branch_only_definitions_do_not_survive_the_join() {
-        let p = parse_program(
+        let p = parse_program_strict(
             "def m(c)\n  a = 1\n  if c\n    b = 2\n  else\n    a = 3\n  end\n  a\nend\n",
         )
         .expect("parse");
@@ -205,7 +205,7 @@ mod tests {
             "def m(n)\n  while n > 0\n    done && break\n    n = n - 1\n  end\n  n\nend\n",
             "def m(n)\n  while n > 0\n    skip || next\n    n = n - 1\n  end\n  n\nend\n",
         ] {
-            let p = parse_program(src).expect("parse");
+            let p = parse_program_strict(src).expect("parse");
             let def = p.methods()[0].1;
             let cfg = Cfg::build(&def.body);
             let sol = solve(&cfg, &Live);
@@ -223,7 +223,7 @@ mod tests {
     /// must not leak the tail's uses into the returning arm.
     #[test]
     fn liveness_converges_with_return_from_an_elsif_arm() {
-        let p = parse_program(
+        let p = parse_program_strict(
             "def m(c)\n  if c == 1\n    x = 1\n  elsif c == 2\n    return 9\n  else\n    x = 3\n  end\n  x\nend\n",
         )
         .expect("parse");
@@ -245,8 +245,8 @@ mod tests {
 
     #[test]
     fn loop_body_facts_reach_the_fixed_point() {
-        let p =
-            parse_program("def m(n)\n  while n > 0\n    x = 1\n  end\n  x\nend\n").expect("parse");
+        let p = parse_program_strict("def m(n)\n  while n > 0\n    x = 1\n  end\n  x\nend\n")
+            .expect("parse");
         let def = p.methods()[0].1;
         let cfg = Cfg::build(&def.body);
         let universe: BTreeSet<String> = ["n", "x"].into_iter().map(str::to_string).collect();

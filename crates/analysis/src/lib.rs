@@ -17,7 +17,7 @@
 //! `corpus::incremental`).
 //!
 //! ```
-//! let p = ruby_syntax::parse_program(
+//! let p = ruby_syntax::parse_program_strict(
 //!     "def m(c)\n  if c\n    x = 1\n  end\n  x + 1\nend\n",
 //! )
 //! .unwrap();

@@ -634,6 +634,20 @@ pub fn lint_method_with_summaries(
     def: &MethodDef,
     summaries: Option<&ProgramSummaries>,
 ) -> MethodLints {
+    // A poisoned method's body is a recovery placeholder, not the user's
+    // code: linting it would report phantom unused/undefined variables on
+    // top of the parse diagnostic.  Its (empty) verdict still occupies its
+    // slot — and its semhash covers the poison flag — so incremental replay
+    // stays aligned with `Program::methods()` order.
+    if def.poisoned {
+        return MethodLints {
+            owner: owner.to_string(),
+            name: def.name.clone(),
+            singleton: def.singleton,
+            semhash: method_hash(def),
+            findings: Vec::new(),
+        };
+    }
     let cfg = Cfg::build(&def.body);
     let reachable = cfg.reachable();
     let mut findings = Vec::new();
@@ -857,10 +871,10 @@ pub fn lint_program_parallel_with_summaries(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruby_syntax::parse_program;
+    use ruby_syntax::parse_program_strict;
 
     fn lint_src(src: &str) -> Vec<LintFinding> {
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         let (owner, def) = &p.methods()[0];
         lint_method(owner, def).findings
     }
@@ -1010,7 +1024,7 @@ mod tests {
     #[test]
     fn parallel_lint_is_byte_identical_to_sequential() {
         let src = "class A\n  def m(c)\n    if c\n      x = 1\n    end\n    x\n  end\n  def n()\n    waste = 1\n    2\n  end\n  def o(q)\n    A.where('title = ' + q)\n  end\nend\n";
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         let seq = lint_program(&p);
         for threads in [2, 4, 7] {
             assert_eq!(seq, lint_program_parallel(&p, threads), "threads={threads}");
@@ -1024,7 +1038,7 @@ mod tests {
     #[test]
     fn sql_taint_crosses_calls_with_summaries() {
         let src = "def self.apply_filter(frag)\n  Topic.where(frag)\nend\ndef self.search(q)\n  apply_filter('title = ' + q)\nend\n";
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
 
         // Blind without summaries: the callee sees a lone variable at the
         // sink, the caller sees no sink at all.
@@ -1045,7 +1059,7 @@ mod tests {
     #[test]
     fn summary_return_transfer_untaints_sanitized_values() {
         let src = "def self.quote(q)\n  'quoted'\nend\ndef self.search(q)\n  Topic.where('title = ' + quote(q))\nend\n";
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         let blind = lint_program(&p);
         assert!(
             blind.iter().any(|m| codes(&m.findings) == vec![SQL_TAINT]),
@@ -1059,7 +1073,7 @@ mod tests {
     #[test]
     fn parallel_lint_with_summaries_is_byte_identical() {
         let src = "def self.apply_filter(frag)\n  Topic.where(frag)\nend\ndef self.search(q)\n  apply_filter('title = ' + q)\nend\ndef m(c)\n  if c\n    x = 1\n  end\n  x\nend\n";
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         let sums = ProgramSummaries::infer(&p, &crate::summaries::SeedMap::new());
         let seq = lint_program_with_summaries(&p, Some(&sums));
         for threads in [2, 4, 8] {

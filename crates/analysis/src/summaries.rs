@@ -173,6 +173,15 @@ fn assigned_locals(body: &[Expr]) -> BTreeSet<String> {
 fn collect_facts(def: &MethodDef) -> LocalFacts {
     let mut facts =
         LocalFacts { has_while: false, has_yield: false, calls: Vec::new(), writes: Vec::new() };
+    // A poisoned body is a recovery placeholder, not the user's code, so
+    // nothing can be proven about it.  The pseudo-callee `<unparsed>` can
+    // never resolve (it is not a lexable identifier), which routes both
+    // termination and purity to the conservative `Unknown`-callee verdict
+    // with a self-explanatory blame chain.
+    if def.poisoned {
+        facts.calls.push("<unparsed>".to_string());
+        return facts;
+    }
     let locals = assigned_locals(&def.body);
     let params: BTreeSet<String> = def.params.iter().map(|p| p.name.clone()).collect();
     let mut shadow: Vec<Vec<String>> = Vec::new();
@@ -899,6 +908,24 @@ struct TaintCtx<'c> {
 /// body is re-walked until the local origin sets stop growing, which makes
 /// the result a may-over-approximation on loops and branches.
 fn method_taint(def: &MethodDef, lookup: &dyn Fn(&str) -> Option<TaintSummary>) -> TaintSummary {
+    // Unknown body ⇒ conservative pass-through: every argument and the
+    // receiver may reach the return value.  Sinks stay clear — claiming a
+    // SQL sink inside unparsed code would manufacture phantom LINT0105
+    // findings in every caller.
+    if def.poisoned {
+        return TaintSummary {
+            params_to_return: def
+                .params
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.block)
+                .map(|(i, _)| i)
+                .collect(),
+            params_to_sink: BTreeSet::new(),
+            self_to_return: true,
+            self_to_sink: false,
+        };
+    }
     let params: BTreeMap<String, usize> = def
         .params
         .iter()
@@ -1141,7 +1168,7 @@ fn call_result(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruby_syntax::parse_program;
+    use ruby_syntax::parse_program_strict;
 
     fn seed() -> SeedMap {
         let mut s = SeedMap::new();
@@ -1154,7 +1181,7 @@ mod tests {
     }
 
     fn infer_src(src: &str) -> ProgramSummaries {
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         ProgramSummaries::infer(&p, &seed())
     }
 
@@ -1339,7 +1366,7 @@ mod tests {
     #[test]
     fn parallel_inference_is_byte_identical() {
         let src = "def a(x)\n  b(x)\nend\ndef b(x)\n  c(x)\nend\ndef c(x)\n  while x\n    x = x\n  end\nend\ndef self.search(q)\n  Topic.where('t = ' + q)\nend\ndef even(n)\n  odd(n)\nend\ndef odd(n)\n  even(n)\nend\n";
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         let seq = ProgramSummaries::infer(&p, &seed());
         for threads in [2, 4, 8] {
             let par = ProgramSummaries::infer_parallel(&p, &seed(), threads);
@@ -1350,7 +1377,7 @@ mod tests {
     #[test]
     fn baseline_replay_skips_fixed_methods_and_renders_identically() {
         let src = "def a(x)\n  b(x)\nend\ndef b(x)\n  @x = x\nend\ndef lone(y)\n  y + 1\nend\n";
-        let p = parse_program(src).expect("parse");
+        let p = parse_program_strict(src).expect("parse");
         let cold = ProgramSummaries::infer(&p, &seed());
         // Freeze everything, replay everything: 0 re-summarized.
         let fixed: BTreeMap<_, _> = cold

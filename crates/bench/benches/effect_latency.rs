@@ -43,7 +43,8 @@ fn contexts() -> Vec<AppCtx> {
         .iter()
         .map(|app| {
             let env: CompRdl = app.build_env();
-            let (program, _sources) = app.parse().expect("app parses");
+            let (program, _sources, diags) = app.parse();
+            assert!(diags.is_empty(), "{}: corpus app must parse cleanly: {diags:?}", app.name);
             let graph = DepGraph::build(&env, &program);
             AppCtx { name: app.name.to_string(), seed: corpus::seed_map(&env), program, graph }
         })

@@ -47,7 +47,8 @@ fn contexts() -> Vec<AppCtx> {
         .iter()
         .map(|app| {
             let env = app.build_env();
-            let (program, _sources) = app.parse().expect("app parses");
+            let (program, _sources, diags) = app.parse();
+            assert!(diags.is_empty(), "{}: corpus app must parse cleanly: {diags:?}", app.name);
             let graph = DepGraph::build(&env, &program);
             let summaries = corpus::effects_pass(&program, &corpus::seed_map(&env), 1);
             AppCtx {

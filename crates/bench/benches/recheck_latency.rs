@@ -19,7 +19,10 @@
 //!
 //! Scenario medians land in `BENCH_SHARED_MEMO.json` under
 //! `recheck_latency` (`hits` = verdicts replayed, `misses` = verdicts
-//! re-checked), where CI's parse gate asserts their presence.
+//! re-checked), where CI's parse gate asserts their presence.  The section
+//! also carries the `parse/recovering` vs `parse/strict` rows: the
+//! error-recovering front end must not tax clean-file parsing by more than
+//! 5% over its strict fail-stop wrapper (full mode gates the ratio).
 
 use bench::results::Scenario;
 use comprdl::persist::content_hash;
@@ -48,7 +51,8 @@ fn contexts() -> Vec<AppCtx> {
         .iter()
         .map(|app| {
             let env = app.build_env();
-            let (program, _sources) = app.parse().expect("app parses");
+            let (program, _sources, diags) = app.parse();
+            assert!(diags.is_empty(), "{}: corpus app must parse clean", app.name);
             let graph = DepGraph::build(&env, &program);
             let env_h = env_hash(&env);
             AppCtx {
@@ -210,8 +214,7 @@ fn recheck_latency(_c: &mut Criterion) {
         .expect("labeled method has a def line");
     let edited_ctx = {
         let env = edited_app.build_env();
-        let (program, _sources) =
-            edited_app.parse_with_source(&edited_src).expect("edited app parses");
+        let (program, _sources, _diags) = edited_app.parse_with_source(&edited_src);
         let graph = DepGraph::build(&env, &program);
         let env_h = env_hash(&env);
         AppCtx {
@@ -244,16 +247,56 @@ fn recheck_latency(_c: &mut Criterion) {
     let edit_ns = bench::results::median_ns(edit_timings);
     let _ = std::fs::remove_file(&path);
 
+    // Parse latency over the clean corpus: the recovering front end
+    // (diagnostics threaded everywhere) against its strict fail-stop
+    // wrapper.  The recovery machinery must be free on clean files — the
+    // full-mode gate allows it at most 5% over the wrapper.
+    let sources: Vec<String> = apps.iter().map(|a| a.full_source()).collect();
+    let parse_samples = bench::sample_size(30);
+    let mut recovering_timings = Vec::with_capacity(parse_samples);
+    let mut strict_timings = Vec::with_capacity(parse_samples);
+    for _ in 0..parse_samples {
+        let started = Instant::now();
+        for src in &sources {
+            let (program, diags) = ruby_syntax::parse_program(src);
+            assert!(diags.is_empty(), "clean corpus source produced recovery diagnostics");
+            std::hint::black_box(program);
+        }
+        recovering_timings.push(started.elapsed().as_nanos());
+
+        let started = Instant::now();
+        for src in &sources {
+            let program = ruby_syntax::parse_program_strict(src).expect("clean corpus source");
+            std::hint::black_box(program);
+        }
+        strict_timings.push(started.elapsed().as_nanos());
+    }
+    let parse_recovering_ns = bench::results::median_ns(recovering_timings);
+    let parse_strict_ns = bench::results::median_ns(strict_timings);
+    // Correctness side of the same gate (smoke mode included): recovery is
+    // actually live on broken input, not just unpaid-for on clean input.
+    let (_, broken_diags) = ruby_syntax::parse_program("def m()\n  )\nend\n");
+    assert_eq!(broken_diags.len(), 1, "the recovering parser must diagnose broken input");
+
     println!(
         "recheck latency (both passes, 8 apps): cold {cold_ns} ns, warm {warm_ns} ns \
          ({:.2}x), one edit {edit_ns} ns ({edit_misses} verdicts re-checked)",
         cold_ns as f64 / warm_ns.max(1) as f64
+    );
+    println!(
+        "parse latency (8 clean apps): recovering {parse_recovering_ns} ns, strict wrapper \
+         {parse_strict_ns} ns"
     );
     if !smoke {
         assert!(
             warm_ns < cold_ns,
             "replaying from the cache must beat re-checking (warm {warm_ns} ns vs cold \
              {cold_ns} ns)"
+        );
+        assert!(
+            parse_recovering_ns as f64 <= parse_strict_ns as f64 * 1.05,
+            "error recovery must not tax clean-file parsing by more than 5% (recovering \
+             {parse_recovering_ns} ns vs strict {parse_strict_ns} ns)"
         );
     }
 
@@ -279,6 +322,24 @@ fn recheck_latency(_c: &mut Criterion) {
             median_ns: edit_ns,
             hits: edit_hits,
             misses: edit_misses,
+            invalidations: 0,
+            evictions: 0,
+        },
+        // Parse rows carry no memo counters; the medians alone feed the
+        // 5%-regression gate above and the CI presence check.
+        Scenario {
+            name: "parse/recovering".to_string(),
+            median_ns: parse_recovering_ns,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+        },
+        Scenario {
+            name: "parse/strict".to_string(),
+            median_ns: parse_strict_ns,
+            hits: 0,
+            misses: 0,
             invalidations: 0,
             evictions: 0,
         },

@@ -36,7 +36,7 @@ pub fn check_app_parallel(app: &corpus::App, threads: usize) -> comprdl::Program
 /// harness.
 pub fn prepare_app(app: &corpus::App) -> (comprdl::CompRdl, ruby_syntax::Program) {
     let env = app.build_env();
-    let (program, _sources) = app.parse().expect("app parses");
+    let (program, _sources, _diags) = app.parse();
     (env, program)
 }
 
@@ -120,7 +120,7 @@ pub fn scale_workload(methods: usize) -> (comprdl::CompRdl, ruby_syntax::Program
         ));
     }
     src.push_str("end\n");
-    let program = ruby_syntax::parse_program(&src).expect("generated workload parses");
+    let program = ruby_syntax::parse_program_strict(&src).expect("generated workload parses");
     (env, program)
 }
 
@@ -139,7 +139,7 @@ pub fn run_app_suite(app: &corpus::App, config: Option<CheckConfig>) -> u64 {
     } else {
         // No environment assembly either: `build_env` re-parses hundreds of
         // annotation strings, which the unchecked run never consumes.
-        let (program, _sources) = app.parse().expect("app parses");
+        let (program, _sources, _diags) = app.parse();
         let interp = Interpreter::new(program);
         interp.eval_program().expect("suite passes");
         interp.checks_performed()

@@ -25,8 +25,11 @@ use std::path::{Path, PathBuf};
 /// `lint_latency` section (dataflow lint suite cold/warm medians) exists;
 /// 5 = the `effect_latency` section (interprocedural effect inference
 /// cold/warm medians) exists and `lint_latency` is Merkle-keyed and
-/// summaries-aware.
-pub const SCHEMA_VERSION: u32 = 5;
+/// summaries-aware; 6 = the `recheck_latency` section carries the
+/// `parse/recovering` and `parse/strict` rows (the error-recovering front
+/// end vs its strict fail-stop wrapper over the clean corpus, feeding the
+/// 5%-regression gate).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One measured scenario: a stable name, the median wall-clock per
 /// operation, and the memo counters the run ended with.

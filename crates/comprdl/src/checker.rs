@@ -341,7 +341,11 @@ impl<'a> TypeChecker<'a> {
         h
     }
 
-    /// The methods `check_labeled` selects, in program order.
+    /// The methods `check_labeled` selects, in program order.  Poisoned
+    /// methods (parse recovery replaced their body with an error
+    /// placeholder) are excluded: their one `PARSE0002` diagnostic already
+    /// covers them, and checking a placeholder body would only manufacture
+    /// spurious type errors on top of the syntax error.
     fn select_labeled<'p>(
         env: &CompRdl,
         program: &'p Program,
@@ -351,6 +355,9 @@ impl<'a> TypeChecker<'a> {
             .methods()
             .into_iter()
             .filter(|(owner, def)| {
+                if def.poisoned {
+                    return false;
+                }
                 let kind = if def.singleton { MethodKind::Singleton } else { MethodKind::Instance };
                 env.annotations
                     .lookup(&env.classes, owner, kind, &def.name)
@@ -483,9 +490,13 @@ impl<'a> TypeChecker<'a> {
     }
 
     /// Checks all annotated methods defined in the program (any label).
+    /// Poisoned methods are skipped, as in `check_labeled`.
     pub fn check_all_annotated(mut self) -> ProgramCheckResult {
         let mut methods = Vec::new();
         for (owner, def) in self.program.methods() {
+            if def.poisoned {
+                continue;
+            }
             let kind = if def.singleton { MethodKind::Singleton } else { MethodKind::Instance };
             if self.env.annotations.lookup(&self.env.classes, &owner, kind, &def.name).is_some() {
                 methods.push(self.check_method_def(&owner, def));
@@ -670,6 +681,10 @@ impl<'a> TypeChecker<'a> {
 
     fn infer(&mut self, ctx: &mut MethodCtx, expr: &Expr) -> Type {
         match &expr.kind {
+            // Recovery placeholder: poisoned methods are filtered before
+            // checking, so this only appears if a caller checks one anyway.
+            // Dynamic keeps the degradation silent rather than cascading.
+            ExprKind::Error => Type::Dynamic,
             ExprKind::Nil => Type::nil(),
             ExprKind::True => Type::Singleton(SingVal::True),
             ExprKind::False => Type::Singleton(SingVal::False),
@@ -1528,7 +1543,7 @@ mod tests {
     }
 
     fn check_src(env: &CompRdl, src: &str, options: CheckOptions) -> ProgramCheckResult {
-        let program = ruby_syntax::parse_program(src).expect("parse");
+        let program = ruby_syntax::parse_program_strict(src).expect("parse");
         TypeChecker::new(env, &program, options).check_all_annotated()
     }
 
@@ -1575,9 +1590,10 @@ mod tests {
         );
         // `fast` actually loops and writes an ivar; inference disagrees
         // with the annotation on both effects.
-        let program =
-            ruby_syntax::parse_program("def fast()\n  while true\n    @n = 1\n  end\n  0\nend\n")
-                .expect("parse");
+        let program = ruby_syntax::parse_program_strict(
+            "def fast()\n  while true\n    @n = 1\n  end\n  0\nend\n",
+        )
+        .expect("parse");
         let effects = [InferredEffect {
             name: "fast".into(),
             term: rdl_types::TermEffect::MayDiverge,
@@ -1694,7 +1710,7 @@ mod tests {
         let src = "def image_url()\n  page()[:info].first\nend\n\
                    def other_url()\n  page()[:info].first\nend\n\
                    def third_url()\n  page()[:info].first\nend\n";
-        let program = ruby_syntax::parse_program(src).expect("parse");
+        let program = ruby_syntax::parse_program_strict(src).expect("parse");
 
         let cached = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
         assert!(cached.cache_stats.hits > 0, "expected cache hits, got {:?}", cached.cache_stats);
@@ -1743,7 +1759,7 @@ mod tests {
         let src = "def a()\n  page().merge({ b: 1 })\nend\n\
                    def b()\n  page().merge({ b: 1 })\nend\n\
                    def c()\n  h = page().merge({ b: 1 })\n  h[:b] = 'x'\n  h\nend\n";
-        let program = ruby_syntax::parse_program(src).expect("parse");
+        let program = ruby_syntax::parse_program_strict(src).expect("parse");
         let render = |r: &ProgramCheckResult| {
             let mut out: Vec<String> = r
                 .methods
@@ -1783,7 +1799,7 @@ mod tests {
         let src = (b'a'..=b'e')
             .map(|c| format!("def self.{}()\n  page()[:info].first\nend\n", c as char))
             .collect::<String>();
-        let program = ruby_syntax::parse_program(&src).expect("parse");
+        let program = ruby_syntax::parse_program_strict(&src).expect("parse");
 
         let sequential =
             TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");

@@ -33,7 +33,7 @@
 //! env.type_sig("Object", "page", "() -> { info: Array<String>, title: String }", None);
 //! env.type_sig("Object", "image_url", "() -> String", Some("app"));
 //!
-//! let program = ruby_syntax::parse_program(
+//! let program = ruby_syntax::parse_program_strict(
 //!     "def image_url()\n  page()[:info].first\nend\n",
 //! ).unwrap();
 //! let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_all_annotated();
@@ -60,7 +60,7 @@ pub use checker::{
 };
 pub use env::CompRdl;
 pub use memo::{memo_namespace, MemoKey, MemoStats, MemoTable, NamespaceStats, SharedMemo};
-pub use persist::{CheckCache, EffectRecord, LintRecord};
+pub use persist::{corrupt, CheckCache, EffectRecord, LintRecord};
 pub use runtime::{
     make_hook, make_hook_shared, type_of_value, value_fingerprint, value_matches, BlameDiagnostic,
     CheckConfig, CompRdlHook, ConsistencyCheck, InsertedCheck,

@@ -13,8 +13,8 @@
 //! stored verdict wrong simply makes [`CheckCache::replay`] return `None`,
 //! and the caller re-checks the method from scratch:
 //!
-//! * unreadable / truncated / wrong-magic / wrong-version file → the whole
-//!   cache loads as empty,
+//! * unreadable / truncated / wrong-magic / wrong-version /
+//!   checksum-mismatched file → the whole cache loads as empty,
 //! * the app's environment digest ([`crate::semdep::env_hash`]) moved →
 //!   every entry for that app misses,
 //! * the method's Merkle hash moved (its body, a callee, a signature or a
@@ -58,10 +58,26 @@ use std::path::Path;
 /// section (interprocedural termination/purity/taint summaries keyed by
 /// Merkle hash, replayed by [`CheckCache::replay_effects`]) and re-keyed
 /// lints from plain semantic hash to Merkle hash (lints became
-/// interprocedural through taint summaries).
-pub const FORMAT_VERSION: u32 = 3;
+/// interprocedural through taint summaries); v4 added the whole-file
+/// FNV-1a checksum trailer, so random byte corruption anywhere in the file
+/// (not just in the header) degrades to an empty load — a silent cold
+/// re-check — instead of risking a structurally-parseable-but-wrong replay.
+pub const FORMAT_VERSION: u32 = 4;
 
 const MAGIC: &[u8; 8] = b"CRDLCHK\x01";
+
+/// Size of the checksum trailer appended after the body.
+const CHECKSUM_LEN: usize = 8;
+
+/// FNV-1a over raw bytes (the whole-file checksum of the trailer).
+fn bytes_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Maximum freeze/thaw recursion depth; deeper (or cyclic) store-backed
 /// types refuse to serialize and fall back to re-checking.
@@ -246,8 +262,8 @@ impl CheckCache {
         CheckCache::default()
     }
 
-    /// Loads a cache file; any unreadable, truncated, wrong-magic or
-    /// wrong-version file silently loads as empty.
+    /// Loads a cache file; any unreadable, truncated, wrong-magic,
+    /// wrong-version or checksum-mismatched file silently loads as empty.
     pub fn load(path: &Path) -> CheckCache {
         std::fs::read(path).ok().and_then(|bytes| Self::from_bytes(&bytes)).unwrap_or_default()
     }
@@ -591,10 +607,25 @@ impl CheckCache {
                 w.put_u8(u8::from(e.self_to_sink));
             }
         }
+        // v4 trailer: FNV-1a checksum of every byte before it.
+        let checksum = bytes_hash(&w.bytes);
+        w.put_u64(checksum);
         w.bytes
     }
 
     fn from_bytes(bytes: &[u8]) -> Option<CheckCache> {
+        // The last 8 bytes are a checksum of everything before them; verify
+        // it before parsing so an interior bit flip can never yield a
+        // structurally valid but wrong cache (it degrades to a cold
+        // re-check instead).
+        if bytes.len() < CHECKSUM_LEN {
+            return None;
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        if bytes_hash(body) != u64::from_le_bytes(trailer.try_into().ok()?) {
+            return None;
+        }
+        let bytes = body;
         let mut r = Reader { bytes, pos: 0 };
         if r.take(MAGIC.len())? != MAGIC.as_slice() {
             return None;
@@ -728,6 +759,60 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
             Err(e)
         }
     }
+}
+
+/// Deterministically corrupts a serialized cache file for durability tests.
+///
+/// The seed selects one of five corruption modes — truncation, random bit
+/// flips, garbage magic bytes, garbage version bytes, or garbage interior
+/// (Merkle/verdict) bytes — and every mode's damage sites are drawn from the
+/// same seeded generator, so a failing seed reproduces exactly.  The
+/// contract under test: for *every* seed, [`CheckCache::load`] of the
+/// corrupted bytes is a silent cold re-check (an empty or checksum-valid
+/// cache), never a panic and never a wrong replay.
+pub fn corrupt(bytes: &[u8], seed: u64) -> Vec<u8> {
+    let mut rng = test_rng::Rng::new(seed | 1);
+    let mut out = bytes.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    match rng.below(5) {
+        // Truncate to a strict prefix (possibly empty).
+        0 => {
+            let keep = rng.below(out.len() as u64) as usize;
+            out.truncate(keep);
+        }
+        // Flip 1..=8 random bits anywhere in the file.
+        1 => {
+            let flips = 1 + rng.below(8) as usize;
+            for _ in 0..flips {
+                let i = rng.below(out.len() as u64) as usize;
+                out[i] ^= 1 << rng.below(8);
+            }
+        }
+        // Garbage over the magic.
+        2 => {
+            for b in out.iter_mut().take(MAGIC.len()) {
+                *b = rng.next_u64() as u8;
+            }
+        }
+        // Garbage over the version word.
+        3 => {
+            for b in out.iter_mut().skip(MAGIC.len()).take(4) {
+                *b = rng.next_u64() as u8;
+            }
+        }
+        // Garbage over a random interior run (hits Merkle keys, counts,
+        // strings — whatever lives there).
+        _ => {
+            let start = rng.below(out.len() as u64) as usize;
+            let len = (1 + rng.below(16) as usize).min(out.len() - start);
+            for b in out.iter_mut().skip(start).take(len) {
+                *b = rng.next_u64() as u8;
+            }
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -1310,7 +1395,7 @@ mod tests {
         env: &CompRdl,
         src: &str,
     ) -> (crate::checker::ProgramCheckResult, ruby_syntax::Program) {
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let result = TypeChecker::new(env, &program, CheckOptions::default()).check_labeled("app");
         (result, program)
     }
@@ -1339,7 +1424,7 @@ mod tests {
         env_h: u64,
         src: &str,
     ) -> Vec<Option<MethodCheckResult>> {
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let g = crate::semdep::DepGraph::build(env, &program);
         let files = vec![content_hash(src)];
         let mut store = TypeStore::new();
@@ -1452,11 +1537,68 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    #[test]
+    fn interior_corruption_is_caught_by_the_checksum_trailer() {
+        // The v4 property: a bit flip *inside* the body — e.g. in a stored
+        // Merkle key or cast counter, where the structure still parses —
+        // must be rejected, not replayed wrong.
+        let env = env();
+        let mut cache = CheckCache::new();
+        let _ = record(&mut cache, &env, SRC);
+        let bytes = cache.to_bytes();
+        assert!(CheckCache::from_bytes(&bytes).is_some(), "pristine bytes parse");
+
+        for pos in [bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+            let mut hit = bytes.clone();
+            hit[pos] ^= 0x01;
+            assert!(
+                CheckCache::from_bytes(&hit).is_none(),
+                "single bit flip at byte {pos} must invalidate the whole file"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_corruption_always_degrades_to_a_cold_recheck() {
+        let env = env();
+        let mut cache = CheckCache::new();
+        let _ = record(&mut cache, &env, SRC);
+        let bytes = cache.to_bytes();
+
+        let mut rejected = 0usize;
+        for seed in 0..500u64 {
+            let mutant = corrupt(&bytes, seed);
+            // The load contract under every corruption mode: either the
+            // corruption is detected (None → empty cache → cold re-check)
+            // or the bytes survived untouched and the cache is exactly the
+            // original — never a panic, never a different cache.
+            match CheckCache::from_bytes(&mutant) {
+                None => rejected += 1,
+                Some(loaded) => {
+                    assert_eq!(mutant, bytes, "seed {seed}: altered bytes parsed");
+                    assert_eq!(loaded, cache, "seed {seed}: wrong replay");
+                }
+            }
+        }
+        assert!(rejected > 400, "corruption should almost always be detected: {rejected}/500");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_in_its_seed() {
+        let env = env();
+        let mut cache = CheckCache::new();
+        let _ = record(&mut cache, &env, SRC);
+        let bytes = cache.to_bytes();
+        for seed in [0u64, 1, 17, 0xdead_beef] {
+            assert_eq!(corrupt(&bytes, seed), corrupt(&bytes, seed), "seed {seed}");
+        }
+    }
+
     fn lint_records_for(src: &str) -> Vec<(String, ruby_syntax::Program, u64, Vec<LintRecord>)> {
         // A hand-rolled "lint" result: one finding anchored at the span of
         // the method's first body statement (a node-table span) and one at a
         // sub-span inside it (derived).
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let (owner, def) = &program.methods()[0];
         let first = def.body.first().expect("body");
         let sub =
@@ -1519,7 +1661,7 @@ mod tests {
         );
 
         let shifted_src = format!("# header comment\n\n{src}");
-        let shifted = ruby_syntax::parse_program(&shifted_src).unwrap();
+        let shifted = ruby_syntax::parse_program_strict(&shifted_src).unwrap();
         let sdef = shifted.methods()[0].1;
         assert_eq!(ruby_syntax::method_hash(sdef), *semhash, "layout edit keeps the hash");
         let replayed = cache
@@ -1546,7 +1688,7 @@ mod tests {
             &[(owner.clone(), def, *semhash, records.clone())],
         );
         let edited_src = "def m()\n  x = 9\n  2\nend\n";
-        let edited = ruby_syntax::parse_program(edited_src).unwrap();
+        let edited = ruby_syntax::parse_program_strict(edited_src).unwrap();
         let edef = edited.methods()[0].1;
         let new_hash = ruby_syntax::method_hash(edef);
         assert_ne!(new_hash, *semhash);
@@ -1579,7 +1721,7 @@ mod tests {
     #[test]
     fn empty_lint_verdicts_replay_as_empty_not_none() {
         let src = "def m()\n  1\nend\n";
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let (owner, def) = &program.methods()[0];
         let semhash = ruby_syntax::method_hash(def);
         let mut cache = CheckCache::new();
@@ -1659,7 +1801,7 @@ mod tests {
         let env = env();
         let mut cache = CheckCache::new();
         let env_h = record(&mut cache, &env, SRC);
-        let program = ruby_syntax::parse_program(SRC).unwrap();
+        let program = ruby_syntax::parse_program_strict(SRC).unwrap();
         let g = crate::semdep::DepGraph::build(&env, &program);
         // Current process: some other file occupies id 0.
         let files = vec![content_hash("something else"), content_hash(SRC)];

@@ -493,7 +493,7 @@ mod tests {
     }
 
     fn program() -> Program {
-        ruby_syntax::parse_program(
+        ruby_syntax::parse_program_strict(
             "def uses_frob(w)\n  w.frob(1)\nend\ndef plain(x)\n  x\nend\ndef calls_plain(x)\n  plain(x)\nend\n",
         )
         .unwrap()
@@ -536,7 +536,7 @@ mod tests {
     fn method_edit_invalidates_callers_transitively() {
         let env = env_with_helpers();
         let g1 = DepGraph::build(&env, &program());
-        let edited = ruby_syntax::parse_program(
+        let edited = ruby_syntax::parse_program_strict(
             "def uses_frob(w)\n  w.frob(1)\nend\ndef plain(x)\n  x + 1\nend\ndef calls_plain(x)\n  plain(x)\nend\n",
         )
         .unwrap();
@@ -558,7 +558,7 @@ mod tests {
     fn layout_edits_do_not_move_merkles() {
         let env = env_with_helpers();
         let g1 = DepGraph::build(&env, &program());
-        let noisy = ruby_syntax::parse_program(
+        let noisy = ruby_syntax::parse_program_strict(
             "# comment\n\ndef uses_frob(w)\n  w.frob(1)   # trailing\nend\n\n\ndef plain(x)\n  x\nend\ndef calls_plain(x)\n  plain(x)\nend\n",
         )
         .unwrap();

@@ -557,7 +557,7 @@ impl TerminationChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruby_syntax::{parse_expr, parse_program};
+    use ruby_syntax::{parse_expr, parse_program_strict};
 
     fn checker() -> TerminationChecker {
         let mut c = TerminationChecker::with_builtins();
@@ -609,16 +609,16 @@ mod tests {
     #[test]
     fn purity_rejects_state_writes() {
         let c = checker();
-        let program = parse_program("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
+        let program = parse_program_strict("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
         let (_, def) = &program.methods()[0];
         let violations = c.check_helper(def, true);
         assert!(violations.iter().any(|v| v.message.contains("@cache")));
 
-        let program = parse_program("def helper(t)\n  $global = t\nend\n").unwrap();
+        let program = parse_program_strict("def helper(t)\n  $global = t\nend\n").unwrap();
         let (_, def) = &program.methods()[0];
         assert!(!c.check_helper(def, true).is_empty());
 
-        let program = parse_program("def helper(t)\n  local = t\n  local\nend\n").unwrap();
+        let program = parse_program_strict("def helper(t)\n  local = t\n  local\nend\n").unwrap();
         let (_, def) = &program.methods()[0];
         assert!(c.check_helper(def, true).is_empty());
     }
@@ -664,7 +664,7 @@ mod tests {
         assert_eq!(diagnostics::Diagnostic::from(v.clone()).code, "TERM0002");
 
         // Impure write → TERM0003, both directly and wrapped by an iterator.
-        let program = parse_program("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
+        let program = parse_program_strict("def helper(t)\n  @cache = t\n  t\nend\n").unwrap();
         let (_, def) = &program.methods()[0];
         let vs = c.check_helper(def, true);
         let v = vs.iter().find(|v| v.kind == ViolationKind::Impure).expect("impure violation");

@@ -268,7 +268,7 @@ impl HelperRegistry {
     ///
     /// Returns a [`TlcError`] if `src` does not parse.
     pub fn register_ruby(&mut self, src: &str) -> TlcResult<()> {
-        let program = ruby_syntax::parse_program(src)
+        let program = ruby_syntax::parse_program_strict(src)
             .map_err(|e| TlcError::new(format!("helper source does not parse: {e}")))?;
         self.ruby_loc += ruby_syntax::count_loc(src);
         for (_, m) in program.methods() {

@@ -20,7 +20,7 @@ fn effect_report(threads: usize) -> String {
     let mut out = String::new();
     for app in corpus::apps::all() {
         let env = app.build_env();
-        let (program, _sources) = app.parse().expect("corpus app parses");
+        let (program, _sources, _diags) = app.parse();
         let seed = corpus::seed_map(&env);
         let summaries = corpus::effects_pass(&program, &seed, threads);
         out.push_str(&format!(

@@ -18,7 +18,7 @@ fn lint_report(threads: usize) -> String {
     let mut out = String::new();
     for app in corpus::apps::all() {
         let env = app.build_env();
-        let (program, _sources) = app.parse().expect("corpus app parses");
+        let (program, _sources, _diags) = app.parse();
         // Effect summaries make `LINT0105` interprocedural: taint follows
         // calls through each callee's summary (same pass the harness runs).
         let seed = corpus::seed_map(&env);

@@ -60,39 +60,40 @@ impl App {
     }
 
     /// Parses the app as a **two-file** program — the app source and its
-    /// test suite each get their own file id — returning the merged program
-    /// and the [`diagnostics::SourceSet`] that maps every span's file id
-    /// back to a named buffer.  Byte offsets restart at `0` in each file, so
-    /// the file id in each span is what keeps call-site identities (and
-    /// therefore the inserted dynamic checks) from colliding across files.
+    /// test suite each get their own file id — returning the merged program,
+    /// the [`diagnostics::SourceSet`] that maps every span's file id back to
+    /// a named buffer, and any parse-recovery diagnostics.  Byte offsets
+    /// restart at `0` in each file, so the file id in each span is what keeps
+    /// call-site identities (and therefore the inserted dynamic checks) from
+    /// colliding across files.
     ///
-    /// # Errors
-    ///
-    /// Returns the first [`ruby_syntax::ParseError`] from either file.
+    /// Parsing never fails: malformed regions degrade to error placeholders
+    /// / poisoned methods (see `ruby_syntax::parse_program`) and each is
+    /// reported through the returned diagnostics.
     pub fn parse(
         &self,
-    ) -> Result<(ruby_syntax::Program, diagnostics::SourceSet), ruby_syntax::ParseError> {
+    ) -> (ruby_syntax::Program, diagnostics::SourceSet, Vec<diagnostics::Diagnostic>) {
         self.parse_with_source(self.source)
     }
 
     /// Like [`App::parse`], but with the app's source text replaced by
     /// `source` (the test suite is kept as-is).  This is the entry point for
-    /// incremental re-checking experiments: the driver injects an edited
-    /// variant of the app and compares which methods need re-checking.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`ruby_syntax::ParseError`] from either file.
+    /// incremental re-checking and fault-injection experiments: the driver
+    /// injects an edited (possibly syntactically broken) variant of the app
+    /// and compares which methods need re-checking or which diagnostics
+    /// appear.
     pub fn parse_with_source(
         &self,
         source: &str,
-    ) -> Result<(ruby_syntax::Program, diagnostics::SourceSet), ruby_syntax::ParseError> {
+    ) -> (ruby_syntax::Program, diagnostics::SourceSet, Vec<diagnostics::Diagnostic>) {
         let mut sources = diagnostics::SourceSet::new();
         let app_file = sources.add(self.source_file_name(), source);
         let test_file = sources.add(self.test_file_name(), self.test_suite);
-        let app = ruby_syntax::parse_program_in_file(source, app_file)?;
-        let tests = ruby_syntax::parse_program_in_file(self.test_suite, test_file)?;
-        Ok((app.merge(tests), sources))
+        let (app, mut diags) = ruby_syntax::parse_program_in_file(source, app_file);
+        let (tests, mut test_diags) =
+            ruby_syntax::parse_program_in_file(self.test_suite, test_file);
+        diags.append(&mut test_diags);
+        (app.merge(tests), sources, diags)
     }
 
     /// Builds the CompRDL environment for this app: core library

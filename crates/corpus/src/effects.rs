@@ -204,7 +204,7 @@ mod tests {
     use super::*;
 
     fn sample_program() -> Program {
-        ruby_syntax::parse_program(
+        ruby_syntax::parse_program_strict(
             "def leaf(a)\n  a + 1\nend\n\
              def spin()\n  while true\n    @n = 1\n  end\n  0\nend\n\
              def caller(b)\n  leaf(b) + spin()\nend\n",

@@ -191,9 +191,11 @@ pub fn evaluate_app_shared(
 
     let env = app.build_env();
     // Parse as a two-file program (app source + test suite, distinct span
-    // file ids) so dynamic-check sites cannot collide across files.
-    let (program, _sources) =
-        app.parse().map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
+    // file ids) so dynamic-check sites cannot collide across files.  Parsing
+    // never fails: recovery diagnostics (poisoned methods, error statements)
+    // ride along and join the row's diagnostic bag below, so a broken method
+    // costs exactly its own diagnostic and nothing else.
+    let (program, _sources, parse_diags) = app.parse();
 
     // Interprocedural effect summaries: inferred bottom-up over the call
     // graph on the same worker budget, seeded from the environment the
@@ -283,6 +285,7 @@ pub fn evaluate_app_shared(
     diagnostics.extend(
         TypeChecker::effect_conflicts(&env, &program, &inferred).into_iter().map(Diagnostic::from),
     );
+    diagnostics.extend(parse_diags);
     diagnostics.sort_by_span_then_code();
 
     Ok(Table2Row {
@@ -372,6 +375,25 @@ pub fn table2_parallel() -> Result<Vec<Table2Row>, HarnessError> {
 ///
 /// See [`table2_parallel`].
 pub fn table2_parallel_shared(memo: &Arc<SharedMemo>) -> Result<Vec<Table2Row>, HarnessError> {
+    table2_parallel_faulted(memo, &crate::fault::FaultPlan::none())
+}
+
+/// [`table2_parallel_shared`] with seeded fault injection: each app worker
+/// runs under `catch_unwind`, and a panic — injected by `plan` or genuine —
+/// degrades to a placeholder row carrying one `ICE0001` diagnostic instead
+/// of aborting the suite.  Every app not named by the plan evaluates exactly
+/// as it would under [`FaultPlan::none`](crate::fault::FaultPlan::none)
+/// (which is what [`table2_parallel_shared`] passes), so the healthy rows
+/// are byte-identical under [`stable_report`] either way.
+///
+/// # Errors
+///
+/// Propagates the [`HarnessError`] of the first app (in corpus order) whose
+/// evaluation *returned* an error.  Panics never propagate.
+pub fn table2_parallel_faulted(
+    memo: &Arc<SharedMemo>,
+    plan: &crate::fault::FaultPlan,
+) -> Result<Vec<Table2Row>, HarnessError> {
     let apps = crate::apps::all();
     let per_app_threads = std::thread::available_parallelism()
         .map(|n| n.get().div_ceil(apps.len().max(1)).max(2))
@@ -379,11 +401,62 @@ pub fn table2_parallel_shared(memo: &Arc<SharedMemo>) -> Result<Vec<Table2Row>, 
     let results: Vec<Result<Table2Row, HarnessError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = apps
             .iter()
-            .map(|app| scope.spawn(move || evaluate_app_shared(app, per_app_threads, memo)))
+            .map(|app| {
+                scope.spawn(move || {
+                    // AssertUnwindSafe: on panic the worker's partially
+                    // mutated state (its private checker, its memo
+                    // namespace) is discarded wholesale — nothing of it
+                    // escapes into the placeholder row.
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if plan.panics_for(app.name) {
+                            panic!("injected fault: {} worker", app.name);
+                        }
+                        evaluate_app_shared(app, per_app_threads, memo)
+                    }));
+                    run.unwrap_or_else(|payload| Ok(ice_row(app, &*payload)))
+                })
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("app evaluation thread panicked")).collect()
+        // The worker already converted panics; a panic reaching join here
+        // would be a bug in the conversion itself, so fail loudly.
+        handles.into_iter().map(|h| h.join().expect("fault isolation failed")).collect()
     });
     results.into_iter().collect()
+}
+
+/// The placeholder row for an app whose evaluation worker panicked: zero
+/// counters, one `ICE0001` diagnostic naming the panic.  The diagnostic is
+/// an error (the app was *not* evaluated) and [`stable_report`] renders it
+/// on a distinct `ICE:`-prefixed line.
+fn ice_row(app: &App, payload: &(dyn std::any::Any + Send)) -> Table2Row {
+    let mut diagnostics = DiagnosticBag::new();
+    diagnostics.push(
+        Diagnostic::error(
+            crate::fault::ICE_CODE,
+            format!(
+                "internal harness error: evaluation worker for `{}` panicked: {}",
+                app.name,
+                crate::fault::panic_message(payload)
+            ),
+        )
+        .with_note("the app was not evaluated; all other apps completed normally"),
+    );
+    Table2Row {
+        program: app.name.to_string(),
+        group: app.group.to_string(),
+        methods: 0,
+        loc: ruby_syntax::count_loc(app.source),
+        extra_annotations: app.extra_annotations,
+        casts: 0,
+        casts_rdl: 0,
+        check_time: Duration::ZERO,
+        test_time_no_chk: Duration::ZERO,
+        test_time_with_chk: Duration::ZERO,
+        dynamic_checks_run: 0,
+        diagnostics,
+        runtime_blames: DiagnosticBag::new(),
+        lints: DiagnosticBag::new(),
+    }
 }
 
 /// One row of the Table 2 **overhead** evaluation: the app's test-suite
@@ -492,8 +565,7 @@ pub fn evaluate_overhead_shared(
     };
 
     let env = app.build_env();
-    let (program, _sources) =
-        app.parse().map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
+    let (program, _sources, _parse_diags) = app.parse();
     let comp = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
 
     // Baseline: no hook installed.
@@ -761,7 +833,13 @@ pub fn stable_report(rows: &[Table2Row]) -> String {
             r.lint_warnings()
         ));
         for d in r.diagnostics.iter() {
-            out.push_str(&format!("    {d}\n"));
+            // Internal errors (worker panics) render on a distinct line so
+            // a degraded row can never be mistaken for checker output.
+            if d.code == crate::fault::ICE_CODE {
+                out.push_str(&format!("    ICE: {d}\n"));
+            } else {
+                out.push_str(&format!("    {d}\n"));
+            }
         }
         // Runtime blames in execution order: deterministic per app, so this
         // stays byte-identical between sequential / parallel and memoized /
@@ -782,16 +860,11 @@ pub fn stable_report(rows: &[Table2Row]) -> String {
 /// through `diagnostics::render_in`, resolving each blame's call-site span
 /// against the app's two-file [`diagnostics::SourceSet`].  Returns the
 /// empty string for apps that never blamed.
-///
-/// # Panics
-///
-/// Panics if the app's sources fail to parse (they parsed when the row was
-/// produced, so this cannot happen for rows from this harness).
 pub fn render_runtime_blames(app: &App, row: &Table2Row) -> String {
     if row.runtime_blames.is_empty() {
         return String::new();
     }
-    let (_, sources) = app.parse().expect("app sources parsed when the row was produced");
+    let (_, sources, _) = app.parse();
     let mut out = String::new();
     for d in row.runtime_blames.iter() {
         out.push_str(&diagnostics::render_in(&sources, d));

@@ -210,9 +210,10 @@ pub fn evaluate_app_incremental(
 
     let source = source_override.unwrap_or(app.source);
     let env = app.build_env();
-    let (program, _sources) = app
-        .parse_with_source(source)
-        .map_err(|e| err(format!("parse error: {e}"), Some(Box::new(e.into()))))?;
+    // Parsing never fails; recovery diagnostics join the row's bag below,
+    // exactly as in `evaluate_app_shared`, so a warm run over a broken file
+    // renders byte-identically to a cold one.
+    let (program, _sources, parse_diags) = app.parse_with_source(source);
 
     // The cache validators: content hashes of both files (indexed by span
     // file id: app = 0, tests = 1), the environment hash, and the Merkle
@@ -399,6 +400,7 @@ pub fn evaluate_app_incremental(
     diagnostics.extend(
         TypeChecker::effect_conflicts(&env, &program, &inferred).into_iter().map(Diagnostic::from),
     );
+    diagnostics.extend(parse_diags);
     diagnostics.sort_by_span_then_code();
 
     let row = Table2Row {
@@ -477,6 +479,39 @@ pub fn with_layout_noise(source: &str, seed: u64) -> String {
         }
     }
     out
+}
+
+/// Injects a **syntax error** into the named method by overwriting its
+/// first body line with an unparsable one (a stray `)`) padded with spaces
+/// to exactly the original line's byte length, so every span *outside* the
+/// poisoned method keeps its byte offsets and line numbers — which is what
+/// lets the robustness tests assert byte-identical diagnostics for every
+/// other method.  Returns `None` when no `def <method>` line exists or the
+/// def line has no body line after it.
+pub fn with_broken_method(source: &str, method: &str) -> Option<String> {
+    let plain = format!("def {method}(");
+    let singleton = format!("def self.{method}(");
+    let lines: Vec<&str> = source.lines().collect();
+    let def_idx = lines.iter().position(|line| {
+        let t = line.trim_start();
+        t.starts_with(&plain) || t.starts_with(&singleton)
+    })?;
+    let body = lines.get(def_idx + 1)?;
+    if body.trim() == "end" {
+        // Overwriting the `end` of an empty method would unbalance the
+        // whole file instead of poisoning one def.
+        return None;
+    }
+    let mut broken = String::from("  )");
+    while broken.len() < body.len() {
+        broken.push(' ');
+    }
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(if i == def_idx + 1 { &broken } else { line });
+        out.push('\n');
+    }
+    Some(out)
 }
 
 /// Injects a **semantic** edit into the named method: a harmless local

@@ -26,6 +26,7 @@
 pub mod app;
 pub mod apps;
 pub mod effects;
+pub mod fault;
 pub mod harness;
 pub mod incremental;
 pub mod lints;
@@ -35,16 +36,17 @@ pub use effects::{
     effects_pass, record_to_summary, replay_baseline, seed_map, summaries_to_inferred,
     summaries_to_records, summary_to_record,
 };
+pub use fault::FaultPlan;
 pub use harness::{
     corpus_diagnostics, evaluate_app, evaluate_app_shared, evaluate_app_with, evaluate_overhead,
     evaluate_overhead_shared, format_diagnostic_summary, format_memo_stats, format_overhead,
     format_table1, format_table2, render_runtime_blames, stable_report, table1, table2,
-    table2_overhead, table2_overhead_shared, table2_parallel, table2_parallel_shared, HarnessError,
-    OverheadRow, Table1Row, Table2Row,
+    table2_overhead, table2_overhead_shared, table2_parallel, table2_parallel_faulted,
+    table2_parallel_shared, HarnessError, OverheadRow, Table1Row, Table2Row,
 };
 pub use incremental::{
-    evaluate_app_incremental, table2_incremental, with_layout_noise, with_method_edit, AppRecheck,
-    RecheckStats,
+    evaluate_app_incremental, table2_incremental, with_broken_method, with_layout_noise,
+    with_method_edit, AppRecheck, RecheckStats,
 };
 pub use lints::{
     findings_to_records, lint_bag, lint_pass, lint_pass_with_summaries, record_to_diagnostic,
@@ -74,7 +76,7 @@ mod tests {
     fn every_app_parses_and_type_checks_with_expected_errors() {
         for app in apps::all() {
             let env = app.build_env();
-            let program = ruby_syntax::parse_program(&app.full_source())
+            let program = ruby_syntax::parse_program_strict(&app.full_source())
                 .unwrap_or_else(|e| panic!("{}: parse error: {e}", app.name));
             let result =
                 comprdl::TypeChecker::new(&env, &program, comprdl::CheckOptions::default())
@@ -179,8 +181,8 @@ mod tests {
         // counts mean the file id did its job.
         for app in apps::all() {
             let env = app.build_env();
-            let single = ruby_syntax::parse_program(&app.full_source()).expect("parses");
-            let (multi, sources) = app.parse().expect("parses");
+            let single = ruby_syntax::parse_program_strict(&app.full_source()).expect("parses");
+            let (multi, sources, _) = app.parse();
             assert_eq!(sources.len(), 2);
 
             let run = |program: &ruby_syntax::Program| {
@@ -219,7 +221,7 @@ mod tests {
 
         // Unmemoized sequential baseline, assembled by hand.
         let env = app.build_env();
-        let (program, sources) = app.parse().expect("parses");
+        let (program, sources, _) = app.parse();
         let comp = comprdl::TypeChecker::new(&env, &program, comprdl::CheckOptions::default())
             .check_labeled("app");
         let hook = comprdl::make_hook(

@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn record_round_trip_renders_byte_identically() {
         let program =
-            ruby_syntax::parse_program("def leftover(a)\n  unused = a\n  a\nend\n").unwrap();
+            ruby_syntax::parse_program_strict("def leftover(a)\n  unused = a\n  a\nend\n").unwrap();
         let fresh = lint_pass(&program, 1);
         let bag = lint_bag(&fresh);
         assert_eq!(bag.warning_count(), 1, "{bag}");

@@ -32,7 +32,7 @@ fn analysis_call_graph_is_covered_by_the_dependency_graph() {
     let mut covered_edges = 0usize;
     for app in corpus::apps::all() {
         let env = app.build_env();
-        let (program, _) = app.parse().expect("app parses");
+        let (program, _, _) = app.parse();
         let summaries = effects_pass(&program, &seed_map(&env), 1);
         let graph = DepGraph::build(&env, &program);
         let graph_edges: BTreeSet<_> = graph.method_call_edges().into_iter().collect();
@@ -58,7 +58,7 @@ fn analysis_call_graph_is_covered_by_the_dependency_graph() {
 fn parallel_inference_renders_byte_identical_to_sequential() {
     for app in corpus::apps::all() {
         let env = app.build_env();
-        let (program, _) = app.parse().expect("app parses");
+        let (program, _, _) = app.parse();
         let seed = seed_map(&env);
         let baseline = effects_pass(&program, &seed, 1).render();
         for threads in [2, 3, 4, 8] {
@@ -81,7 +81,7 @@ fn warm_replay_resummarizes_nothing_and_renders_byte_identically() {
     let dir = temp_dir("warm");
     for app in corpus::apps::all() {
         let env = app.build_env();
-        let (program, _) = app.parse().expect("app parses");
+        let (program, _, _) = app.parse();
         let seed = seed_map(&env);
         let graph = DepGraph::build(&env, &program);
         let cold = effects_pass(&program, &seed, 1);
@@ -138,8 +138,8 @@ fn method_edit_resummarizes_exactly_the_merkle_diff() {
 
     // The expected re-summarize set is the Merkle diff across the edit.
     let env = app.build_env();
-    let (program, _) = app.parse().expect("app parses");
-    let (edited_program, _) = app.parse_with_source(&edited_src).expect("edited app parses");
+    let (program, _, _) = app.parse();
+    let (edited_program, _, _) = app.parse_with_source(&edited_src);
     let before: BTreeMap<_, _> =
         DepGraph::build(&env, &program).method_merkles().into_iter().collect();
     let after: BTreeMap<_, _> =

@@ -26,7 +26,7 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 fn layout_noise_preserves_every_semantic_hash_in_every_app() {
     for app in corpus::apps::all() {
         let env = app.build_env();
-        let (program, _) = app.parse().expect("app parses");
+        let (program, _, _) = app.parse();
         let baseline_hashes = program.method_hashes();
         assert!(!baseline_hashes.is_empty(), "{}: no methods hashed", app.name);
         let baseline_merkles = DepGraph::build(&env, &program).method_merkles();
@@ -40,9 +40,13 @@ fn layout_noise_preserves_every_semantic_hash_in_every_app() {
                 "{}: content hash must see the edit",
                 app.name
             );
-            let (noisy, _) = app
-                .parse_with_source(&noisy_src)
-                .unwrap_or_else(|e| panic!("{} seed {seed}: noisy source broke: {e}", app.name));
+            let (noisy, _, noisy_diags) = app.parse_with_source(&noisy_src);
+            assert!(
+                noisy_diags.is_empty(),
+                "{} seed {seed}: noisy source broke: {:?}",
+                app.name,
+                noisy_diags
+            );
             let noisy_hashes = noisy.method_hashes();
             assert_eq!(
                 baseline_hashes.len(),
@@ -94,7 +98,7 @@ fn helper_edit_invalidates_exactly_its_transitive_dependents() {
             app.name
         );
 
-        let (program, _) = app.parse().expect("app parses");
+        let (program, _, _) = app.parse();
         let g1 = DepGraph::build(&env, &program);
         let g2 = DepGraph::build(&env2, &program);
         let dependents: BTreeSet<_> = g1.helper_dependents("elem").into_iter().collect();
@@ -245,7 +249,7 @@ fn disk_cache_replays_byte_identical_and_edits_invalidate_minimally() {
     let apps = corpus::apps::all();
     let app = apps.iter().find(|a| a.name == "Sequel").expect("Sequel app");
     let env = app.build_env();
-    let (program, _) = app.parse().expect("app parses");
+    let (program, _, _) = app.parse();
     let selected = TypeChecker::labeled_methods(&env, &program, "app");
     let (edited_name, edited_src) = selected
         .iter()
@@ -256,7 +260,7 @@ fn disk_cache_replays_byte_identical_and_edits_invalidate_minimally() {
 
     // The expected invalidation set is the Merkle diff between the original
     // and edited parses: the edited method plus its transitive callers.
-    let (edited_program, _) = app.parse_with_source(&edited_src).expect("edited app parses");
+    let (edited_program, _, _) = app.parse_with_source(&edited_src);
     let before: BTreeMap<_, _> =
         DepGraph::build(&env, &program).method_merkles().into_iter().collect();
     let after: BTreeMap<_, _> =

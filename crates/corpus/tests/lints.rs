@@ -27,7 +27,7 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 fn parallel_lint_findings_are_byte_identical_to_sequential() {
     let mut total_findings = 0usize;
     for app in corpus::apps::all() {
-        let (program, _) = app.parse().expect("app parses");
+        let (program, _, _) = app.parse();
         let baseline = lint_bag(&lint_pass(&program, 1));
         total_findings += baseline.len();
         for threads in [2, 3, 4, 8] {
@@ -53,7 +53,7 @@ fn layout_noise_replays_every_lint_verdict_through_a_real_cache_file() {
     let dir = temp_dir("replay");
     for app in corpus::apps::all() {
         // Cold: lint the original parse and persist the verdicts.
-        let (program, _) = app.parse().expect("app parses");
+        let (program, _, _) = app.parse();
         let files = vec![content_hash(app.source), content_hash(app.test_suite)];
         let methods = program.methods();
         let records: Vec<_> = methods
@@ -71,9 +71,13 @@ fn layout_noise_replays_every_lint_verdict_through_a_real_cache_file() {
         for seed in SEEDS {
             let noisy_src = with_layout_noise(app.source, seed);
             assert_ne!(noisy_src, app.source, "{}: noise must actually edit", app.name);
-            let (noisy, _) = app
-                .parse_with_source(&noisy_src)
-                .unwrap_or_else(|e| panic!("{} seed {seed}: noisy source broke: {e}", app.name));
+            let (noisy, _, noisy_diags) = app.parse_with_source(&noisy_src);
+            assert!(
+                noisy_diags.is_empty(),
+                "{} seed {seed}: noisy source broke: {:?}",
+                app.name,
+                noisy_diags
+            );
             let noisy_files = vec![content_hash(&noisy_src), content_hash(app.test_suite)];
 
             // Fresh-process simulation: load from disk, replay everything.
@@ -114,7 +118,7 @@ fn layout_noise_replays_every_lint_verdict_through_a_real_cache_file() {
 fn semantic_edit_invalidates_exactly_the_edited_methods_lints() {
     let apps = corpus::apps::all();
     let app = apps.iter().find(|a| a.name == "Journey").expect("Journey app");
-    let (program, _) = app.parse().expect("app parses");
+    let (program, _, _) = app.parse();
     let files = vec![content_hash(app.source), content_hash(app.test_suite)];
     let records: Vec<_> = program
         .methods()
@@ -128,7 +132,7 @@ fn semantic_edit_invalidates_exactly_the_edited_methods_lints() {
     cache.record_lints(app.name, files, &records);
 
     let edited_src = corpus::with_method_edit(app.source, "prompt").expect("prompt has a def");
-    let (edited, _) = app.parse_with_source(&edited_src).expect("edited app parses");
+    let (edited, _, _) = app.parse_with_source(&edited_src);
     let edited_files = vec![content_hash(&edited_src), content_hash(app.test_suite)];
     let mut misses = Vec::new();
     for (owner, def) in &edited.methods() {

@@ -94,7 +94,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let result =
             TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
         assert_eq!(result.methods_checked(), 1);
@@ -116,7 +116,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let result =
             TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
         assert!(
@@ -137,7 +137,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let result =
             TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
         assert!(
@@ -172,7 +172,7 @@ class Post < ActiveRecord::Base
   end
 end
 "#;
-        let program = ruby_syntax::parse_program(src).unwrap();
+        let program = ruby_syntax::parse_program_strict(src).unwrap();
         let result =
             TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
         let sql_error = result
@@ -190,7 +190,7 @@ end
         );
         // The corrected query type checks.
         let fixed = src.replace("topics.title IN", "topics.id IN");
-        let program = ruby_syntax::parse_program(&fixed).unwrap();
+        let program = ruby_syntax::parse_program_strict(&fixed).unwrap();
         let result =
             TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
         assert!(result.errors().is_empty(), "{:?}", result.errors());

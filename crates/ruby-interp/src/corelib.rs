@@ -828,10 +828,10 @@ fn lambda_method(
 mod tests {
     use super::*;
     use crate::interp::Interpreter;
-    use ruby_syntax::parse_program;
+    use ruby_syntax::parse_program_strict;
 
     fn run(src: &str) -> Value {
-        let prog = parse_program(src).expect("parse");
+        let prog = parse_program_strict(src).expect("parse");
         let interp = Interpreter::new(prog);
         interp.eval_program().expect("eval")
     }
@@ -933,7 +933,7 @@ mod tests {
 
     #[test]
     fn division_by_zero_raises() {
-        let prog = parse_program("1 / 0").unwrap();
+        let prog = parse_program_strict("1 / 0").unwrap();
         let interp = Interpreter::new(prog);
         assert!(interp.eval_program().is_err());
     }

@@ -17,7 +17,7 @@
 //! ```
 //! use ruby_interp::{Interpreter, Value};
 //!
-//! let prog = ruby_syntax::parse_program(
+//! let prog = ruby_syntax::parse_program_strict(
 //!     "def fib(n)\n  if n < 2 then n else fib(n - 1) + fib(n - 2) end\nend\nfib(10)",
 //! ).unwrap();
 //! let interp = Interpreter::new(prog);

@@ -108,6 +108,13 @@ pub struct MethodDef {
     pub body: Vec<Expr>,
     /// Source span of the definition.
     pub span: Span,
+    /// True when recovery poisoned this method: its body failed to parse,
+    /// the parser emitted one `PARSE` diagnostic for it and resynchronized
+    /// at the matching `end`, and [`MethodDef::body`] holds only a single
+    /// [`ExprKind::Error`] placeholder.  Consumers (checker, lints, effect
+    /// summaries) skip poisoned methods; the semantic hash covers this flag
+    /// so a poisoned method can never replay a stale cached verdict.
+    pub poisoned: bool,
 }
 
 impl MethodDef {
@@ -266,6 +273,12 @@ pub enum ExprKind {
     /// A type cast `RDL.type_cast(e, "T")`, preserved specially so the
     /// checker can count casts.  `ty` is the annotation source text.
     TypeCast { expr: Box<Expr>, ty: String },
+    /// A placeholder for source that failed to parse.  The parser emits one
+    /// of these (with the span of the unparsable region) after recording a
+    /// recovery diagnostic, so downstream passes see an explicit marker
+    /// instead of silently dropped code.  It is a leaf: it evaluates to
+    /// `nil` in the interpreter and is skipped by analyses.
+    Error,
 }
 
 /// An expression together with its source span.
@@ -419,6 +432,7 @@ mod tests {
                     params: vec![Param::required("name"), Param::required("email")],
                     body: vec![Expr::synth(ExprKind::True)],
                     span: Span::dummy(),
+                    poisoned: false,
                 })],
                 span: Span::dummy(),
             })],
@@ -448,6 +462,7 @@ mod tests {
             ],
             body: vec![],
             span: Span::dummy(),
+            poisoned: false,
         };
         assert_eq!(m.required_arity(), 1);
     }

@@ -5,9 +5,17 @@
 //! and brackets, after binary operators and commas (line continuations), and
 //! before a leading-dot method chain, which matches how Ruby treats those
 //! positions.
+//!
+//! Lexing is **error-resilient**: malformed input never aborts the token
+//! stream.  Each error site records a span-carrying `LEX0001`
+//! [`diagnostics::Diagnostic`] and substitutes a placeholder (or skips the
+//! offending byte), so the parser always receives a complete,
+//! `Eof`-terminated stream.  Use [`lex_strict`] when the first error should
+//! fail hard instead.
 
 use crate::span::Span;
 use crate::token::{Kw, Token, TokenKind};
+use diagnostics::Diagnostic;
 use std::fmt;
 
 /// An error produced while lexing.
@@ -44,6 +52,7 @@ pub struct Lexer<'src> {
     paren_depth: i32,
     bracket_depth: i32,
     tokens: Vec<Token>,
+    diags: Vec<Diagnostic>,
 }
 
 impl<'src> Lexer<'src> {
@@ -65,7 +74,12 @@ impl<'src> Lexer<'src> {
             paren_depth: 0,
             bracket_depth: 0,
             tokens: Vec::new(),
+            diags: Vec::new(),
         }
+    }
+
+    fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.diags.push(Diagnostic::error("LEX0001", message).with_label(span, "lexed here"));
     }
 
     fn span_from(&self, start: usize, line: u32) -> Span {
@@ -73,13 +87,11 @@ impl<'src> Lexer<'src> {
     }
 
     /// Lexes the entire input, returning the token stream (terminated by
-    /// [`TokenKind::Eof`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LexError`] for unterminated strings and unexpected
-    /// characters.
-    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+    /// [`TokenKind::Eof`]) together with every recovery diagnostic recorded
+    /// along the way.  The stream is always complete: each malformed
+    /// construct is replaced by a placeholder token (or skipped) and lexing
+    /// continues, so one bad byte never hides the rest of the file.
+    pub fn tokenize(mut self) -> (Vec<Token>, Vec<Diagnostic>) {
         while self.pos < self.bytes.len() {
             self.skip_spaces_and_comments();
             if self.pos >= self.bytes.len() {
@@ -98,14 +110,14 @@ impl<'src> Lexer<'src> {
                     self.pos += 1;
                     self.push(TokenKind::Newline, start, line);
                 }
-                b'"' | b'\'' => self.lex_string(c)?,
-                b'0'..=b'9' => self.lex_number()?,
-                b'@' => self.lex_ivar()?,
-                b'$' => self.lex_gvar()?,
+                b'"' | b'\'' => self.lex_string(c),
+                b'0'..=b'9' => self.lex_number(),
+                b'@' => self.lex_ivar(),
+                b'$' => self.lex_gvar(),
                 b':' => self.lex_colon(),
                 b'a'..=b'z' | b'_' => self.lex_ident(),
                 b'A'..=b'Z' => self.lex_const(),
-                _ => self.lex_operator()?,
+                _ => self.lex_operator(),
             }
         }
         // Ensure the final statement is terminated before EOF.
@@ -115,7 +127,7 @@ impl<'src> Lexer<'src> {
         }
         let span = self.span_from(self.pos, self.line);
         self.tokens.push(Token::new(TokenKind::Eof, span));
-        Ok(self.tokens)
+        (self.tokens, self.diags)
     }
 
     fn skip_spaces_and_comments(&mut self) {
@@ -209,7 +221,7 @@ impl<'src> Lexer<'src> {
         self.tokens.push(Token::new(kind, span));
     }
 
-    fn lex_string(&mut self, quote: u8) -> Result<(), LexError> {
+    fn lex_string(&mut self, quote: u8) {
         let start = self.pos;
         let line = self.line;
         self.pos += 1;
@@ -217,10 +229,11 @@ impl<'src> Lexer<'src> {
         loop {
             match self.bytes.get(self.pos) {
                 None => {
-                    return Err(LexError {
-                        message: "unterminated string literal".to_string(),
-                        span: self.span_from(start, line),
-                    })
+                    // Recovery: keep what was collected as the literal's
+                    // content so the rest of the (empty) input still lexes.
+                    let span = self.span_from(start, line);
+                    self.error("unterminated string literal", span);
+                    break;
                 }
                 Some(&c) if c == quote => {
                     self.pos += 1;
@@ -269,10 +282,9 @@ impl<'src> Lexer<'src> {
             }
         }
         self.push(TokenKind::Str(out), start, line);
-        Ok(())
     }
 
-    fn lex_number(&mut self) -> Result<(), LexError> {
+    fn lex_number(&mut self) {
         let start = self.pos;
         let line = self.line;
         while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9') | Some(b'_')) {
@@ -299,18 +311,25 @@ impl<'src> Lexer<'src> {
         }
         let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
         let kind = if is_float {
-            TokenKind::Float(text.parse::<f64>().map_err(|_| LexError {
-                message: format!("invalid float literal `{text}`"),
-                span: self.span_from(start, line),
-            })?)
+            match text.parse::<f64>() {
+                Ok(v) => TokenKind::Float(v),
+                Err(_) => {
+                    let span = self.span_from(start, line);
+                    self.error(format!("invalid float literal `{text}`"), span);
+                    TokenKind::Float(0.0)
+                }
+            }
         } else {
-            TokenKind::Int(text.parse::<i64>().map_err(|_| LexError {
-                message: format!("invalid integer literal `{text}`"),
-                span: self.span_from(start, line),
-            })?)
+            match text.parse::<i64>() {
+                Ok(v) => TokenKind::Int(v),
+                Err(_) => {
+                    let span = self.span_from(start, line);
+                    self.error(format!("invalid integer literal `{text}`"), span);
+                    TokenKind::Int(0)
+                }
+            }
         };
         self.push(kind, start, line);
-        Ok(())
     }
 
     fn ident_tail(&mut self) -> String {
@@ -324,34 +343,31 @@ impl<'src> Lexer<'src> {
         self.src[start..self.pos].to_string()
     }
 
-    fn lex_ivar(&mut self) -> Result<(), LexError> {
+    fn lex_ivar(&mut self) {
         let start = self.pos;
         let line = self.line;
         self.pos += 1;
         let name = self.ident_tail();
         if name.is_empty() {
-            return Err(LexError {
-                message: "expected instance variable name after `@`".to_string(),
-                span: self.span_from(start, line),
-            });
+            // Recovery: drop the bare sigil and continue with the next byte.
+            let span = self.span_from(start, line);
+            self.error("expected instance variable name after `@`", span);
+            return;
         }
         self.push(TokenKind::IVar(name), start, line);
-        Ok(())
     }
 
-    fn lex_gvar(&mut self) -> Result<(), LexError> {
+    fn lex_gvar(&mut self) {
         let start = self.pos;
         let line = self.line;
         self.pos += 1;
         let name = self.ident_tail();
         if name.is_empty() {
-            return Err(LexError {
-                message: "expected global variable name after `$`".to_string(),
-                span: self.span_from(start, line),
-            });
+            let span = self.span_from(start, line);
+            self.error("expected global variable name after `$`", span);
+            return;
         }
         self.push(TokenKind::GVar(name), start, line);
-        Ok(())
     }
 
     fn lex_colon(&mut self) {
@@ -455,7 +471,7 @@ impl<'src> Lexer<'src> {
         self.push(TokenKind::Const(name), start, line);
     }
 
-    fn lex_operator(&mut self) -> Result<(), LexError> {
+    fn lex_operator(&mut self) {
         let start = self.pos;
         let line = self.line;
         let c = self.bytes[self.pos];
@@ -508,15 +524,18 @@ impl<'src> Lexer<'src> {
             (b'&', _, _) => (TokenKind::Amp, 1),
             (b'?', _, _) => (TokenKind::Question, 1),
             _ => {
-                return Err(LexError {
-                    message: format!("unexpected character `{}`", c as char),
-                    span: Span::in_file(self.file, start, start + 1, line),
-                })
+                // Recovery: report the stray byte and skip past the full
+                // UTF-8 character it starts, emitting no token.
+                self.error(
+                    format!("unexpected character `{}`", c as char),
+                    Span::in_file(self.file, start, start + 1, line),
+                );
+                self.pos += utf8_len(c);
+                return;
             }
         };
         self.pos += len;
         self.push(kind, start, line);
-        Ok(())
     }
 }
 
@@ -532,30 +551,49 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-/// Convenience wrapper: lexes `src` into tokens.
-///
-/// # Errors
-///
-/// Returns a [`LexError`] on malformed input.
+/// Convenience wrapper: lexes `src` into tokens plus recovery diagnostics.
+/// The token stream is always complete (malformed constructs become
+/// placeholders); the diagnostics are empty exactly when the input was
+/// well formed.
 ///
 /// # Examples
 ///
 /// ```
-/// let toks = ruby_syntax::lex("a = 1 + 2").unwrap();
+/// let (toks, diags) = ruby_syntax::lex("a = 1 + 2");
 /// assert!(toks.len() > 4);
+/// assert!(diags.is_empty());
 /// ```
-pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Diagnostic>) {
     Lexer::new(src).tokenize()
 }
 
-/// Like [`lex`], but stamps every token span (and any error span) with the
-/// given source-file id, for multi-file programs.
+/// Like [`lex`], but stamps every token span (and any diagnostic span) with
+/// the given source-file id, for multi-file programs.
+pub fn lex_in_file(src: &str, file: u32) -> (Vec<Token>, Vec<Diagnostic>) {
+    Lexer::in_file(src, file).tokenize()
+}
+
+/// Fail-stop lexing: like [`lex`], but the first malformed construct is
+/// returned as a [`LexError`] instead of being recovered from.
 ///
 /// # Errors
 ///
-/// Returns a [`LexError`] on malformed input.
-pub fn lex_in_file(src: &str, file: u32) -> Result<Vec<Token>, LexError> {
-    Lexer::in_file(src, file).tokenize()
+/// Returns a [`LexError`] describing the first recovery diagnostic.
+pub fn lex_strict(src: &str) -> Result<Vec<Token>, LexError> {
+    lex_in_file_strict(src, 0)
+}
+
+/// [`lex_strict`] with an explicit source-file id.
+///
+/// # Errors
+///
+/// See [`lex_strict`].
+pub fn lex_in_file_strict(src: &str, file: u32) -> Result<Vec<Token>, LexError> {
+    let (tokens, diags) = Lexer::in_file(src, file).tokenize();
+    match diags.into_iter().next() {
+        None => Ok(tokens),
+        Some(d) => Err(LexError { message: d.message.clone(), span: d.primary_span() }),
+    }
 }
 
 #[cfg(test)]
@@ -564,7 +602,9 @@ mod tests {
     use crate::token::TokenKind as T;
 
     fn kinds(src: &str) -> Vec<T> {
-        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+        let (toks, diags) = lex(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        toks.into_iter().map(|t| t.kind).collect()
     }
 
     #[test]
@@ -628,7 +668,7 @@ mod tests {
 
     #[test]
     fn escaped_newline_in_string_elides_it_and_keeps_lines_correct() {
-        let toks = lex("x = \"a\\\nb\"\ny").unwrap();
+        let toks = lex_strict("x = \"a\\\nb\"\ny").unwrap();
         let str_tok = toks.iter().find(|t| matches!(t.kind, T::Str(_))).unwrap();
         assert_eq!(str_tok.kind, T::Str("ab".into()), "backslash-newline is a continuation");
         // `y` sits on line 3 of the source; before the fix the lexer lost
@@ -639,22 +679,49 @@ mod tests {
 
     #[test]
     fn raw_newline_in_string_still_counts_lines() {
-        let toks = lex("x = \"a\nb\"\ny").unwrap();
+        let toks = lex_strict("x = \"a\nb\"\ny").unwrap();
         let y = toks.iter().find(|t| t.kind == T::Ident("y".into())).unwrap();
         assert_eq!(y.span.line, 3, "{toks:?}");
     }
 
     #[test]
     fn file_id_is_stamped_on_every_token() {
-        let toks = lex_in_file("a = 1", 3).unwrap();
+        let (toks, diags) = lex_in_file("a = 1", 3);
+        assert!(diags.is_empty(), "{diags:?}");
         assert!(toks.iter().all(|t| t.span.file == 3), "{toks:?}");
-        let err = lex_in_file("x = 'oops", 5).unwrap_err();
+        let err = lex_in_file_strict("x = 'oops", 5).unwrap_err();
         assert_eq!(err.span.file, 5);
     }
 
     #[test]
-    fn unterminated_string_is_error() {
-        assert!(lex("x = 'oops").is_err());
+    fn unterminated_string_recovers_with_a_diagnostic() {
+        let (toks, diags) = lex("x = 'oops");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "LEX0001");
+        assert!(diags[0].message.contains("unterminated string"), "{diags:?}");
+        // The collected content survives as a placeholder literal and the
+        // stream is still Newline+Eof terminated.
+        assert!(toks.iter().any(|t| t.kind == T::Str("oops".into())), "{toks:?}");
+        assert_eq!(toks.last().unwrap().kind, T::Eof);
+        assert!(lex_strict("x = 'oops").is_err());
+    }
+
+    #[test]
+    fn stray_bytes_recover_and_keep_lexing() {
+        let (toks, diags) = lex("a = 1 ~ ` @\nb = 2");
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == "LEX0001"));
+        // Everything after the junk still lexes.
+        assert!(toks.iter().any(|t| t.kind == T::Ident("b".into())), "{toks:?}");
+        assert!(toks.iter().any(|t| t.kind == T::Int(2)));
+    }
+
+    #[test]
+    fn overflowing_integer_recovers_with_a_placeholder() {
+        let (toks, diags) = lex("x = 99999999999999999999999999");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("invalid integer literal"), "{diags:?}");
+        assert!(toks.iter().any(|t| t.kind == T::Int(0)), "{toks:?}");
     }
 
     #[test]

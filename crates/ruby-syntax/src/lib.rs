@@ -16,12 +16,34 @@
 //! ```
 //! use ruby_syntax::{parse_program, parse_expr, print_expr};
 //!
-//! let prog = parse_program("class User\n  def self.admin?(name)\n    name == \"root\"\n  end\nend\n").unwrap();
+//! let (prog, diags) = parse_program("class User\n  def self.admin?(name)\n    name == \"root\"\n  end\nend\n");
+//! assert!(diags.is_empty());
 //! assert_eq!(prog.classes()[0].name, "User");
 //!
 //! let e = parse_expr("User.joins(:emails)").unwrap();
 //! assert_eq!(print_expr(&e), "User.joins(:emails)");
 //! ```
+//!
+//! ## Error resilience
+//!
+//! `parse_program` never fails: malformed input produces a best-effort
+//! [`Program`] plus a list of [`diagnostics::Diagnostic`]s. A broken
+//! statement becomes an [`ExprKind::Error`] placeholder and parsing resumes
+//! at the next line; a broken method definition is *poisoned*
+//! ([`MethodDef::poisoned`]) and the parser resynchronizes at its matching
+//! `end`, so one bad method never hides the rest of the file.
+//!
+//! ```
+//! let (prog, diags) = ruby_syntax::parse_program("def bad()\n  1 +\nend\ndef good()\n  2\nend\n");
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code, "PARSE0002");
+//! assert!(prog.methods()[0].1.poisoned);
+//! assert!(!prog.methods()[1].1.poisoned);
+//! ```
+//!
+//! Callers that want the old fail-stop behaviour (tests, signature parsing)
+//! use [`parse_program_strict`] / [`lex_strict`], which surface the first
+//! diagnostic as a [`ParseError`] / [`LexError`].
 
 #![warn(missing_docs)]
 
@@ -36,8 +58,11 @@ pub mod token;
 pub use ast::{
     BinOp, Block, ClassDef, CondArm, Expr, ExprKind, Item, LValue, MethodDef, Param, Program,
 };
-pub use lexer::{lex, lex_in_file, LexError, Lexer};
-pub use parser::{parse_expr, parse_program, parse_program_in_file, parse_stmts, ParseError};
+pub use lexer::{lex, lex_in_file, lex_in_file_strict, lex_strict, LexError, Lexer};
+pub use parser::{
+    parse_expr, parse_program, parse_program_in_file, parse_program_in_file_strict,
+    parse_program_strict, parse_stmts, ParseError,
+};
 pub use printer::{print_expr, print_program};
 pub use semhash::{expr_hash, method_hash, method_span_nodes, MethodHash, SemHasher};
 pub use span::Span;

@@ -1,9 +1,19 @@
 //! Recursive-descent parser for the Ruby subset.
+//!
+//! Parsing is **error-resilient**: [`parse_program`] never fails.  A syntax
+//! error inside a `def` records one `PARSE0002` diagnostic, poisons that
+//! method ([`MethodDef::poisoned`]) and resynchronizes at the matching
+//! `end`; a syntax error elsewhere records a `PARSE0001` diagnostic, emits
+//! an [`ExprKind::Error`] placeholder item and resynchronizes at the next
+//! statement boundary.  One broken method therefore still yields a fully
+//! parsed rest-of-file.  [`parse_program_strict`] restores fail-stop
+//! behaviour for callers that want a hard error.
 
 use crate::ast::*;
-use crate::lexer::{lex, LexError};
+use crate::lexer::{lex_strict, LexError};
 use crate::span::Span;
 use crate::token::{Kw, Token, TokenKind};
+use diagnostics::Diagnostic;
 use std::fmt;
 
 /// An error produced while parsing.
@@ -38,7 +48,38 @@ impl From<ParseError> for diagnostics::Diagnostic {
 
 type PResult<T> = Result<T, ParseError>;
 
-/// Parses a full program (a sequence of classes, methods and expressions).
+/// Parses a full program (a sequence of classes, methods and expressions)
+/// with error recovery, returning the AST together with every `LEX`/`PARSE`
+/// recovery diagnostic.  The diagnostics are empty exactly when the source
+/// was well formed; on error the AST still covers everything that parsed
+/// (broken methods come back poisoned, broken statements as
+/// [`ExprKind::Error`] placeholders).
+///
+/// # Examples
+///
+/// ```
+/// let (prog, diags) = ruby_syntax::parse_program("class A\n def m()\n 1\n end\nend\n");
+/// assert_eq!(prog.classes().len(), 1);
+/// assert!(diags.is_empty());
+/// ```
+pub fn parse_program(src: &str) -> (Program, Vec<Diagnostic>) {
+    parse_program_in_file(src, 0)
+}
+
+/// Like [`parse_program`], but every span in the resulting AST (and every
+/// diagnostic) carries the given source-file id, so multi-file programs
+/// (merged with [`Program::merge`]) keep their call sites distinguishable
+/// even when byte offsets coincide across files.
+pub fn parse_program_in_file(src: &str, file: u32) -> (Program, Vec<Diagnostic>) {
+    let (tokens, mut diags) = crate::lexer::lex_in_file(src, file);
+    let mut p = Parser::new(tokens);
+    let program = p.parse_program_recovering();
+    diags.append(&mut p.diags);
+    (program, diags)
+}
+
+/// Fail-stop parsing: like [`parse_program`], but the first recovery
+/// diagnostic is returned as a [`ParseError`] instead of a recovered AST.
 ///
 /// # Errors
 ///
@@ -48,28 +89,25 @@ type PResult<T> = Result<T, ParseError>;
 /// # Examples
 ///
 /// ```
-/// let prog = ruby_syntax::parse_program("class A\n def m()\n 1\n end\nend\n").unwrap();
+/// let prog = ruby_syntax::parse_program_strict("class A\n def m()\n 1\n end\nend\n").unwrap();
 /// assert_eq!(prog.classes().len(), 1);
+/// assert!(ruby_syntax::parse_program_strict("def broken(").is_err());
 /// ```
-pub fn parse_program(src: &str) -> PResult<Program> {
-    let tokens = lex(src)?;
-    let mut p = Parser::new(tokens);
-    p.parse_program()
+pub fn parse_program_strict(src: &str) -> Result<Program, ParseError> {
+    parse_program_in_file_strict(src, 0)
 }
 
-/// Like [`parse_program`], but every span in the resulting AST carries the
-/// given source-file id, so multi-file programs (merged with
-/// [`Program::merge`]) keep their call sites distinguishable even when byte
-/// offsets coincide across files.
+/// [`parse_program_strict`] with an explicit source-file id.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] when the source does not conform to the subset
-/// grammar.
-pub fn parse_program_in_file(src: &str, file: u32) -> PResult<Program> {
-    let tokens = crate::lexer::lex_in_file(src, file)?;
-    let mut p = Parser::new(tokens);
-    p.parse_program()
+/// See [`parse_program_strict`].
+pub fn parse_program_in_file_strict(src: &str, file: u32) -> Result<Program, ParseError> {
+    let (program, diags) = parse_program_in_file(src, file);
+    match diags.into_iter().next() {
+        None => Ok(program),
+        Some(d) => Err(ParseError { message: d.message.clone(), span: d.primary_span() }),
+    }
 }
 
 /// Parses a single expression (useful for type-level code and tests).
@@ -85,7 +123,7 @@ pub fn parse_program_in_file(src: &str, file: u32) -> PResult<Program> {
 /// assert!(matches!(e.kind, ruby_syntax::ExprKind::Call { .. }));
 /// ```
 pub fn parse_expr(src: &str) -> PResult<Expr> {
-    let tokens = lex(src)?;
+    let tokens = lex_strict(src)?;
     let mut p = Parser::new(tokens);
     p.skip_newlines();
     let e = p.parse_stmt()?;
@@ -100,7 +138,7 @@ pub fn parse_expr(src: &str) -> PResult<Expr> {
 ///
 /// Returns a [`ParseError`] when the source is malformed.
 pub fn parse_stmts(src: &str) -> PResult<Vec<Expr>> {
-    let tokens = lex(src)?;
+    let tokens = lex_strict(src)?;
     let mut p = Parser::new(tokens);
     let body = p.parse_body(&[])?;
     p.expect_eof()?;
@@ -110,11 +148,12 @@ pub fn parse_stmts(src: &str) -> PResult<Vec<Expr>> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    diags: Vec<Diagnostic>,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser { tokens, pos: 0, diags: Vec::new() }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -204,14 +243,196 @@ impl Parser {
 
     // ---- programs and items -------------------------------------------
 
-    fn parse_program(&mut self) -> PResult<Program> {
+    fn parse_program_recovering(&mut self) -> Program {
         let mut items = Vec::new();
         self.skip_newlines();
         while !matches!(self.peek(), TokenKind::Eof) {
-            items.push(self.parse_item()?);
+            items.push(self.parse_item_recovering());
             self.skip_newlines();
         }
-        Ok(Program { items })
+        Program { items }
+    }
+
+    // ---- error recovery -------------------------------------------------
+
+    /// Parses one item, recovering from syntax errors instead of failing:
+    /// a broken `def` comes back poisoned (one `PARSE0002` diagnostic, body
+    /// replaced by an error placeholder, resynchronized at its matching
+    /// `end`); any other broken item records a `PARSE0001` diagnostic,
+    /// skips to the next statement boundary and yields an
+    /// [`ExprKind::Error`] placeholder.
+    fn parse_item_recovering(&mut self) -> Item {
+        if self.check_kw(Kw::Def) {
+            return Item::Method(self.parse_def_recovering());
+        }
+        let before = self.pos;
+        match self.parse_item() {
+            Ok(item) => item,
+            Err(e) => {
+                let span = e.span;
+                self.diags.push(e.into());
+                self.recover_to_stmt_boundary(before);
+                Item::Expr(Expr::new(ExprKind::Error, span))
+            }
+        }
+    }
+
+    fn parse_def_recovering(&mut self) -> MethodDef {
+        let start_pos = self.pos;
+        match self.parse_def() {
+            Ok(def) => def,
+            Err(e) => {
+                self.pos = start_pos;
+                self.poison_def(e)
+            }
+        }
+    }
+
+    /// Positioned back at the `def` keyword of a method whose parse failed:
+    /// records exactly one `PARSE0002` diagnostic, re-reads the method name
+    /// (best effort, for navigation and the diagnostic message), skips past
+    /// the matching `end` and returns the poisoned placeholder definition.
+    fn poison_def(&mut self, cause: ParseError) -> MethodDef {
+        let def_span = self.span();
+        self.advance(); // the `def` keyword
+        let mut singleton = false;
+        if self.check_kw(Kw::SelfKw) && matches!(self.peek_at(1), TokenKind::Dot) {
+            self.advance();
+            self.advance();
+            singleton = true;
+        }
+        let name = self.parse_method_name().unwrap_or_else(|_| "<invalid>".to_string());
+        let end_span = self.resync_to_matching_end();
+        self.diags.push(
+            Diagnostic::error(
+                "PARSE0002",
+                format!("method `{name}` could not be parsed: {}", cause.message),
+            )
+            .with_label(cause.span, "syntax error here")
+            .with_secondary_label(def_span, "this method is poisoned")
+            .with_note(
+                "the body was replaced by an error placeholder; checking, lints and \
+                 effect inference skip this method",
+            ),
+        );
+        MethodDef {
+            name,
+            singleton,
+            params: Vec::new(),
+            body: vec![Expr::new(ExprKind::Error, cause.span)],
+            span: def_span.to(end_span),
+            poisoned: true,
+        }
+    }
+
+    /// Skips tokens until the `end` that closes an already-open block
+    /// (depth 1 at entry), consuming it, and returns its span (or the Eof
+    /// span if the block is unterminated).  Block-opening keywords seen on
+    /// the way (`def`, `class`, `module`, `case`, block `do`, and
+    /// statement-position `if`/`unless`/`while`) deepen the nesting so a
+    /// well-formed tail inside the broken region cannot end it early.
+    fn resync_to_matching_end(&mut self) -> Span {
+        let mut depth: usize = 1;
+        // True when the previous significant token could end an expression:
+        // an `if`/`unless`/`while` right after one is a postfix modifier,
+        // not a block opener.
+        let mut after_expr = false;
+        // Set between a counted `while` and its terminating newline so the
+        // optional `do` of `while cond do` is not counted a second time.
+        let mut while_cond = false;
+        loop {
+            let span = self.span();
+            match self.peek() {
+                TokenKind::Eof => return span,
+                TokenKind::Keyword(Kw::End) => {
+                    self.advance();
+                    depth -= 1;
+                    if depth == 0 {
+                        return span;
+                    }
+                    after_expr = true;
+                }
+                TokenKind::Keyword(Kw::Def | Kw::Class | Kw::Module | Kw::Case) => {
+                    depth += 1;
+                    self.advance();
+                    after_expr = false;
+                }
+                TokenKind::Keyword(Kw::While) => {
+                    if !after_expr {
+                        depth += 1;
+                        while_cond = true;
+                    }
+                    self.advance();
+                    after_expr = false;
+                }
+                TokenKind::Keyword(Kw::If | Kw::Unless) => {
+                    if !after_expr {
+                        depth += 1;
+                    }
+                    self.advance();
+                    after_expr = false;
+                }
+                TokenKind::Keyword(Kw::Do) => {
+                    if while_cond {
+                        while_cond = false;
+                    } else {
+                        depth += 1;
+                    }
+                    self.advance();
+                    after_expr = false;
+                }
+                TokenKind::Newline => {
+                    while_cond = false;
+                    self.advance();
+                    after_expr = false;
+                }
+                k => {
+                    after_expr = matches!(
+                        k,
+                        TokenKind::Ident(_)
+                            | TokenKind::Const(_)
+                            | TokenKind::IVar(_)
+                            | TokenKind::GVar(_)
+                            | TokenKind::Symbol(_)
+                            | TokenKind::Int(_)
+                            | TokenKind::Float(_)
+                            | TokenKind::Str(_)
+                            | TokenKind::RParen
+                            | TokenKind::RBracket
+                            | TokenKind::RBrace
+                            | TokenKind::Keyword(
+                                Kw::SelfKw | Kw::Nil | Kw::True | Kw::False | Kw::Break | Kw::Next
+                            )
+                    );
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    /// Skips forward to the next statement boundary after a parse error,
+    /// guaranteeing at least one token of progress so recovery always
+    /// terminates.  Stops *before* tokens that close an enclosing construct
+    /// (`end`, `else`, `elsif`, `when`, `}`) so the surrounding parse can
+    /// resume.
+    fn recover_to_stmt_boundary(&mut self, error_start: usize) {
+        if self.pos == error_start && !matches!(self.peek(), TokenKind::Eof) {
+            self.advance();
+        }
+        loop {
+            match self.peek() {
+                TokenKind::Eof
+                | TokenKind::RBrace
+                | TokenKind::Keyword(Kw::End | Kw::Else | Kw::Elsif | Kw::When) => break,
+                TokenKind::Newline => {
+                    self.advance();
+                    break;
+                }
+                _ => {
+                    self.advance();
+                }
+            }
+        }
     }
 
     fn parse_item(&mut self) -> PResult<Item> {
@@ -261,7 +482,9 @@ impl Parser {
             if matches!(self.peek(), TokenKind::Eof) {
                 return Err(self.error("unterminated class body (missing `end`)".to_string()));
             }
-            body.push(self.parse_item()?);
+            // Recover inside the class body too: one broken method (or
+            // statement) must not take the sibling definitions with it.
+            body.push(self.parse_item_recovering());
             self.skip_newlines();
         }
         let end = self.expect_kw(Kw::End)?.span;
@@ -297,7 +520,7 @@ impl Parser {
         self.skip_newlines();
         let body = self.parse_body(&[Kw::End])?;
         let end = self.expect_kw(Kw::End)?.span;
-        Ok(MethodDef { name, singleton, params, body, span: start.to(end) })
+        Ok(MethodDef { name, singleton, params, body, span: start.to(end), poisoned: false })
     }
 
     fn parse_method_name(&mut self) -> PResult<String> {
@@ -1102,7 +1325,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-        let prog = parse_program(src).unwrap();
+        let prog = parse_program_strict(src).unwrap();
         let classes = prog.classes();
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0].name, "User");
@@ -1120,7 +1343,7 @@ def image_url()
   page[:info].first
 end
 "#;
-        let prog = parse_program(src).unwrap();
+        let prog = parse_program_strict(src).unwrap();
         let m = prog.find_method("Object", "image_url").unwrap();
         assert_eq!(m.body.len(), 1);
         match &m.body[0].kind {
@@ -1284,14 +1507,85 @@ end
     #[test]
     fn parse_errors_are_reported() {
         assert!(parse_expr("def").is_err());
-        assert!(parse_program("class Foo\n def m\n end").is_err());
+        assert!(parse_program_strict("class Foo\n def m\n end").is_err());
         assert!(parse_expr("1 +").is_err());
+    }
+
+    #[test]
+    fn broken_method_poisons_only_itself() {
+        let src = "def good()\n  1\nend\ndef bad()\n  x = 1 +\nend\ndef tail()\n  2\nend\n";
+        let (prog, diags) = parse_program(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PARSE0002");
+        assert!(diags[0].message.contains("`bad`"), "{diags:?}");
+        let methods = prog.methods();
+        assert_eq!(methods.len(), 3, "{methods:?}");
+        let bad = prog.find_method("Object", "bad").unwrap();
+        assert!(bad.poisoned);
+        assert!(matches!(bad.body[..], [Expr { kind: ExprKind::Error, .. }]));
+        let good = prog.find_method("Object", "good").unwrap();
+        assert!(!good.poisoned);
+        assert_eq!(good.body.len(), 1);
+        let tail = prog.find_method("Object", "tail").unwrap();
+        assert!(!tail.poisoned, "recovery must resynchronize before `tail`");
+        assert_eq!(tail.body.len(), 1);
+    }
+
+    #[test]
+    fn broken_method_in_class_spares_its_siblings() {
+        let src = "class C\n  def a()\n    1\n  end\n  def b()\n    2 +\n  end\n  def c()\n    3\n  end\nend\n";
+        let (prog, diags) = parse_program(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(prog.classes().len(), 1);
+        assert!(prog.find_method("C", "b").unwrap().poisoned);
+        assert!(!prog.find_method("C", "a").unwrap().poisoned);
+        assert!(!prog.find_method("C", "c").unwrap().poisoned);
+    }
+
+    #[test]
+    fn resync_skips_nested_blocks_inside_the_broken_method() {
+        // The broken method contains nested well-formed `if`/`while`/`do`
+        // blocks; their `end`s must not terminate the poison region early.
+        let src = "def broken()\n  if x\n    while y\n      z\n    end\n  end\n  items.each do |i|\n    i\n  end\n  1 +\nend\ndef after()\n  4\nend\n";
+        let (prog, diags) = parse_program(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(prog.methods().len(), 2, "{:?}", prog.methods());
+        assert!(!prog.find_method("Object", "after").unwrap().poisoned);
+    }
+
+    #[test]
+    fn broken_statement_recovers_at_the_next_line() {
+        let src = "x = ]\ny = 2\n";
+        let (prog, diags) = parse_program(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PARSE0001");
+        assert_eq!(prog.items.len(), 2, "{prog:?}");
+        assert!(matches!(prog.items[0], Item::Expr(Expr { kind: ExprKind::Error, .. })));
+        assert!(matches!(prog.items[1], Item::Expr(Expr { kind: ExprKind::Assign { .. }, .. })));
+    }
+
+    #[test]
+    fn unterminated_def_poisons_to_eof_without_losing_earlier_items() {
+        let (prog, diags) = parse_program("def a()\n 1\nend\ndef b()\n x =\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(prog.methods().len(), 2);
+        assert!(!prog.find_method("Object", "a").unwrap().poisoned);
+        assert!(prog.find_method("Object", "b").unwrap().poisoned);
+    }
+
+    #[test]
+    fn lex_errors_surface_as_parse_diagnostics_with_recovery() {
+        let (prog, diags) = parse_program("def m()\n  s = 'unterminated\nend\n");
+        assert!(!diags.is_empty());
+        assert!(diags.iter().any(|d| d.code == "LEX0001"), "{diags:?}");
+        // The placeholder string still parses into a method body.
+        assert_eq!(prog.methods().len(), 1);
     }
 
     #[test]
     fn parses_nested_classes_and_methods() {
         let src = "class A\n class B\n def m()\n 1\n end\n end\n def n()\n 2\n end\nend";
-        let prog = parse_program(src).unwrap();
+        let prog = parse_program_strict(src).unwrap();
         assert_eq!(prog.classes().len(), 2);
         assert_eq!(prog.methods().len(), 2);
         assert!(prog.find_method("B", "m").is_some());
@@ -1306,7 +1600,7 @@ end
 
     #[test]
     fn parses_yield_and_break() {
-        let prog = parse_program("def each_page()\n yield(1)\n break\nend").unwrap();
+        let prog = parse_program_strict("def each_page()\n yield(1)\n break\nend").unwrap();
         let m = prog.find_method("Object", "each_page").unwrap();
         assert_eq!(m.body.len(), 2);
     }

@@ -346,13 +346,18 @@ fn expr(e: &Expr, out: &mut String) {
             quote_str(ty, out);
             out.push(')');
         }
+        // An unparsable region: print a marker comment-call that cannot be
+        // mistaken for user code.  It does not round-trip (the original
+        // bytes are gone), which is fine — poisoned bodies are never
+        // reprinted as input.
+        ExprKind::Error => out.push_str("__syntax_error__"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::{parse_expr, parse_program};
+    use crate::parser::{parse_expr, parse_program_strict};
 
     #[test]
     fn prints_simple_expressions() {
@@ -386,11 +391,19 @@ mod tests {
 
     #[test]
     fn prints_program_structure() {
-        let prog = parse_program("class A < B\n def m(x)\n x\n end\nend\n").unwrap();
+        let prog = parse_program_strict("class A < B\n def m(x)\n x\n end\nend\n").unwrap();
         let printed = print_program(&prog);
         assert!(printed.contains("class A < B"));
         assert!(printed.contains("def m(x)"));
-        let reparsed = parse_program(&printed).unwrap();
+        let reparsed = parse_program_strict(&printed).unwrap();
         assert_eq!(reparsed.classes()[0].name, "A");
+    }
+
+    #[test]
+    fn error_nodes_print_as_a_marker() {
+        use crate::ast::{Expr, ExprKind};
+        use crate::span::Span;
+        let e = Expr::new(ExprKind::Error, Span::new(0, 0, 1));
+        assert_eq!(print_expr(&e), "__syntax_error__");
     }
 }

@@ -139,6 +139,11 @@ fn hash_method(h: &mut SemHasher, def: &MethodDef) {
     h.write_u8(0xA0);
     h.write_str(&def.name);
     h.write_bool(def.singleton);
+    // The poison marker is part of the semantic identity: a method whose
+    // body stopped parsing must hash differently from every well-formed
+    // version of itself, so the incremental cache can never replay a stale
+    // verdict for it (and a repaired method re-checks as an edit).
+    h.write_bool(def.poisoned);
     h.write_usize(def.params.len());
     for p in &def.params {
         hash_param(h, p);
@@ -352,6 +357,7 @@ fn hash_expr(h: &mut SemHasher, e: &Expr) {
             hash_expr(h, expr);
             h.write_str(ty);
         }
+        ExprKind::Error => h.write_u8(28),
     }
 }
 
@@ -374,10 +380,10 @@ pub fn method_span_nodes(def: &MethodDef) -> Vec<Span> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_program;
+    use crate::parser::parse_program_strict;
 
     fn hashes(src: &str) -> Vec<MethodHash> {
-        parse_program(src).expect("parse").method_hashes()
+        parse_program_strict(src).expect("parse").method_hashes()
     }
 
     #[test]
@@ -390,9 +396,11 @@ mod tests {
     #[test]
     fn file_ids_and_offsets_do_not_matter() {
         let src = "def m(x)\n  x + 1\nend\n";
-        let a = crate::parser::parse_program_in_file(src, 0).expect("parse").method_hashes();
+        let a = crate::parser::parse_program_in_file_strict(src, 0).expect("parse").method_hashes();
         let shifted = format!("\n\n\n{src}");
-        let b = crate::parser::parse_program_in_file(&shifted, 7).expect("parse").method_hashes();
+        let b = crate::parser::parse_program_in_file_strict(&shifted, 7)
+            .expect("parse")
+            .method_hashes();
         assert_eq!(a, b);
     }
 
@@ -419,7 +427,7 @@ mod tests {
 
     #[test]
     fn span_nodes_cover_def_and_body_preorder() {
-        let p = parse_program("def m(x)\n  x + 1\nend\n").expect("parse");
+        let p = parse_program_strict("def m(x)\n  x + 1\nend\n").expect("parse");
         let (_, def) = p.methods()[0];
         let nodes = method_span_nodes(def);
         assert_eq!(nodes[0], def.span);
@@ -429,10 +437,27 @@ mod tests {
 
     #[test]
     fn span_node_indices_are_stable_under_layout_edits() {
-        let a = parse_program("def m(x)\n  x + 1\nend\n").expect("parse");
-        let b = parse_program("# c\n\ndef m(x)\n  # c\n  x + 1\nend\n").expect("parse");
+        let a = parse_program_strict("def m(x)\n  x + 1\nend\n").expect("parse");
+        let b = parse_program_strict("# c\n\ndef m(x)\n  # c\n  x + 1\nend\n").expect("parse");
         let (na, nb) = (method_span_nodes(a.methods()[0].1), method_span_nodes(b.methods()[0].1));
         assert_eq!(na.len(), nb.len(), "isomorphic trees must enumerate the same node count");
+    }
+
+    #[test]
+    fn poisoned_methods_hash_differently_from_every_clean_version() {
+        // A poisoned method must never collide with a well-formed method of
+        // the same name — otherwise the incremental cache could replay a
+        // stale verdict across a break/repair cycle.
+        let (broken, diags) = crate::parser::parse_program("def m()\n  1 +\nend\n");
+        assert_eq!(diags.len(), 1);
+        let poisoned = broken.method_hashes();
+        assert!(broken.methods()[0].1.poisoned);
+        let clean = hashes("def m()\n  1\nend\n");
+        assert_ne!(poisoned[0].hash, clean[0].hash);
+        // Repairing the method restores a hash identical to the never-broken
+        // parse of the same source.
+        let repaired = hashes("def m()\n  1\nend\n");
+        assert_eq!(clean[0].hash, repaired[0].hash);
     }
 
     #[test]

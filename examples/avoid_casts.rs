@@ -17,7 +17,7 @@ fn env() -> CompRdl {
 
 fn report(label: &str, use_comp_types: bool, source: &str) {
     let env = env();
-    let program = ruby_syntax::parse_program(source).expect("parses");
+    let program = ruby_syntax::parse_program_strict(source).expect("parses");
     let options = CheckOptions { use_comp_types, ..CheckOptions::default() };
     let result = TypeChecker::new(&env, &program, options).check_labeled("app");
     println!(
@@ -59,7 +59,7 @@ end
     // diagnostics pipeline.
     println!("\nPlain RDL with implicit-cast counting disabled:\n");
     let env = env();
-    let program = ruby_syntax::parse_program(without_cast).expect("parses");
+    let program = ruby_syntax::parse_program_strict(without_cast).expect("parses");
     let options =
         CheckOptions { use_comp_types: false, count_implicit_casts: false, ..Default::default() };
     let result = TypeChecker::new(&env, &program, options).check_labeled("app");

@@ -38,7 +38,7 @@ fn discourse_env() -> CompRdl {
 }
 
 fn check(env: &CompRdl, source: &str) {
-    let program = ruby_syntax::parse_program(source).expect("parses");
+    let program = ruby_syntax::parse_program_strict(source).expect("parses");
     let result = TypeChecker::new(env, &program, CheckOptions::default()).check_labeled("model");
     println!("  methods checked: {}", result.methods_checked());
     println!("  casts needed   : {}", result.total_casts());

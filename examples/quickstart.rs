@@ -37,7 +37,7 @@ g = Greeter.new()
 puts(g.greet_first())
 g.greet_all().each { |line| puts(line) }
 "#;
-    let program = ruby_syntax::parse_program(source).expect("program parses");
+    let program = ruby_syntax::parse_program_strict(source).expect("program parses");
 
     // 3. Type check.  `config()[:greeting]` gets the precise type String via
     //    the Hash#[] comp type, so no casts are needed.
@@ -83,7 +83,7 @@ end
 "#;
     println!("\nA broken variant, rendered through the diagnostics pipeline:\n");
     let sm = SourceMap::new("greeter.rb", broken);
-    let program = ruby_syntax::parse_program(broken).expect("program parses");
+    let program = ruby_syntax::parse_program_strict(broken).expect("program parses");
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     for err in result.errors() {
         print!("{}", render(&sm, &Diagnostic::from(err.clone())));

@@ -58,7 +58,7 @@ class Post < ActiveRecord::Base
   end
 end
 "#;
-    let program = ruby_syntax::parse_program(buggy_src).unwrap();
+    let program = ruby_syntax::parse_program_strict(buggy_src).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     println!("buggy query:");
     let sm = SourceMap::new("post.rb", buggy_src);
@@ -67,7 +67,7 @@ end
     }
 
     let fixed_src = buggy_src.replace("topics.title IN", "topics.id IN");
-    let program = ruby_syntax::parse_program(&fixed_src).unwrap();
+    let program = ruby_syntax::parse_program_strict(&fixed_src).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     println!("corrected query: {} errors", result.errors().len());
 }

@@ -53,7 +53,7 @@ fn cached_checking_is_byte_identical_to_uncached_across_the_corpus() {
             let app = &apps[i];
             let env = app.build_env();
             let program =
-                ruby_syntax::parse_program(&app.full_source()).expect("corpus app parses");
+                ruby_syntax::parse_program_strict(&app.full_source()).expect("corpus app parses");
             let cached = TypeChecker::new(&env, &program, options).check_labeled("app");
             let uncached =
                 TypeChecker::new(&env, &program, CheckOptions { use_eval_cache: false, ..options })
@@ -79,7 +79,7 @@ fn parallel_checking_is_byte_identical_to_sequential_across_the_corpus() {
             let threads = 2 + rng.below(5) as usize; // 2..=6 workers
             let env = app.build_env();
             let program =
-                ruby_syntax::parse_program(&app.full_source()).expect("corpus app parses");
+                ruby_syntax::parse_program_strict(&app.full_source()).expect("corpus app parses");
             let sequential =
                 TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
             let parallel = TypeChecker::check_labeled_parallel(

@@ -8,7 +8,7 @@ use diagnostics::{render, Diagnostic, DiagnosticBag, Severity, SourceMap};
 #[test]
 fn lex_error_converts_with_span() {
     let src = "x = \"unterminated";
-    let err = ruby_syntax::lex(src).expect_err("lexing fails");
+    let err = ruby_syntax::lex_strict(src).expect_err("lexing fails");
     let d = Diagnostic::from(err);
     assert_eq!(d.code, "LEX0001");
     assert_eq!(d.severity, Severity::Error);
@@ -21,7 +21,7 @@ fn lex_error_converts_with_span() {
 #[test]
 fn parse_error_converts_with_span() {
     let src = "def m(\n  1\nend\n";
-    let err = ruby_syntax::parse_program(src).expect_err("parsing fails");
+    let err = ruby_syntax::parse_program_strict(src).expect_err("parsing fails");
     let d = Diagnostic::from(err);
     assert_eq!(d.code, "PARSE0001");
     assert!(!d.primary_span().is_dummy());
@@ -44,7 +44,7 @@ fn type_error_info_converts_with_method_context() {
     comprdl::stdlib::register_all(&mut env);
     env.type_sig("Object", "answer", "() -> String", Some("app"));
     let src = "def answer()\n  42\nend\n";
-    let program = ruby_syntax::parse_program(src).unwrap();
+    let program = ruby_syntax::parse_program_strict(src).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     let errors = result.errors();
     assert!(!errors.is_empty());
@@ -98,7 +98,7 @@ fn effect_violation_converts_with_span() {
 
 #[test]
 fn ruby_error_converts_with_kind_code() {
-    let program = ruby_syntax::parse_program("raise('boom')\n").unwrap();
+    let program = ruby_syntax::parse_program_strict("raise('boom')\n").unwrap();
     let interp = ruby_interp::Interpreter::new(program);
     let err = interp.eval_program().expect_err("raises");
     let d = Diagnostic::from(err.clone());
@@ -163,7 +163,7 @@ fn corpus_rows_aggregate_diagnostics() {
 #[test]
 fn diagnostic_bag_aggregates_across_layers() {
     let mut bag = DiagnosticBag::new();
-    bag.push(Diagnostic::from(ruby_syntax::parse_program("def\n").expect_err("bad")));
+    bag.push(Diagnostic::from(ruby_syntax::parse_program_strict("def\n").expect_err("bad")));
     bag.push(Diagnostic::from(comprdl::TlcError::new("tlc")));
     bag.push(Diagnostic::warning("TYP0002", "imprecise"));
     assert_eq!(bag.len(), 3);

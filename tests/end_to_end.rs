@@ -53,7 +53,7 @@ fn disabling_consistency_checks_still_catches_return_violations() {
     env.type_sig("Object", "data", "() -> { count: Integer }", None);
     env.type_sig("Object", "reads", "() -> Integer", Some("app"));
     let src = "def data()\n  { count: 41 }\nend\ndef reads()\n  data()[:count] + 1\nend\nassert_equal(42, reads())\n";
-    let program = ruby_syntax::parse_program(src).unwrap();
+    let program = ruby_syntax::parse_program_strict(src).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     assert!(result.errors().is_empty());
 

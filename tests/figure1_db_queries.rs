@@ -49,7 +49,7 @@ end
 #[test]
 fn figure1_type_checks_without_casts_or_errors() {
     let env = figure1_env();
-    let program = ruby_syntax::parse_program(FIGURE1).unwrap();
+    let program = ruby_syntax::parse_program_strict(FIGURE1).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     assert_eq!(result.methods_checked(), 1);
     assert!(result.errors().is_empty(), "{:?}", result.errors());
@@ -73,7 +73,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-    let program = ruby_syntax::parse_program(src).unwrap();
+    let program = ruby_syntax::parse_program_strict(src).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     assert_eq!(result.errors().len(), 1, "{:?}", result.errors());
     assert_eq!(result.errors()[0].category, ErrorCategory::ArgumentType);
@@ -89,7 +89,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-    let program = ruby_syntax::parse_program(src).unwrap();
+    let program = ruby_syntax::parse_program_strict(src).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     assert_eq!(result.errors().len(), 1, "{:?}", result.errors());
 }
@@ -106,7 +106,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-    let program = ruby_syntax::parse_program(ok).unwrap();
+    let program = ruby_syntax::parse_program_strict(ok).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     assert!(result.errors().is_empty(), "{:?}", result.errors());
 
@@ -117,7 +117,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-    let program = ruby_syntax::parse_program(bad).unwrap();
+    let program = ruby_syntax::parse_program_strict(bad).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("model");
     assert_eq!(result.errors().len(), 1, "{:?}", result.errors());
 }
@@ -135,7 +135,7 @@ class User < ActiveRecord::Base
   end
 end
 "#;
-    let program = ruby_syntax::parse_program(src).unwrap();
+    let program = ruby_syntax::parse_program_strict(src).unwrap();
     let options = CheckOptions { use_comp_types: false, ..CheckOptions::default() };
     let result = TypeChecker::new(&env, &program, options).check_labeled("model");
     assert!(result.errors().is_empty(), "{:?}", result.errors());

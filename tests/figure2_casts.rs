@@ -32,7 +32,7 @@ assert_equal('https://img/Ruby.png', w.image_url())
 #[test]
 fn comp_types_need_no_cast_but_plain_rdl_does() {
     let env = wiki_env();
-    let program = ruby_syntax::parse_program(SOURCE).unwrap();
+    let program = ruby_syntax::parse_program_strict(SOURCE).unwrap();
 
     let comp = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     assert!(comp.errors().is_empty(), "{:?}", comp.errors());
@@ -50,7 +50,7 @@ fn comp_types_need_no_cast_but_plain_rdl_does() {
 #[test]
 fn rewritten_program_runs_and_checks_pass() {
     let env = wiki_env();
-    let program = ruby_syntax::parse_program(SOURCE).unwrap();
+    let program = ruby_syntax::parse_program_strict(SOURCE).unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     let hook = comprdl::make_hook(
         result.checks(),
@@ -98,13 +98,13 @@ class WikiPage
 end
 "#;
     // Type check against the honest view to compute the checks...
-    let honest_program = ruby_syntax::parse_program(annotated_view).unwrap();
+    let honest_program = ruby_syntax::parse_program_strict(annotated_view).unwrap();
     let result =
         TypeChecker::new(&env, &honest_program, CheckOptions::default()).check_labeled("app");
     assert!(result.errors().is_empty());
     // ...then run the lying implementation under those checks: the return
     // value check for Hash#[] (expected Array<String>) must raise blame.
-    let lying_program = ruby_syntax::parse_program(lying).unwrap();
+    let lying_program = ruby_syntax::parse_program_strict(lying).unwrap();
     let hook = comprdl::make_hook(
         result.checks(),
         result.store.clone(),

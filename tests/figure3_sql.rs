@@ -24,7 +24,7 @@ fn figure3_env() -> CompRdl {
 }
 
 fn check(env: &CompRdl, src: &str) -> Vec<comprdl::TypeErrorInfo> {
-    let program = ruby_syntax::parse_program(src).unwrap();
+    let program = ruby_syntax::parse_program_strict(src).unwrap();
     TypeChecker::new(env, &program, CheckOptions::default())
         .check_labeled("model")
         .errors()

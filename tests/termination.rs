@@ -34,7 +34,8 @@ fn comp_types_calling_nonterminating_helpers_are_rejected_during_checking() {
     env.type_sig("Object", "risky", "(t<:Object) -> «spin()»", None);
     env.type_sig("Object", "caller_method", "() -> Object", Some("app"));
 
-    let program = ruby_syntax::parse_program("def caller_method()\n  risky(1)\nend\n").unwrap();
+    let program =
+        ruby_syntax::parse_program_strict("def caller_method()\n  risky(1)\nend\n").unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     assert!(
         result.errors().iter().any(|e| e.category == ErrorCategory::Termination),
@@ -50,7 +51,8 @@ fn well_behaved_comp_types_pass_the_termination_check() {
     env.type_sig("Object", "pick_first", "(t<:Array) -> «first_elem(t)»", None);
     env.type_sig("Object", "caller_method", "() -> Integer", Some("app"));
     let program =
-        ruby_syntax::parse_program("def caller_method()\n  pick_first([1, 2, 3])\nend\n").unwrap();
+        ruby_syntax::parse_program_strict("def caller_method()\n  pick_first([1, 2, 3])\nend\n")
+            .unwrap();
     let result = TypeChecker::new(&env, &program, CheckOptions::default()).check_labeled("app");
     assert!(result.errors().is_empty(), "{:?}", result.errors());
 }
